@@ -1,0 +1,85 @@
+// Ablation — value models vs actual decodability (paper Sect. 2.1 remarks
+// that fidelity "does not degrade linearly with the quantity of lost data";
+// Sect. 5 approximates it with static 12:8:1 weights). This bench scores
+// schedules by MPEG *decodable frames* and compares three value models
+// driving the Greedy policy:
+//   throughput      every byte worth 1 (weight-blind),
+//   mpeg-12-8-1     the paper's static weighting,
+//   dependency      per-frame fan-out pricing (trace/dependency.h).
+// Plus Tail-Drop as the policy baseline.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "policies/policy_factory.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "trace/dependency.h"
+
+namespace {
+
+using namespace rtsmooth;
+
+struct Scored {
+  double decodable = 0.0;
+  double goodput = 0.0;
+  double weighted_loss = 0.0;
+};
+
+Scored score(const trace::FrameSequence& frames, const Stream& stream,
+             const Plan& plan, const char* policy) {
+  sim::SmoothingSimulator simulator(stream, sim::SimConfig::balanced(plan),
+                                    make_policy(policy));
+  ScheduleRecorder rec(stream.run_count());
+  const SimReport report = simulator.run(&rec);
+  const auto dep = trace::analyze_decodability(
+      frames, trace::delivered_bytes_per_frame(stream, rec, frames.size()));
+  return Scored{.decodable = dep.decodable_fraction(),
+                .goodput = dep.goodput_fraction(),
+                .weighted_loss = report.weighted_loss()};
+}
+
+int run(const bench::BenchOptions& opts) {
+  const std::size_t frames_n =
+      opts.frames ? opts.frames : (opts.quick ? 300 : 1500);
+  const trace::FrameSequence frames =
+      trace::stock_clip("cnn-news", frames_n);
+  const Stream throughput = trace::slice_frames(
+      frames, trace::ValueModel::throughput(), trace::Slicing::ByteSlices);
+  const Stream mpeg = trace::slice_frames(
+      frames, trace::ValueModel::mpeg_default(), trace::Slicing::ByteSlices);
+  const Stream aware = trace::slice_frames_with_values(
+      frames, trace::dependency_aware_values(frames),
+      trace::Slicing::ByteSlices);
+
+  std::cout << "abl_dependency — decodable-frame fraction by value model "
+               "(buffer = 2 x max frame)\n"
+            << "clip: cnn-news, " << frames_n << " frames\n\n";
+  bench::Series series{.header = {"rate(xAvg)", "policy+values",
+                                  "decodableFrames", "goodputBytes"}};
+  for (double rel : {0.7, 0.8, 0.9, 1.0}) {
+    const Bytes rate = sim::relative_rate(mpeg, rel);
+    const Plan plan =
+        Planner::from_buffer_rate(2 * mpeg.max_frame_bytes(), rate);
+    const Scored tail = score(frames, mpeg, plan, "tail-drop");
+    const Scored plain = score(frames, throughput, plan, "greedy");
+    const Scored weighted = score(frames, mpeg, plan, "greedy");
+    const Scored dep = score(frames, aware, plan, "greedy");
+    series.add({Table::num(rel, 1), "tail-drop",
+                Table::pct(tail.decodable), Table::pct(tail.goodput)});
+    series.add({Table::num(rel, 1), "greedy/throughput",
+                Table::pct(plain.decodable), Table::pct(plain.goodput)});
+    series.add({Table::num(rel, 1), "greedy/mpeg-12-8-1",
+                Table::pct(weighted.decodable), Table::pct(weighted.goodput)});
+    series.add({Table::num(rel, 1), "greedy/dependency",
+                Table::pct(dep.decodable), Table::pct(dep.goodput)});
+  }
+  series.emit(opts);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run(rtsmooth::bench::parse_options(argc, argv));
+}

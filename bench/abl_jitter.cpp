@@ -1,0 +1,59 @@
+// Ablation — positive link jitter (the paper's Sect. 6 open problem):
+// quantifies (i) how much data an uncompensated jittery link loses at the
+// client and (ii) that budgeting delay +J and client space +J*R restores
+// lossless reconstruction, making the remark "a jitter control algorithm
+// adds to the buffer space requirement and to overall delay" concrete.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/link.h"
+#include "policies/policy_factory.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+
+namespace {
+
+using namespace rtsmooth;
+
+int run(const bench::BenchOptions& opts) {
+  const std::size_t frames =
+      opts.frames ? opts.frames : (opts.quick ? 300 : 1200);
+  const Stream s =
+      bench::reference_stream(trace::Slicing::ByteSlices, frames);
+  const Bytes rate = sim::relative_rate(s, 1.0);
+  const Plan plan = Planner::from_buffer_rate(4 * s.max_frame_bytes(), rate);
+  const Time p = 2;
+
+  std::cout << "abl_jitter — bounded link jitter J vs client compensation "
+               "(buffer = 4 x max frame, R = average rate, P = " << p
+            << ")\n" << "clip: cnn-news, " << frames << " frames\n\n";
+  bench::Series series{.header = {"J", "compensated", "lateLoss(bytes)",
+                                  "clientOverflow(bytes)", "weightedLoss"}};
+  for (Time j : {0, 2, 4, 8, 16}) {
+    for (bool compensated : {false, true}) {
+      sim::SimConfig config = sim::SimConfig::balanced(plan, p);
+      if (compensated) {
+        config.smoothing_delay += j;
+        config.client_buffer += j * plan.rate;
+      }
+      sim::SmoothingSimulator simulator(
+          s, config, make_policy("greedy"),
+          std::make_unique<BoundedJitterLink>(p, j, Rng(1234)));
+      const SimReport report = simulator.run();
+      series.add({std::to_string(j), compensated ? "yes" : "no",
+                  std::to_string(report.dropped_client_late.bytes),
+                  std::to_string(report.dropped_client_overflow.bytes),
+                  Table::pct(report.weighted_loss())});
+    }
+  }
+  series.emit(opts);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run(rtsmooth::bench::parse_options(argc, argv));
+}

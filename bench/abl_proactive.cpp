@@ -1,0 +1,65 @@
+// Ablation — "pro-active" overflow avoidance (the paper's closing open
+// problem, Sect. 6): does early-dropping cheap data before the buffer fills
+// ever beat plain Greedy (which only drops on overflow)?
+//
+// Sweeps the proactive watermark/value-floor grid against Greedy and
+// Tail-Drop on the reference clip at rates below the average. The expected
+// outcome (and the reason the paper calls it an open problem) is nuanced:
+// early drops cannot improve *unit-slice* benefit (Theorem 3.5 says overflow
+// handling is already byte-optimal, so early drops only throw away bytes the
+// buffer could still have sold), but they change *which* bytes survive.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "policies/proactive_threshold.h"
+#include "policies/policy_factory.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+
+namespace {
+
+using namespace rtsmooth;
+
+int run(const bench::BenchOptions& opts) {
+  const std::size_t frames =
+      opts.frames ? opts.frames : (opts.quick ? 300 : 1200);
+  const Stream s =
+      bench::reference_stream(trace::Slicing::ByteSlices, frames);
+  std::cout << "abl_proactive — proactive early-drop vs Greedy/Tail-Drop "
+               "(byte slices, buffer = 2 x max frame)\n"
+            << "clip: cnn-news, " << frames << " frames\n\n";
+  bench::Series series{.header = {"rate(xAvg)", "policy", "watermark",
+                                  "valueFloor", "weightedLoss", "byteLoss"}};
+  for (double rel : {0.8, 0.9, 1.0}) {
+    const Bytes rate = sim::relative_rate(s, rel);
+    const Plan plan = Planner::from_buffer_rate(2 * s.max_frame_bytes(), rate);
+    for (const char* base : {"tail-drop", "greedy"}) {
+      const SimReport report = sim::simulate(s, plan, base);
+      series.add({Table::num(rel, 1), base, "-", "-",
+                  Table::pct(report.weighted_loss()),
+                  Table::pct(report.byte_loss())});
+    }
+    for (double watermark : {0.5, 0.75, 0.9}) {
+      for (double floor : {1.0, 8.0}) {
+        sim::SmoothingSimulator simulator(
+            s, sim::SimConfig::balanced(plan),
+            std::make_unique<ProactiveThresholdPolicy>(ProactiveConfig{
+                .watermark = watermark, .value_floor = floor}));
+        const SimReport report = simulator.run();
+        series.add({Table::num(rel, 1), "proactive", Table::num(watermark, 2),
+                    Table::num(floor, 1), Table::pct(report.weighted_loss()),
+                    Table::pct(report.byte_loss())});
+      }
+    }
+  }
+  series.emit(opts);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run(rtsmooth::bench::parse_options(argc, argv));
+}

@@ -1,0 +1,79 @@
+// Shared scaffolding for the figure/table benches: the reference clip, the
+// standard policy set, table/CSV emission and a tiny flag parser.
+//
+// Every bench accepts:
+//   --frames N     clip length (default per bench)
+//   --csv PATH     additionally dump the series as CSV
+//   --quick        shrink the workload (used by the build's smoke run)
+
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/slicer.h"
+#include "trace/stock_clips.h"
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace rtsmooth::bench {
+
+struct BenchOptions {
+  std::size_t frames = 0;  ///< 0 = use the bench's default
+  std::optional<std::string> csv_path;
+  bool quick = false;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--frames" && i + 1 < argc) {
+      opts.frames = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (arg == "--csv" && i + 1 < argc) {
+      opts.csv_path = argv[++i];
+    } else if (arg == "--quick") {
+      opts.quick = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "options: [--frames N] [--csv PATH] [--quick]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+/// The paper-calibrated reference clip at the requested granularity.
+inline Stream reference_stream(trace::Slicing slicing, std::size_t frames) {
+  return trace::slice_frames(trace::stock_clip("cnn-news", frames),
+                             trace::ValueModel::mpeg_default(), slicing);
+}
+
+/// A printable series: header plus rows of preformatted cells.
+struct Series {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  void add(std::vector<std::string> row) { rows.push_back(std::move(row)); }
+
+  /// Prints as an aligned table and mirrors to CSV when requested.
+  void emit(const BenchOptions& opts) const {
+    Table table(header);
+    for (const auto& row : rows) table.add_row(row);
+    table.print(std::cout);
+    if (opts.csv_path) {
+      CsvWriter csv(*opts.csv_path);
+      csv.row(header);
+      for (const auto& row : rows) csv.row(row);
+      std::cout << "(csv written to " << *opts.csv_path << ")\n";
+    }
+  }
+};
+
+}  // namespace rtsmooth::bench

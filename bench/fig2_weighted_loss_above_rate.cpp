@@ -1,0 +1,54 @@
+// Figure 2 (paper Sect. 5.1): weighted loss of Tail-Drop, Greedy and the
+// off-line Optimal as a function of buffer size (in multiples of the largest
+// frame), with the link rate 10% ABOVE the clip's average rate. Single-byte
+// slices, I:P:B values 12:8:1.
+//
+// Expected shape: all three drop steeply as the buffer grows past a couple
+// of max-frames; Greedy tracks Optimal closely; Tail-Drop stays worst
+// everywhere until losses vanish.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/sweep.h"
+
+namespace {
+
+using namespace rtsmooth;
+
+int run(const bench::BenchOptions& opts) {
+  const std::size_t frames =
+      opts.frames ? opts.frames : (opts.quick ? 400 : 2000);
+  const Stream s =
+      bench::reference_stream(trace::Slicing::ByteSlices, frames);
+  const Bytes rate = sim::relative_rate(s, 1.10);
+  std::vector<double> multiples;
+  for (int m = 1; m <= 26; m += opts.quick ? 5 : 1) {
+    multiples.push_back(m);
+  }
+  const std::vector<std::string> policies = {"tail-drop", "greedy"};
+  const auto points =
+      sim::buffer_sweep(s, multiples, rate, policies, /*with_optimal=*/true);
+
+  std::cout << "Fig. 2 — weighted loss vs buffer size, R = 1.1 x average "
+               "rate, byte slices\n"
+            << "clip: cnn-news, " << frames << " frames, avg rate "
+            << format_bytes(s.average_rate()) << "/step, max frame "
+            << format_bytes(static_cast<double>(s.max_frame_bytes())) << "\n\n";
+  bench::Series series{
+      .header = {"buffer(xMaxFrame)", "TailDrop", "Greedy", "Optimal"}};
+  for (const auto& point : points) {
+    series.add({Table::num(point.x, 0),
+                Table::pct(point.policies[0].report.weighted_loss()),
+                Table::pct(point.policies[1].report.weighted_loss()),
+                Table::pct(point.optimal.weighted_loss)});
+  }
+  series.emit(opts);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run(rtsmooth::bench::parse_options(argc, argv));
+}

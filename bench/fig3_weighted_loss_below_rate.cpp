@@ -1,0 +1,51 @@
+// Figure 3 (paper Sect. 5.1): weighted loss vs buffer size with the link
+// rate 10% BELOW the average rate — at least ~10% of the *bytes* must be
+// lost, but Greedy and Optimal push the *weighted* loss well under that
+// floor while Tail-Drop stays above it (the valuable bytes arrive in bursts
+// that Tail-Drop truncates).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/sweep.h"
+
+namespace {
+
+using namespace rtsmooth;
+
+int run(const bench::BenchOptions& opts) {
+  const std::size_t frames =
+      opts.frames ? opts.frames : (opts.quick ? 400 : 2000);
+  const Stream s =
+      bench::reference_stream(trace::Slicing::ByteSlices, frames);
+  const Bytes rate = sim::relative_rate(s, 0.90);
+  std::vector<double> multiples;
+  for (int m = 1; m <= 26; m += opts.quick ? 5 : 1) {
+    multiples.push_back(m);
+  }
+  const std::vector<std::string> policies = {"tail-drop", "greedy"};
+  const auto points =
+      sim::buffer_sweep(s, multiples, rate, policies, /*with_optimal=*/true);
+
+  std::cout << "Fig. 3 — weighted loss vs buffer size, R = 0.9 x average "
+               "rate, byte slices\n"
+            << "clip: cnn-news, " << frames
+            << " frames; byte-loss floor is ~10%\n\n";
+  bench::Series series{.header = {"buffer(xMaxFrame)", "TailDrop", "Greedy",
+                                  "Optimal", "byteLossTailDrop"}};
+  for (const auto& point : points) {
+    series.add({Table::num(point.x, 0),
+                Table::pct(point.policies[0].report.weighted_loss()),
+                Table::pct(point.policies[1].report.weighted_loss()),
+                Table::pct(point.optimal.weighted_loss),
+                Table::pct(point.policies[0].report.byte_loss())});
+  }
+  series.emit(opts);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run(rtsmooth::bench::parse_options(argc, argv));
+}

@@ -1,0 +1,52 @@
+// Figure 4 (paper Sect. 5.2): benefit of Tail-Drop, Greedy and Optimal
+// relative to the total offered benefit, as the link rate varies from 0.4 to
+// 1.4 times the average stream rate. Byte slices, buffer fixed at 4x the
+// largest frame (the paper does not state its buffer; see EXPERIMENTS.md).
+//
+// Expected shape: Greedy "manages to salvage most of the benefit even when
+// the rate drops well below the average rate"; Tail-Drop decays much
+// faster; Optimal upper-bounds both and the three converge to 100% as the
+// rate passes the average.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/sweep.h"
+
+namespace {
+
+using namespace rtsmooth;
+
+int run(const bench::BenchOptions& opts) {
+  const std::size_t frames =
+      opts.frames ? opts.frames : (opts.quick ? 400 : 2000);
+  const Stream s =
+      bench::reference_stream(trace::Slicing::ByteSlices, frames);
+  std::vector<double> fractions;
+  for (double f = 0.40; f <= 1.41; f += opts.quick ? 0.2 : 0.05) {
+    fractions.push_back(f);
+  }
+  const std::vector<std::string> policies = {"tail-drop", "greedy"};
+  const auto points = sim::rate_sweep(s, fractions, /*buffer_multiple=*/4.0,
+                                      policies, /*with_optimal=*/true);
+
+  std::cout << "Fig. 4 — benefit (% of total) vs link rate, byte slices, "
+               "buffer = 4 x max frame\n"
+            << "clip: cnn-news, " << frames << " frames\n\n";
+  bench::Series series{
+      .header = {"rate(xAvg)", "TailDrop", "Greedy", "Optimal"}};
+  for (const auto& point : points) {
+    series.add({Table::num(point.x, 2),
+                Table::pct(point.policies[0].report.benefit_fraction()),
+                Table::pct(point.policies[1].report.benefit_fraction()),
+                Table::pct(point.optimal.benefit_fraction)});
+  }
+  series.emit(opts);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run(rtsmooth::bench::parse_options(argc, argv));
+}

@@ -1,0 +1,66 @@
+// Figure 5 (paper Sect. 5.3): the OPTIMAL weighted loss as a function of
+// buffer size, for single-byte slices versus whole-frame slices, at the
+// average link rate. "The difference ... may be as high as nearly a factor
+// of 4 when the buffer is very small, but it shrinks when the buffer size
+// increases."
+//
+// Byte-slice optimum: polymatroid greedy (exact). Whole-frame optimum:
+// Pareto DP (exact unless the state cap is hit, flagged in the output).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "offline/pareto_dp.h"
+#include "offline/unit_optimal.h"
+#include "sim/sweep.h"
+
+namespace {
+
+using namespace rtsmooth;
+
+int run(const bench::BenchOptions& opts) {
+  const std::size_t frames =
+      opts.frames ? opts.frames : (opts.quick ? 300 : 1200);
+  const Stream bytes_stream =
+      bench::reference_stream(trace::Slicing::ByteSlices, frames);
+  const Stream frame_stream =
+      bench::reference_stream(trace::Slicing::WholeFrame, frames);
+  const Bytes rate = sim::relative_rate(bytes_stream, 1.00);
+
+  std::cout << "Fig. 5 — OPTIMAL weighted loss vs buffer size, byte slices "
+               "vs whole-frame slices, R = average rate\n"
+            << "clip: cnn-news, " << frames
+            << " frames; whole-frame optimum bracketed by the quantized DP "
+               "(see offline/pareto_dp.h)\n\n";
+  bench::Series series{.header = {"buffer(xMaxFrame)", "OptByteSlices",
+                                  "OptWholeFrame[lo", "hi]", "lossRatio"}};
+  for (int m = 1; m <= 26; m += opts.quick ? 5 : 1) {
+    const Bytes buffer = m * bytes_stream.max_frame_bytes();
+    const Plan plan = Planner::from_buffer_rate(buffer, rate);
+    const Weight total = bytes_stream.total_weight();
+    const auto byte_opt =
+        offline::unit_optimal(bytes_stream, plan.buffer, plan.rate);
+    const double byte_loss = 1.0 - byte_opt.benefit / total;
+    // Quantized bracket: optimistic benefit -> lower loss bound, and vice
+    // versa. The quantum scales with the buffer so each DP stays around
+    // 8k occupancy states regardless of the sweep point.
+    const Bytes quantum = std::max<Bytes>(256, plan.buffer / 8192);
+    const auto bracket = offline::quantized_optimal_bracket(
+        frame_stream, plan.buffer, plan.rate, quantum);
+    const double frame_loss_lo = 1.0 - bracket.upper / total;
+    const double frame_loss_hi = 1.0 - bracket.lower / total;
+    const double mid = (frame_loss_lo + frame_loss_hi) / 2.0;
+    const double ratio = byte_loss > 1e-12 ? mid / byte_loss : 1.0;
+    series.add({Table::num(m, 0), Table::pct(byte_loss),
+                Table::pct(frame_loss_lo), Table::pct(frame_loss_hi),
+                Table::num(ratio, 2)});
+  }
+  series.emit(opts);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run(rtsmooth::bench::parse_options(argc, argv));
+}

@@ -1,0 +1,67 @@
+// Robustness sweep — the paper reports that its results "reflect typical
+// values for these clips" (Sect. 5). This bench re-derives the key Fig. 2/3
+// orderings on every stock clip and on fresh seeds of the MPEG model, so a
+// reader can check the shapes aren't an artifact of the one reference clip:
+//   Optimal <= Greedy <= Tail-Drop (weighted loss), at two rates and two
+//   buffer sizes per clip.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/sweep.h"
+#include "trace/mpeg_model.h"
+
+namespace {
+
+using namespace rtsmooth;
+
+int run(const bench::BenchOptions& opts) {
+  const std::size_t frames =
+      opts.frames ? opts.frames : (opts.quick ? 300 : 1000);
+  std::cout << "fig_robustness — Fig. 2/3 orderings across clips and seeds ("
+            << frames << " frames each)\n\n";
+  bench::Series series{.header = {"clip", "rate(xAvg)", "B(xMaxFrame)",
+                                  "TailDrop", "Greedy", "Optimal",
+                                  "ordering"}};
+
+  auto add_clip = [&](const std::string& label,
+                      const trace::FrameSequence& sequence) {
+    const Stream s =
+        trace::slice_frames(sequence, trace::ValueModel::mpeg_default(),
+                            trace::Slicing::ByteSlices);
+    for (double rel : {0.9, 1.1}) {
+      const Bytes rate = sim::relative_rate(s, rel);
+      for (double mult : {2.0, 8.0}) {
+        const double multiples[] = {mult};
+        const std::vector<std::string> policies = {"tail-drop", "greedy"};
+        const auto points = sim::buffer_sweep(s, multiples, rate, policies,
+                                              /*with_optimal=*/true);
+        const auto& point = points.front();
+        const double tail = point.policies[0].report.weighted_loss();
+        const double greedy = point.policies[1].report.weighted_loss();
+        const double optimal = point.optimal.weighted_loss;
+        const bool ordered =
+            optimal <= greedy + 1e-9 && greedy <= tail + 1e-9;
+        series.add({label, Table::num(rel, 1), Table::num(mult, 0),
+                    Table::pct(tail), Table::pct(greedy), Table::pct(optimal),
+                    ordered ? "ok" : "VIOLATED"});
+      }
+    }
+  };
+
+  for (const auto& name : trace::stock_clip_names()) {
+    add_clip(name, trace::stock_clip(name, frames));
+  }
+  for (std::uint64_t seed : {101u, 202u, 303u}) {
+    trace::MpegTraceModel model(trace::MpegModelConfig{}, seed);
+    add_clip("cnn-news/seed" + std::to_string(seed), model.generate(frames));
+  }
+  series.emit(opts);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run(rtsmooth::bench::parse_options(argc, argv));
+}

@@ -1,0 +1,109 @@
+// Theory table 2 — competitive analysis (Sect. 4):
+//   (a) Theorem 4.7: Greedy's measured ratio on the adversarial stream vs
+//       the closed-form (2 - eps) bound, over a (B, alpha) grid;
+//   (b) Theorem 4.8: the two-scenario adversary against every on-line
+//       policy — max scenario ratio vs the 1.2287 bound — plus the
+//       Lotker/Sviridenko alpha ~ 4.015 improvement to 1.28197;
+//   (c) Theorem 4.1 sanity: worst measured Greedy ratio over random streams
+//       stays under 4 (unit slices).
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "analysis/adversarial.h"
+#include "analysis/bounds.h"
+#include "analysis/competitive.h"
+#include "bench_common.h"
+#include "policies/policy_factory.h"
+
+namespace {
+
+using namespace rtsmooth;
+using namespace rtsmooth::analysis;
+
+void part_a_thm47(const bench::BenchOptions& opts) {
+  std::cout << "(a) Theorem 4.7 — Greedy on the adversarial stream\n\n";
+  bench::Series series{.header = {"B", "alpha", "measured", "closedForm",
+                                  "lowerBound(2-eps)", "upperBound(Thm4.1)"}};
+  for (Bytes b : {10, 50, 200}) {
+    for (double alpha : {2.0, 4.0, 16.0, 100.0}) {
+      const Stream s = thm47_stream(b, alpha);
+      const RatioResult measured = measured_ratio(s, b, 1, "greedy");
+      series.add({std::to_string(b), Table::num(alpha, 1),
+                  Table::num(measured.ratio, 4),
+                  Table::num(greedy_thm47_exact_ratio(b, alpha), 4),
+                  Table::num(greedy_lower_bound_thm47(b, alpha), 4),
+                  Table::num(greedy_competitive_upper_bound(b, 1), 4)});
+    }
+  }
+  series.emit(opts);
+}
+
+void part_b_thm48() {
+  std::cout << "\n(b) Theorem 4.8 — two-scenario adversary vs deterministic "
+               "policies (B = 600, alpha = 2)\n\n";
+  const Bytes b = 600;
+  const double alpha = 2.0;
+  bench::Series series{.header = {"policy", "worstT1", "maxScenarioRatio",
+                                  "paperBound"}};
+  for (const auto& policy : policy_names()) {
+    double worst = 0.0;
+    Time worst_t1 = 0;
+    for (double z : {1.0, 1.3, 1.6861, 2.2, 3.0}) {
+      const auto t1 =
+          static_cast<Time>(std::llround(static_cast<double>(b) / z));
+      const Stream s1 = thm48_scenario1_stream(b, t1, alpha);
+      const Stream s2 = thm48_scenario2_stream(b, t1, alpha);
+      const double r = std::max(measured_ratio(s1, b, 1, policy).ratio,
+                                measured_ratio(s2, b, 1, policy).ratio);
+      if (r > worst) {
+        worst = r;
+        worst_t1 = t1;
+      }
+    }
+    series.add({std::string(policy), std::to_string(worst_t1),
+                Table::num(worst, 4), "1.2287"});
+  }
+  series.emit(bench::BenchOptions{});
+
+  std::cout << "\n    lower-bound optimization over alpha:\n";
+  const auto paper = deterministic_lower_bound(2.0);
+  const auto best = best_deterministic_lower_bound();
+  std::cout << "      alpha=2.000  z=" << Table::num(paper.z, 4)
+            << "  bound=" << Table::num(paper.ratio, 5) << "  (paper)\n"
+            << "      alpha=" << Table::num(best.alpha, 3)
+            << "  z=" << Table::num(best.z, 4)
+            << "  bound=" << Table::num(best.ratio, 5)
+            << "  (Lotker/Sviridenko remark)\n";
+}
+
+void part_c_random(const bench::BenchOptions& opts) {
+  const int trials = opts.quick ? 100 : 600;
+  std::cout << "\n(c) Theorem 4.1 — worst measured Greedy ratio over "
+            << trials << " random unit-slice streams (guarantee: 4)\n\n";
+  Rng rng(20250704);
+  double worst = 1.0;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const Stream s = random_unit_stream(rng, 30, 12, 40.0);
+    const Bytes buffer = rng.uniform_int(2, 16);
+    const double ratio = measured_ratio(s, buffer, 1, "greedy").ratio;
+    worst = std::max(worst, ratio);
+    sum += ratio;
+  }
+  std::cout << "      worst = " << Table::num(worst, 4)
+            << ", mean = " << Table::num(sum / trials, 4)
+            << ", bound = 4.0000\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = rtsmooth::bench::parse_options(argc, argv);
+  std::cout << "tab_competitive — Sect. 4 results\n\n";
+  part_a_thm47(opts);
+  part_b_thm48();
+  part_c_random(opts);
+  return 0;
+}

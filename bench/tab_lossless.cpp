@@ -1,0 +1,137 @@
+// Theory table 3 — the lossless-smoothing context (paper Sect. 1 and
+// related work): quantifies the introduction's motivating claim that "one
+// can significantly reduce the peak bandwidth using only a relatively
+// modest amount of space without unbearable delay", and positions the
+// paper's lossy model against the lossless alternatives it cites.
+//
+//  (a) peak-rate reduction grid: taut-string optimal peak rate vs
+//      (startup delay, client buffer) — Salehi et al. [16];
+//  (b) on-line window convergence — Rexford et al. [14];
+//  (c) optimal initial delay knee — Zhao et al. [23];
+//  (d) lossless vs lossy: the rate lossless needs, vs Greedy's weighted
+//      loss when the link is provisioned below it — the tradeoff the lossy
+//      model exists to exploit.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "lossless/delay_optimizer.h"
+#include "lossless/online_window.h"
+#include "lossless/taut_string.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+
+namespace {
+
+using namespace rtsmooth;
+using lossless::CumulativeCurve;
+using lossless::live_walls;
+using lossless::taut_string;
+
+void part_a_grid(const CumulativeCurve& arrivals,
+                 const bench::BenchOptions& opts) {
+  std::cout << "(a) lossless peak rate (KB/slot) vs startup delay and "
+               "client buffer; unsmoothed peak = "
+            << Table::num(static_cast<double>(arrivals.peak_increment()) /
+                              1024.0, 1)
+            << " KB, average = "
+            << Table::num(static_cast<double>(arrivals.total()) /
+                              static_cast<double>(arrivals.length()) / 1024.0,
+                          1)
+            << " KB\n\n";
+  bench::Series series{.header = {"buffer", "D=1", "D=5", "D=25", "D=125"}};
+  for (Bytes buffer_kb : {120, 480, 1920, 7680}) {
+    std::vector<std::string> row = {std::to_string(buffer_kb) + "KB"};
+    for (Time d : {1, 5, 25, 125}) {
+      const double peak =
+          lossless::min_peak_for_delay(arrivals, d, buffer_kb * 1024);
+      row.push_back(Table::num(peak / 1024.0, 1));
+    }
+    series.add(std::move(row));
+  }
+  series.emit(opts);
+}
+
+void part_b_online(const CumulativeCurve& arrivals) {
+  const lossless::SmoothingWalls walls = live_walls(arrivals, 25, 2 << 20);
+  const double offline = taut_string(walls.lower, walls.upper).peak_rate;
+  std::cout << "\n(b) on-line window convergence (delay 25, buffer 2 MB): "
+               "peak rate vs lookahead window\n\n";
+  bench::Series series{
+      .header = {"window", "peak(drain)", "peak(prefetch)", "xOffline"}};
+  for (Time window : {Time{5}, Time{15}, Time{50}, Time{150}, Time{500},
+                      arrivals.length() + 25}) {
+    const double drain =
+        lossless::online_smooth(walls, window, lossless::BlockAnchor::Drain)
+            .peak_rate;
+    const double prefetch =
+        lossless::online_smooth(walls, window,
+                                lossless::BlockAnchor::Prefetch)
+            .peak_rate;
+    series.add({std::to_string(window), Table::num(drain / 1024.0, 1),
+                Table::num(prefetch / 1024.0, 1),
+                Table::num(std::min(drain, prefetch) / offline, 3)});
+  }
+  series.emit(bench::BenchOptions{});
+  std::cout << "    offline optimum: " << Table::num(offline / 1024.0, 1)
+            << " KB/slot\n";
+}
+
+void part_c_knee(const CumulativeCurve& arrivals) {
+  std::cout << "\n(c) optimal initial delay (Zhao et al.): smallest delay "
+               "after which more delay buys nothing\n\n";
+  bench::Series series{.header = {"buffer", "peak(D=0)", "floor", "kneeDelay"}};
+  for (Bytes buffer_kb : {120, 480, 1920}) {
+    const auto knee =
+        lossless::optimal_initial_delay(arrivals, buffer_kb * 1024);
+    series.add({std::to_string(buffer_kb) + "KB",
+                Table::num(knee.peak_at_zero / 1024.0, 1),
+                Table::num(knee.peak_rate / 1024.0, 1),
+                std::to_string(knee.delay)});
+  }
+  series.emit(bench::BenchOptions{});
+}
+
+void part_d_lossy_vs_lossless(const Stream& stream,
+                              const CumulativeCurve& arrivals) {
+  const Time delay = 25;
+  const Bytes buffer = 2 << 20;
+  const double lossless_rate =
+      lossless::min_peak_for_delay(arrivals, delay, buffer);
+  std::cout << "\n(d) lossless vs lossy at delay " << delay
+            << ", buffer 2 MB: lossless needs "
+            << Table::num(lossless_rate / 1024.0, 1)
+            << " KB/slot; Greedy's weighted loss below that rate\n\n";
+  bench::Series series{
+      .header = {"rate(xLossless)", "rate(KB)", "greedyWeightedLoss",
+                 "byteLoss"}};
+  for (double frac : {1.0, 0.9, 0.8, 0.7, 0.6, 0.5}) {
+    const auto rate =
+        std::max<Bytes>(1, static_cast<Bytes>(frac * lossless_rate));
+    const Plan plan = Planner::from_delay_rate(delay, rate);
+    const SimReport report = sim::simulate(stream, plan, "greedy");
+    series.add({Table::num(frac, 1),
+                Table::num(static_cast<double>(rate) / 1024.0, 1),
+                Table::pct(report.weighted_loss()),
+                Table::pct(report.byte_loss())});
+  }
+  series.emit(bench::BenchOptions{});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = rtsmooth::bench::parse_options(argc, argv);
+  const std::size_t frames = opts.frames ? opts.frames : (opts.quick ? 300 : 1500);
+  const trace::FrameSequence sequence = trace::stock_clip("cnn-news", frames);
+  const CumulativeCurve arrivals = CumulativeCurve::from_frames(sequence);
+  const Stream stream = trace::slice_frames(
+      sequence, trace::ValueModel::mpeg_default(), trace::Slicing::ByteSlices);
+  std::cout << "tab_lossless — lossless smoothing context (" << frames
+            << " frames)\n\n";
+  part_a_grid(arrivals, opts);
+  part_b_online(arrivals);
+  part_c_knee(arrivals);
+  part_d_lossy_vs_lossless(stream, arrivals);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Capacity planner: the Sect. 3.3 setup protocol as a CLI. Give any two of
+//   --buffer BYTES   --delay STEPS   --rate BYTES_PER_STEP
+// and it derives the third from B = D*R, then validates the plan against a
+// reference clip: measured loss at the plan, plus what happens if you
+// mis-size each parameter (the Sect. 3.3 observations, quantified).
+//
+// Run:  ./examples/capacity_planner --rate 35000 --delay 40
+//       ./examples/capacity_planner --buffer 2000000 --rate 40000
+
+#include <cstdint>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/planner.h"
+#include "policies/policy_factory.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "trace/slicer.h"
+#include "trace/stock_clips.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace rtsmooth;
+
+SimReport run_config(const Stream& stream, Bytes buffer, Bytes client_buffer,
+                     Bytes rate, Time delay) {
+  sim::SimConfig config{.server_buffer = buffer,
+                        .client_buffer = client_buffer,
+                        .rate = rate,
+                        .smoothing_delay = delay,
+                        .link_delay = 1};
+  sim::SmoothingSimulator simulator(stream, config, make_policy("greedy"));
+  return simulator.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<Bytes> buffer;
+  std::optional<Time> delay;
+  std::optional<Bytes> rate;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--buffer" && i + 1 < argc) buffer = std::stoll(argv[++i]);
+    else if (arg == "--delay" && i + 1 < argc) delay = std::stoll(argv[++i]);
+    else if (arg == "--rate" && i + 1 < argc) rate = std::stoll(argv[++i]);
+    else {
+      std::cerr << "usage: capacity_planner (two of) --buffer B --delay D "
+                   "--rate R\n";
+      return 2;
+    }
+  }
+  const int given = (buffer ? 1 : 0) + (delay ? 1 : 0) + (rate ? 1 : 0);
+  if (given != 2) {
+    std::cerr << "exactly two of --buffer/--delay/--rate must be given\n";
+    return 2;
+  }
+
+  Plan plan;
+  if (delay && rate) plan = Planner::from_delay_rate(*delay, *rate);
+  else if (buffer && rate) plan = Planner::from_buffer_rate(*buffer, *rate);
+  else plan = Planner::from_buffer_delay(*buffer, *delay);
+
+  std::cout << "plan (B = D*R): buffer "
+            << format_bytes(static_cast<double>(plan.buffer)) << " each side, "
+            << "delay " << plan.delay << " steps, rate "
+            << format_bytes(static_cast<double>(plan.rate)) << "/step\n";
+  std::cout << "guarantee: minimal loss among all schedules with this buffer "
+               "and rate (Thm 3.5, unit slices)\n\n";
+
+  // Validate on the reference clip.
+  const Stream stream = trace::slice_frames(
+      trace::stock_clip("cnn-news", 1500), trace::ValueModel::mpeg_default(),
+      trace::Slicing::ByteSlices);
+  if (plan.buffer < stream.max_frame_bytes()) {
+    std::cout << "note: buffer smaller than the clip's largest frame ("
+              << format_bytes(static_cast<double>(stream.max_frame_bytes()))
+              << ") — expect heavy loss.\n";
+  }
+  std::cout << "validation on the cnn-news reference clip (avg rate "
+            << format_bytes(stream.average_rate()) << "/step):\n\n";
+
+  Table table({"configuration", "weightedLoss", "serverDrop", "clientLoss"});
+  auto add = [&](const std::string& label, const SimReport& report) {
+    table.add_row({label, Table::pct(report.weighted_loss()),
+                   Table::pct(static_cast<double>(report.dropped_server.bytes) /
+                              static_cast<double>(report.offered.bytes)),
+                   Table::pct(static_cast<double>(
+                                  report.dropped_client_overflow.bytes +
+                                  report.dropped_client_late.bytes) /
+                              static_cast<double>(report.offered.bytes))});
+  };
+  add("as planned (B = D*R)",
+      run_config(stream, plan.buffer, plan.buffer, plan.rate, plan.delay));
+  add("delay halved (B > D*R: wasted space)",
+      run_config(stream, plan.buffer, plan.buffer, plan.rate,
+                 std::max<Time>(1, plan.delay / 2)));
+  add("buffer halved (B < D*R: avoidable loss)",
+      run_config(stream, std::max(plan.buffer / 2, stream.max_frame_bytes()),
+                 plan.buffer, plan.rate, plan.delay));
+  add("client buffer halved (client overflow)",
+      run_config(stream, plan.buffer,
+                 std::max<Bytes>(1, plan.buffer / 2), plan.rate, plan.delay));
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Trace inspector: profile a frame trace the way a capacity planner would
+// before choosing smoothing parameters — aggregate statistics, burstiness,
+// the empirical rate envelope, and the lossless peak-rate-vs-delay table
+// (what delay budget buys at each buffer size).
+//
+// Run:  ./examples/trace_inspector [trace-file-or-clip-name] [frames]
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lossless/cumulative.h"
+#include "lossless/delay_optimizer.h"
+#include "trace/stock_clips.h"
+#include "trace/trace_io.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace rtsmooth;
+
+  const std::string source = argc > 1 ? argv[1] : "cnn-news";
+  const std::size_t max_frames =
+      argc > 2 ? static_cast<std::size_t>(std::stoull(argv[2])) : 3000;
+
+  trace::FrameSequence frames;
+  try {
+    frames = trace::stock_clip(source, max_frames);
+  } catch (const std::invalid_argument&) {
+    frames = trace::read_trace_file(source);
+    if (frames.size() > max_frames) frames.resize(max_frames);
+  }
+  const trace::TraceStats stats = trace::compute_stats(frames);
+
+  std::cout << "trace '" << source << "': " << stats.frames << " frames\n"
+            << "  total        "
+            << format_bytes(static_cast<double>(stats.total_bytes)) << "\n"
+            << "  mean frame   " << format_bytes(stats.mean_frame_bytes)
+            << "\n"
+            << "  max frame    "
+            << format_bytes(static_cast<double>(stats.max_frame_bytes))
+            << "\n"
+            << "  I/P/B        "
+            << Table::pct(stats.frequency_i, 1) << " / "
+            << Table::pct(stats.frequency_p, 1) << " / "
+            << Table::pct(stats.frequency_b, 1) << "\n"
+            << "  type means   " << format_bytes(stats.mean_i) << " / "
+            << format_bytes(stats.mean_p) << " / "
+            << format_bytes(stats.mean_b) << "\n";
+
+  std::vector<double> sizes;
+  sizes.reserve(frames.size());
+  for (const trace::Frame& f : frames) {
+    sizes.push_back(static_cast<double>(f.size));
+  }
+  std::cout << "  p50/p95/p99  " << format_bytes(percentile(sizes, 0.50))
+            << " / " << format_bytes(percentile(sizes, 0.95)) << " / "
+            << format_bytes(percentile(sizes, 0.99)) << "\n"
+            << "  lag-1 autocorrelation of frame sizes: "
+            << Table::num(autocorrelation_lag1(sizes), 3) << "\n\n";
+
+  const auto arrivals = lossless::CumulativeCurve::from_frames(frames);
+  std::cout << "rate envelope (max average over a window):\n";
+  Table envelope({"window(frames)", "peak rate"});
+  for (Time w : {1, 5, 25, 125, 625}) {
+    envelope.add_row({std::to_string(w),
+                      format_bytes(arrivals.peak_window_rate(w)) + "/slot"});
+  }
+  envelope.print(std::cout);
+
+  std::cout << "\nlossless peak rate (KB/slot) by delay and client buffer "
+               "(taut-string optimal):\n";
+  Table lossless_table(
+      {"buffer", "D=1", "D=5", "D=25", "D=125", "kneeDelay"});
+  for (Bytes buffer_kb : {128, 512, 2048}) {
+    std::vector<std::string> row = {std::to_string(buffer_kb) + "KB"};
+    for (Time d : {1, 5, 25, 125}) {
+      row.push_back(Table::num(
+          lossless::min_peak_for_delay(arrivals, d, buffer_kb * 1024) / 1024,
+          1));
+    }
+    const auto knee =
+        lossless::optimal_initial_delay(arrivals, buffer_kb * 1024);
+    row.push_back(std::to_string(knee.delay));
+    lossless_table.add_row(std::move(row));
+  }
+  lossless_table.print(std::cout);
+  std::cout << "\nreading: pick (buffer, delay) on the plateau; provisioning "
+               "below that rate requires the lossy model (see "
+               "capacity_planner).\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// The introduction's alternatives to smoothing (paper Sect. 1): the
+// "fundamental conflict between variable bandwidth requirement and constant
+// bandwidth supply" can be resolved by
+//   * degradation — truncating the stream to the link rate [7],
+//   * peak-rate reservation — lossless but wasteful [13],
+//   * statistical multiplexing — sharing a link across streams [12],
+//   * renegotiation — piecewise-CBR reallocation (RCBR) [9],
+//   * smoothing — this library.
+// This module implements each as a comparable strategy so the
+// tab_alternatives bench can put the paper's choice in context. All
+// strategies are scored with the same clip, the same value model and the
+// same outcome fields.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/slice.h"
+#include "core/types.h"
+
+namespace rtsmooth::alternatives {
+
+/// Common scorecard. `reserved_peak` is what the network must be able to
+/// carry at once — the provisioning cost; `reserved_average` is the average
+/// committed capacity (differs from peak only for renegotiated service).
+struct StrategyOutcome {
+  std::string name;
+  double reserved_peak = 0.0;     ///< bytes/slot committed at the maximum
+  double reserved_average = 0.0;  ///< mean committed bytes/slot
+  double delivered_fraction = 0.0;      ///< bytes through, on time
+  double benefit_fraction = 0.0;        ///< weight through, on time
+  Time added_delay = 0;                 ///< smoothing/startup delay, slots
+  Bytes buffer_bytes = 0;               ///< buffer per side
+  std::int64_t renegotiations = 0;      ///< rate changes signalled
+};
+
+/// Reserve the peak frame rate: lossless, delay-free, expensive.
+StrategyOutcome evaluate_peak_provision(const Stream& stream);
+
+/// Truncate to a CBR link with no smoothing buffer beyond one slot's worth:
+/// whatever exceeds the rate in a slot is dropped (degradation of service).
+StrategyOutcome evaluate_truncation(const Stream& stream, Bytes rate);
+
+/// The paper's smoothing at B = D*R with the given drop policy.
+StrategyOutcome evaluate_smoothing(const Stream& stream, Bytes rate,
+                                   Time delay, std::string_view policy);
+
+struct RenegotiationConfig {
+  Time window = 100;       ///< slots between renegotiations
+  double headroom = 1.1;   ///< requested rate = recent mean * headroom
+  Bytes buffer = 1;        ///< server buffer absorbing within-window error
+  Bytes floor_rate = 1;    ///< networks do not allocate below this
+};
+
+/// Renegotiated CBR (RCBR-style): every `window` slots the sender requests
+/// a new rate based on the previous window's mean. Scored server-side (the
+/// client needs only a window-scale buffer).
+StrategyOutcome evaluate_renegotiated_cbr(const Stream& stream,
+                                          const RenegotiationConfig& config);
+
+/// Merges per-channel streams into one aggregate arrival process (the
+/// statistical-multiplexing substrate): runs keep their identity, arrivals
+/// interleave.
+Stream merge_streams(std::span<const Stream> streams);
+
+/// Smallest link rate (bytes/slot) at which the smoothing strategy's
+/// weighted loss is at most `loss_budget`, found by bisection in
+/// [1, peak frame]. Used to compare per-stream vs multiplexed provisioning.
+Bytes min_rate_for_loss(const Stream& stream, Time delay, double loss_budget,
+                        std::string_view policy = "greedy");
+
+}  // namespace rtsmooth::alternatives

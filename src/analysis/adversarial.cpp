@@ -1,0 +1,58 @@
+#include "analysis/adversarial.h"
+
+#include "util/assert.h"
+
+namespace rtsmooth::analysis {
+namespace {
+
+SliceRun unit_run(Time t, std::int64_t count, Weight weight) {
+  return SliceRun{.arrival = t,
+                  .slice_size = 1,
+                  .count = count,
+                  .weight = weight,
+                  .frame_type = FrameType::Other,
+                  .frame_index = t};
+}
+
+}  // namespace
+
+Stream thm47_stream(Bytes buffer, double alpha) {
+  RTS_EXPECTS(buffer >= 1);
+  RTS_EXPECTS(alpha >= 1.0);
+  std::vector<SliceRun> runs;
+  runs.push_back(unit_run(0, buffer + 1, 1.0));
+  for (Time t = 1; t <= buffer; ++t) runs.push_back(unit_run(t, 1, alpha));
+  runs.push_back(unit_run(buffer + 1, buffer + 1, alpha));
+  return Stream::from_runs(std::move(runs));
+}
+
+Stream thm48_scenario1_stream(Bytes buffer, Time t1, double alpha) {
+  RTS_EXPECTS(buffer >= 1);
+  RTS_EXPECTS(t1 >= 1);
+  RTS_EXPECTS(alpha >= 1.0);
+  std::vector<SliceRun> runs;
+  runs.push_back(unit_run(0, buffer + 1, 1.0));
+  for (Time t = 1; t <= t1; ++t) runs.push_back(unit_run(t, 1, alpha));
+  return Stream::from_runs(std::move(runs));
+}
+
+Stream thm48_scenario2_stream(Bytes buffer, Time t1, double alpha) {
+  std::vector<SliceRun> runs;
+  runs.push_back(unit_run(0, buffer + 1, 1.0));
+  for (Time t = 1; t <= t1; ++t) runs.push_back(unit_run(t, 1, alpha));
+  runs.push_back(unit_run(t1 + 1, buffer + 1, alpha));
+  return Stream::from_runs(std::move(runs));
+}
+
+Stream lemma36_stream(Bytes batch_size, std::int64_t batches) {
+  RTS_EXPECTS(batch_size >= 1);
+  RTS_EXPECTS(batches >= 1);
+  std::vector<SliceRun> runs;
+  runs.reserve(static_cast<std::size_t>(batches));
+  for (std::int64_t k = 0; k < batches; ++k) {
+    runs.push_back(unit_run(k * batch_size, batch_size, 1.0));
+  }
+  return Stream::from_runs(std::move(runs));
+}
+
+}  // namespace rtsmooth::analysis

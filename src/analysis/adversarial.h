@@ -1,0 +1,32 @@
+// Adversarial input streams from the paper's lower-bound proofs. All use
+// unit slices and link rate R = 1, as in the proofs.
+
+#pragma once
+
+#include "core/slice.h"
+#include "core/types.h"
+
+namespace rtsmooth::analysis {
+
+/// Theorem 4.7's stream against Greedy with buffer B:
+///   t = 0:        B+1 slices of weight 1
+///   t = 1..B:     one slice of weight alpha per step
+///   t = B+1:      B+1 slices of weight alpha
+/// Greedy earns (B+1)(1+alpha); the optimum earns 1 + alpha(2B+1).
+Stream thm47_stream(Bytes buffer, double alpha);
+
+/// Theorem 4.8's scenario-1 stream for an adversary probing a deterministic
+/// algorithm that last sends a weight-1 slice at step t1:
+///   t = 0:        B+1 slices of weight 1
+///   t = 1..t1:    one slice of weight alpha per step
+Stream thm48_scenario1_stream(Bytes buffer, Time t1, double alpha);
+
+/// Scenario 2: scenario 1 plus a burst of B+1 weight-alpha slices at t1+1.
+Stream thm48_scenario2_stream(Bytes buffer, Time t1, double alpha);
+
+/// Lemma 3.6's tightness stream: `batches` batches of `batch_size` unit
+/// slices, one batch every `batch_size` steps (so a buffer of exactly
+/// batch_size loses nothing and smaller buffers lose the difference).
+Stream lemma36_stream(Bytes batch_size, std::int64_t batches);
+
+}  // namespace rtsmooth::analysis

@@ -1,0 +1,94 @@
+#include "analysis/bounds.h"
+
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace rtsmooth::analysis {
+
+double greedy_competitive_upper_bound(Bytes buffer, Bytes max_slice_size) {
+  RTS_EXPECTS(max_slice_size >= 1);
+  RTS_EXPECTS(buffer > 2 * (max_slice_size - 1));
+  return 4.0 * static_cast<double>(buffer) /
+         static_cast<double>(buffer - 2 * (max_slice_size - 1));
+}
+
+double greedy_lower_bound_thm47(Bytes buffer, double alpha) {
+  RTS_EXPECTS(buffer >= 1);
+  RTS_EXPECTS(alpha >= 1.0);
+  return 2.0 - (2.0 / (alpha + 1.0) +
+                1.0 / (static_cast<double>(buffer) + 1.0));
+}
+
+double greedy_thm47_exact_ratio(Bytes buffer, double alpha) {
+  RTS_EXPECTS(buffer >= 1);
+  RTS_EXPECTS(alpha >= 1.0);
+  const auto b = static_cast<double>(buffer);
+  return (1.0 + alpha * (2.0 * b + 1.0)) / ((b + 1.0) * (1.0 + alpha));
+}
+
+double thm48_scenario1_ratio(double z, double alpha) {
+  return (z + alpha) / (1.0 + alpha);
+}
+
+double thm48_scenario2_ratio(double z, double alpha) {
+  return alpha * (1.0 + z) / (1.0 + alpha * z);
+}
+
+DeterministicLowerBound deterministic_lower_bound(double alpha) {
+  RTS_EXPECTS(alpha > 1.0);
+  // Crossing point: alpha z^2 + (1 - alpha) z - alpha^2 = 0.
+  const double a = alpha;
+  const double disc = (1.0 - a) * (1.0 - a) + 4.0 * a * a * a;
+  const double z = ((a - 1.0) + std::sqrt(disc)) / (2.0 * a);
+  RTS_ENSURES(z > 0.0);
+  return DeterministicLowerBound{
+      .alpha = alpha, .z = z, .ratio = thm48_scenario1_ratio(z, alpha)};
+}
+
+DeterministicLowerBound best_deterministic_lower_bound() {
+  // The bound is unimodal in alpha; golden-section search on [1.01, 20].
+  double lo = 1.01;
+  double hi = 20.0;
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  auto value = [](double a) { return deterministic_lower_bound(a).ratio; };
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double f1 = value(x1);
+  double f2 = value(x2);
+  for (int i = 0; i < 200; ++i) {
+    if (f1 < f2) {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = value(x2);
+    } else {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = value(x1);
+    }
+  }
+  return deterministic_lower_bound((lo + hi) / 2.0);
+}
+
+double thm48_finite_scenario1(Bytes buffer, Time t1, double alpha) {
+  RTS_EXPECTS(t1 >= 1);
+  const auto b = static_cast<double>(buffer);
+  const auto t = static_cast<double>(t1);
+  // A's benefit at most (t1+1) + alpha*t1; opt keeps everything:
+  // (B+1) + alpha*t1.
+  return (b + 1.0 + alpha * t) / (t + 1.0 + alpha * t);
+}
+
+double thm48_finite_scenario2(Bytes buffer, Time t1, double alpha) {
+  RTS_EXPECTS(t1 >= 1);
+  const auto b = static_cast<double>(buffer);
+  const auto t = static_cast<double>(t1);
+  // A: (t1+1) + alpha*(B+1); opt: 1 + alpha*(t1+B+1).
+  return (1.0 + alpha * (t + b + 1.0)) / (t + 1.0 + alpha * (b + 1.0));
+}
+
+}  // namespace rtsmooth::analysis

@@ -1,0 +1,50 @@
+// Closed-form bounds from the paper's theory, used by tests (to check
+// measured ratios against guarantees) and by the tab_competitive bench (to
+// print guarantee columns next to measurements).
+
+#pragma once
+
+#include "core/types.h"
+
+namespace rtsmooth::analysis {
+
+/// Theorem 4.1: Greedy's competitive ratio is at most
+/// 4B / (B - 2(Lmax - 1)). Requires B > 2(Lmax - 1).
+double greedy_competitive_upper_bound(Bytes buffer, Bytes max_slice_size);
+
+/// Theorem 4.7: on the explicit 3-phase stream, opt/greedy is at least
+/// 2 - (2/(alpha+1) + 1/(B+1)). This returns that bound.
+double greedy_lower_bound_thm47(Bytes buffer, double alpha);
+
+/// The exact ratio of the Theorem 4.7 construction:
+/// (1 + alpha(2B+1)) / ((B+1)(1+alpha)). Tests pin the simulated greedy
+/// against this exactly.
+double greedy_thm47_exact_ratio(Bytes buffer, double alpha);
+
+/// Theorem 4.8's two-scenario adversary in the large-B limit, z = B/t1:
+/// scenario 1 (stream stops at t1) forces ratio >= (z+alpha)/(1+alpha);
+/// scenario 2 (burst at t1+1) forces >= alpha(1+z)/(1+alpha z).
+double thm48_scenario1_ratio(double z, double alpha);
+double thm48_scenario2_ratio(double z, double alpha);
+
+struct DeterministicLowerBound {
+  double alpha = 0.0;
+  double z = 0.0;      ///< optimal B/t1
+  double ratio = 0.0;  ///< the proven lower bound
+};
+
+/// The crossing point of the two scenario curves for a given alpha: solves
+/// alpha z^2 + (1-alpha) z - alpha^2 = 0 for z > 0. alpha = 2 gives the
+/// paper's 1.2287 (z ~ 1.6861).
+DeterministicLowerBound deterministic_lower_bound(double alpha);
+
+/// Maximizes the bound over alpha (the Lotker / Sviridenko remark):
+/// alpha ~ 4.015, ratio ~ 1.28197.
+DeterministicLowerBound best_deterministic_lower_bound();
+
+/// Theorem 4.8's finite-B scenario ratios for a concrete (B, t1, alpha),
+/// matching the benefit formulas in the proof.
+double thm48_finite_scenario1(Bytes buffer, Time t1, double alpha);
+double thm48_finite_scenario2(Bytes buffer, Time t1, double alpha);
+
+}  // namespace rtsmooth::analysis

@@ -1,0 +1,69 @@
+#include "analysis/competitive.h"
+
+#include "core/planner.h"
+#include "offline/pareto_dp.h"
+#include "offline/unit_optimal.h"
+#include "sim/simulator.h"
+#include "util/assert.h"
+
+namespace rtsmooth::analysis {
+
+RatioResult measured_ratio(const Stream& stream, Bytes buffer, Bytes rate,
+                           std::string_view policy) {
+  const Plan plan = Planner::from_buffer_rate(buffer, rate);
+  const SimReport report = sim::simulate(stream, plan, policy);
+  RatioResult result;
+  result.online_benefit = report.played.weight;
+  if (stream.unit_slices()) {
+    result.offline_benefit =
+        offline::unit_optimal(stream, plan.buffer, plan.rate).benefit;
+  } else {
+    result.offline_benefit =
+        offline::pareto_dp_optimal(stream, plan.buffer, plan.rate).benefit;
+  }
+  result.ratio = result.online_benefit > 0.0
+                     ? result.offline_benefit / result.online_benefit
+                     : (result.offline_benefit > 0.0 ? 1e308 : 1.0);
+  return result;
+}
+
+Stream random_unit_stream(Rng& rng, Time horizon, std::int64_t max_batch,
+                          double max_weight, double arrival_probability) {
+  return random_variable_stream(rng, horizon, max_batch, max_weight, 1,
+                                arrival_probability);
+}
+
+Stream random_variable_stream(Rng& rng, Time horizon, std::int64_t max_batch,
+                              double max_weight, Bytes max_slice_size,
+                              double arrival_probability) {
+  RTS_EXPECTS(horizon >= 1);
+  RTS_EXPECTS(max_batch >= 1);
+  RTS_EXPECTS(max_weight >= 1.0);
+  RTS_EXPECTS(max_slice_size >= 1);
+  std::vector<SliceRun> runs;
+  for (Time t = 0; t < horizon; ++t) {
+    if (!rng.bernoulli(arrival_probability)) continue;
+    const std::int64_t batch = rng.uniform_int(1, max_batch);
+    for (std::int64_t k = 0; k < batch; ++k) {
+      const Bytes size = rng.uniform_int(1, max_slice_size);
+      runs.push_back(SliceRun{
+          .arrival = t,
+          .slice_size = size,
+          .count = 1,
+          .weight = rng.uniform(1.0, max_weight) * static_cast<double>(size),
+          .frame_type = FrameType::Other,
+          .frame_index = t});
+    }
+  }
+  if (runs.empty()) {
+    runs.push_back(SliceRun{.arrival = 0,
+                            .slice_size = 1,
+                            .count = 1,
+                            .weight = 1.0,
+                            .frame_type = FrameType::Other,
+                            .frame_index = 0});
+  }
+  return Stream::from_runs(std::move(runs));
+}
+
+}  // namespace rtsmooth::analysis

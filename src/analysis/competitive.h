@@ -1,0 +1,39 @@
+// Empirical competitive-ratio measurement: run an on-line policy through the
+// full system and divide the off-line optimal benefit by the on-line
+// benefit, exactly as Sect. 4 defines opt(B)/online(B).
+
+#pragma once
+
+#include <string_view>
+
+#include "core/slice.h"
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace rtsmooth::analysis {
+
+struct RatioResult {
+  double ratio = 1.0;          ///< opt / online (>= 1 up to solver exactness)
+  Weight online_benefit = 0.0;
+  Weight offline_benefit = 0.0;
+};
+
+/// Measures opt(B)/online(B) for the named policy with server buffer
+/// `buffer` and link rate `rate` (the balanced plan D = B/R is used, so the
+/// client is transparent and only server drops matter).
+RatioResult measured_ratio(const Stream& stream, Bytes buffer, Bytes rate,
+                           std::string_view policy);
+
+/// Random unit-slice stream for property sweeps: `horizon` steps, up to
+/// `max_batch` slices per step, weights uniform in [1, max_weight]. A step
+/// has arrivals with probability `arrival_probability` (burstiness knob).
+Stream random_unit_stream(Rng& rng, Time horizon, std::int64_t max_batch,
+                          double max_weight,
+                          double arrival_probability = 0.7);
+
+/// Random variable-size stream (slice sizes in [1, max_slice_size]).
+Stream random_variable_stream(Rng& rng, Time horizon, std::int64_t max_batch,
+                              double max_weight, Bytes max_slice_size,
+                              double arrival_probability = 0.7);
+
+}  // namespace rtsmooth::analysis

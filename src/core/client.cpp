@@ -1,0 +1,170 @@
+#include "core/client.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace rtsmooth {
+namespace {
+
+std::size_t type_index(FrameType t) { return static_cast<std::size_t>(t); }
+
+}  // namespace
+
+Client::Client(const Stream& stream, Bytes capacity, Time playout_offset,
+               PlayoutMode mode, Time smoothing_delay)
+    : stream_(&stream),
+      capacity_(capacity),
+      offset_(playout_offset),
+      mode_(mode),
+      smoothing_delay_(smoothing_delay),
+      runs_(stream.run_count()) {
+  RTS_EXPECTS(capacity >= 1);
+  RTS_EXPECTS(playout_offset >= 0);
+  RTS_EXPECTS(mode == PlayoutMode::ArrivalPlusOffset || smoothing_delay >= 0);
+}
+
+Time Client::playout_step(Time arrival) const {
+  if (mode_ == PlayoutMode::ArrivalPlusOffset) return arrival + offset_;
+  if (timer_base_ == kNever) return kNever;  // timer not armed yet
+  return timer_base_ + (arrival - timer_frame_);
+}
+
+void Client::deliver(Time t, std::span<const SentPiece> pieces,
+                     SimReport& report, ScheduleRecorder* rec) {
+  (void)report;
+  for (const SentPiece& piece : pieces) {
+    RTS_ASSERT(piece.bytes > 0);
+    if (rec != nullptr) rec->note_receive(piece.run_index, t, piece.bytes);
+    RunState& rs = runs_[piece.run_index];
+    if (mode_ == PlayoutMode::TimerFromFirstDelivery &&
+        timer_base_ == kNever) {
+      // Sect. 3.3: arm the timer on the first slice; its frame plays D
+      // steps from now, and one frame per step thereafter.
+      timer_frame_ = piece.run->arrival;
+      timer_base_ = t + smoothing_delay_;
+    }
+    const Time playout_at = playout_step(piece.run->arrival);
+    if (rs.played_out || playout_at < t) {
+      // Deadline miss: the frame's playout step has passed (underflow at
+      // playout already charged the slice; here we only account bytes).
+      rs.late_lost += piece.bytes;
+      if (rec != nullptr) rec->step().dropped_client += piece.bytes;
+      continue;
+    }
+    // Tentative store; play() settles the capacity bound afterwards.
+    rs.stored += piece.bytes;
+    occupancy_ += piece.bytes;
+    arrived_this_step_.push_back({piece.run_index, piece.bytes});
+  }
+}
+
+void Client::play(Time t, SimReport& report, ScheduleRecorder* rec) {
+  play_frame(t, report, rec);
+  settle_capacity(rec);
+  report.max_client_occupancy =
+      std::max(report.max_client_occupancy, occupancy_);
+  RTS_ENSURES(occupancy_ >= 0);
+}
+
+void Client::play_frame(Time t, SimReport& report, ScheduleRecorder* rec) {
+  Time frame_time;
+  if (mode_ == PlayoutMode::ArrivalPlusOffset) {
+    frame_time = t - offset_;
+  } else {
+    if (timer_base_ == kNever || t < timer_base_) return;  // timer pending
+    frame_time = timer_frame_ + (t - timer_base_);
+  }
+  if (frame_time < 0) return;
+  for (const SliceRun& run : stream_->arrivals_at(frame_time)) {
+    const auto run_index =
+        static_cast<std::size_t>(&run - stream_->runs().data());
+    RunState& rs = runs_[run_index];
+    RTS_ASSERT(!rs.played_out);
+    rs.played_out = true;
+    const std::int64_t complete = rs.stored / run.slice_size;
+    const Bytes played_bytes = complete * run.slice_size;
+    const Bytes leftover = rs.stored - played_bytes;
+    rs.played = complete;
+    rs.leftover_lost += leftover;
+    occupancy_ -= rs.stored;
+    rs.stored = 0;
+    report.played.add(played_bytes, run.weight * static_cast<Weight>(complete),
+                      complete);
+    report.played_by_type[type_index(run.frame_type)].add(
+        played_bytes, run.weight * static_cast<Weight>(complete), complete);
+    if (rec != nullptr) {
+      rec->run(run_index).played = complete;
+      if (complete > 0) rec->run(run_index).play_time = t;
+      rec->step().played += played_bytes;
+      rec->step().dropped_client += leftover;
+    }
+  }
+}
+
+void Client::settle_capacity(ScheduleRecorder* rec) {
+  // Evict the newest delivered bytes until the post-playout occupancy fits.
+  // Only this step's arrivals can be in excess: the previous step ended
+  // within capacity.
+  while (occupancy_ > capacity_ && !arrived_this_step_.empty()) {
+    auto& [run_index, bytes] = arrived_this_step_.back();
+    RunState& rs = runs_[run_index];
+    const Bytes excess = occupancy_ - capacity_;
+    const Bytes evict = std::min({excess, bytes, rs.stored});
+    if (evict == 0) {
+      // This piece's frame already played this step; nothing left to evict.
+      arrived_this_step_.pop_back();
+      continue;
+    }
+    rs.stored -= evict;
+    rs.overflow_lost += evict;
+    occupancy_ -= evict;
+    bytes -= evict;
+    if (rec != nullptr) rec->step().dropped_client += evict;
+    if (bytes == 0) arrived_this_step_.pop_back();
+  }
+  RTS_ASSERT(occupancy_ <= capacity_);
+  arrived_this_step_.clear();
+}
+
+void Client::finalize(SimReport& report) {
+  RTS_EXPECTS(!finalized_);
+  finalized_ = true;
+  const auto runs = stream_->runs();
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    RunState& rs = runs_[i];
+    const SliceRun& run = runs[i];
+    // Anything still stored was never played (simulation truncated before
+    // this run's playout step): report as residual.
+    if (rs.stored > 0) {
+      const std::int64_t whole = rs.stored / run.slice_size;
+      report.residual.add(rs.stored, run.weight * static_cast<Weight>(whole),
+                          whole);
+      // Partial bytes of an unfinished slice belong to a slice counted
+      // elsewhere only once fully accounted; treat the fraction as residual
+      // bytes of a residual slice.
+      if (rs.stored % run.slice_size != 0) report.residual.slices += 1;
+      occupancy_ -= rs.stored;
+      rs.stored = 0;
+      continue;
+    }
+    const Bytes lost_bytes = rs.overflow_lost + rs.late_lost + rs.leftover_lost;
+    if (lost_bytes == 0) continue;
+    // Every transmitted byte was either played or lost at the client, and
+    // the server transmits whole slices in the long run, so the client's
+    // lost bytes always form whole slices once the link drains.
+    RTS_ASSERT(lost_bytes % run.slice_size == 0);
+    const std::int64_t lost_slices = lost_bytes / run.slice_size;
+    const std::int64_t overflow_slices =
+        std::min(lost_slices, rs.overflow_lost / run.slice_size);
+    const std::int64_t late_slices = lost_slices - overflow_slices;
+    report.dropped_client_overflow.add(
+        rs.overflow_lost, run.weight * static_cast<Weight>(overflow_slices),
+        overflow_slices);
+    report.dropped_client_late.add(
+        rs.late_lost + rs.leftover_lost,
+        run.weight * static_cast<Weight>(late_slices), late_slices);
+  }
+}
+
+}  // namespace rtsmooth

@@ -1,0 +1,106 @@
+// The client: reconstruction buffer and real-time playout (paper
+// Sect. 3.1.2).
+//
+// Playout rule: frame t plays at t + P + D (the timer-based description in
+// the paper — wait D after the first arrival, then one frame per step — is
+// equivalent under the generic server, and a test pins that equivalence).
+// A slice plays iff all its bytes are stored at its playout step.
+//
+// The client also implements the two failure modes of a misconfigured
+// system (Sect. 3.3): bytes that do not fit in a finite client buffer are
+// refused (client overflow), and bytes delivered after their playout step
+// are useless (deadline miss / underflow). Under B = R*D neither occurs
+// (Lemmas 3.3, 3.4) and tests assert exactly that.
+
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/schedule.h"
+#include "core/server_buffer.h"
+#include "core/slice.h"
+#include "core/types.h"
+
+namespace rtsmooth {
+
+/// How the client decides playout times.
+enum class PlayoutMode {
+  /// PT(frame k) = k + P + D — the analytical convention used throughout
+  /// the paper's proofs. Requires knowing P (i.e. synchronized clocks).
+  ArrivalPlusOffset,
+  /// The paper's Sect. 3.3 protocol: no clock synchronization — "the
+  /// client just sets the timer to D when the first slice arrives; when
+  /// this timer goes off, the client starts playing out one frame at a
+  /// step". Equivalent to the above under the generic server on a
+  /// zero-jitter link (a test pins this); on a jittery link it self-
+  /// calibrates to the first byte's actual delay.
+  TimerFromFirstDelivery,
+};
+
+class Client {
+ public:
+  /// `capacity` is Bc in bytes; pass kUnbounded for an infinite buffer.
+  /// `playout_offset` = P + D: frame t plays at t + playout_offset.
+  /// For TimerFromFirstDelivery, `smoothing_delay` (= D) must be given:
+  /// the timer arms at first delivery + D.
+  Client(const Stream& stream, Bytes capacity, Time playout_offset,
+         PlayoutMode mode = PlayoutMode::ArrivalPlusOffset,
+         Time smoothing_delay = -1);
+
+  static constexpr Bytes kUnbounded = std::numeric_limits<Bytes>::max();
+
+  /// Accepts the pieces delivered by the link at step t. Late bytes are
+  /// accounted immediately; in-time bytes are stored *tentatively* — the
+  /// capacity bound |Bc(t)| <= Bc applies to the post-playout state
+  /// (Lemma 3.4 counts the buffer after frame t has left), so the overflow
+  /// decision is deferred to play().
+  void deliver(Time t, std::span<const SentPiece> pieces, SimReport& report,
+               ScheduleRecorder* rec);
+
+  /// Plays the frame scheduled for step t (arrival time t - playout_offset),
+  /// then evicts whatever exceeds the capacity — newest delivered bytes
+  /// first, since those are the ones that "did not fit". Must be called
+  /// once per step, after deliver().
+  void play(Time t, SimReport& report, ScheduleRecorder* rec);
+
+  /// Converts end-of-simulation per-run byte losses into slice/weight
+  /// tallies. Call exactly once, after the final step.
+  void finalize(SimReport& report);
+
+  Bytes occupancy() const { return occupancy_; }
+  Time playout_offset() const { return offset_; }
+
+ private:
+  struct RunState {
+    Bytes stored = 0;         ///< bytes in the buffer, not yet played
+    Bytes overflow_lost = 0;  ///< bytes refused for lack of space
+    Bytes late_lost = 0;      ///< bytes delivered after the playout step
+    Bytes leftover_lost = 0;  ///< bytes of incomplete slices at playout
+    std::int64_t played = 0;  ///< complete slices played
+    bool played_out = false;  ///< this run's playout step has passed
+  };
+
+  void play_frame(Time t, SimReport& report, ScheduleRecorder* rec);
+  void settle_capacity(ScheduleRecorder* rec);
+  /// Playout step for the frame arriving at `arrival`, or kNever if it is
+  /// not yet determined (timer mode before the first delivery).
+  Time playout_step(Time arrival) const;
+
+  const Stream* stream_;
+  Bytes capacity_;
+  Time offset_;
+  PlayoutMode mode_;
+  Time smoothing_delay_;
+  Time timer_base_ = kNever;        ///< playout step of timer_frame_
+  Time timer_frame_ = kNever;       ///< arrival time anchoring the timer
+  Bytes occupancy_ = 0;
+  std::vector<RunState> runs_;
+  /// Pieces stored this step, newest last — the overflow eviction order.
+  std::vector<std::pair<std::size_t, Bytes>> arrived_this_step_;
+  bool finalized_ = false;
+};
+
+}  // namespace rtsmooth

@@ -1,0 +1,99 @@
+#include "core/generic_algorithm.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace rtsmooth {
+namespace {
+
+std::size_t type_index(FrameType t) { return static_cast<std::size_t>(t); }
+
+}  // namespace
+
+SmoothingServer::SmoothingServer(ServerConfig config,
+                                 std::unique_ptr<DropPolicy> policy)
+    : config_(config), policy_(std::move(policy)) {
+  RTS_EXPECTS(config_.buffer >= 1);
+  RTS_EXPECTS(config_.rate >= 1);
+  RTS_EXPECTS(policy_ != nullptr);
+  buffer_.set_drop_observer([this](const SliceRun& run, std::size_t run_index,
+                                   std::int64_t slices) {
+    account_drop(run, run_index, slices, now_);
+  });
+}
+
+void SmoothingServer::account_drop(const SliceRun& run, std::size_t run_index,
+                                   std::int64_t slices, Time /*t*/) {
+  RTS_ASSERT(current_report_ != nullptr);
+  const Bytes bytes = run.slice_size * slices;
+  const Weight weight = run.weight * static_cast<Weight>(slices);
+  current_report_->dropped_server.add(bytes, weight, slices);
+  if (current_rec_ != nullptr) {
+    current_rec_->run(run_index).dropped_server += slices;
+    current_rec_->step().dropped_server += bytes;
+  }
+}
+
+std::vector<SentPiece> SmoothingServer::step(Time t,
+                                             const ArrivalBatch& arrivals,
+                                             SimReport& report,
+                                             ScheduleRecorder* rec) {
+  now_ = t;
+  current_report_ = &report;
+  current_rec_ = rec;
+
+  // Pro-active (early) drops act on the state before this step's arrivals.
+  policy_->early_drop(buffer_, config_.buffer, t);
+
+  // A(t) arrives.
+  for (std::size_t i = 0; i < arrivals.runs.size(); ++i) {
+    const SliceRun& run = arrivals.runs[i];
+    buffer_.push(run, arrivals.first_index + i, run.count);
+    report.offered.add(run.total_bytes(), run.total_weight(), run.count);
+    report.offered_by_type[type_index(run.frame_type)].add(
+        run.total_bytes(), run.total_weight(), run.count);
+    if (rec != nullptr) rec->step().arrived += run.total_bytes();
+  }
+
+  // Eq. (2): the send size is fixed from the pre-drop occupancy.
+  const Bytes planned_send = std::min(config_.rate, buffer_.occupancy());
+
+  // Eq. (3): shed whole slices until post-send occupancy is at most B.
+  const Bytes target = config_.buffer + planned_send;
+  if (buffer_.occupancy() > target) {
+    policy_->shed(buffer_, target);
+    RTS_ASSERT(buffer_.occupancy() <= target);
+  }
+
+  // Transmit in FIFO order at the maximal possible rate.
+  std::vector<SentPiece> pieces;
+  const Bytes sent = buffer_.send(planned_send, pieces);
+  RTS_ASSERT(sent == planned_send);
+  report.max_link_bytes_per_step =
+      std::max(report.max_link_bytes_per_step, sent);
+  report.max_server_occupancy =
+      std::max(report.max_server_occupancy, buffer_.occupancy());
+  if (rec != nullptr) {
+    for (const SentPiece& piece : pieces) {
+      rec->note_send(piece.run_index, t, piece.bytes);
+    }
+    rec->step().server_occupancy = buffer_.occupancy();
+  }
+  RTS_ENSURES(buffer_.occupancy() <= config_.buffer);
+
+  current_report_ = nullptr;
+  current_rec_ = nullptr;
+  return pieces;
+}
+
+void SmoothingServer::account_residual(SimReport& report) const {
+  for (std::size_t i = 0; i < buffer_.chunk_count(); ++i) {
+    const Chunk& c = buffer_.chunk(i);
+    report.residual.add(c.bytes(),
+                        c.run->weight * static_cast<Weight>(c.slices),
+                        c.slices);
+  }
+}
+
+}  // namespace rtsmooth

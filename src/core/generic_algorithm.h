@@ -1,0 +1,66 @@
+// The generic server algorithm (paper Sect. 3.1.1, Eqs. (2) and (3)).
+//
+// Per step t:   |S(t)| = min(R, |Bs(t-1)| + |A(t)|)                    (2)
+//               |D(t)| = max(0, |Bs(t-1)| + |A(t)| - |S(t)| - B)       (3)
+//
+// i.e. the server is work-conserving — it transmits at the full link rate
+// whenever it has data — and on overflow drops just enough whole slices to
+// bring post-send occupancy back to B. *Which* slices are dropped is
+// delegated to a DropPolicy (the paper's intentional under-specification);
+// with unit slices the count dropped is exactly Eq. (3) regardless of
+// policy, which is what makes Theorem 3.5 policy-independent.
+
+#pragma once
+
+#include <memory>
+
+#include "core/drop_policy.h"
+#include "core/metrics.h"
+#include "core/schedule.h"
+#include "core/server_buffer.h"
+#include "core/slice.h"
+#include "core/types.h"
+
+namespace rtsmooth {
+
+struct ServerConfig {
+  Bytes buffer = 1;  ///< B: bound on |Bs(t)| after each step
+  Bytes rate = 1;    ///< R: link rate in bytes per step
+};
+
+/// The smoothing server: buffer + link-rate constraint + drop policy.
+///
+/// Precondition for well-formed operation: B >= Lmax (a slice larger than
+/// the buffer could never be stored). The constructor cannot check this
+/// (streams arrive later); SmoothingSimulator checks it per stream.
+class SmoothingServer {
+ public:
+  SmoothingServer(ServerConfig config, std::unique_ptr<DropPolicy> policy);
+
+  /// Executes one step: (early drops,) arrivals, Eq. (3) drops, Eq. (2)
+  /// send. Drop and arrival tallies are accumulated into `report`; per-run
+  /// outcomes into `rec` if given. Returns the pieces submitted to the link.
+  std::vector<SentPiece> step(Time t, const ArrivalBatch& arrivals,
+                              SimReport& report, ScheduleRecorder* rec);
+
+  const ServerBuffer& buffer() const { return buffer_; }
+  const ServerConfig& config() const { return config_; }
+  const DropPolicy& policy() const { return *policy_; }
+
+  /// Moves whatever is still buffered into `report.residual` (for truncated
+  /// simulations). The simulator's normal path drains instead.
+  void account_residual(SimReport& report) const;
+
+ private:
+  void account_drop(const SliceRun& run, std::size_t run_index,
+                    std::int64_t slices, Time t);
+
+  ServerConfig config_;
+  std::unique_ptr<DropPolicy> policy_;
+  ServerBuffer buffer_;
+  SimReport* current_report_ = nullptr;
+  ScheduleRecorder* current_rec_ = nullptr;
+  Time now_ = 0;
+};
+
+}  // namespace rtsmooth

@@ -1,0 +1,57 @@
+#include "core/link.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace rtsmooth {
+
+FixedDelayLink::FixedDelayLink(Time propagation_delay) : p_(propagation_delay) {
+  RTS_EXPECTS(propagation_delay >= 0);
+}
+
+void FixedDelayLink::submit(Time t, std::vector<SentPiece> pieces) {
+  if (pieces.empty()) return;
+  RTS_EXPECTS(in_flight_.empty() || in_flight_.back().deliver_at <= t + p_);
+  in_flight_.push_back(Batch{.deliver_at = t + p_, .pieces = std::move(pieces)});
+}
+
+std::vector<SentPiece> FixedDelayLink::deliver(Time t) {
+  std::vector<SentPiece> out;
+  while (!in_flight_.empty() && in_flight_.front().deliver_at <= t) {
+    RTS_ASSERT(in_flight_.front().deliver_at == t);  // polled every step
+    auto& pieces = in_flight_.front().pieces;
+    out.insert(out.end(), pieces.begin(), pieces.end());
+    in_flight_.pop_front();
+  }
+  return out;
+}
+
+BoundedJitterLink::BoundedJitterLink(Time propagation_delay, Time max_jitter,
+                                     Rng rng)
+    : p_(propagation_delay), j_(max_jitter), rng_(rng) {
+  RTS_EXPECTS(propagation_delay >= 0);
+  RTS_EXPECTS(max_jitter >= 0);
+}
+
+void BoundedJitterLink::submit(Time t, std::vector<SentPiece> pieces) {
+  if (pieces.empty()) return;
+  const Time jitter = j_ == 0 ? 0 : rng_.uniform_int(0, j_);
+  // Clamp so deliveries stay FIFO: a later submission never arrives before
+  // an earlier one.
+  const Time at = std::max(t + p_ + jitter, last_delivery_);
+  last_delivery_ = at;
+  in_flight_.push_back(Batch{.deliver_at = at, .pieces = std::move(pieces)});
+}
+
+std::vector<SentPiece> BoundedJitterLink::deliver(Time t) {
+  std::vector<SentPiece> out;
+  while (!in_flight_.empty() && in_flight_.front().deliver_at <= t) {
+    auto& pieces = in_flight_.front().pieces;
+    out.insert(out.end(), pieces.begin(), pieces.end());
+    in_flight_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace rtsmooth

@@ -1,0 +1,89 @@
+// The communication link (paper Sect. 2, Fig. 1): lossless, FIFO, with a
+// constant per-byte propagation delay P. Rate limiting happens at the
+// *server* (Eq. (2)); the link merely delays what it is given.
+//
+// `BoundedJitterLink` is the extension discussed as an open problem in
+// Sect. 6: per-step delay P + j(t) with 0 <= j(t) <= J, FIFO order
+// preserved. The paper's analysis assumes J = 0; the jitter ablation bench
+// measures how much extra client budget restores losslessness.
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/server_buffer.h"
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace rtsmooth {
+
+/// Abstract lossless FIFO pipe. Bytes submitted at step t are delivered at
+/// step >= t + min_delay(), in submission order.
+class Link {
+ public:
+  virtual ~Link() = default;
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Accepts the pieces sent at step t.
+  virtual void submit(Time t, std::vector<SentPiece> pieces) = 0;
+
+  /// All pieces delivered at step t. Steps must be polled in increasing
+  /// order.
+  virtual std::vector<SentPiece> deliver(Time t) = 0;
+
+  virtual bool idle() const = 0;   ///< nothing in flight
+  virtual Time min_delay() const = 0;
+
+ protected:
+  Link() = default;
+};
+
+/// Constant-delay link: the paper's model. Link delay of every byte is
+/// exactly P, so R(t) = S(t - P).
+class FixedDelayLink final : public Link {
+ public:
+  explicit FixedDelayLink(Time propagation_delay);
+
+  void submit(Time t, std::vector<SentPiece> pieces) override;
+  std::vector<SentPiece> deliver(Time t) override;
+  bool idle() const override { return in_flight_.empty(); }
+  Time min_delay() const override { return p_; }
+
+ private:
+  struct Batch {
+    Time deliver_at;
+    std::vector<SentPiece> pieces;
+  };
+  Time p_;
+  std::deque<Batch> in_flight_;
+};
+
+/// Link with bounded random extra delay: each step's batch is delayed
+/// P + j, j uniform on {0..J}, clamped so delivery times never reorder
+/// (FIFO preserved, as a jitter-control algorithm would enforce [21]).
+class BoundedJitterLink final : public Link {
+ public:
+  BoundedJitterLink(Time propagation_delay, Time max_jitter, Rng rng);
+
+  void submit(Time t, std::vector<SentPiece> pieces) override;
+  std::vector<SentPiece> deliver(Time t) override;
+  bool idle() const override { return in_flight_.empty(); }
+  Time min_delay() const override { return p_; }
+  Time max_jitter() const { return j_; }
+
+ private:
+  struct Batch {
+    Time deliver_at;
+    std::vector<SentPiece> pieces;
+  };
+  Time p_;
+  Time j_;
+  Rng rng_;
+  Time last_delivery_ = -1;
+  std::deque<Batch> in_flight_;
+};
+
+}  // namespace rtsmooth

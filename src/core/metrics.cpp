@@ -1,0 +1,63 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace rtsmooth {
+
+double SimReport::weighted_loss() const {
+  if (offered.weight <= 0.0) return 0.0;
+  return 1.0 - played.weight / offered.weight;
+}
+
+double SimReport::benefit_fraction() const {
+  if (offered.weight <= 0.0) return 1.0;
+  return played.weight / offered.weight;
+}
+
+double SimReport::byte_loss() const {
+  if (offered.bytes == 0) return 0.0;
+  return 1.0 -
+         static_cast<double>(played.bytes) / static_cast<double>(offered.bytes);
+}
+
+bool SimReport::conserves() const {
+  const Bytes accounted = played.bytes + dropped_server.bytes +
+                          dropped_client_overflow.bytes +
+                          dropped_client_late.bytes + residual.bytes;
+  const std::int64_t slices_accounted =
+      played.slices + dropped_server.slices + dropped_client_overflow.slices +
+      dropped_client_late.slices + residual.slices;
+  return accounted == offered.bytes && slices_accounted == offered.slices;
+}
+
+SimReport& SimReport::operator+=(const SimReport& o) {
+  offered += o.offered;
+  played += o.played;
+  dropped_server += o.dropped_server;
+  dropped_client_overflow += o.dropped_client_overflow;
+  dropped_client_late += o.dropped_client_late;
+  residual += o.residual;
+  for (std::size_t i = 0; i < offered_by_type.size(); ++i) {
+    offered_by_type[i] += o.offered_by_type[i];
+    played_by_type[i] += o.played_by_type[i];
+  }
+  max_server_occupancy = std::max(max_server_occupancy, o.max_server_occupancy);
+  max_client_occupancy = std::max(max_client_occupancy, o.max_client_occupancy);
+  max_link_bytes_per_step =
+      std::max(max_link_bytes_per_step, o.max_link_bytes_per_step);
+  steps += o.steps;
+  return *this;
+}
+
+std::ostream& operator<<(std::ostream& os, const SimReport& r) {
+  os << "offered " << r.offered.bytes << "B/" << r.offered.slices
+     << " slices (w=" << r.offered.weight << "), played " << r.played.bytes
+     << "B (w=" << r.played.weight << "), server-drop "
+     << r.dropped_server.bytes << "B, client-drop "
+     << (r.dropped_client_overflow.bytes + r.dropped_client_late.bytes)
+     << "B, weighted loss " << r.weighted_loss() * 100.0 << "%";
+  return os;
+}
+
+}  // namespace rtsmooth

@@ -1,0 +1,74 @@
+// Performance measures of a smoothing schedule (paper Definition 2.4 and the
+// experimental metrics of Sect. 5).
+
+#pragma once
+
+#include <array>
+#include <iosfwd>
+
+#include "core/types.h"
+
+namespace rtsmooth {
+
+/// Byte/weight/slice tallies for one disposition class (offered, played,
+/// dropped at the server, ...).
+struct Tally {
+  Bytes bytes = 0;
+  Weight weight = 0.0;
+  std::int64_t slices = 0;
+
+  void add(Bytes b, Weight w, std::int64_t n) {
+    bytes += b;
+    weight += w;
+    slices += n;
+  }
+  Tally& operator+=(const Tally& o) {
+    add(o.bytes, o.weight, o.slices);
+    return *this;
+  }
+};
+
+/// Aggregate report of one simulated schedule.
+///
+/// Conservation invariant (checked by `conserves()`): every offered slice is
+/// either played, dropped at the server, dropped at the client (overflow or
+/// deadline miss), or resident at end of simulation.
+struct SimReport {
+  Tally offered;
+  Tally played;
+  Tally dropped_server;          ///< server overflow + proactive early drops
+  Tally dropped_client_overflow; ///< client buffer full on delivery
+  Tally dropped_client_late;     ///< bytes delivered after playout deadline
+  Tally residual;                ///< still in flight / buffered at end
+
+  /// Per frame type (I/P/B/Other), offered and played, for the weighted-loss
+  /// breakdowns of Sect. 5.
+  std::array<Tally, 4> offered_by_type{};
+  std::array<Tally, 4> played_by_type{};
+
+  /// Resource requirements actually observed (Definition 2.4): least upper
+  /// bounds over the run.
+  Bytes max_server_occupancy = 0;
+  Bytes max_client_occupancy = 0;
+  Bytes max_link_bytes_per_step = 0;
+
+  Time steps = 0;  ///< simulated steps (arrival horizon + drain)
+
+  /// The paper's weighted loss (Sect. 5): lost weight / offered weight.
+  double weighted_loss() const;
+  /// Benefit as a fraction of the total offered weight (Fig. 4's y axis).
+  double benefit_fraction() const;
+  /// Unweighted byte loss fraction.
+  double byte_loss() const;
+  /// Throughput (Definition 2.4): bytes played out.
+  Bytes throughput() const { return played.bytes; }
+  Weight benefit() const { return played.weight; }
+
+  bool conserves() const;
+
+  SimReport& operator+=(const SimReport& o);
+};
+
+std::ostream& operator<<(std::ostream& os, const SimReport& r);
+
+}  // namespace rtsmooth

@@ -1,0 +1,42 @@
+#include "core/planner.h"
+
+#include "util/assert.h"
+
+namespace rtsmooth {
+
+Plan Planner::from_delay_rate(Time delay, Bytes rate) {
+  RTS_EXPECTS(delay >= 1);
+  RTS_EXPECTS(rate >= 1);
+  return Plan{.buffer = delay * rate, .delay = delay, .rate = rate};
+}
+
+Plan Planner::from_buffer_rate(Bytes buffer, Bytes rate) {
+  RTS_EXPECTS(buffer >= 1);
+  RTS_EXPECTS(rate >= 1);
+  RTS_EXPECTS(buffer >= rate);  // need D >= 1
+  const Time delay = buffer / rate;
+  return Plan{.buffer = delay * rate, .delay = delay, .rate = rate};
+}
+
+Plan Planner::from_buffer_delay(Bytes buffer, Time delay) {
+  RTS_EXPECTS(buffer >= 1);
+  RTS_EXPECTS(delay >= 1);
+  RTS_EXPECTS(buffer >= delay);  // need R >= 1
+  const Bytes rate = buffer / delay;
+  return Plan{.buffer = delay * rate, .delay = delay, .rate = rate};
+}
+
+double Planner::throughput_guarantee(Bytes buffer, Bytes max_slice_size) {
+  RTS_EXPECTS(buffer >= max_slice_size);
+  RTS_EXPECTS(max_slice_size >= 1);
+  return static_cast<double>(buffer - max_slice_size + 1) /
+         static_cast<double>(buffer);
+}
+
+double Planner::buffer_ratio_guarantee(Bytes b1, Bytes b2) {
+  RTS_EXPECTS(b1 >= 1);
+  RTS_EXPECTS(b2 >= b1);
+  return static_cast<double>(b1) / static_cast<double>(b2);
+}
+
+}  // namespace rtsmooth

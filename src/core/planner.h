@@ -1,0 +1,49 @@
+// Resource planning: the paper's headline identity B = D * R (Eq. (1),
+// Theorem 3.5) packaged the way Sect. 3.3 suggests using it — a connection
+// setup protocol where two of {buffer space, smoothing delay, link rate} are
+// given and the third is derived.
+//
+// Given any two parameters, the derived third is the unique value that
+// neither loses data unnecessarily (B < RD wastes delay or space, observed
+// losses rise) nor wastes resources (B > RD buys nothing). The refined
+// variable-size form (Theorem 3.9) is exposed as a throughput guarantee.
+
+#pragma once
+
+#include "core/types.h"
+
+namespace rtsmooth {
+
+/// A complete smoothing configuration satisfying B = D * R.
+struct Plan {
+  Bytes buffer = 0;  ///< B, bytes at the server and at the client each
+  Time delay = 0;    ///< D, smoothing delay in steps (playout at AT + P + D)
+  Bytes rate = 0;    ///< R, link bytes per step
+};
+
+class Planner {
+ public:
+  /// B := D * R.
+  static Plan from_delay_rate(Time delay, Bytes rate);
+
+  /// D := B / R. If R does not divide B, the returned plan *shrinks the
+  /// buffer* to the largest B' <= B with R | B' — by Sect. 3.3 observation 2,
+  /// lowering B to D*R never increases loss, whereas rounding D up would
+  /// waste client memory.
+  static Plan from_buffer_rate(Bytes buffer, Bytes rate);
+
+  /// R := floor(B / D), with B shrunk to D*R when D does not divide B
+  /// (rounding the rate up would exceed what the buffer can sustain and
+  /// waste bandwidth — Sect. 3.3 observation 2). Requires B >= D.
+  static Plan from_buffer_delay(Bytes buffer, Time delay);
+
+  /// Theorem 3.9: guaranteed fraction of the optimal throughput when slice
+  /// sizes range in [1, max_slice_size]: (B - Lmax + 1) / B.
+  static double throughput_guarantee(Bytes buffer, Bytes max_slice_size);
+
+  /// Lemma 3.6: throughput with buffer b1 is at least b1/b2 of the
+  /// throughput with buffer b2 >= b1 (unit slices, same stream and rate).
+  static double buffer_ratio_guarantee(Bytes b1, Bytes b2);
+};
+
+}  // namespace rtsmooth

@@ -1,0 +1,77 @@
+// Schedule accounting: the paper's per-step sets A(t), S(t), R(t), P(t),
+// D(t) and per-slice event times (Definitions 2.2-2.3), recorded at slice-run
+// granularity.
+//
+// Tests use the recorder to check the timing lemmas directly: Lemma 3.2
+// (every transmitted byte leaves the server within B/R of arrival),
+// Lemma 3.3 (t+P <= RT <= t+P+B/R) and the real-time property PT = AT+P+D.
+
+#pragma once
+
+#include <vector>
+
+#include "core/slice.h"
+#include "core/types.h"
+
+namespace rtsmooth {
+
+/// Sizes of the paper's per-step sets, in bytes.
+struct StepSets {
+  Time t = 0;
+  Bytes arrived = 0;         ///< |A(t)|
+  Bytes sent = 0;            ///< |S(t)|
+  Bytes delivered = 0;       ///< |R(t)|
+  Bytes played = 0;          ///< |P(t)|
+  Bytes dropped_server = 0;  ///< |D(t)| at the server
+  Bytes dropped_client = 0;  ///< client-side drops (overflow + late)
+  Bytes server_occupancy = 0;  ///< |Bs(t)| after the step
+  Bytes client_occupancy = 0;  ///< |Bc(t)| after the step
+};
+
+/// Outcome of one slice run: how its `count` slices were dispositioned and
+/// the first/last times of each event kind.
+struct RunOutcome {
+  std::int64_t played = 0;
+  std::int64_t dropped_server = 0;
+  std::int64_t dropped_client = 0;
+  Time first_send = kNever;   ///< min ST over the run's transmitted bytes
+  Time last_send = kNever;    ///< max ST (kNever while nothing sent)
+  Time first_receive = kNever;
+  Time last_receive = kNever;
+  Time play_time = kNever;    ///< PT; all slices of a run play together
+};
+
+/// Optional recorder attached to a simulation. Recording per-step sets is
+/// cheap (one struct per step) but still off by default for parameter
+/// sweeps; per-run outcomes are always kept.
+class ScheduleRecorder {
+ public:
+  enum class Level { RunsOnly, RunsAndSteps };
+
+  explicit ScheduleRecorder(std::size_t run_count,
+                            Level level = Level::RunsOnly)
+      : level_(level), runs_(run_count) {}
+
+  Level level() const { return level_; }
+
+  void begin_step(Time t);
+  StepSets& step();  ///< the StepSets under construction (RunsAndSteps only)
+
+  RunOutcome& run(std::size_t run_index);
+  const RunOutcome& run(std::size_t run_index) const;
+  std::size_t run_count() const { return runs_.size(); }
+
+  const std::vector<StepSets>& steps() const { return steps_; }
+
+  /// Records a send of `bytes` of run `run_index` at time t.
+  void note_send(std::size_t run_index, Time t, Bytes bytes);
+  void note_receive(std::size_t run_index, Time t, Bytes bytes);
+
+ private:
+  Level level_;
+  std::vector<RunOutcome> runs_;
+  std::vector<StepSets> steps_;
+  StepSets scratch_;  ///< used when steps are not being kept
+};
+
+}  // namespace rtsmooth

@@ -1,0 +1,76 @@
+#include "core/server_buffer.h"
+
+#include <algorithm>
+
+namespace rtsmooth {
+
+const Chunk& ServerBuffer::chunk(std::size_t i) const {
+  RTS_EXPECTS(i < chunks_.size());
+  return chunks_[i];
+}
+
+std::int64_t ServerBuffer::droppable_slices(std::size_t i) const {
+  const Chunk& c = chunk(i);
+  if (i == 0 && c.head_sent > 0) return c.slices - 1;
+  return c.slices;
+}
+
+void ServerBuffer::push(const SliceRun& run, std::size_t run_index,
+                        std::int64_t count) {
+  RTS_EXPECTS(count >= 1);
+  occupancy_ += run.slice_size * count;
+  if (!chunks_.empty() && chunks_.back().run == &run) {
+    chunks_.back().slices += count;
+    return;
+  }
+  chunks_.push_back(Chunk{.run = &run, .run_index = run_index,
+                          .slices = count, .head_sent = 0});
+}
+
+DropResult ServerBuffer::drop_slices(std::size_t i, std::int64_t k) {
+  RTS_EXPECTS(i < chunks_.size());
+  RTS_EXPECTS(k >= 1 && k <= droppable_slices(i));
+  Chunk& c = chunks_[i];
+  c.slices -= k;
+  const DropResult freed{.bytes = c.run->slice_size * k,
+                         .weight = c.run->weight * static_cast<Weight>(k),
+                         .slices = k};
+  occupancy_ -= freed.bytes;
+  RTS_ASSERT(occupancy_ >= 0);
+  if (on_drop_) on_drop_(*c.run, c.run_index, k);
+  if (c.slices == 0) {
+    RTS_ASSERT(c.head_sent == 0);  // droppable_slices() protects the head
+    chunks_.erase(chunks_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  return freed;
+}
+
+Bytes ServerBuffer::send(Bytes budget, std::vector<SentPiece>& out) {
+  RTS_EXPECTS(budget >= 0);
+  Bytes remaining = std::min(budget, occupancy_);
+  const Bytes sent = remaining;
+  while (remaining > 0) {
+    RTS_ASSERT(!chunks_.empty());
+    Chunk& head = chunks_.front();
+    const Bytes take = std::min(remaining, head.bytes());
+    const Bytes progress = head.head_sent + take;
+    const std::int64_t completed = progress / head.run->slice_size;
+    SentPiece piece{.run = head.run,
+                    .run_index = head.run_index,
+                    .bytes = take,
+                    .completed_slices = completed};
+    head.slices -= completed;
+    head.head_sent = progress % head.run->slice_size;
+    occupancy_ -= take;
+    remaining -= take;
+    out.push_back(piece);
+    if (head.slices == 0) {
+      RTS_ASSERT(head.head_sent == 0);
+      chunks_.pop_front();
+    }
+  }
+  RTS_ENSURES(occupancy_ >= 0);
+  return sent;
+}
+
+}  // namespace rtsmooth

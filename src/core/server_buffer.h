@@ -1,0 +1,109 @@
+// The server's random-access (push-out) FIFO buffer (paper Sect. 2.1, 3.1.1).
+//
+// Contents are stored as *chunks*: contiguous groups of identical slices
+// from one SliceRun. Transmission consumes bytes from the head chunk; drops
+// remove whole slices from any chunk. Because slices within a run are
+// identical, removing "some k slices of chunk c" is well defined without
+// tracking slice identities.
+//
+// The one stateful subtlety is the paper's no-preemption rule: "a slice
+// cannot be dropped after it starts being transmitted". The buffer tracks
+// how many bytes of the head slice have entered the link (`head_sent`) and
+// refuses to drop that slice.
+
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/slice.h"
+#include "core/types.h"
+
+namespace rtsmooth {
+
+/// A contiguous group of `slices` identical slices of `run`, in FIFO
+/// position. If this is the head chunk, `head_sent` bytes of its first
+/// slice may already be on the link.
+struct Chunk {
+  const SliceRun* run = nullptr;
+  std::size_t run_index = 0;  ///< index of `run` in the source Stream
+  std::int64_t slices = 0;
+  Bytes head_sent = 0;  ///< bytes of the first slice already transmitted
+
+  Bytes bytes() const { return run->slice_size * slices - head_sent; }
+};
+
+/// A group of bytes handed to the link: `bytes` bytes of run `run`,
+/// completing `completed_slices` whole slices.
+struct SentPiece {
+  const SliceRun* run = nullptr;
+  std::size_t run_index = 0;
+  Bytes bytes = 0;
+  std::int64_t completed_slices = 0;
+};
+
+/// Result of a drop operation, for accounting.
+struct DropResult {
+  Bytes bytes = 0;
+  Weight weight = 0.0;
+  std::int64_t slices = 0;
+};
+
+class ServerBuffer {
+ public:
+  ServerBuffer() = default;
+
+  // -- state ---------------------------------------------------------------
+
+  Bytes occupancy() const { return occupancy_; }
+  bool empty() const { return occupancy_ == 0; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+  /// Chunk at FIFO position i (0 = head / oldest).
+  const Chunk& chunk(std::size_t i) const;
+
+  /// Number of slices of chunk i that may legally be dropped: all of them,
+  /// except a head slice that has started transmission.
+  std::int64_t droppable_slices(std::size_t i) const;
+
+  // -- mutation ------------------------------------------------------------
+
+  /// Appends `count` slices of `run` at the tail (a frame arriving).
+  /// Merges with the tail chunk when it is the same run.
+  void push(const SliceRun& run, std::size_t run_index, std::int64_t count);
+
+  /// Drops `k` slices from chunk i. Requires 1 <= k <= droppable_slices(i).
+  /// Returns the freed bytes/weight. Chunk indices of later chunks shift
+  /// down if the chunk empties; callers iterating while dropping must
+  /// re-read chunk_count().
+  DropResult drop_slices(std::size_t i, std::int64_t k);
+
+  /// Transmits up to `budget` bytes from the head in FIFO order, splitting
+  /// chunks and slices as needed. Appends the sent pieces to `out` and
+  /// returns the number of bytes actually sent (min(budget, occupancy)).
+  Bytes send(Bytes budget, std::vector<SentPiece>& out);
+
+  /// True if the head slice is partially transmitted.
+  bool head_in_transmission() const {
+    return !chunks_.empty() && chunks_.front().head_sent > 0;
+  }
+
+  /// Observer invoked on every drop_slices() with the victim run and slice
+  /// count. The owning server uses it for loss accounting, so policies never
+  /// handle bookkeeping.
+  using DropObserver =
+      std::function<void(const SliceRun&, std::size_t run_index,
+                         std::int64_t slices)>;
+  void set_drop_observer(DropObserver observer) {
+    on_drop_ = std::move(observer);
+  }
+
+ private:
+  std::deque<Chunk> chunks_;
+  Bytes occupancy_ = 0;
+  DropObserver on_drop_;
+};
+
+}  // namespace rtsmooth

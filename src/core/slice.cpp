@@ -1,0 +1,64 @@
+#include "core/slice.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace rtsmooth {
+
+Stream Stream::from_runs(std::vector<SliceRun> runs) {
+  std::stable_sort(runs.begin(), runs.end(),
+                   [](const SliceRun& a, const SliceRun& b) {
+                     return a.arrival < b.arrival;
+                   });
+  Stream s;
+  std::map<Time, Bytes> frame_bytes;
+  for (const SliceRun& r : runs) {
+    RTS_EXPECTS(r.arrival >= 0);
+    RTS_EXPECTS(r.slice_size >= 1);
+    RTS_EXPECTS(r.count >= 1);
+    RTS_EXPECTS(r.weight >= 0.0);
+    s.total_bytes_ += r.total_bytes();
+    s.total_weight_ += r.total_weight();
+    s.total_slices_ += r.count;
+    s.max_slice_size_ = std::max(s.max_slice_size_, r.slice_size);
+    frame_bytes[r.arrival] += r.total_bytes();
+  }
+  for (const auto& [t, bytes] : frame_bytes) {
+    s.max_frame_bytes_ = std::max(s.max_frame_bytes_, bytes);
+  }
+  s.runs_ = std::move(runs);
+  return s;
+}
+
+double Stream::average_rate() const {
+  if (runs_.empty()) return 0.0;
+  const Time span = horizon() - first_arrival();
+  RTS_ASSERT(span >= 1);
+  return static_cast<double>(total_bytes_) / static_cast<double>(span);
+}
+
+std::span<const SliceRun> Stream::arrivals_at(Time t) const {
+  const SliceRun probe{.arrival = t};
+  const auto lo = std::lower_bound(
+      runs_.begin(), runs_.end(), probe,
+      [](const SliceRun& a, const SliceRun& b) { return a.arrival < b.arrival; });
+  auto hi = lo;
+  while (hi != runs_.end() && hi->arrival == t) ++hi;
+  return {lo, hi};
+}
+
+ArrivalBatch ArrivalCursor::step(Time t) {
+  RTS_EXPECTS(t >= last_t_);
+  last_t_ = t;
+  const auto all = stream_->runs();
+  while (next_ < all.size() && all[next_].arrival < t) ++next_;
+  std::size_t end = next_;
+  while (end < all.size() && all[end].arrival == t) ++end;
+  const ArrivalBatch result{.runs = all.subspan(next_, end - next_),
+                            .first_index = next_};
+  next_ = end;
+  return result;
+}
+
+}  // namespace rtsmooth

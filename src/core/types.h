@@ -1,0 +1,50 @@
+// Fundamental vocabulary types for the smoothing model (paper Sect. 2).
+//
+// The model is slotted: one frame of a real-time stream arrives per time
+// step. "Bytes" are the unit of transmission (abstract equal-size units),
+// "slices" the unit of dropping, frames the unit of playout timing.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rtsmooth {
+
+/// Slotted time. One slot = one frame interval of the source.
+using Time = std::int64_t;
+
+/// Data size in abstract bytes (the paper's equal-size transmissible units).
+using Bytes = std::int64_t;
+
+/// Slice weight for the local value functions of Sect. 2.2 (Definition 2.6).
+using Weight = double;
+
+/// "Never happens" sentinel for event times, the paper's time = infinity
+/// convention (Definition 2.2).
+inline constexpr Time kNever = std::numeric_limits<Time>::max();
+
+/// MPEG frame type, used by the experimental value model of Sect. 5
+/// (I : P : B weighted 12 : 8 : 1).
+enum class FrameType : std::uint8_t { I, P, B, Other };
+
+constexpr char to_char(FrameType t) {
+  switch (t) {
+    case FrameType::I: return 'I';
+    case FrameType::P: return 'P';
+    case FrameType::B: return 'B';
+    case FrameType::Other: return '?';
+  }
+  return '?';
+}
+
+constexpr FrameType frame_type_from_char(char c) {
+  switch (c) {
+    case 'I': case 'i': return FrameType::I;
+    case 'P': case 'p': return FrameType::P;
+    case 'B': case 'b': return FrameType::B;
+    default: return FrameType::Other;
+  }
+}
+
+}  // namespace rtsmooth

@@ -1,0 +1,66 @@
+#include "lossless/cumulative.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace rtsmooth::lossless {
+
+CumulativeCurve CumulativeCurve::from_increments(
+    std::span<const Bytes> increments) {
+  CumulativeCurve curve;
+  curve.cumulative_.reserve(increments.size());
+  Bytes acc = 0;
+  for (Bytes inc : increments) {
+    RTS_EXPECTS(inc >= 0);
+    acc += inc;
+    curve.cumulative_.push_back(acc);
+  }
+  return curve;
+}
+
+CumulativeCurve CumulativeCurve::from_frames(
+    const trace::FrameSequence& frames) {
+  std::vector<Bytes> increments;
+  increments.reserve(frames.size());
+  for (const trace::Frame& f : frames) increments.push_back(f.size);
+  return from_increments(increments);
+}
+
+Bytes CumulativeCurve::at(Time t) const {
+  if (t < 0 || cumulative_.empty()) return 0;
+  if (t >= length()) return total();
+  return cumulative_[static_cast<std::size_t>(t)];
+}
+
+CumulativeCurve CumulativeCurve::delayed(Time d) const {
+  RTS_EXPECTS(d >= 0);
+  CumulativeCurve curve;
+  const Time n = length() + d;
+  curve.cumulative_.reserve(static_cast<std::size_t>(n));
+  for (Time t = 0; t < n; ++t) curve.cumulative_.push_back(at(t - d));
+  return curve;
+}
+
+Bytes CumulativeCurve::peak_increment() const {
+  Bytes peak = 0;
+  Bytes prev = 0;
+  for (Bytes v : cumulative_) {
+    peak = std::max(peak, v - prev);
+    prev = v;
+  }
+  return peak;
+}
+
+double CumulativeCurve::peak_window_rate(Time w) const {
+  RTS_EXPECTS(w >= 1);
+  double peak = 0.0;
+  for (Time t = 0; t < length(); ++t) {
+    const Bytes window = at(t) - at(t - w);
+    peak = std::max(peak, static_cast<double>(window) /
+                              static_cast<double>(w));
+  }
+  return peak;
+}
+
+}  // namespace rtsmooth::lossless

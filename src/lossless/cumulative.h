@@ -1,0 +1,49 @@
+// Cumulative byte curves — the vocabulary of the lossless-smoothing
+// literature the paper builds on (Salehi et al. [16], Rexford et al. [14],
+// Zhao et al. [23]). A curve maps slot t to the total bytes up to and
+// including t; arrival curves, playout curves and transmission schedules
+// are all curves of this kind.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "trace/frame.h"
+
+namespace rtsmooth::lossless {
+
+/// Nondecreasing cumulative curve over slots 0..length()-1.
+class CumulativeCurve {
+ public:
+  CumulativeCurve() = default;
+
+  /// From per-slot increments (e.g. frame sizes).
+  static CumulativeCurve from_increments(std::span<const Bytes> increments);
+  static CumulativeCurve from_frames(const trace::FrameSequence& frames);
+
+  /// Cumulative bytes through slot t; 0 for t < 0, total() past the end.
+  Bytes at(Time t) const;
+
+  Bytes total() const { return cumulative_.empty() ? 0 : cumulative_.back(); }
+  Time length() const { return static_cast<Time>(cumulative_.size()); }
+
+  /// The curve delayed by d slots: value(t) = at(t - d). Models a playout
+  /// that starts d slots after the source (startup delay).
+  CumulativeCurve delayed(Time d) const;
+
+  /// Peak per-slot increment (the unsmoothed bandwidth requirement).
+  Bytes peak_increment() const;
+
+  /// Max average rate over any window of exactly w slots — the empirical
+  /// envelope used to reason about burst length.
+  double peak_window_rate(Time w) const;
+
+  std::span<const Bytes> values() const { return cumulative_; }
+
+ private:
+  std::vector<Bytes> cumulative_;
+};
+
+}  // namespace rtsmooth::lossless

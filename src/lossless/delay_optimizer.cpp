@@ -1,0 +1,49 @@
+#include "lossless/delay_optimizer.h"
+
+#include "util/assert.h"
+
+namespace rtsmooth::lossless {
+
+double min_peak_for_delay(const CumulativeCurve& arrivals, Time delay,
+                          Bytes client_buffer) {
+  const SmoothingWalls walls = live_walls(arrivals, delay, client_buffer);
+  return taut_string(walls.lower, walls.upper).peak_rate;
+}
+
+Time min_delay_for_rate(const CumulativeCurve& arrivals, double rate,
+                        Bytes client_buffer, Time max_delay) {
+  RTS_EXPECTS(rate > 0.0);
+  RTS_EXPECTS(max_delay >= 0);
+  if (min_peak_for_delay(arrivals, max_delay, client_buffer) > rate) {
+    return -1;
+  }
+  Time lo = 0;
+  Time hi = max_delay;
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (min_peak_for_delay(arrivals, mid, client_buffer) <= rate) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+DelayKnee optimal_initial_delay(const CumulativeCurve& arrivals,
+                                Bytes client_buffer, double tolerance) {
+  RTS_EXPECTS(tolerance >= 0.0);
+  DelayKnee knee;
+  knee.peak_at_zero = min_peak_for_delay(arrivals, 0, client_buffer);
+  // Past one full stream length, extra delay cannot help: every byte could
+  // already be held back arbitrarily long.
+  const Time max_delay = arrivals.length();
+  const double floor = min_peak_for_delay(arrivals, max_delay, client_buffer);
+  const Time found = min_delay_for_rate(
+      arrivals, floor * (1.0 + tolerance), client_buffer, max_delay);
+  knee.delay = found < 0 ? max_delay : found;
+  knee.peak_rate = min_peak_for_delay(arrivals, knee.delay, client_buffer);
+  return knee;
+}
+
+}  // namespace rtsmooth::lossless

@@ -1,0 +1,40 @@
+// Startup-delay optimization for lossless smoothing — the question of Zhao
+// et al. [23] in the paper's related work: how much initial delay buys how
+// much peak-bandwidth reduction, and past which delay there is no further
+// reduction.
+
+#pragma once
+
+#include "core/types.h"
+#include "lossless/cumulative.h"
+#include "lossless/taut_string.h"
+
+namespace rtsmooth::lossless {
+
+/// Minimum feasible peak link rate for a lossless schedule of `arrivals`
+/// with startup delay `delay` and client buffer `client_buffer`
+/// (the taut-string schedule's peak). Nonincreasing in both parameters.
+double min_peak_for_delay(const CumulativeCurve& arrivals, Time delay,
+                          Bytes client_buffer);
+
+/// Smallest startup delay whose lossless peak rate is at most `rate`.
+/// Returns -1 if even `max_delay` does not suffice (the buffer caps how
+/// much delay can help). Binary search over the monotone peak(delay).
+Time min_delay_for_rate(const CumulativeCurve& arrivals, double rate,
+                        Bytes client_buffer, Time max_delay);
+
+struct DelayKnee {
+  Time delay = 0;          ///< smallest delay achieving the floor
+  double peak_rate = 0.0;  ///< the floor: peak at that delay
+  double peak_at_zero = 0.0;  ///< peak with no startup delay, for contrast
+};
+
+/// Zhao et al.'s "optimal initial delay": the smallest delay after which
+/// added delay no longer reduces the peak rate (within `tolerance`,
+/// relative). The floor itself is buffer-limited: bursts longer than the
+/// client buffer can absorb must still be carried by the link.
+DelayKnee optimal_initial_delay(const CumulativeCurve& arrivals,
+                                Bytes client_buffer,
+                                double tolerance = 1e-6);
+
+}  // namespace rtsmooth::lossless

@@ -1,0 +1,64 @@
+#include "lossless/online_window.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace rtsmooth::lossless {
+
+LosslessSchedule online_smooth(const SmoothingWalls& walls, Time window,
+                               BlockAnchor anchor) {
+  RTS_EXPECTS(window >= 1);
+  RTS_EXPECTS(walls.lower.length() == walls.upper.length());
+  const Time n = walls.lower.length();
+  LosslessSchedule out;
+  Bytes sent = 0;  // cumulative bytes scheduled so far (block boundaries
+                   // land on integral wall values, so this stays exact)
+  for (Time start = 0; start < n; start += window) {
+    const Time end = std::min(start + window, n);  // block is [start, end)
+    const Bytes target =
+        end == n || anchor == BlockAnchor::Drain
+            ? walls.lower.at(end - 1)
+            : std::min(walls.upper.at(end - 1), walls.lower.total());
+    RTS_ASSERT(target >= sent);
+
+    // Build block-local walls relative to `sent`, with the endpoint pinned
+    // to `target` (taut_string pins via its upper clamp at lower.total()).
+    std::vector<Bytes> lower_inc;
+    std::vector<Bytes> upper_inc;
+    Bytes prev_l = 0;
+    Bytes prev_u = 0;
+    for (Time t = start; t < end; ++t) {
+      Bytes l = std::max<Bytes>(0, walls.lower.at(t) - sent);
+      Bytes u = std::max(l, walls.upper.at(t) - sent);
+      if (t == end - 1) {
+        l = target - sent;
+        u = target - sent;
+      }
+      // Pinning can only raise the lower wall at the very end; keep the
+      // curves nondecreasing for from_increments.
+      l = std::max(l, prev_l);
+      u = std::max({u, l, prev_u});
+      lower_inc.push_back(l - prev_l);
+      upper_inc.push_back(u - prev_u);
+      prev_l = l;
+      prev_u = u;
+    }
+    const LosslessSchedule block =
+        taut_string(CumulativeCurve::from_increments(lower_inc),
+                    CumulativeCurve::from_increments(upper_inc));
+    for (const RateSegment& seg : block.segments) {
+      out.segments.push_back(RateSegment{.start = seg.start + start,
+                                         .end = seg.end + start,
+                                         .rate = seg.rate});
+    }
+    sent = target;
+  }
+  for (const RateSegment& seg : out.segments) {
+    out.peak_rate = std::max(out.peak_rate, seg.rate);
+  }
+  out.changes = out.segments.empty() ? 0 : out.segments.size() - 1;
+  return out;
+}
+
+}  // namespace rtsmooth::lossless

@@ -1,0 +1,28 @@
+// On-line lossless smoothing by piecewise taut strings — the sliding-window
+// idea of Rexford et al. [14] (refined by Chang et al. [5]): a live source
+// cannot know the whole stream, so the optimal off-line schedule is applied
+// block by block over a lookahead window. Peak rate degrades gracefully as
+// the window shrinks; with the window spanning the whole stream it equals
+// the off-line optimum. The bench tab_lossless sweeps that convergence.
+
+#pragma once
+
+#include "core/types.h"
+#include "lossless/taut_string.h"
+
+namespace rtsmooth::lossless {
+
+/// Where each block's schedule should land within the feasible corridor.
+enum class BlockAnchor {
+  Drain,     ///< end each block at the lower wall (client nearly empty)
+  Prefetch,  ///< end each block as high as feasible (client full)
+};
+
+/// Computes an on-line schedule over `walls` using taut strings on blocks
+/// of `window` slots. Each block sees only that much lookahead; the block
+/// endpoint is pinned per `anchor`. Requires window >= 1. The result is
+/// always feasible; its peak rate is >= the full taut string's.
+LosslessSchedule online_smooth(const SmoothingWalls& walls, Time window,
+                               BlockAnchor anchor);
+
+}  // namespace rtsmooth::lossless

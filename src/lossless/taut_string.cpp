@@ -1,0 +1,146 @@
+#include "lossless/taut_string.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace rtsmooth::lossless {
+
+double LosslessSchedule::sent_through(Time t) const {
+  double sent = 0.0;
+  for (const RateSegment& seg : segments) {
+    if (t < seg.start) break;
+    const Time covered = std::min(t + 1, seg.end) - seg.start;
+    sent += seg.rate * static_cast<double>(covered);
+  }
+  return sent;
+}
+
+LosslessSchedule taut_string(const CumulativeCurve& lower,
+                             const CumulativeCurve& upper) {
+  RTS_EXPECTS(lower.length() == upper.length());
+  RTS_EXPECTS(lower.length() >= 1);
+  const Time n = lower.length();
+  const double total = static_cast<double>(lower.total());
+
+  // Wall accessors. The path starts at (t = -1, 0 bytes) and must end at
+  // (n-1, lower.total()); sending beyond the total is useless, so the upper
+  // wall is clamped to it, which also pins the endpoint.
+  auto wall_l = [&](Time t) { return static_cast<double>(lower.at(t)); };
+  auto wall_u = [&](Time t) {
+    const double u = static_cast<double>(
+        std::min(upper.at(t), lower.total()));
+    return t == n - 1 ? total : u;
+  };
+  for (Time t = 0; t < n; ++t) {
+    RTS_EXPECTS(lower.at(t) <= std::min(upper.at(t), lower.total()) ||
+                t == n - 1);
+  }
+
+  LosslessSchedule schedule;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kEps = 1e-9;
+  Time t0 = -1;
+  double s0 = 0.0;
+  auto emit = [&](Time end, double rate) {
+    RTS_ASSERT(end > t0);
+    schedule.segments.push_back(
+        RateSegment{.start = t0 + 1, .end = end + 1, .rate = rate});
+    s0 += rate * static_cast<double>(end - t0);
+    t0 = end;
+  };
+
+  while (t0 < n - 1) {
+    double hi = kInf;   // tightest upper-wall slope seen
+    double lo = -kInf;  // tightest lower-wall slope seen
+    Time hi_t = t0;
+    Time lo_t = t0;
+    bool pinched = false;
+    for (Time t = t0 + 1; t < n; ++t) {
+      const auto dt = static_cast<double>(t - t0);
+      const double up = (wall_u(t) - s0) / dt;
+      const double dn = (wall_l(t) - s0) / dt;
+      if (dn > hi + kEps) {
+        // The cone closed against the upper wall: ride it to the pinch.
+        emit(hi_t, hi);
+        pinched = true;
+        break;
+      }
+      if (up < lo - kEps) {
+        // Closed against the lower wall.
+        emit(lo_t, lo);
+        pinched = true;
+        break;
+      }
+      if (up < hi) {
+        hi = up;
+        hi_t = t;
+      }
+      if (dn > lo) {
+        lo = dn;
+        lo_t = t;
+      }
+    }
+    if (!pinched) {
+      // The endpoint (n-1, total) is inside the cone (the clamp makes
+      // wall_u(n-1) == wall_l(n-1) == total): go straight to it.
+      const auto dt = static_cast<double>(n - 1 - t0);
+      emit(n - 1, (total - s0) / dt);
+    }
+  }
+
+  for (const RateSegment& seg : schedule.segments) {
+    schedule.peak_rate = std::max(schedule.peak_rate, seg.rate);
+  }
+  schedule.changes =
+      schedule.segments.empty() ? 0 : schedule.segments.size() - 1;
+  RTS_ENSURES(std::abs(s0 - total) < 1e-6 * std::max(1.0, total));
+  return schedule;
+}
+
+SmoothingWalls live_walls(const CumulativeCurve& arrivals, Time delay,
+                          Bytes client_buffer) {
+  RTS_EXPECTS(delay >= 0);
+  RTS_EXPECTS(client_buffer >= 0);
+  const Time n = arrivals.length() + delay;
+  std::vector<Bytes> lower_inc;
+  std::vector<Bytes> upper_inc;
+  lower_inc.reserve(static_cast<std::size_t>(n));
+  upper_inc.reserve(static_cast<std::size_t>(n));
+  Bytes prev_l = 0;
+  Bytes prev_u = 0;
+  for (Time t = 0; t < n; ++t) {
+    const Bytes l = arrivals.at(t - delay);
+    const Bytes u = std::max(l, std::min(arrivals.at(t), l + client_buffer));
+    lower_inc.push_back(l - prev_l);
+    upper_inc.push_back(std::max<Bytes>(0, u - prev_u));
+    prev_l = l;
+    prev_u = std::max(u, prev_u);  // keep the wall nondecreasing
+  }
+  return SmoothingWalls{
+      .lower = CumulativeCurve::from_increments(lower_inc),
+      .upper = CumulativeCurve::from_increments(upper_inc)};
+}
+
+double min_peak_rate_bound(const CumulativeCurve& lower,
+                           const CumulativeCurve& upper) {
+  RTS_EXPECTS(lower.length() == upper.length());
+  const Time n = lower.length();
+  const auto total = static_cast<double>(lower.total());
+  double bound = 0.0;
+  for (Time t2 = 0; t2 < n; ++t2) {
+    const double l2 = static_cast<double>(lower.at(t2));
+    // t1 = -1 stands for the origin (0 bytes sent before slot 0).
+    for (Time t1 = -1; t1 < t2; ++t1) {
+      const double u1 =
+          t1 < 0 ? 0.0
+                 : std::min(static_cast<double>(upper.at(t1)), total);
+      const double demand = (l2 - u1) / static_cast<double>(t2 - t1);
+      bound = std::max(bound, demand);
+    }
+  }
+  return bound;
+}
+
+}  // namespace rtsmooth::lossless

@@ -1,0 +1,67 @@
+// Optimal lossless smoothing — the "taut string" / shortest-path schedule
+// of Salehi, Zhang, Kurose & Towsley [16] that the paper's related-work
+// section builds on. Given a lower wall L (cumulative playout: data the
+// client must have received by t) and an upper wall U (cumulative limit:
+// data available at the server and fitting the client buffer), the
+// transmission schedule that follows the shortest path threaded between the
+// walls simultaneously minimizes the peak rate and the rate variability.
+//
+// Used here as the *lossless* comparator to the paper's lossy model: it
+// answers "what link rate would zero loss have required?" for a given
+// (delay, client buffer) budget — the tradeoff the introduction motivates.
+
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+#include "lossless/cumulative.h"
+
+namespace rtsmooth::lossless {
+
+/// One constant-rate segment of a schedule: slots [start, end) at `rate`
+/// bytes/slot (fractional — the optimal schedule's rates are generally not
+/// integral).
+struct RateSegment {
+  Time start = 0;
+  Time end = 0;
+  double rate = 0.0;
+};
+
+/// A piecewise-CBR lossless schedule.
+struct LosslessSchedule {
+  std::vector<RateSegment> segments;
+  double peak_rate = 0.0;     ///< max segment rate
+  std::size_t changes = 0;    ///< rate changes (segments - 1, if any)
+
+  /// Cumulative bytes sent through slot t (end of slot), interpolating the
+  /// segments. Exact at segment boundaries.
+  double sent_through(Time t) const;
+};
+
+/// Computes the taut-string schedule between walls `lower` and `upper`,
+/// starting at (−1 end .. slot 0 start) with 0 bytes sent and ending having
+/// sent lower.total(). Preconditions: the walls have equal length,
+/// lower.at(t) <= upper.at(t) for all t, and upper.at(t) >= 0.
+LosslessSchedule taut_string(const CumulativeCurve& lower,
+                             const CumulativeCurve& upper);
+
+/// Convenience walls for the live-smoothing setting: frames arrive per
+/// `arrivals`, playback starts after `delay` slots, the client holds at
+/// most `client_buffer` bytes.
+///   lower(t) = arrivals(t - delay)           (all of frame k by k + delay)
+///   upper(t) = min(arrivals(t), lower(t) + client_buffer)
+struct SmoothingWalls {
+  CumulativeCurve lower;
+  CumulativeCurve upper;
+};
+SmoothingWalls live_walls(const CumulativeCurve& arrivals, Time delay,
+                          Bytes client_buffer);
+
+/// Minimum feasible peak rate between the walls, by the interval duality
+///   min peak = max over t1 < t2 of (L(t2) - U(t1)) / (t2 - t1)
+/// (with U(-1) treated as 0). Tests cross-check taut_string against this.
+double min_peak_rate_bound(const CumulativeCurve& lower,
+                           const CumulativeCurve& upper);
+
+}  // namespace rtsmooth::lossless

@@ -1,0 +1,22 @@
+// Exponential reference solver: enumerates every subset of slices and keeps
+// the best feasible benefit. The test oracle for unit_optimal and
+// pareto_dp_optimal; unusable beyond ~20 slices by construction.
+
+#pragma once
+
+#include <cstddef>
+
+#include "core/slice.h"
+#include "core/types.h"
+#include "offline/unit_optimal.h"
+
+namespace rtsmooth::offline {
+
+/// Optimal benefit by exhaustive search. Requires the stream's total slice
+/// count to be at most `max_slices` (default 22; 2^22 subsets is the
+/// practical ceiling) — aborts via contract otherwise, because silently
+/// running forever is not an option for an oracle.
+Weight brute_force_optimal(const Stream& stream, Bytes buffer, Bytes rate,
+                           std::size_t max_slices = 22);
+
+}  // namespace rtsmooth::offline

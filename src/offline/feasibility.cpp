@@ -1,0 +1,65 @@
+#include "offline/feasibility.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.h"
+
+namespace rtsmooth::offline {
+
+ByteArrivals arrivals_of(const Stream& stream) {
+  std::map<Time, Bytes> per_step;
+  for (const SliceRun& run : stream.runs()) {
+    per_step[run.arrival] += run.total_bytes();
+  }
+  ByteArrivals out;
+  out.reserve(per_step.size());
+  for (const auto& [t, bytes] : per_step) out.emplace_back(t, bytes);
+  return out;
+}
+
+Bytes lindley_peak(std::span<const std::pair<Time, Bytes>> arrivals,
+                   Bytes rate) {
+  RTS_EXPECTS(rate >= 1);
+  Bytes peak = 0;
+  Bytes q = 0;
+  Time prev = 0;
+  bool first = true;
+  for (const auto& [t, bytes] : arrivals) {
+    RTS_EXPECTS(bytes >= 0);
+    if (!first) {
+      RTS_EXPECTS(t > prev);
+      // Idle steps between arrivals drain the queue.
+      const Time gap = t - prev - 1;
+      q = std::max<Bytes>(0, q - rate * gap);
+    }
+    first = false;
+    prev = t;
+    q = std::max<Bytes>(0, q + bytes - rate);
+    peak = std::max(peak, q);
+  }
+  return peak;
+}
+
+bool feasible(std::span<const std::pair<Time, Bytes>> arrivals, Bytes buffer,
+              Bytes rate) {
+  RTS_EXPECTS(buffer >= 0);
+  return lindley_peak(arrivals, rate) <= buffer;
+}
+
+bool feasible_interval_form(std::span<const std::pair<Time, Bytes>> arrivals,
+                            Bytes buffer, Bytes rate) {
+  RTS_EXPECTS(buffer >= 0);
+  RTS_EXPECTS(rate >= 1);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    Bytes sum = 0;
+    for (std::size_t j = i; j < arrivals.size(); ++j) {
+      sum += arrivals[j].second;
+      const Time len = arrivals[j].first - arrivals[i].first + 1;
+      if (sum > buffer + rate * len) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rtsmooth::offline

@@ -1,0 +1,41 @@
+// Feasibility of an accepted byte stream against (buffer B, rate R).
+//
+// Off-line, every drop can be moved to the arrival step (it only lowers
+// occupancy), so a schedule is just an accepted subset. Feasibility is then
+// Lindley's recursion with work-conserving drain:
+//     Q(t) = max(0, Q(t-1) + a(t) - R),  require Q(t) <= B for all t,
+// equivalently (Hall's condition over intervals):
+//     for all t1 <= t2:  sum_{t in [t1,t2]} a(t)  <=  B + R*(t2-t1+1).
+// Both forms are implemented; tests cross-check them against each other.
+
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "core/slice.h"
+#include "core/types.h"
+
+namespace rtsmooth::offline {
+
+/// Accepted bytes per step: (time, bytes), strictly increasing times.
+using ByteArrivals = std::vector<std::pair<Time, Bytes>>;
+
+/// Aggregates a stream (all of it accepted) into per-step byte arrivals.
+ByteArrivals arrivals_of(const Stream& stream);
+
+/// Peak occupancy of the Lindley recursion (work-conserving drain at
+/// `rate`). O(n) in the number of distinct arrival steps.
+Bytes lindley_peak(std::span<const std::pair<Time, Bytes>> arrivals,
+                   Bytes rate);
+
+/// True iff the accepted stream fits in `buffer` when drained at `rate`.
+bool feasible(std::span<const std::pair<Time, Bytes>> arrivals, Bytes buffer,
+              Bytes rate);
+
+/// The Hall/interval form, O(n^2): for every pair of arrival steps, checks
+/// sum <= B + R*len. Used as an independent oracle in tests.
+bool feasible_interval_form(std::span<const std::pair<Time, Bytes>> arrivals,
+                            Bytes buffer, Bytes rate);
+
+}  // namespace rtsmooth::offline

@@ -1,0 +1,159 @@
+#include "offline/pareto_dp.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace rtsmooth::offline {
+namespace {
+
+struct State {
+  Bytes occ;
+  Weight weight;
+};
+
+/// Sorts by occupancy and removes dominated states: afterwards occupancy is
+/// strictly increasing and weight strictly increasing (equal-occupancy
+/// states keep the max weight; a heavier state with smaller occupancy
+/// dominates everything after it).
+void prune(std::vector<State>& states) {
+  std::sort(states.begin(), states.end(), [](const State& a, const State& b) {
+    if (a.occ != b.occ) return a.occ < b.occ;
+    return a.weight > b.weight;
+  });
+  std::vector<State> kept;
+  kept.reserve(states.size());
+  Weight best = -1.0;
+  for (const State& s : states) {
+    if (s.weight > best) {
+      kept.push_back(s);
+      best = s.weight;
+    }
+  }
+  states = std::move(kept);
+}
+
+/// One decision item: a single slice (size may be 0 after optimistic
+/// quantization, meaning "free to accept").
+struct Item {
+  Bytes size;
+  Weight weight;
+};
+
+/// Core DP over per-step item lists. See the header for the model: fold
+/// each slice as keep/drop with transient cap buffer+rate, then drain
+/// `rate` and require post-send occupancy <= buffer.
+ParetoDpResult dp_core(const std::vector<std::vector<Item>>& steps,
+                       Bytes buffer, Bytes rate, std::size_t state_limit) {
+  ParetoDpResult result;
+  const Bytes transient_cap = buffer + rate;
+  std::vector<State> frontier{State{.occ = 0, .weight = 0.0}};
+  std::vector<State> scratch;
+  for (const auto& arrivals : steps) {
+    for (const Item& item : arrivals) {
+      scratch.clear();
+      scratch.reserve(frontier.size() * 2);
+      for (const State& s : frontier) {
+        scratch.push_back(s);  // drop this slice
+        const Bytes occ = s.occ + item.size;
+        if (occ <= transient_cap) {  // keep it
+          scratch.push_back(State{.occ = occ, .weight = s.weight + item.weight});
+        }
+      }
+      prune(scratch);
+      if (scratch.size() > state_limit) {
+        // Keep the heaviest states; every kept state is still feasible, so
+        // the answer becomes a lower bound.
+        std::nth_element(
+            scratch.begin(),
+            scratch.begin() + static_cast<std::ptrdiff_t>(state_limit),
+            scratch.end(),
+            [](const State& a, const State& b) { return a.weight > b.weight; });
+        scratch.resize(state_limit);
+        prune(scratch);
+        result.exact = false;
+      }
+      frontier.swap(scratch);
+      result.peak_states = std::max(result.peak_states, frontier.size());
+    }
+    // Work-conserving send of up to `rate` bytes; post-send occupancy must
+    // respect the buffer bound.
+    scratch.clear();
+    scratch.reserve(frontier.size());
+    for (const State& s : frontier) {
+      const Bytes occ = std::max<Bytes>(0, s.occ - rate);
+      if (occ <= buffer) scratch.push_back(State{.occ = occ, .weight = s.weight});
+    }
+    prune(scratch);
+    frontier.swap(scratch);
+    RTS_ASSERT(!frontier.empty());  // the all-drop state always survives
+  }
+  for (const State& s : frontier) {
+    result.benefit = std::max(result.benefit, s.weight);
+  }
+  return result;
+}
+
+/// Expands a stream into per-step item lists, transforming each slice size
+/// with `resize` (identity for the exact solver, the two roundings for the
+/// bracket).
+template <typename Resize>
+std::vector<std::vector<Item>> steps_of(const Stream& stream, Resize resize) {
+  std::vector<std::vector<Item>> steps(
+      static_cast<std::size_t>(stream.horizon()));
+  for (const SliceRun& run : stream.runs()) {
+    auto& list = steps[static_cast<std::size_t>(run.arrival)];
+    const Bytes size = resize(run.slice_size);
+    for (std::int64_t k = 0; k < run.count; ++k) {
+      list.push_back(Item{.size = size, .weight = run.weight});
+    }
+  }
+  return steps;
+}
+
+}  // namespace
+
+ParetoDpResult pareto_dp_optimal(const Stream& stream, Bytes buffer,
+                                 Bytes rate, std::size_t state_limit) {
+  RTS_EXPECTS(buffer >= 1);
+  RTS_EXPECTS(rate >= 1);
+  RTS_EXPECTS(state_limit >= 2);
+  if (stream.empty()) return {};
+  return dp_core(steps_of(stream, [](Bytes s) { return s; }), buffer, rate,
+                 state_limit);
+}
+
+OptimalBracket quantized_optimal_bracket(const Stream& stream, Bytes buffer,
+                                         Bytes rate, Bytes quantum) {
+  RTS_EXPECTS(buffer >= 1);
+  RTS_EXPECTS(rate >= 1);
+  RTS_EXPECTS(quantum >= 1);
+  OptimalBracket bracket{.quantum = quantum};
+  if (stream.empty()) return bracket;
+
+  // Pessimistic instance: sizes up, capacity down. Feasible there =>
+  // feasible in truth (occupancies dominate step by step), so the DP value
+  // is achievable.
+  {
+    const Bytes b = buffer / quantum;
+    const Bytes r = rate / quantum;
+    RTS_EXPECTS(b >= 1 && r >= 1);  // quantum must not erase the resources
+    const auto steps = steps_of(stream, [quantum](Bytes s) {
+      return (s + quantum - 1) / quantum;
+    });
+    bracket.lower = dp_core(steps, b, r, 1u << 22).benefit;
+  }
+  // Optimistic instance: sizes down, capacity up. Every truly feasible
+  // schedule stays feasible, so the DP value bounds the truth from above.
+  {
+    const Bytes b = (buffer + quantum - 1) / quantum;
+    const Bytes r = (rate + quantum - 1) / quantum;
+    const auto steps =
+        steps_of(stream, [quantum](Bytes s) { return s / quantum; });
+    bracket.upper = dp_core(steps, b, r, 1u << 22).benefit;
+  }
+  RTS_ENSURES(bracket.lower <= bracket.upper + 1e-9);
+  return bracket;
+}
+
+}  // namespace rtsmooth::offline

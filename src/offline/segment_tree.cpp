@@ -1,0 +1,95 @@
+#include "offline/segment_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.h"
+
+namespace rtsmooth::offline {
+
+RangeAddTree::RangeAddTree(std::size_t n, std::int64_t base, std::int64_t step)
+    : n_(n) {
+  RTS_EXPECTS(n >= 1);
+  nodes_.resize(4 * n);
+  build(1, 0, n_ - 1, base, step);
+}
+
+void RangeAddTree::build(std::size_t node, std::size_t lo, std::size_t hi,
+                         std::int64_t base, std::int64_t step) {
+  if (lo == hi) {
+    const std::int64_t v = base + step * static_cast<std::int64_t>(lo);
+    nodes_[node].max = nodes_[node].min = v;
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  build(2 * node, lo, mid, base, step);
+  build(2 * node + 1, mid + 1, hi, base, step);
+  nodes_[node].max = std::max(nodes_[2 * node].max, nodes_[2 * node + 1].max);
+  nodes_[node].min = std::min(nodes_[2 * node].min, nodes_[2 * node + 1].min);
+}
+
+void RangeAddTree::add(std::size_t lo, std::size_t hi, std::int64_t delta) {
+  RTS_EXPECTS(lo <= hi && hi < n_);
+  add(1, 0, n_ - 1, lo, hi, delta);
+}
+
+void RangeAddTree::add(std::size_t node, std::size_t node_lo,
+                       std::size_t node_hi, std::size_t lo, std::size_t hi,
+                       std::int64_t delta) {
+  if (hi < node_lo || node_hi < lo) return;
+  if (lo <= node_lo && node_hi <= hi) {
+    nodes_[node].pending += delta;
+    nodes_[node].max += delta;
+    nodes_[node].min += delta;
+    return;
+  }
+  const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+  add(2 * node, node_lo, mid, lo, hi, delta);
+  add(2 * node + 1, mid + 1, node_hi, lo, hi, delta);
+  nodes_[node].max =
+      nodes_[node].pending +
+      std::max(nodes_[2 * node].max, nodes_[2 * node + 1].max);
+  nodes_[node].min =
+      nodes_[node].pending +
+      std::min(nodes_[2 * node].min, nodes_[2 * node + 1].min);
+}
+
+std::int64_t RangeAddTree::range_max(std::size_t lo, std::size_t hi) const {
+  RTS_EXPECTS(lo <= hi && hi < n_);
+  return query_max(1, 0, n_ - 1, lo, hi, 0);
+}
+
+std::int64_t RangeAddTree::range_min(std::size_t lo, std::size_t hi) const {
+  RTS_EXPECTS(lo <= hi && hi < n_);
+  return query_min(1, 0, n_ - 1, lo, hi, 0);
+}
+
+std::int64_t RangeAddTree::query_max(std::size_t node, std::size_t node_lo,
+                                     std::size_t node_hi, std::size_t lo,
+                                     std::size_t hi, std::int64_t acc) const {
+  if (hi < node_lo || node_hi < lo) {
+    return std::numeric_limits<std::int64_t>::min();
+  }
+  if (lo <= node_lo && node_hi <= hi) return acc + nodes_[node].max;
+  const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+  const std::int64_t with_pending = acc + nodes_[node].pending;
+  return std::max(
+      query_max(2 * node, node_lo, mid, lo, hi, with_pending),
+      query_max(2 * node + 1, mid + 1, node_hi, lo, hi, with_pending));
+}
+
+std::int64_t RangeAddTree::query_min(std::size_t node, std::size_t node_lo,
+                                     std::size_t node_hi, std::size_t lo,
+                                     std::size_t hi, std::int64_t acc) const {
+  if (hi < node_lo || node_hi < lo) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  if (lo <= node_lo && node_hi <= hi) return acc + nodes_[node].min;
+  const std::size_t mid = node_lo + (node_hi - node_lo) / 2;
+  const std::int64_t with_pending = acc + nodes_[node].pending;
+  return std::min(
+      query_min(2 * node, node_lo, mid, lo, hi, with_pending),
+      query_min(2 * node + 1, mid + 1, node_hi, lo, hi, with_pending));
+}
+
+}  // namespace rtsmooth::offline

@@ -1,0 +1,51 @@
+// Range-add / range-min / range-max segment tree over int64, the workhorse
+// of the off-line unit-slice optimal (see unit_optimal.h): it maintains the
+// prefix-sum curve F of the accepted stream, where the insertion slack at
+// time t is B - (max F on [t+1, T] - min F on [0, t]).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rtsmooth::offline {
+
+class RangeAddTree {
+ public:
+  /// Tree over indices [0, n). All values start at `init(i)` = base + step*i
+  /// (an affine ramp covers both the all-zero case and the -R*t drain curve
+  /// the solver starts from).
+  RangeAddTree(std::size_t n, std::int64_t base, std::int64_t step);
+
+  std::size_t size() const { return n_; }
+
+  /// Adds `delta` to every index in [lo, hi] (inclusive).
+  void add(std::size_t lo, std::size_t hi, std::int64_t delta);
+
+  /// Max / min over [lo, hi] (inclusive).
+  std::int64_t range_max(std::size_t lo, std::size_t hi) const;
+  std::int64_t range_min(std::size_t lo, std::size_t hi) const;
+
+ private:
+  struct Node {
+    std::int64_t max = 0;
+    std::int64_t min = 0;
+    std::int64_t pending = 0;  ///< add applying to the whole subtree
+  };
+
+  void build(std::size_t node, std::size_t lo, std::size_t hi,
+             std::int64_t base, std::int64_t step);
+  void add(std::size_t node, std::size_t node_lo, std::size_t node_hi,
+           std::size_t lo, std::size_t hi, std::int64_t delta);
+  std::int64_t query_max(std::size_t node, std::size_t node_lo,
+                         std::size_t node_hi, std::size_t lo, std::size_t hi,
+                         std::int64_t acc) const;
+  std::int64_t query_min(std::size_t node, std::size_t node_lo,
+                         std::size_t node_hi, std::size_t lo, std::size_t hi,
+                         std::int64_t acc) const;
+
+  std::size_t n_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace rtsmooth::offline

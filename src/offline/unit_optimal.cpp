@@ -1,0 +1,60 @@
+#include "offline/unit_optimal.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "offline/segment_tree.h"
+#include "util/assert.h"
+
+namespace rtsmooth::offline {
+
+OfflineResult unit_optimal(const Stream& stream, Bytes buffer, Bytes rate) {
+  RTS_EXPECTS(buffer >= 1);
+  RTS_EXPECTS(rate >= 1);
+  RTS_EXPECTS(stream.unit_slices());
+  OfflineResult result;
+  result.accepted_per_run.assign(stream.run_count(), 0);
+  if (stream.empty()) return result;
+
+  const Time horizon = stream.horizon();  // arrivals are in [0, horizon)
+  // G has indices 0..horizon where G(j) = F(j-1), G(0) = 0. With nothing
+  // accepted F(t) = -R*(t+1), so G(j) = -R*j: an affine ramp.
+  const auto n = static_cast<std::size_t>(horizon) + 1;
+  RangeAddTree g(n, /*base=*/0, /*step=*/-rate);
+
+  // Greedy order: decreasing byte value; ties by arrival then index for
+  // determinism (any tie order yields the same optimal total).
+  std::vector<std::size_t> order(stream.run_count());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const auto runs = stream.runs();
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double va = runs[a].byte_value();
+    const double vb = runs[b].byte_value();
+    if (va != vb) return va > vb;
+    if (runs[a].arrival != runs[b].arrival) {
+      return runs[a].arrival < runs[b].arrival;
+    }
+    return a < b;
+  });
+
+  for (std::size_t idx : order) {
+    const SliceRun& run = runs[idx];
+    const auto t = static_cast<std::size_t>(run.arrival);
+    // Constraint pairs (t1-1, t2) with t1 <= t <= t2 map to G indices
+    // v in [0, t] and u in [t+1, horizon].
+    const std::int64_t hi = g.range_max(t + 1, n - 1);
+    const std::int64_t lo = g.range_min(0, t);
+    const Bytes slack = buffer - (hi - lo);
+    const std::int64_t take =
+        std::clamp<std::int64_t>(slack, 0, run.count);
+    if (take == 0) continue;
+    g.add(t + 1, n - 1, take);
+    result.accepted_per_run[idx] = take;
+    result.benefit += run.weight * static_cast<Weight>(take);
+    result.accepted_bytes += take;  // unit slices: bytes == slices
+    result.accepted_slices += take;
+  }
+  return result;
+}
+
+}  // namespace rtsmooth::offline

@@ -1,0 +1,21 @@
+// Head-Drop: on overflow, discard the *oldest* droppable slices first
+// ("drop-front"). Not studied in the paper; included as a baseline because
+// for real-time traffic dropping the stalest data is a folk heuristic, and
+// the ablation bench contrasts it with Tail-Drop and Greedy.
+
+#pragma once
+
+#include "core/drop_policy.h"
+
+namespace rtsmooth {
+
+class HeadDropPolicy final : public DropPolicy {
+ public:
+  HeadDropPolicy() = default;
+
+  DropResult shed(ServerBuffer& buf, Bytes target) override;
+  std::string_view name() const override { return "head-drop"; }
+  std::unique_ptr<DropPolicy> clone() const override;
+};
+
+}  // namespace rtsmooth

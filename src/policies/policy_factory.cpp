@@ -1,0 +1,29 @@
+#include "policies/policy_factory.h"
+
+#include <stdexcept>
+
+#include "policies/greedy_drop.h"
+#include "policies/head_drop.h"
+#include "policies/proactive_threshold.h"
+#include "policies/random_drop.h"
+#include "policies/tail_drop.h"
+
+namespace rtsmooth {
+
+std::unique_ptr<DropPolicy> make_policy(std::string_view name,
+                                        std::uint64_t seed) {
+  if (name == "tail-drop") return std::make_unique<TailDropPolicy>();
+  if (name == "greedy") return std::make_unique<GreedyDropPolicy>();
+  if (name == "head-drop") return std::make_unique<HeadDropPolicy>();
+  if (name == "random") return std::make_unique<RandomDropPolicy>(seed);
+  if (name == "proactive") {
+    return std::make_unique<ProactiveThresholdPolicy>(ProactiveConfig{});
+  }
+  throw std::invalid_argument("unknown drop policy: " + std::string(name));
+}
+
+std::vector<std::string> policy_names() {
+  return {"tail-drop", "greedy", "head-drop", "random", "proactive"};
+}
+
+}  // namespace rtsmooth

@@ -1,0 +1,23 @@
+// Name-based policy construction for examples, benches and CLI tools.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/drop_policy.h"
+
+namespace rtsmooth {
+
+/// Creates a policy by name: "tail-drop", "greedy", "head-drop", "random",
+/// "proactive". Throws std::invalid_argument for unknown names.
+/// `seed` feeds randomized policies; deterministic ones ignore it.
+std::unique_ptr<DropPolicy> make_policy(std::string_view name,
+                                        std::uint64_t seed = 7);
+
+/// All registered policy names, for CLI help and exhaustive test sweeps.
+std::vector<std::string> policy_names();
+
+}  // namespace rtsmooth

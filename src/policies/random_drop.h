@@ -1,0 +1,26 @@
+// Random-Drop: on overflow, victims are chosen uniformly at random among
+// buffered chunks. A randomized baseline exercising the "arbitrary set of Z
+// slices" freedom of the generic algorithm (Sect. 3.1.1) — Theorem 3.5 says
+// the *count* lost is optimal no matter how badly we choose.
+
+#pragma once
+
+#include "core/drop_policy.h"
+#include "util/rng.h"
+
+namespace rtsmooth {
+
+class RandomDropPolicy final : public DropPolicy {
+ public:
+  explicit RandomDropPolicy(std::uint64_t seed = 7);
+
+  DropResult shed(ServerBuffer& buf, Bytes target) override;
+  std::string_view name() const override { return "random"; }
+  std::unique_ptr<DropPolicy> clone() const override;
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+}  // namespace rtsmooth

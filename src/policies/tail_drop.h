@@ -1,0 +1,21 @@
+// Tail-Drop (the paper's "FIFO algorithm", Sect. 5): on overflow at step t,
+// slices of the most recent arrivals are discarded — intuitively, all
+// overflow is shed from the tail of the server's buffer, so the incoming
+// frame pays for its own burst.
+
+#pragma once
+
+#include "core/drop_policy.h"
+
+namespace rtsmooth {
+
+class TailDropPolicy final : public DropPolicy {
+ public:
+  TailDropPolicy() = default;
+
+  DropResult shed(ServerBuffer& buf, Bytes target) override;
+  std::string_view name() const override { return "tail-drop"; }
+  std::unique_ptr<DropPolicy> clone() const override;
+};
+
+}  // namespace rtsmooth

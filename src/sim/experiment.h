@@ -1,0 +1,37 @@
+// Experiment helpers shared by the figure benches and examples: run a set of
+// named policies on one configuration, and compute the off-line optimal
+// comparator with the right solver for the stream's slice model.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/planner.h"
+#include "core/slice.h"
+
+namespace rtsmooth::sim {
+
+struct PolicyOutcome {
+  std::string policy;
+  SimReport report;
+};
+
+/// Simulates every named policy on `stream` under the balanced plan.
+std::vector<PolicyOutcome> run_policies(const Stream& stream, const Plan& plan,
+                                        std::span<const std::string> policies,
+                                        Time link_delay = 1);
+
+struct OptimalPoint {
+  double weighted_loss = 0.0;
+  double benefit_fraction = 1.0;
+  bool exact = true;  ///< false if the Pareto DP hit its state limit
+};
+
+/// Off-line optimal for the server-side problem (buffer B, rate R): exact
+/// polymatroid greedy for unit slices, exact Pareto DP otherwise.
+OptimalPoint offline_optimal(const Stream& stream, Bytes buffer, Bytes rate);
+
+}  // namespace rtsmooth::sim

@@ -1,0 +1,68 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "policies/policy_factory.h"
+#include "util/assert.h"
+
+namespace rtsmooth::sim {
+
+SmoothingSimulator::SmoothingSimulator(const Stream& stream, SimConfig config,
+                                       std::unique_ptr<DropPolicy> policy,
+                                       std::unique_ptr<Link> link)
+    : stream_(&stream),
+      config_(config),
+      server_(ServerConfig{.buffer = config.server_buffer, .rate = config.rate},
+              std::move(policy)),
+      link_(link ? std::move(link)
+                 : std::make_unique<FixedDelayLink>(config.link_delay)),
+      client_(stream, config.client_buffer,
+              config.link_delay + config.smoothing_delay, config.playout,
+              config.smoothing_delay) {
+  RTS_EXPECTS(config.server_buffer >= stream.max_slice_size());
+  RTS_EXPECTS(config.client_buffer >= 1);
+  RTS_EXPECTS(config.rate >= 1);
+  RTS_EXPECTS(config.smoothing_delay >= 0);
+  RTS_EXPECTS(config.link_delay >= 0);
+}
+
+SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
+  RTS_EXPECTS(!ran_);
+  ran_ = true;
+  SimReport report;
+  ArrivalCursor cursor(*stream_);
+  const Time horizon = stream_->horizon();
+  const Time playout_offset = config_.link_delay + config_.smoothing_delay;
+  const Time last_playout = horizon - 1 + playout_offset;
+  // Hard ceiling against accounting bugs keeping the loop alive: everything
+  // must drain within the horizon plus transmit time plus pipeline depth.
+  const Time limit = horizon + playout_offset +
+                     stream_->total_bytes() / config_.rate + 16;
+  Time t = 0;
+  for (; t <= last_playout || !server_.buffer().empty() || !link_->idle() ||
+         client_.occupancy() > 0;  // timer-mode playout can trail the offset
+       ++t) {
+    RTS_ASSERT(t <= limit);
+    if (rec != nullptr) rec->begin_step(t);
+    auto pieces = server_.step(t, cursor.step(t), report, rec);
+    link_->submit(t, std::move(pieces));
+    const auto delivered = link_->deliver(t);
+    client_.deliver(t, delivered, report, rec);
+    client_.play(t, report, rec);
+    if (rec != nullptr) rec->step().client_occupancy = client_.occupancy();
+  }
+  report.steps = t;
+  client_.finalize(report);
+  server_.account_residual(report);
+  RTS_ENSURES(report.conserves());
+  return report;
+}
+
+SimReport simulate(const Stream& stream, const Plan& plan,
+                   std::string_view policy_name, Time link_delay) {
+  SmoothingSimulator simulator(stream, SimConfig::balanced(plan, link_delay),
+                               make_policy(policy_name));
+  return simulator.run();
+}
+
+}  // namespace rtsmooth::sim

@@ -1,0 +1,75 @@
+// End-to-end slotted simulation of the smoothing system of Fig. 1:
+// source -> server buffer -> link -> client buffer -> playout device.
+//
+// Per step t (the event order fixed in Sect. 2.2): the frame A(t) arrives at
+// the server; the server drops and sends per the generic algorithm
+// (Eqs. (2),(3)) with its DropPolicy; the link delivers R(t) = S(t-P); the
+// client stores, then plays the frame whose playout step this is
+// (PT = AT + P + D). The run continues past the last arrival until the
+// server, link and playout pipeline fully drain, so reports always satisfy
+// conservation.
+
+#pragma once
+
+#include <memory>
+
+#include "core/client.h"
+#include "core/generic_algorithm.h"
+#include "core/link.h"
+#include "core/metrics.h"
+#include "core/planner.h"
+#include "core/schedule.h"
+#include "core/slice.h"
+
+namespace rtsmooth::sim {
+
+struct SimConfig {
+  Bytes server_buffer = 1;  ///< Bs
+  Bytes client_buffer = 1;  ///< Bc
+  Bytes rate = 1;           ///< R
+  Time smoothing_delay = 1; ///< D
+  Time link_delay = 1;      ///< P
+  /// Playout convention; see core/client.h. The timer mode is the paper's
+  /// synchronization-free protocol of Sect. 3.3.
+  PlayoutMode playout = PlayoutMode::ArrivalPlusOffset;
+
+  /// The paper's recommended configuration: Bs = Bc = B = D*R.
+  static SimConfig balanced(const Plan& plan, Time link_delay = 1) {
+    return SimConfig{.server_buffer = plan.buffer,
+                     .client_buffer = plan.buffer,
+                     .rate = plan.rate,
+                     .smoothing_delay = plan.delay,
+                     .link_delay = link_delay};
+  }
+};
+
+class SmoothingSimulator {
+ public:
+  /// `link` defaults to FixedDelayLink(config.link_delay). The stream must
+  /// outlive the simulator. Precondition: server_buffer >= the stream's
+  /// largest slice (a slice that can never fit could never be scheduled).
+  SmoothingSimulator(const Stream& stream, SimConfig config,
+                     std::unique_ptr<DropPolicy> policy,
+                     std::unique_ptr<Link> link = nullptr);
+
+  /// Runs the whole schedule to drain. Call once. Pass a recorder to keep
+  /// per-run outcomes / per-step set sizes for inspection.
+  SimReport run(ScheduleRecorder* rec = nullptr);
+
+  const SimConfig& config() const { return config_; }
+
+ private:
+  const Stream* stream_;
+  SimConfig config_;
+  SmoothingServer server_;
+  std::unique_ptr<Link> link_;
+  Client client_;
+  bool ran_ = false;
+};
+
+/// One-call convenience: simulate `stream` under the balanced plan with the
+/// named policy (see policy_factory.h).
+SimReport simulate(const Stream& stream, const Plan& plan,
+                   std::string_view policy_name, Time link_delay = 1);
+
+}  // namespace rtsmooth::sim

@@ -1,0 +1,24 @@
+#include "sim/step_trace.h"
+
+#include "util/assert.h"
+#include "util/csv.h"
+
+namespace rtsmooth::sim {
+
+void write_step_trace(const std::string& path, const ScheduleRecorder& rec) {
+  RTS_EXPECTS(rec.level() == ScheduleRecorder::Level::RunsAndSteps);
+  CsvWriter csv(path);
+  csv.row({"t", "arrived", "sent", "delivered", "played", "dropped_server",
+           "dropped_client", "server_occupancy", "client_occupancy"});
+  for (const StepSets& step : rec.steps()) {
+    csv.row({CsvWriter::field(step.t), CsvWriter::field(step.arrived),
+             CsvWriter::field(step.sent), CsvWriter::field(step.delivered),
+             CsvWriter::field(step.played),
+             CsvWriter::field(step.dropped_server),
+             CsvWriter::field(step.dropped_client),
+             CsvWriter::field(step.server_occupancy),
+             CsvWriter::field(step.client_occupancy)});
+  }
+}
+
+}  // namespace rtsmooth::sim

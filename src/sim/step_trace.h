@@ -1,0 +1,21 @@
+// Step-trace export: dumps a recorded schedule's per-step sets A(t), S(t),
+// R(t), P(t), D(t) and buffer occupancies as CSV, so a schedule can be
+// plotted or diffed outside the harness (the per-step sets are exactly the
+// objects the paper's proofs manipulate).
+
+#pragma once
+
+#include <string>
+
+#include "core/schedule.h"
+
+namespace rtsmooth::sim {
+
+/// Writes one CSV row per recorded step. The recorder must have been
+/// created at Level::RunsAndSteps (aborts otherwise — silently writing an
+/// empty trace would be worse). Columns:
+///   t, arrived, sent, delivered, played, dropped_server, dropped_client,
+///   server_occupancy, client_occupancy
+void write_step_trace(const std::string& path, const ScheduleRecorder& rec);
+
+}  // namespace rtsmooth::sim

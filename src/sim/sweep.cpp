@@ -1,0 +1,67 @@
+#include "sim/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace rtsmooth::sim {
+
+Bytes relative_rate(const Stream& stream, double fraction) {
+  RTS_EXPECTS(fraction > 0.0);
+  return std::max<Bytes>(
+      1, static_cast<Bytes>(std::llround(fraction * stream.average_rate())));
+}
+
+std::vector<SweepPoint> buffer_sweep(const Stream& stream,
+                                     std::span<const double> buffer_multiples,
+                                     Bytes rate,
+                                     std::span<const std::string> policies,
+                                     bool with_optimal) {
+  std::vector<SweepPoint> out;
+  out.reserve(buffer_multiples.size());
+  for (double mult : buffer_multiples) {
+    const auto buffer = static_cast<Bytes>(
+        std::llround(mult * static_cast<double>(stream.max_frame_bytes())));
+    RTS_EXPECTS(buffer >= stream.max_slice_size());
+    // Round the delay *up* so B = D*R never shrinks below the requested
+    // size (shrinking could violate B >= Lmax for whole-frame slices).
+    const Plan plan =
+        Planner::from_delay_rate((buffer + rate - 1) / rate, rate);
+    SweepPoint point{.x = mult, .plan = plan};
+    point.policies = run_policies(stream, plan, policies);
+    if (with_optimal) {
+      point.optimal = offline_optimal(stream, plan.buffer, plan.rate);
+      point.has_optimal = true;
+    }
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+std::vector<SweepPoint> rate_sweep(const Stream& stream,
+                                   std::span<const double> rate_fractions,
+                                   double buffer_multiple,
+                                   std::span<const std::string> policies,
+                                   bool with_optimal) {
+  std::vector<SweepPoint> out;
+  out.reserve(rate_fractions.size());
+  for (double fraction : rate_fractions) {
+    const Bytes rate = relative_rate(stream, fraction);
+    const auto buffer = static_cast<Bytes>(std::llround(
+        buffer_multiple * static_cast<double>(stream.max_frame_bytes())));
+    RTS_EXPECTS(buffer >= stream.max_slice_size());
+    const Plan plan =
+        Planner::from_delay_rate((buffer + rate - 1) / rate, rate);
+    SweepPoint point{.x = fraction, .plan = plan};
+    point.policies = run_policies(stream, plan, policies);
+    if (with_optimal) {
+      point.optimal = offline_optimal(stream, plan.buffer, plan.rate);
+      point.has_optimal = true;
+    }
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+}  // namespace rtsmooth::sim

@@ -1,0 +1,45 @@
+// Parameter sweeps matching the axes of the paper's figures: weighted loss
+// as a function of buffer size (in multiples of the largest frame,
+// Figs. 2/3/5/6) and of link rate (relative to the average stream rate,
+// Fig. 4).
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "sim/experiment.h"
+
+namespace rtsmooth::sim {
+
+struct SweepPoint {
+  double x = 0.0;  ///< buffer multiple of max frame, or rate fraction of avg
+  Plan plan;       ///< the balanced B = D*R configuration actually run
+  std::vector<PolicyOutcome> policies;
+  OptimalPoint optimal;  ///< meaningful only when requested
+  bool has_optimal = false;
+};
+
+/// For each multiple m, runs with B = m * stream.max_frame_bytes() and the
+/// given fixed rate (D derived from B = D*R). Multiples below 1 are invalid
+/// for whole-frame slicing (a frame must fit the buffer).
+std::vector<SweepPoint> buffer_sweep(const Stream& stream,
+                                     std::span<const double> buffer_multiples,
+                                     Bytes rate,
+                                     std::span<const std::string> policies,
+                                     bool with_optimal);
+
+/// For each fraction f, runs with R = round(f * stream.average_rate()) and
+/// a buffer of `buffer_multiple` times the largest frame.
+std::vector<SweepPoint> rate_sweep(const Stream& stream,
+                                   std::span<const double> rate_fractions,
+                                   double buffer_multiple,
+                                   std::span<const std::string> policies,
+                                   bool with_optimal);
+
+/// Rounds a relative link rate to at least 1 byte/step.
+Bytes relative_rate(const Stream& stream, double fraction);
+
+}  // namespace rtsmooth::sim

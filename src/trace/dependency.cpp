@@ -1,0 +1,155 @@
+#include "trace/dependency.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace rtsmooth::trace {
+namespace {
+
+bool is_reference(FrameType t) {
+  return t == FrameType::I || t == FrameType::P;
+}
+
+/// Index of the nearest reference frame strictly before i, or -1.
+std::ptrdiff_t prev_reference(std::span<const Frame> frames,
+                              std::ptrdiff_t i) {
+  for (std::ptrdiff_t j = i - 1; j >= 0; --j) {
+    if (is_reference(frames[static_cast<std::size_t>(j)].type)) return j;
+  }
+  return -1;
+}
+
+/// Index of the nearest reference frame strictly after i, or -1.
+std::ptrdiff_t next_reference(std::span<const Frame> frames,
+                              std::ptrdiff_t i) {
+  const auto n = static_cast<std::ptrdiff_t>(frames.size());
+  for (std::ptrdiff_t j = i + 1; j < n; ++j) {
+    if (is_reference(frames[static_cast<std::size_t>(j)].type)) return j;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::vector<Bytes> delivered_bytes_per_frame(const Stream& stream,
+                                             const ScheduleRecorder& rec,
+                                             std::size_t frame_count) {
+  RTS_EXPECTS(rec.run_count() == stream.run_count());
+  std::vector<Bytes> delivered(frame_count, 0);
+  const auto runs = stream.runs();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const std::int64_t frame = runs[i].frame_index;
+    RTS_EXPECTS(frame >= 0 &&
+                static_cast<std::size_t>(frame) < frame_count);
+    delivered[static_cast<std::size_t>(frame)] +=
+        rec.run(i).played * runs[i].slice_size;
+  }
+  return delivered;
+}
+
+DependencyReport analyze_decodability(std::span<const Frame> frames,
+                                      std::span<const Bytes> delivered,
+                                      double delivery_threshold) {
+  RTS_EXPECTS(frames.size() == delivered.size());
+  RTS_EXPECTS(delivery_threshold > 0.0 && delivery_threshold <= 1.0);
+  DependencyReport report;
+  report.total_frames = static_cast<std::int64_t>(frames.size());
+  const auto n = static_cast<std::ptrdiff_t>(frames.size());
+
+  std::vector<bool> ok(frames.size(), false);       // delivered intact
+  std::vector<bool> decodable(frames.size(), false);
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    report.total_bytes += frames[k].size;
+    ok[k] = static_cast<double>(delivered[k]) >=
+            delivery_threshold * static_cast<double>(frames[k].size);
+    if (ok[k]) ++report.delivered_frames;
+  }
+  // References first, in order (each depends only on earlier references)...
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    if (!is_reference(frames[k].type)) continue;
+    if (!ok[k]) continue;
+    if (frames[k].type == FrameType::I) {
+      decodable[k] = true;
+    } else {
+      const std::ptrdiff_t ref = prev_reference(frames, i);
+      decodable[k] = ref >= 0 && decodable[static_cast<std::size_t>(ref)];
+    }
+  }
+  // ...then B (and Other, treated as B-like) frames against both walls.
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    if (is_reference(frames[k].type)) continue;
+    if (!ok[k]) continue;
+    const std::ptrdiff_t prev = prev_reference(frames, i);
+    const std::ptrdiff_t next = next_reference(frames, i);
+    const bool prev_ok =
+        prev >= 0 && decodable[static_cast<std::size_t>(prev)];
+    const bool next_ok =
+        next < 0 || decodable[static_cast<std::size_t>(next)];
+    decodable[k] = prev_ok && next_ok;
+  }
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    if (!ok[k]) continue;
+    if (decodable[k]) {
+      ++report.decodable_frames;
+      report.decodable_bytes += frames[k].size;
+    } else {
+      ++report.garbage_frames;
+    }
+  }
+  return report;
+}
+
+std::vector<double> dependency_aware_values(std::span<const Frame> frames) {
+  const auto n = static_cast<std::ptrdiff_t>(frames.size());
+  // chain[i] (references only): i plus all its transitive reference
+  // ancestors — the frames whose loss makes i undecodable.
+  std::vector<std::vector<std::size_t>> chain(frames.size());
+  std::vector<double> accum(frames.size(), 0.0);
+  auto add_to = [&](std::span<const std::size_t> kill_set, Bytes size) {
+    for (std::size_t f : kill_set) accum[f] += static_cast<double>(size);
+  };
+  // Pass 1: reference chains, in order (each depends only on earlier refs).
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    if (!is_reference(frames[k].type)) continue;
+    if (frames[k].type == FrameType::P) {
+      const std::ptrdiff_t ref = prev_reference(frames, i);
+      if (ref >= 0) chain[k] = chain[static_cast<std::size_t>(ref)];
+    }
+    chain[k].push_back(k);
+    add_to(chain[k], frames[k].size);
+  }
+  // Pass 2: B-like frames — killed by themselves or by either surrounding
+  // reference chain (which may lie *after* them, hence the separate pass).
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    if (is_reference(frames[k].type)) continue;
+    std::vector<std::size_t> kill{k};
+    const std::ptrdiff_t prev = prev_reference(frames, i);
+    const std::ptrdiff_t next = next_reference(frames, i);
+    if (prev >= 0) {
+      const auto& c = chain[static_cast<std::size_t>(prev)];
+      kill.insert(kill.end(), c.begin(), c.end());
+    }
+    if (next >= 0) {
+      const auto& c = chain[static_cast<std::size_t>(next)];
+      kill.insert(kill.end(), c.begin(), c.end());
+    }
+    std::sort(kill.begin(), kill.end());
+    kill.erase(std::unique(kill.begin(), kill.end()), kill.end());
+    add_to(kill, frames[k].size);
+  }
+  std::vector<double> values(frames.size());
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const auto k = static_cast<std::size_t>(i);
+    values[k] = accum[k] / static_cast<double>(frames[k].size);
+  }
+  return values;
+}
+
+}  // namespace rtsmooth::trace

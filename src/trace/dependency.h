@@ -1,0 +1,71 @@
+// MPEG decode-dependency model.
+//
+// The paper's experiments score schedules by summed slice values, while
+// noting (Sect. 2.1) that perceived fidelity "does not degrade linearly
+// with the quantity of lost data". This module makes that concrete for
+// MPEG GOP structure: a P frame needs its preceding reference (I or P)
+// decodable, a B frame needs both its surrounding references (display
+// order; coded-order reordering is abstracted away), an I frame needs
+// nothing. A frame that arrives intact but whose references were dropped
+// is *delivered garbage* — counted separately below.
+//
+// The dependency-aware value model prices every frame by the total bytes
+// that become undecodable if it is lost, which is what a value function
+// should approximate if decodability is the real objective; the
+// abl_dependency bench measures how much it helps.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/schedule.h"
+#include "core/slice.h"
+#include "trace/frame.h"
+#include "trace/slicer.h"
+
+namespace rtsmooth::trace {
+
+/// Decodability outcome for one schedule of one clip.
+struct DependencyReport {
+  std::int64_t total_frames = 0;
+  std::int64_t delivered_frames = 0;   ///< fully delivered (all slices played)
+  std::int64_t decodable_frames = 0;   ///< delivered and references decodable
+  std::int64_t garbage_frames = 0;     ///< delivered but undecodable
+  Bytes total_bytes = 0;
+  Bytes decodable_bytes = 0;           ///< goodput after dependency loss
+
+  double decodable_fraction() const {
+    return total_frames == 0
+               ? 1.0
+               : static_cast<double>(decodable_frames) /
+                     static_cast<double>(total_frames);
+  }
+  double goodput_fraction() const {
+    return total_bytes == 0
+               ? 1.0
+               : static_cast<double>(decodable_bytes) /
+                     static_cast<double>(total_bytes);
+  }
+};
+
+/// Per-frame delivered byte counts for a schedule, reconstructed from the
+/// recorder (runs map to frames via SliceRun::frame_index).
+std::vector<Bytes> delivered_bytes_per_frame(const Stream& stream,
+                                             const ScheduleRecorder& rec,
+                                             std::size_t frame_count);
+
+/// Decodability of a clip given per-frame delivered bytes: a frame is
+/// "delivered" when at least `delivery_threshold` of its bytes played, and
+/// decodable when delivered and its references are decodable.
+DependencyReport analyze_decodability(std::span<const Frame> frames,
+                                      std::span<const Bytes> delivered,
+                                      double delivery_threshold = 1.0);
+
+/// Dependency-aware per-frame *byte values*: frame f is worth
+/// (bytes made undecodable by losing f) / |f| — i.e. its own bytes plus all
+/// transitively dependent bytes, normalized to a per-byte price. Use with
+/// slice_frames_with_values() (declared in slicer.h).
+std::vector<double> dependency_aware_values(std::span<const Frame> frames);
+
+}  // namespace rtsmooth::trace

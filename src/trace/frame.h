@@ -1,0 +1,68 @@
+// Video frames as emitted by the source: one frame per time slot (paper
+// Sect. 2.1). A frame is later cut into slices by a Slicer; the trace layer
+// deals only in (type, size) pairs, the format public MPEG frame-size traces
+// use.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+
+namespace rtsmooth::trace {
+
+struct Frame {
+  FrameType type = FrameType::Other;
+  Bytes size = 0;  ///< encoded frame size in bytes
+
+  bool operator==(const Frame&) const = default;
+};
+
+using FrameSequence = std::vector<Frame>;
+
+/// Aggregate statistics of a frame sequence, matching the figures the paper
+/// reports for its clips (Sect. 5: "average frame size is about 38 KBytes,
+/// maximum ... about 120 KBytes; frequencies of I, P, B frames are about
+/// 8%, 31%, 61%").
+struct TraceStats {
+  double mean_frame_bytes = 0.0;
+  Bytes max_frame_bytes = 0;
+  Bytes total_bytes = 0;
+  std::size_t frames = 0;
+  double frequency_i = 0.0;
+  double frequency_p = 0.0;
+  double frequency_b = 0.0;
+  /// Mean size per type; 0 when the type does not occur.
+  double mean_i = 0.0;
+  double mean_p = 0.0;
+  double mean_b = 0.0;
+};
+
+inline TraceStats compute_stats(std::span<const Frame> frames) {
+  TraceStats s;
+  s.frames = frames.size();
+  std::size_t count[3] = {0, 0, 0};
+  double sum[3] = {0.0, 0.0, 0.0};
+  for (const Frame& f : frames) {
+    s.total_bytes += f.size;
+    if (f.size > s.max_frame_bytes) s.max_frame_bytes = f.size;
+    const auto k = static_cast<std::size_t>(f.type);
+    if (k < 3) {
+      ++count[k];
+      sum[k] += static_cast<double>(f.size);
+    }
+  }
+  if (s.frames == 0) return s;
+  const auto n = static_cast<double>(s.frames);
+  s.mean_frame_bytes = static_cast<double>(s.total_bytes) / n;
+  s.frequency_i = static_cast<double>(count[0]) / n;
+  s.frequency_p = static_cast<double>(count[1]) / n;
+  s.frequency_b = static_cast<double>(count[2]) / n;
+  s.mean_i = count[0] ? sum[0] / static_cast<double>(count[0]) : 0.0;
+  s.mean_p = count[1] ? sum[1] / static_cast<double>(count[1]) : 0.0;
+  s.mean_b = count[2] ? sum[2] / static_cast<double>(count[2]) : 0.0;
+  return s;
+}
+
+}  // namespace rtsmooth::trace

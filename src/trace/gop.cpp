@@ -1,0 +1,34 @@
+#include "trace/gop.h"
+
+#include <stdexcept>
+
+namespace rtsmooth::trace {
+
+GopPattern::GopPattern(std::string_view pattern) : text_(pattern) {
+  if (pattern.empty()) throw std::invalid_argument("GOP pattern is empty");
+  if (pattern.front() != 'I' && pattern.front() != 'i') {
+    throw std::invalid_argument("GOP pattern must start with an I frame: " +
+                                text_);
+  }
+  types_.reserve(pattern.size());
+  for (char c : pattern) {
+    const FrameType t = frame_type_from_char(c);
+    if (t == FrameType::Other) {
+      throw std::invalid_argument("GOP pattern contains non-IPB character: " +
+                                  text_);
+    }
+    types_.push_back(t);
+  }
+}
+
+double GopPattern::frequency(FrameType t) const {
+  std::size_t n = 0;
+  for (FrameType x : types_) {
+    if (x == t) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(types_.size());
+}
+
+GopPattern GopPattern::paper_default() { return GopPattern("IBBPBBPBBPBBP"); }
+
+}  // namespace rtsmooth::trace

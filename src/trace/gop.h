@@ -1,0 +1,41 @@
+// MPEG group-of-pictures patterns. A GOP pattern is a string over {I,P,B}
+// starting with 'I' that the encoder repeats cyclically; it fixes the
+// relative frequencies of the three frame types.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+
+namespace rtsmooth::trace {
+
+class GopPattern {
+ public:
+  /// Parses e.g. "IBBPBBPBBPBB". Throws std::invalid_argument if empty, if
+  /// it does not start with 'I', or if it contains other characters.
+  explicit GopPattern(std::string_view pattern);
+
+  /// Frame type at position k of the (cyclically repeated) pattern.
+  FrameType type_at(std::size_t k) const {
+    return types_[k % types_.size()];
+  }
+
+  std::size_t length() const { return types_.size(); }
+  const std::string& text() const { return text_; }
+
+  /// Fraction of the pattern that is the given type.
+  double frequency(FrameType t) const;
+
+  /// The default used by the synthetic clips: 1 I, 4 P, 8 B per 13 frames
+  /// (7.7% / 30.8% / 61.5%), matching the paper's reported ~8% / 31% / 61%.
+  static GopPattern paper_default();
+
+ private:
+  std::string text_;
+  std::vector<FrameType> types_;
+};
+
+}  // namespace rtsmooth::trace

@@ -1,0 +1,59 @@
+#include "trace/mpeg_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace rtsmooth::trace {
+
+MpegTraceModel::MpegTraceModel(MpegModelConfig config, std::uint64_t seed)
+    : config_(std::move(config)), gop_(config_.gop_pattern), rng_(seed) {
+  RTS_EXPECTS(config_.mean_frame_bytes > 0);
+  RTS_EXPECTS(config_.max_frame_bytes >= config_.min_frame_bytes);
+  RTS_EXPECTS(config_.min_frame_bytes >= 1);
+  RTS_EXPECTS(config_.i_to_b_ratio >= 1.0);
+  RTS_EXPECTS(config_.p_to_b_ratio >= 1.0);
+  RTS_EXPECTS(config_.scene_rho >= 0.0 && config_.scene_rho < 1.0);
+  // Calibrate the B-frame mean so the mixture hits the overall target:
+  // mean = mB * (fI*rI + fP*rP + fB).
+  const double mix = gop_.frequency(FrameType::I) * config_.i_to_b_ratio +
+                     gop_.frequency(FrameType::P) * config_.p_to_b_ratio +
+                     gop_.frequency(FrameType::B);
+  mean_b_bytes_ = config_.mean_frame_bytes / mix;
+  // Start the scene level in its stationary distribution so short clips are
+  // not biased towards level 0.
+  scene_level_ = rng_.normal(0.0, config_.scene_sigma);
+}
+
+FrameSequence MpegTraceModel::generate(std::size_t n) {
+  FrameSequence out;
+  out.reserve(n);
+  // Per-step innovation keeping the AR(1) stationary at scene_sigma.
+  const double innovation_sigma =
+      config_.scene_sigma *
+      std::sqrt(1.0 - config_.scene_rho * config_.scene_rho);
+  for (std::size_t k = 0; k < n; ++k, ++position_) {
+    scene_level_ = config_.scene_rho * scene_level_ +
+                   rng_.normal(0.0, innovation_sigma);
+    const FrameType type = gop_.type_at(position_);
+    double type_mean = mean_b_bytes_;
+    if (type == FrameType::I) type_mean *= config_.i_to_b_ratio;
+    if (type == FrameType::P) type_mean *= config_.p_to_b_ratio;
+    // Both lognormal factors are mean-corrected (exp(-sigma^2/2)) so the
+    // modulated size process keeps the calibrated mean.
+    const double scene_factor =
+        std::exp(scene_level_ - 0.5 * config_.scene_sigma * config_.scene_sigma);
+    const double noise_factor =
+        rng_.lognormal(-0.5 * config_.size_sigma * config_.size_sigma,
+                       config_.size_sigma);
+    const double raw = type_mean * scene_factor * noise_factor;
+    const Bytes size = std::clamp(static_cast<Bytes>(std::llround(raw)),
+                                  config_.min_frame_bytes,
+                                  config_.max_frame_bytes);
+    out.push_back(Frame{.type = type, .size = size});
+  }
+  return out;
+}
+
+}  // namespace rtsmooth::trace

@@ -1,0 +1,56 @@
+// Synthetic VBR MPEG source.
+//
+// The paper's experiments use MPEG-1 clips from the CNN video archive, a
+// source that no longer exists; this model is the documented substitution
+// (see DESIGN.md). It generates a GOP-structured frame-size process with the
+// two properties the paper's results hinge on:
+//
+//   1. the reported aggregate statistics — mean frame ~38 KB, max ~120 KB,
+//      I:P:B frequencies ~8:31:61 — are reproduced, and
+//   2. sizes are *bursty*: a slowly varying scene level (AR(1) in log space)
+//      modulates lognormal per-type sizes, so the valuable I-frame bytes
+//      arrive in large bursts. That burstiness is exactly what separates
+//      Greedy from Tail-Drop in Sect. 5.1.
+
+#pragma once
+
+#include <cstdint>
+
+#include "trace/frame.h"
+#include "trace/gop.h"
+#include "util/rng.h"
+
+namespace rtsmooth::trace {
+
+struct MpegModelConfig {
+  std::string gop_pattern = "IBBPBBPBBPBBP";
+  double mean_frame_bytes = 38.0 * 1024;  ///< calibration target, overall
+  Bytes max_frame_bytes = 120 * 1024;     ///< hard cap (encoder VBV-style)
+  Bytes min_frame_bytes = 256;
+  double i_to_b_ratio = 4.0;   ///< mean I size / mean B size
+  double p_to_b_ratio = 2.2;   ///< mean P size / mean B size
+  double size_sigma = 0.22;    ///< per-frame lognormal sigma (log space)
+  double scene_sigma = 0.30;   ///< stationary sigma of the scene level
+  double scene_rho = 0.995;    ///< AR(1) pole; ~200-frame scene memory
+};
+
+class MpegTraceModel {
+ public:
+  MpegTraceModel(MpegModelConfig config, std::uint64_t seed);
+
+  /// Generates `n` frames. Deterministic in (config, seed): repeated calls
+  /// continue the same process.
+  FrameSequence generate(std::size_t n);
+
+  const MpegModelConfig& config() const { return config_; }
+
+ private:
+  MpegModelConfig config_;
+  GopPattern gop_;
+  Rng rng_;
+  double scene_level_ = 0.0;  ///< current AR(1) state, log space
+  std::size_t position_ = 0;  ///< frames generated so far
+  double mean_b_bytes_ = 0.0; ///< calibrated mean B-frame size
+};
+
+}  // namespace rtsmooth::trace

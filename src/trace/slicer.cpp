@@ -1,0 +1,73 @@
+#include "trace/slicer.h"
+
+#include "util/assert.h"
+
+namespace rtsmooth::trace {
+
+Stream slice_frames_with_values(std::span<const Frame> frames,
+                                std::span<const double> byte_values,
+                                Slicing slicing, Bytes packet_size) {
+  RTS_EXPECTS(packet_size >= 1);
+  RTS_EXPECTS(byte_values.size() == frames.size());
+  std::vector<SliceRun> runs;
+  runs.reserve(frames.size());
+  for (std::size_t k = 0; k < frames.size(); ++k) {
+    const Frame& f = frames[k];
+    RTS_EXPECTS(f.size >= 1);
+    const double v = byte_values[k];
+    RTS_EXPECTS(v >= 0.0);
+    const auto arrival = static_cast<Time>(k);
+    const auto frame_index = static_cast<std::int64_t>(k);
+    switch (slicing) {
+      case Slicing::ByteSlices:
+        runs.push_back(SliceRun{.arrival = arrival,
+                                .slice_size = 1,
+                                .count = f.size,
+                                .weight = v,
+                                .frame_type = f.type,
+                                .frame_index = frame_index});
+        break;
+      case Slicing::WholeFrame:
+        runs.push_back(SliceRun{.arrival = arrival,
+                                .slice_size = f.size,
+                                .count = 1,
+                                .weight = v * static_cast<Weight>(f.size),
+                                .frame_type = f.type,
+                                .frame_index = frame_index});
+        break;
+      case Slicing::FixedPacket: {
+        const std::int64_t full = f.size / packet_size;
+        const Bytes tail = f.size % packet_size;
+        if (full > 0) {
+          runs.push_back(
+              SliceRun{.arrival = arrival,
+                       .slice_size = packet_size,
+                       .count = full,
+                       .weight = v * static_cast<Weight>(packet_size),
+                       .frame_type = f.type,
+                       .frame_index = frame_index});
+        }
+        if (tail > 0) {
+          runs.push_back(SliceRun{.arrival = arrival,
+                                  .slice_size = tail,
+                                  .count = 1,
+                                  .weight = v * static_cast<Weight>(tail),
+                                  .frame_type = f.type,
+                                  .frame_index = frame_index});
+        }
+        break;
+      }
+    }
+  }
+  return Stream::from_runs(std::move(runs));
+}
+
+Stream slice_frames(std::span<const Frame> frames, const ValueModel& values,
+                    Slicing slicing, Bytes packet_size) {
+  std::vector<double> byte_values;
+  byte_values.reserve(frames.size());
+  for (const Frame& f : frames) byte_values.push_back(values.byte_value(f.type));
+  return slice_frames_with_values(frames, byte_values, slicing, packet_size);
+}
+
+}  // namespace rtsmooth::trace

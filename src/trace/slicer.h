@@ -1,0 +1,36 @@
+// Cutting frames into slices (paper Sect. 2.1: slices are the unit of
+// dropping, and the experiments consider "two extremes for the slice size:
+// each byte is an individual slice; and ... each frame is an individual
+// slice", Sect. 5). FixedPacket adds the practically common middle ground
+// (e.g. 188-byte MPEG transport-stream packets).
+
+#pragma once
+
+#include <span>
+
+#include "core/slice.h"
+#include "trace/frame.h"
+#include "trace/value_model.h"
+
+namespace rtsmooth::trace {
+
+enum class Slicing {
+  ByteSlices,   ///< every byte an independent slice (Sect. 5.1)
+  WholeFrame,   ///< one slice per frame (Sect. 5.3)
+  FixedPacket,  ///< packets of a fixed byte size; a frame's last packet may
+                ///< be shorter
+};
+
+/// Builds the input stream for a frame sequence: frame k arrives at step k.
+/// Slice weights come from `values` (weight = byte value * slice size).
+/// `packet_size` only applies to FixedPacket.
+Stream slice_frames(std::span<const Frame> frames, const ValueModel& values,
+                    Slicing slicing, Bytes packet_size = 188);
+
+/// Like slice_frames() but with an explicit byte value per frame (one entry
+/// per frame; see trace/dependency.h for a generator).
+Stream slice_frames_with_values(std::span<const Frame> frames,
+                                std::span<const double> byte_values,
+                                Slicing slicing, Bytes packet_size = 188);
+
+}  // namespace rtsmooth::trace

@@ -1,0 +1,40 @@
+#include "trace/stock_clips.h"
+
+#include <stdexcept>
+
+namespace rtsmooth::trace {
+
+FrameSequence stock_clip(std::string_view name, std::size_t frames) {
+  if (name == "cnn-news") {
+    MpegTraceModel model(MpegModelConfig{}, /*seed=*/2000);
+    return model.generate(frames);
+  }
+  if (name == "action") {
+    MpegModelConfig cfg;
+    cfg.size_sigma = 0.35;
+    cfg.scene_sigma = 0.55;
+    cfg.scene_rho = 0.985;
+    MpegTraceModel model(cfg, /*seed=*/404);
+    return model.generate(frames);
+  }
+  if (name == "talking-head") {
+    MpegModelConfig cfg;
+    cfg.size_sigma = 0.10;
+    cfg.scene_sigma = 0.08;
+    cfg.scene_rho = 0.999;
+    MpegTraceModel model(cfg, /*seed=*/11);
+    return model.generate(frames);
+  }
+  if (name == "smooth-cbr") {
+    FrameSequence seq(frames,
+                      Frame{.type = FrameType::Other, .size = 38 * 1024});
+    return seq;
+  }
+  throw std::invalid_argument("unknown stock clip: " + std::string(name));
+}
+
+std::vector<std::string> stock_clip_names() {
+  return {"cnn-news", "action", "talking-head", "smooth-cbr"};
+}
+
+}  // namespace rtsmooth::trace

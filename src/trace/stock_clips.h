@@ -1,0 +1,29 @@
+// Named synthetic clips — stand-ins for the CNN-archive MPEG clips of the
+// paper's Sect. 5 (see the substitution table in DESIGN.md). Each name maps
+// to a fixed (config, seed) pair, so every test, example and bench in the
+// repository sees bit-identical frames.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/frame.h"
+#include "trace/mpeg_model.h"
+
+namespace rtsmooth::trace {
+
+/// Generates `frames` frames of the named clip. Known names:
+///   "cnn-news"      — the paper-calibrated default (38 KB mean, 120 KB max,
+///                     I:P:B ~ 8:31:61); used by all figure benches
+///   "action"        — high-variance, fast scene changes (stress case)
+///   "talking-head"  — low-variance, nearly CBR content
+///   "smooth-cbr"    — exactly constant frame sizes (Sect. 3.3's "perfectly
+///                     smooth" input; no I/P/B structure)
+/// Throws std::invalid_argument for unknown names.
+FrameSequence stock_clip(std::string_view name, std::size_t frames);
+
+std::vector<std::string> stock_clip_names();
+
+}  // namespace rtsmooth::trace

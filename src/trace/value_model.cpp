@@ -1,0 +1,4 @@
+// ValueModel is fully inline; this translation unit exists so the build
+// exposes a home for future non-inline members (e.g. file-driven custom
+// models) without touching the build files.
+#include "trace/value_model.h"

@@ -1,0 +1,46 @@
+// Local value functions (paper Definition 2.6 and Sect. 5).
+//
+// A ValueModel assigns a *byte value* to each frame type; a slice's weight
+// is its byte value times its size. Keeping value per byte (rather than per
+// slice) makes weighted loss directly comparable across slicing
+// granularities — a frame carries the same total weight whether it is cut
+// into bytes or kept whole — which is what Figs. 5 and 6 rely on.
+
+#pragma once
+
+#include <array>
+
+#include "core/types.h"
+
+namespace rtsmooth::trace {
+
+class ValueModel {
+ public:
+  /// The paper's experimental weighting: I : P : B = 12 : 8 : 1 (Sect. 5),
+  /// Other treated as 1.
+  static ValueModel mpeg_default() { return ValueModel({12.0, 8.0, 1.0, 1.0}); }
+
+  /// Every byte worth 1 — benefit degenerates to throughput (the remark
+  /// after Definition 2.6).
+  static ValueModel throughput() { return ValueModel({1.0, 1.0, 1.0, 1.0}); }
+
+  /// Custom byte values indexed by FrameType (I, P, B, Other).
+  static ValueModel custom(std::array<double, 4> values) {
+    return ValueModel(values);
+  }
+
+  double byte_value(FrameType t) const {
+    return values_[static_cast<std::size_t>(t)];
+  }
+
+  /// Weight of a whole slice of `size` bytes of type `t`.
+  Weight slice_weight(FrameType t, Bytes size) const {
+    return byte_value(t) * static_cast<Weight>(size);
+  }
+
+ private:
+  explicit ValueModel(std::array<double, 4> values) : values_(values) {}
+  std::array<double, 4> values_;
+};
+
+}  // namespace rtsmooth::trace

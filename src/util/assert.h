@@ -1,0 +1,41 @@
+// Contract-checking macros in the style of the C++ Core Guidelines GSL
+// (I.6 "Prefer Expects() for expressing preconditions", E.8 Ensures()).
+//
+// Violations abort with a diagnostic: smoothing schedules are accounting
+// machines, and a silently violated invariant (a negative buffer occupancy, a
+// byte played before it arrived) would corrupt every downstream measurement.
+// These checks therefore stay on in all build types.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rtsmooth::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "rtsmooth: %s violated: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace rtsmooth::detail
+
+// Precondition on the arguments / observable state at function entry.
+#define RTS_EXPECTS(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::rtsmooth::detail::contract_failure("precondition", #cond, \
+                                                 __FILE__, __LINE__))
+
+// Postcondition at function exit.
+#define RTS_ENSURES(cond)                                                 \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::rtsmooth::detail::contract_failure("postcondition", #cond, \
+                                                 __FILE__, __LINE__))
+
+// Internal invariant (neither pre- nor post-condition).
+#define RTS_ASSERT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                       \
+          : ::rtsmooth::detail::contract_failure("invariant", #cond,  \
+                                                 __FILE__, __LINE__))

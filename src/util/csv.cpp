@@ -1,0 +1,47 @@
+#include "util/csv.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace rtsmooth {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+std::string CsvWriter::escape(std::string_view raw) {
+  const bool needs_quotes =
+      raw.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(raw);
+  std::string quoted = "\"";
+  for (char c : raw) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+std::string CsvWriter::field(double v) {
+  char buf[64];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::general, 17);
+  return ec == std::errc{} ? std::string(buf, ptr) : std::string("nan");
+}
+
+std::string CsvWriter::field(std::int64_t v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return ec == std::errc{} ? std::string(buf, ptr) : std::string("0");
+}
+
+}  // namespace rtsmooth

@@ -1,0 +1,36 @@
+// Minimal CSV emitter for experiment output. Benches accept `--csv <path>`
+// and dump their series through this writer so figures can be re-plotted
+// outside the harness.
+
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtsmooth {
+
+/// Writes RFC-4180-style CSV: fields containing commas, quotes or newlines
+/// are quoted, embedded quotes doubled. One writer per file; rows are
+/// flushed as they are written.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error on
+  /// failure — experiment output silently vanishing is worse than aborting.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row of already-formatted fields.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience formatters producing round-trippable text.
+  static std::string field(double v);
+  static std::string field(std::int64_t v);
+
+ private:
+  static std::string escape(std::string_view raw);
+  std::ofstream out_;
+};
+
+}  // namespace rtsmooth

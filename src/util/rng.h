@@ -1,0 +1,65 @@
+// Deterministic random number generation for trace synthesis and randomized
+// policies.
+//
+// All randomness in the library flows through `Rng`, a thin seeded wrapper
+// around xoshiro256** (public-domain algorithm by Blackman & Vigna). Using
+// our own generator rather than std::mt19937 guarantees bit-identical traces
+// across standard libraries and platforms, which the experiment suite relies
+// on for regression pinning.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rtsmooth {
+
+/// Seeded pseudo-random generator with a stable cross-platform stream.
+/// Satisfies std::uniform_random_bit_generator, so it composes with <random>
+/// distributions when exact reproducibility of the *distribution* is not
+/// required; the helpers below are used where it is.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64, as
+  /// recommended by the xoshiro authors (avoids all-zero states).
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit word.
+  result_type operator()();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Lognormal: exp(N(mu, sigma)). `mu`/`sigma` are the parameters of the
+  /// underlying normal, not the moments of the lognormal.
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Creates an independent generator for a named sub-stream, so that adding
+  /// a consumer of randomness does not perturb unrelated streams.
+  Rng split(std::uint64_t stream_id);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace rtsmooth

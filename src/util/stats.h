@@ -1,0 +1,51 @@
+// Small descriptive-statistics helpers used by the trace calibrator, the
+// experiment harness and the benchmark printers.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace rtsmooth {
+
+/// Streaming accumulator for count/mean/variance/min/max (Welford's method,
+/// numerically stable for the long frame-size series we feed it).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile of a sample by linear interpolation between closest
+/// ranks. `q` in [0, 1]; the input need not be sorted (a copy is sorted).
+double percentile(std::span<const double> xs, double q);
+
+/// Lag-1 autocorrelation coefficient; 0 for fewer than three samples.
+/// Used to validate that the synthetic MPEG model is bursty (scene-level
+/// correlation), not i.i.d.
+double autocorrelation_lag1(std::span<const double> xs);
+
+/// Human-readable byte count ("38.1 KB", "1.2 MB") for report printing.
+std::string format_bytes(double bytes);
+
+}  // namespace rtsmooth

@@ -1,0 +1,36 @@
+// ASCII table printer. Benchmark binaries reproduce the paper's figures as
+// numeric series; this renders them as aligned tables on stdout, in the same
+// row/series layout the paper's plots use.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rtsmooth {
+
+/// Column-aligned text table with a header row. Cells are preformatted
+/// strings; alignment is right for cells that parse as numbers, left
+/// otherwise.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a rule under the header and padded columns.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with fixed precision — the common cell type.
+  static std::string num(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rtsmooth

@@ -1,0 +1,29 @@
+// Shared helpers for building small test streams tersely.
+
+#pragma once
+
+#include <vector>
+
+#include "core/slice.h"
+
+namespace rtsmooth::testing {
+
+/// One run of `count` unit slices at time t, each of weight w.
+inline SliceRun units(Time t, std::int64_t count, Weight w = 1.0) {
+  return SliceRun{.arrival = t, .slice_size = 1, .count = count, .weight = w};
+}
+
+/// One slice of the given size at time t; weight defaults to the size
+/// (byte value 1).
+inline SliceRun slice(Time t, Bytes size, Weight w = -1.0) {
+  return SliceRun{.arrival = t,
+                  .slice_size = size,
+                  .count = 1,
+                  .weight = w < 0 ? static_cast<Weight>(size) : w};
+}
+
+inline Stream stream_of(std::vector<SliceRun> runs) {
+  return Stream::from_runs(std::move(runs));
+}
+
+}  // namespace rtsmooth::testing

@@ -1,0 +1,134 @@
+// Tests for the bandwidth-strategy comparison module: each strategy's
+// scorecard semantics, stream merging, and the rate bisection.
+
+#include <gtest/gtest.h>
+
+#include "alternatives/strategies.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "stream_helpers.h"
+#include "trace/slicer.h"
+#include "trace/stock_clips.h"
+
+namespace rtsmooth::alternatives {
+namespace {
+
+Stream clip(std::string_view name, std::size_t frames, std::uint64_t = 0) {
+  return trace::slice_frames(trace::stock_clip(name, frames),
+                             trace::ValueModel::mpeg_default(),
+                             trace::Slicing::ByteSlices);
+}
+
+TEST(PeakProvision, LosslessAtPeakRate) {
+  const Stream s = clip("cnn-news", 300);
+  const StrategyOutcome out = evaluate_peak_provision(s);
+  EXPECT_DOUBLE_EQ(out.delivered_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(out.benefit_fraction, 1.0);
+  EXPECT_EQ(out.added_delay, 0);
+  EXPECT_DOUBLE_EQ(out.reserved_peak,
+                   static_cast<double>(s.max_frame_bytes()));
+}
+
+TEST(Truncation, LosesTheBurstsAtAverageRate) {
+  const Stream s = clip("cnn-news", 300);
+  const Bytes rate = sim::relative_rate(s, 1.0);
+  const StrategyOutcome out = evaluate_truncation(s, rate);
+  EXPECT_LT(out.delivered_fraction, 0.95);  // bursts exceed the average
+  EXPECT_GT(out.delivered_fraction, 0.3);
+  EXPECT_EQ(out.added_delay, 1);
+}
+
+TEST(Smoothing, BeatsTruncationAtTheSameRate) {
+  const Stream s = clip("cnn-news", 300);
+  const Bytes rate = sim::relative_rate(s, 1.0);
+  const StrategyOutcome trunc = evaluate_truncation(s, rate);
+  const StrategyOutcome smooth = evaluate_smoothing(s, rate, 25, "greedy");
+  EXPECT_GT(smooth.delivered_fraction, trunc.delivered_fraction);
+  EXPECT_GT(smooth.benefit_fraction, trunc.benefit_fraction);
+  EXPECT_DOUBLE_EQ(smooth.reserved_peak, trunc.reserved_peak);
+}
+
+TEST(RenegotiatedCbr, TracksTheStreamWithFewChanges) {
+  const Stream s = clip("cnn-news", 600);
+  RenegotiationConfig config;
+  config.window = 100;
+  config.headroom = 1.3;
+  config.buffer = 4 * s.max_frame_bytes();
+  config.floor_rate = 1024;
+  const StrategyOutcome out = evaluate_renegotiated_cbr(s, config);
+  EXPECT_GT(out.renegotiations, 0);
+  EXPECT_LE(out.renegotiations, 600 / 100);
+  EXPECT_GT(out.delivered_fraction, 0.8);
+  // The point of renegotiation: average commitment well below the peak
+  // commitment.
+  EXPECT_LT(out.reserved_average, out.reserved_peak);
+}
+
+TEST(RenegotiatedCbr, MoreHeadroomDeliversMore) {
+  const Stream s = clip("action", 600);
+  RenegotiationConfig lean;
+  lean.buffer = 2 * s.max_frame_bytes();
+  lean.headroom = 1.0;
+  RenegotiationConfig rich = lean;
+  rich.headroom = 1.5;
+  EXPECT_LE(evaluate_renegotiated_cbr(s, lean).delivered_fraction,
+            evaluate_renegotiated_cbr(s, rich).delivered_fraction + 1e-9);
+}
+
+TEST(MergeStreams, SumsArrivalsAndWeights) {
+  using testing::units;
+  const Stream a = testing::stream_of({units(0, 3, 2.0), units(2, 1, 1.0)});
+  const Stream b = testing::stream_of({units(0, 2, 5.0), units(5, 4, 1.0)});
+  const Stream merged = merge_streams(std::vector<Stream>{a, b});
+  EXPECT_EQ(merged.total_bytes(), a.total_bytes() + b.total_bytes());
+  EXPECT_DOUBLE_EQ(merged.total_weight(),
+                   a.total_weight() + b.total_weight());
+  EXPECT_EQ(merged.arrivals_at(0).size(), 2u);
+  EXPECT_EQ(merged.horizon(), 6);
+}
+
+TEST(MinRateForLoss, FindsTheThreshold) {
+  const Stream s = clip("cnn-news", 300);
+  const Time delay = 25;
+  const double budget = 0.01;
+  const Bytes rate = min_rate_for_loss(s, delay, budget);
+  const Plan at = Planner::from_delay_rate(delay, rate);
+  EXPECT_LE(sim::simulate(s, at, "greedy").weighted_loss(), budget + 1e-9);
+  if (rate > 1) {
+    const Plan below = Planner::from_delay_rate(delay, rate - 1);
+    if (below.buffer >= s.max_slice_size()) {
+      EXPECT_GT(sim::simulate(s, below, "greedy").weighted_loss(), budget);
+    }
+  }
+}
+
+TEST(MinRateForLoss, ZeroBudgetNeedsMoreThanLossyBudget) {
+  const Stream s = clip("cnn-news", 300);
+  const Bytes lossless = min_rate_for_loss(s, 25, 0.0);
+  const Bytes lossy = min_rate_for_loss(s, 25, 0.05);
+  EXPECT_GT(lossless, lossy);
+}
+
+TEST(Multiplexing, AggregateNeedsLessThanSumOfParts) {
+  // The statistical-multiplexing claim: k independent channels smoothed
+  // together need less capacity than k times one channel's need.
+  std::vector<Stream> channels;
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    trace::MpegTraceModel model(trace::MpegModelConfig{}, 9000 + k);
+    channels.push_back(trace::slice_frames(model.generate(400),
+                                           trace::ValueModel::mpeg_default(),
+                                           trace::Slicing::ByteSlices));
+  }
+  const Time delay = 25;
+  const double budget = 0.01;
+  Bytes sum_of_parts = 0;
+  for (const Stream& channel : channels) {
+    sum_of_parts += min_rate_for_loss(channel, delay, budget);
+  }
+  const Stream aggregate = merge_streams(channels);
+  const Bytes together = min_rate_for_loss(aggregate, delay, budget);
+  EXPECT_LT(together, sum_of_parts);
+}
+
+}  // namespace
+}  // namespace rtsmooth::alternatives

@@ -1,0 +1,99 @@
+// Unit tests for the analysis module pieces not already exercised by
+// test_competitive: the adversarial stream builders' exact structure and
+// the random stream generators' contracts.
+
+#include <gtest/gtest.h>
+
+#include "analysis/adversarial.h"
+#include "analysis/competitive.h"
+#include "util/rng.h"
+
+namespace rtsmooth::analysis {
+namespace {
+
+TEST(AdversarialStreams, Thm47StructureIsExact) {
+  const Bytes b = 10;
+  const double alpha = 4.0;
+  const Stream s = thm47_stream(b, alpha);
+  // B+1 weight-1 at t=0; one alpha at t=1..B; B+1 alpha at t=B+1.
+  EXPECT_EQ(s.total_slices(), (b + 1) + b + (b + 1));
+  EXPECT_TRUE(s.unit_slices());
+  EXPECT_EQ(s.arrivals_at(0).size(), 1u);
+  EXPECT_EQ(s.arrivals_at(0)[0].count, b + 1);
+  EXPECT_DOUBLE_EQ(s.arrivals_at(0)[0].weight, 1.0);
+  for (Time t = 1; t <= b; ++t) {
+    ASSERT_EQ(s.arrivals_at(t).size(), 1u) << t;
+    EXPECT_EQ(s.arrivals_at(t)[0].count, 1);
+    EXPECT_DOUBLE_EQ(s.arrivals_at(t)[0].weight, alpha);
+  }
+  EXPECT_EQ(s.arrivals_at(b + 1)[0].count, b + 1);
+  EXPECT_DOUBLE_EQ(s.total_weight(),
+                   (static_cast<double>(b) + 1.0) +
+                       alpha * static_cast<double>(2 * b + 1));
+}
+
+TEST(AdversarialStreams, Thm48Scenario2ExtendsScenario1) {
+  const Bytes b = 8;
+  const Time t1 = 5;
+  const Stream s1 = thm48_scenario1_stream(b, t1, 2.0);
+  const Stream s2 = thm48_scenario2_stream(b, t1, 2.0);
+  EXPECT_EQ(s1.horizon(), t1 + 1);
+  EXPECT_EQ(s2.horizon(), t1 + 2);
+  EXPECT_EQ(s2.total_slices() - s1.total_slices(), b + 1);
+}
+
+TEST(AdversarialStreams, Lemma36StreamPeriodicBatches) {
+  const Stream s = lemma36_stream(6, 4);
+  EXPECT_EQ(s.total_slices(), 24);
+  EXPECT_TRUE(s.unit_slices());
+  for (std::int64_t k = 0; k < 4; ++k) {
+    ASSERT_EQ(s.arrivals_at(k * 6).size(), 1u);
+    EXPECT_EQ(s.arrivals_at(k * 6)[0].count, 6);
+  }
+  EXPECT_EQ(s.arrivals_at(1).size(), 0u);
+}
+
+TEST(RandomStreams, UnitStreamRespectsContracts) {
+  Rng rng(5150);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Stream s = random_unit_stream(rng, 30, 7, 9.0, 0.5);
+    EXPECT_TRUE(s.unit_slices());
+    EXPECT_GE(s.total_slices(), 1);
+    EXPECT_LT(s.horizon(), 31);
+    for (const SliceRun& run : s.runs()) {
+      EXPECT_GE(run.weight, 1.0);
+      EXPECT_LE(run.weight, 9.0);
+    }
+  }
+}
+
+TEST(RandomStreams, VariableStreamRespectsSliceBound) {
+  Rng rng(5151);
+  const Stream s = random_variable_stream(rng, 40, 5, 4.0, 6);
+  EXPECT_LE(s.max_slice_size(), 6);
+  for (const SliceRun& run : s.runs()) {
+    // Weight scales with size: byte value in [1, max_weight].
+    EXPECT_GE(run.byte_value(), 1.0 - 1e-9);
+    EXPECT_LE(run.byte_value(), 4.0 + 1e-9);
+  }
+}
+
+TEST(RandomStreams, NeverEmptyEvenWithZeroProbability) {
+  Rng rng(5152);
+  const Stream s = random_unit_stream(rng, 10, 3, 2.0, 0.0);
+  EXPECT_GE(s.total_slices(), 1);
+}
+
+TEST(RandomStreams, DeterministicGivenRngState) {
+  Rng a(77);
+  Rng b(77);
+  const Stream sa = random_unit_stream(a, 20, 5, 8.0);
+  const Stream sb = random_unit_stream(b, 20, 5, 8.0);
+  ASSERT_EQ(sa.run_count(), sb.run_count());
+  for (std::size_t i = 0; i < sa.run_count(); ++i) {
+    EXPECT_EQ(sa.runs()[i], sb.runs()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace rtsmooth::analysis

@@ -1,0 +1,216 @@
+// Tests for the Sect. 4 competitive-analysis results: the closed-form
+// bounds, the adversarial constructions reproducing Theorems 4.7 and 4.8
+// exactly, and measured ratios staying inside the proven envelope.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/adversarial.h"
+#include "analysis/bounds.h"
+#include "analysis/competitive.h"
+#include "core/planner.h"
+#include "offline/unit_optimal.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace rtsmooth {
+namespace {
+
+using namespace rtsmooth::analysis;
+
+// ------------------------------------------------------------------ bounds
+
+TEST(Bounds, GreedyUpperBoundUnitSlices) {
+  // Theorem 4.1 with Lmax = 1: exactly 4.
+  EXPECT_DOUBLE_EQ(greedy_competitive_upper_bound(10, 1), 4.0);
+  EXPECT_DOUBLE_EQ(greedy_competitive_upper_bound(1000, 1), 4.0);
+}
+
+TEST(Bounds, GreedyUpperBoundVariableSlices) {
+  // 4B / (B - 2(Lmax-1)): B=10, Lmax=3 -> 40/6.
+  EXPECT_NEAR(greedy_competitive_upper_bound(10, 3), 40.0 / 6.0, 1e-12);
+}
+
+TEST(Bounds, Thm47BoundApproachesTwo) {
+  EXPECT_LT(greedy_lower_bound_thm47(10, 4.0), 2.0);
+  EXPECT_NEAR(greedy_lower_bound_thm47(100000, 1e6), 2.0, 1e-4);
+}
+
+TEST(Bounds, Thm47ExactRatioDominatesBound) {
+  for (Bytes b : {5, 20, 100}) {
+    for (double alpha : {2.0, 4.0, 16.0}) {
+      EXPECT_GE(greedy_thm47_exact_ratio(b, alpha) + 1e-12,
+                greedy_lower_bound_thm47(b, alpha));
+    }
+  }
+}
+
+TEST(Bounds, DeterministicLowerBoundPaperValues) {
+  // alpha = 2: z ~ 1.6861, ratio ~ 1.2287 (Theorem 4.8).
+  const auto paper = deterministic_lower_bound(2.0);
+  EXPECT_NEAR(paper.z, 1.6861, 5e-4);
+  EXPECT_NEAR(paper.ratio, 1.2287, 5e-5);
+  // Crossing point: both scenario curves agree there.
+  EXPECT_NEAR(thm48_scenario1_ratio(paper.z, 2.0),
+              thm48_scenario2_ratio(paper.z, 2.0), 1e-9);
+}
+
+TEST(Bounds, LotkerSviridenkoImprovement) {
+  // Remark after Theorem 4.8: alpha ~ 4.015 gives 1.28197.
+  const auto best = best_deterministic_lower_bound();
+  EXPECT_NEAR(best.alpha, 4.015, 0.02);
+  EXPECT_NEAR(best.ratio, 1.28197, 1e-4);
+  EXPECT_GT(best.ratio, deterministic_lower_bound(2.0).ratio);
+}
+
+TEST(Bounds, FiniteScenarioRatiosConvergeToAsymptotic) {
+  const double alpha = 2.0;
+  const double z = 1.6861;
+  const Bytes b = 2000000;
+  const auto t1 = static_cast<Time>(std::llround(static_cast<double>(b) / z));
+  EXPECT_NEAR(thm48_finite_scenario1(b, t1, alpha),
+              thm48_scenario1_ratio(z, alpha), 1e-3);
+  EXPECT_NEAR(thm48_finite_scenario2(b, t1, alpha),
+              thm48_scenario2_ratio(z, alpha), 1e-3);
+}
+
+// ---------------------------------------------------------- Theorem 4.7
+
+class Thm47Test : public ::testing::TestWithParam<std::tuple<Bytes, double>> {};
+
+TEST_P(Thm47Test, GreedyEarnsExactlyThePredictedBenefit) {
+  const auto [b, alpha] = GetParam();
+  const Stream s = thm47_stream(b, alpha);
+  const Plan plan = Planner::from_buffer_rate(b, 1);
+  const SimReport greedy = sim::simulate(s, plan, "greedy");
+  // Proof of Theorem 4.7: Greedy's benefit is (B+1)*1 + (B+1)*alpha.
+  const double expected = static_cast<double>(b + 1) * (1.0 + alpha);
+  EXPECT_NEAR(greedy.played.weight, expected, 1e-6);
+}
+
+TEST_P(Thm47Test, OptimalEarnsThePredictedBenefit) {
+  const auto [b, alpha] = GetParam();
+  const Stream s = thm47_stream(b, alpha);
+  const auto optimal = offline::unit_optimal(s, b, 1);
+  // Proof: opt keeps one weight-1 slice and every alpha slice.
+  const double expected = 1.0 + alpha * static_cast<double>(2 * b + 1);
+  EXPECT_NEAR(optimal.benefit, expected, 1e-6);
+}
+
+TEST_P(Thm47Test, MeasuredRatioMatchesClosedFormAndBound) {
+  const auto [b, alpha] = GetParam();
+  const Stream s = thm47_stream(b, alpha);
+  const RatioResult measured = measured_ratio(s, b, 1, "greedy");
+  EXPECT_NEAR(measured.ratio, greedy_thm47_exact_ratio(b, alpha), 1e-9);
+  EXPECT_GE(measured.ratio + 1e-12, greedy_lower_bound_thm47(b, alpha));
+  // And never beyond the Theorem 4.1 guarantee.
+  EXPECT_LE(measured.ratio, greedy_competitive_upper_bound(b, 1) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BufferAlphaGrid, Thm47Test,
+    ::testing::Combine(::testing::Values<Bytes>(4, 10, 40, 120),
+                       ::testing::Values(2.0, 4.0, 10.0, 100.0)));
+
+// ---------------------------------------------------------- Theorem 4.8
+
+TEST(Thm48, ScenarioStreamsMatchTheProofAgainstGreedy) {
+  // For Greedy, t1 = B (it sends the weight-1 backlog for the first B+1
+  // steps). Scenario 2 then forces the predicted benefits.
+  const Bytes b = 30;
+  const double alpha = 2.0;
+  const Stream s2 = thm48_scenario2_stream(b, /*t1=*/b, alpha);
+  const Plan plan = Planner::from_buffer_rate(b, 1);
+  const SimReport greedy = sim::simulate(s2, plan, "greedy");
+  // A's benefit: (t1+1) weight-1 slices + alpha*(B+1).
+  EXPECT_NEAR(greedy.played.weight,
+              static_cast<double>(b + 1) + alpha * static_cast<double>(b + 1),
+              1e-6);
+  const auto optimal = offline::unit_optimal(s2, b, 1);
+  EXPECT_NEAR(optimal.benefit,
+              1.0 + alpha * static_cast<double>(b + b + 1), 1e-6);
+}
+
+TEST(Thm48, EveryPolicyLosesOnOneOfTheTwoScenarios) {
+  // The adversary argument executed empirically: for each policy, the max of
+  // the two scenario ratios is at least the paper's 1.2287 bound (large B).
+  const Bytes b = 400;
+  const double alpha = 2.0;
+  for (const char* policy : {"tail-drop", "greedy", "head-drop"}) {
+    double worst = 0.0;
+    for (Time t1 : {static_cast<Time>(b / 4), static_cast<Time>(b / 2),
+                    static_cast<Time>(std::llround(b / 1.6861)),
+                    static_cast<Time>(b)}) {
+      const Stream s1 = thm48_scenario1_stream(b, t1, alpha);
+      const Stream s2 = thm48_scenario2_stream(b, t1, alpha);
+      const double r1 = measured_ratio(s1, b, 1, policy).ratio;
+      const double r2 = measured_ratio(s2, b, 1, policy).ratio;
+      worst = std::max(worst, std::max(r1, r2));
+    }
+    EXPECT_GE(worst + 1e-9, 1.2287) << policy;
+  }
+}
+
+// ------------------------------------------------- Theorem 4.1 (empirical)
+
+TEST(Thm41, GreedyWithinFourTimesOptimalOnRandomUnitStreams) {
+  Rng rng(404);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Stream s = random_unit_stream(rng, 30, 10, 50.0);
+    const Bytes buffer = rng.uniform_int(2, 12);
+    const RatioResult r = measured_ratio(s, buffer, 1, "greedy");
+    EXPECT_LE(r.ratio, 4.0 + 1e-9)
+        << "trial " << trial << " B=" << buffer;
+    EXPECT_GE(r.ratio, 1.0 - 1e-9);
+  }
+}
+
+TEST(Thm41, GreedyWithinBoundOnVariableSlices) {
+  Rng rng(405);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Bytes lmax = rng.uniform_int(2, 4);
+    const Stream s = random_variable_stream(rng, 20, 4, 20.0, lmax);
+    const Bytes buffer = 2 * (s.max_slice_size() - 1) +
+                         rng.uniform_int(1, 8);
+    if (buffer < s.max_slice_size()) continue;
+    const RatioResult r = measured_ratio(s, buffer, 1, "greedy");
+    const double bound =
+        greedy_competitive_upper_bound(buffer, s.max_slice_size());
+    EXPECT_LE(r.ratio, bound + 1e-9)
+        << "trial " << trial << " B=" << buffer << " Lmax="
+        << s.max_slice_size();
+  }
+}
+
+TEST(WeightedLossRemark, LossRatioGrowsWithoutBound) {
+  // Sect. 5's parenthetical: "the competitive ratio of weighted LOSS can be
+  // made arbitrarily large" — on the Theorem 4.7 stream, Greedy's lost
+  // weight over the optimum's lost weight grows with alpha even though the
+  // benefit ratio stays under 4.
+  const Bytes b = 20;
+  double last = 0.0;
+  for (double alpha : {10.0, 100.0, 1000.0}) {
+    const Stream s = thm47_stream(b, alpha);
+    const RatioResult r = measured_ratio(s, b, 1, "greedy");
+    const double online_loss = s.total_weight() - r.online_benefit;
+    const double offline_loss = s.total_weight() - r.offline_benefit;
+    ASSERT_GT(offline_loss, 0.0);
+    const double loss_ratio = online_loss / offline_loss;
+    EXPECT_GT(loss_ratio, last);
+    last = loss_ratio;
+    EXPECT_LE(r.ratio, 4.0 + 1e-9);  // while the benefit ratio stays bounded
+  }
+  EXPECT_GT(last, 10.0);  // already past any constant for alpha = 1000
+}
+
+TEST(MeasuredRatio, ReportsBenefitsAndRatio) {
+  const Stream s = thm47_stream(10, 2.0);
+  const RatioResult r = measured_ratio(s, 10, 1, "greedy");
+  EXPECT_GT(r.online_benefit, 0.0);
+  EXPECT_GT(r.offline_benefit, r.online_benefit);
+  EXPECT_NEAR(r.ratio, r.offline_benefit / r.online_benefit, 1e-12);
+}
+
+}  // namespace
+}  // namespace rtsmooth

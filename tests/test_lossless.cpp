@@ -1,0 +1,224 @@
+// Tests for the lossless-smoothing substrate: cumulative curves, the
+// taut-string optimal schedule (feasibility, endpoint, peak-rate duality),
+// the on-line sliding-window variant, and the delay optimizer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lossless/cumulative.h"
+#include "lossless/delay_optimizer.h"
+#include "lossless/online_window.h"
+#include "lossless/taut_string.h"
+#include "trace/stock_clips.h"
+#include "util/rng.h"
+
+namespace rtsmooth::lossless {
+namespace {
+
+CumulativeCurve curve_of(std::vector<Bytes> increments) {
+  return CumulativeCurve::from_increments(increments);
+}
+
+/// Checks L(t) <= sent_through(t) <= U(t) (with fp tolerance), monotone
+/// rates >= 0, and exact total delivery.
+void expect_feasible(const LosslessSchedule& schedule,
+                     const CumulativeCurve& lower,
+                     const CumulativeCurve& upper) {
+  const double tol = 1e-6 * std::max<double>(1.0, static_cast<double>(
+                                                      lower.total()));
+  for (const RateSegment& seg : schedule.segments) {
+    EXPECT_GE(seg.rate, -1e-9);
+    EXPECT_LT(seg.start, seg.end);
+  }
+  for (Time t = 0; t < lower.length(); ++t) {
+    const double sent = schedule.sent_through(t);
+    EXPECT_GE(sent, static_cast<double>(lower.at(t)) - tol) << "t=" << t;
+    EXPECT_LE(sent,
+              static_cast<double>(std::min(upper.at(t), lower.total())) + tol)
+        << "t=" << t;
+  }
+  EXPECT_NEAR(schedule.sent_through(lower.length() - 1),
+              static_cast<double>(lower.total()), tol);
+}
+
+// ------------------------------------------------------------- cumulative
+
+TEST(CumulativeCurve, BasicAccessors) {
+  const CumulativeCurve c = curve_of({3, 0, 5, 2});
+  EXPECT_EQ(c.length(), 4);
+  EXPECT_EQ(c.at(-5), 0);
+  EXPECT_EQ(c.at(0), 3);
+  EXPECT_EQ(c.at(2), 8);
+  EXPECT_EQ(c.at(100), 10);
+  EXPECT_EQ(c.total(), 10);
+  EXPECT_EQ(c.peak_increment(), 5);
+}
+
+TEST(CumulativeCurve, DelayedShiftsRight) {
+  const CumulativeCurve c = curve_of({4, 4});
+  const CumulativeCurve d = c.delayed(2);
+  EXPECT_EQ(d.length(), 4);
+  EXPECT_EQ(d.at(0), 0);
+  EXPECT_EQ(d.at(1), 0);
+  EXPECT_EQ(d.at(2), 4);
+  EXPECT_EQ(d.at(3), 8);
+}
+
+TEST(CumulativeCurve, PeakWindowRate) {
+  const CumulativeCurve c = curve_of({10, 0, 0, 10, 10, 0});
+  EXPECT_DOUBLE_EQ(c.peak_window_rate(1), 10.0);
+  EXPECT_DOUBLE_EQ(c.peak_window_rate(2), 10.0);  // slots 3..4
+  EXPECT_DOUBLE_EQ(c.peak_window_rate(6), 30.0 / 6.0);
+}
+
+// ------------------------------------------------------------ taut string
+
+TEST(TautString, ConstantStreamIsOneSegment) {
+  // CBR input with ample buffer: a single segment at the average rate.
+  std::vector<Bytes> inc(20, 7);
+  const CumulativeCurve arrivals = curve_of(inc);
+  const SmoothingWalls walls = live_walls(arrivals, 3, 1000);
+  const LosslessSchedule schedule = taut_string(walls.lower, walls.upper);
+  expect_feasible(schedule, walls.lower, walls.upper);
+  EXPECT_NEAR(schedule.peak_rate, 7.0 * 20 / 23.0, 1e-9);
+  EXPECT_EQ(schedule.changes, 0u);
+}
+
+TEST(TautString, SingleBurstSpreadsOverDeadline) {
+  // One 100-byte frame, delay 4: the smoothest schedule spreads it over the
+  // 5 slots before its playout.
+  const CumulativeCurve arrivals = curve_of({100});
+  const SmoothingWalls walls = live_walls(arrivals, 4, 1000);
+  const LosslessSchedule schedule = taut_string(walls.lower, walls.upper);
+  expect_feasible(schedule, walls.lower, walls.upper);
+  EXPECT_NEAR(schedule.peak_rate, 20.0, 1e-9);
+}
+
+TEST(TautString, TinyClientBufferForcesArrivalTracking) {
+  // Zero client buffer: nothing may be delivered before its playout slot,
+  // so the schedule is the (delayed) arrival process itself.
+  const CumulativeCurve arrivals = curve_of({10, 2, 30});
+  const SmoothingWalls walls = live_walls(arrivals, 1, 0);
+  const LosslessSchedule schedule = taut_string(walls.lower, walls.upper);
+  expect_feasible(schedule, walls.lower, walls.upper);
+  EXPECT_NEAR(schedule.peak_rate, 30.0, 1e-9);
+}
+
+TEST(TautString, PeakMatchesDualityBoundOnRandomInstances) {
+  Rng rng(61);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Bytes> inc;
+    const int n = static_cast<int>(rng.uniform_int(2, 40));
+    for (int i = 0; i < n; ++i) inc.push_back(rng.uniform_int(0, 50));
+    if (CumulativeCurve::from_increments(inc).total() == 0) inc[0] = 1;
+    const CumulativeCurve arrivals = curve_of(inc);
+    const Time delay = rng.uniform_int(0, 6);
+    const Bytes buffer = rng.uniform_int(0, 120);
+    const SmoothingWalls walls = live_walls(arrivals, delay, buffer);
+    const LosslessSchedule schedule = taut_string(walls.lower, walls.upper);
+    expect_feasible(schedule, walls.lower, walls.upper);
+    const double bound = min_peak_rate_bound(walls.lower, walls.upper);
+    EXPECT_NEAR(schedule.peak_rate, bound, 1e-6 + 1e-9 * bound)
+        << "trial " << trial;
+  }
+}
+
+TEST(TautString, MoreBufferNeverRaisesPeak) {
+  const trace::FrameSequence frames = trace::stock_clip("cnn-news", 300);
+  const CumulativeCurve arrivals = CumulativeCurve::from_frames(frames);
+  double last = 1e300;
+  for (Bytes buffer : {0L, 120L * 1024, 480L * 1024, 4L << 20}) {
+    const SmoothingWalls walls = live_walls(arrivals, 10, buffer);
+    const double peak = taut_string(walls.lower, walls.upper).peak_rate;
+    EXPECT_LE(peak, last + 1e-6);
+    last = peak;
+  }
+}
+
+// ---------------------------------------------------------- online window
+
+TEST(OnlineWindow, FullWindowMatchesOffline) {
+  const trace::FrameSequence frames = trace::stock_clip("cnn-news", 200);
+  const CumulativeCurve arrivals = CumulativeCurve::from_frames(frames);
+  const SmoothingWalls walls = live_walls(arrivals, 12, 1 << 20);
+  const LosslessSchedule offline = taut_string(walls.lower, walls.upper);
+  const LosslessSchedule online =
+      online_smooth(walls, walls.lower.length(), BlockAnchor::Drain);
+  EXPECT_NEAR(online.peak_rate, offline.peak_rate, 1e-6);
+}
+
+TEST(OnlineWindow, FeasibleAndNoBetterThanOffline) {
+  const trace::FrameSequence frames = trace::stock_clip("action", 300);
+  const CumulativeCurve arrivals = CumulativeCurve::from_frames(frames);
+  const SmoothingWalls walls = live_walls(arrivals, 10, 2 << 20);
+  const LosslessSchedule offline = taut_string(walls.lower, walls.upper);
+  for (Time window : {5, 20, 80}) {
+    for (BlockAnchor anchor : {BlockAnchor::Drain, BlockAnchor::Prefetch}) {
+      const LosslessSchedule online = online_smooth(walls, window, anchor);
+      expect_feasible(online, walls.lower, walls.upper);
+      EXPECT_GE(online.peak_rate, offline.peak_rate - 1e-6)
+          << "window " << window;
+    }
+  }
+}
+
+TEST(OnlineWindow, WiderWindowsConvergeTowardsOffline) {
+  const trace::FrameSequence frames = trace::stock_clip("cnn-news", 400);
+  const CumulativeCurve arrivals = CumulativeCurve::from_frames(frames);
+  const SmoothingWalls walls = live_walls(arrivals, 15, 2 << 20);
+  const LosslessSchedule offline = taut_string(walls.lower, walls.upper);
+  const double narrow =
+      online_smooth(walls, 10, BlockAnchor::Prefetch).peak_rate;
+  const double wide =
+      online_smooth(walls, 200, BlockAnchor::Prefetch).peak_rate;
+  EXPECT_LE(wide, narrow + 1e-6);
+  EXPECT_GE(narrow, offline.peak_rate - 1e-6);
+}
+
+// --------------------------------------------------------- delay optimizer
+
+TEST(DelayOptimizer, PeakIsMonotoneInDelay) {
+  const trace::FrameSequence frames = trace::stock_clip("cnn-news", 250);
+  const CumulativeCurve arrivals = CumulativeCurve::from_frames(frames);
+  double last = 1e300;
+  for (Time d : {0, 2, 8, 32, 128}) {
+    const double peak = min_peak_for_delay(arrivals, d, 512 * 1024);
+    EXPECT_LE(peak, last + 1e-6) << "d=" << d;
+    last = peak;
+  }
+}
+
+TEST(DelayOptimizer, MinDelayForRateIsExactThreshold) {
+  const trace::FrameSequence frames = trace::stock_clip("cnn-news", 250);
+  const CumulativeCurve arrivals = CumulativeCurve::from_frames(frames);
+  const Bytes buffer = 512 * 1024;
+  const double rate = 40.0 * 1024;
+  const Time d = min_delay_for_rate(arrivals, rate, buffer, 250);
+  ASSERT_GE(d, 0);
+  EXPECT_LE(min_peak_for_delay(arrivals, d, buffer), rate + 1e-6);
+  if (d > 0) {
+    EXPECT_GT(min_peak_for_delay(arrivals, d - 1, buffer), rate);
+  }
+}
+
+TEST(DelayOptimizer, ImpossibleRateReturnsMinusOne) {
+  const CumulativeCurve arrivals = curve_of({1000, 1000, 1000});
+  // Zero buffer: the link must carry each frame in its own slot forever.
+  EXPECT_EQ(min_delay_for_rate(arrivals, 10.0, 0, 50), -1);
+}
+
+TEST(DelayOptimizer, KneeFindsTheFloor) {
+  const trace::FrameSequence frames = trace::stock_clip("cnn-news", 250);
+  const CumulativeCurve arrivals = CumulativeCurve::from_frames(frames);
+  const DelayKnee knee = optimal_initial_delay(arrivals, 512 * 1024);
+  EXPECT_GT(knee.peak_at_zero, knee.peak_rate);
+  // One step less delay must be strictly worse than the floor.
+  if (knee.delay > 0) {
+    EXPECT_GT(min_peak_for_delay(arrivals, knee.delay - 1, 512 * 1024),
+              knee.peak_rate * (1.0 + 1e-7));
+  }
+}
+
+}  // namespace
+}  // namespace rtsmooth::lossless

@@ -1,0 +1,148 @@
+// Model-based testing: drive ServerBuffer (+ Tail-Drop shedding) with long
+// random operation sequences and compare every observable step against a
+// deliberately naive reference implementation (a flat list of slices).
+// Divergence in occupancy, per-run sent bytes, FIFO order or head state
+// fails the test with the generating seed in the message.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/server_buffer.h"
+#include "policies/tail_drop.h"
+#include "stream_helpers.h"
+#include "util/rng.h"
+
+namespace rtsmooth {
+namespace {
+
+/// The reference: one entry per slice, bytes consumed from the front.
+class NaiveBuffer {
+ public:
+  struct Entry {
+    std::size_t run_index;
+    Bytes size;
+    Bytes sent = 0;  ///< bytes of this slice already transmitted
+  };
+
+  void push(std::size_t run_index, Bytes slice_size, std::int64_t count) {
+    for (std::int64_t k = 0; k < count; ++k) {
+      slices_.push_back(Entry{.run_index = run_index, .size = slice_size});
+    }
+  }
+
+  Bytes occupancy() const {
+    Bytes total = 0;
+    for (const Entry& e : slices_) total += e.size - e.sent;
+    return total;
+  }
+
+  /// Sends up to `budget` bytes FIFO; returns bytes sent per run index.
+  std::map<std::size_t, Bytes> send(Bytes budget) {
+    std::map<std::size_t, Bytes> sent;
+    while (budget > 0 && !slices_.empty()) {
+      Entry& head = slices_.front();
+      const Bytes take = std::min(budget, head.size - head.sent);
+      head.sent += take;
+      sent[head.run_index] += take;
+      budget -= take;
+      if (head.sent == head.size) slices_.pop_front();
+    }
+    return sent;
+  }
+
+  /// Tail-Drop shedding: drop whole untouched slices from the back until
+  /// occupancy <= target.
+  void shed_tail(Bytes target) {
+    while (occupancy() > target) {
+      ASSERT_FALSE(slices_.empty());
+      // The newest slice is droppable unless it is the transmitting head.
+      Entry& last = slices_.back();
+      ASSERT_EQ(last.sent, 0);  // only the head can be partially sent
+      slices_.pop_back();
+    }
+  }
+
+  bool head_in_transmission() const {
+    return !slices_.empty() && slices_.front().sent > 0;
+  }
+
+ private:
+  std::deque<Entry> slices_;
+};
+
+TEST(ModelBased, BufferMatchesNaiveReferenceUnderRandomOps) {
+  // A fixed palette of runs to push from (sizes 1..6, assorted weights).
+  const Stream palette = testing::stream_of({
+      testing::units(0, 1000, 1.0),
+      SliceRun{.arrival = 0, .slice_size = 3, .count = 1000, .weight = 2.0},
+      SliceRun{.arrival = 0, .slice_size = 6, .count = 1000, .weight = 12.0},
+      SliceRun{.arrival = 0, .slice_size = 2, .count = 1000, .weight = 0.5},
+  });
+
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 0xABCD);
+    ServerBuffer real;
+    NaiveBuffer naive;
+    TailDropPolicy tail;
+    std::map<std::size_t, Bytes> real_sent;
+
+    for (int op = 0; op < 2000; ++op) {
+      const auto choice = rng.uniform_int(0, 2);
+      if (choice == 0) {
+        const auto run_index =
+            static_cast<std::size_t>(rng.uniform_int(0, 3));
+        const std::int64_t count = rng.uniform_int(1, 5);
+        const SliceRun& run = palette.runs()[run_index];
+        real.push(run, run_index, count);
+        naive.push(run_index, run.slice_size, count);
+      } else if (choice == 1) {
+        const Bytes budget = rng.uniform_int(0, 12);
+        std::vector<SentPiece> pieces;
+        real.send(budget, pieces);
+        auto naive_sent = naive.send(budget);
+        std::map<std::size_t, Bytes> real_step;
+        for (const SentPiece& piece : pieces) {
+          real_step[piece.run_index] += piece.bytes;
+          real_sent[piece.run_index] += piece.bytes;
+        }
+        EXPECT_EQ(real_step, naive_sent) << "seed " << seed << " op " << op;
+      } else {
+        // Shed to a random target at or below current occupancy, but never
+        // below what the in-transmission head pins in place.
+        const Bytes pinned =
+            real.head_in_transmission()
+                ? real.chunk(0).run->slice_size - real.chunk(0).head_sent
+                : 0;
+        const Bytes target =
+            pinned + rng.uniform_int(0, std::max<Bytes>(0, real.occupancy() -
+                                                               pinned));
+        if (real.occupancy() > target) {
+          tail.shed(real, target);
+          naive.shed_tail(real.occupancy());  // match the achieved level
+        }
+      }
+      ASSERT_EQ(real.occupancy(), naive.occupancy())
+          << "seed " << seed << " op " << op;
+      ASSERT_EQ(real.head_in_transmission(), naive.head_in_transmission())
+          << "seed " << seed << " op " << op;
+    }
+  }
+}
+
+TEST(ModelBased, ShedToExactTargetWhenUnitSlices) {
+  // With unit slices, Tail-Drop must land exactly on the target.
+  const Stream palette = testing::stream_of({testing::units(0, 100000)});
+  Rng rng(99);
+  ServerBuffer real;
+  TailDropPolicy tail;
+  for (int op = 0; op < 500; ++op) {
+    real.push(palette.runs()[0], 0, rng.uniform_int(1, 50));
+    const Bytes target = rng.uniform_int(0, real.occupancy());
+    tail.shed(real, target);
+    ASSERT_EQ(real.occupancy(), target) << "op " << op;
+  }
+}
+
+}  // namespace
+}  // namespace rtsmooth

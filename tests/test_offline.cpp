@@ -1,0 +1,313 @@
+// Unit and cross-validation tests for the off-line solvers: the segment
+// tree, the two feasibility forms, the polymatroid greedy (unit slices), the
+// Pareto DP (variable slices), and the brute-force oracle tying them all
+// together.
+
+#include <gtest/gtest.h>
+
+#include "analysis/competitive.h"
+#include "offline/brute_force.h"
+#include "offline/feasibility.h"
+#include "offline/pareto_dp.h"
+#include "offline/segment_tree.h"
+#include "offline/unit_optimal.h"
+#include "stream_helpers.h"
+#include "util/rng.h"
+
+namespace rtsmooth {
+namespace {
+
+using offline::arrivals_of;
+using offline::brute_force_optimal;
+using offline::ByteArrivals;
+using offline::feasible;
+using offline::feasible_interval_form;
+using offline::lindley_peak;
+using offline::pareto_dp_optimal;
+using offline::RangeAddTree;
+using offline::unit_optimal;
+using testing::slice;
+using testing::stream_of;
+using testing::units;
+
+// ---------------------------------------------------------------- seg tree
+
+TEST(SegmentTree, AffineInitialization) {
+  RangeAddTree t(6, 10, -3);  // 10, 7, 4, 1, -2, -5
+  EXPECT_EQ(t.range_max(0, 5), 10);
+  EXPECT_EQ(t.range_min(0, 5), -5);
+  EXPECT_EQ(t.range_max(2, 4), 4);
+  EXPECT_EQ(t.range_min(1, 3), 1);
+}
+
+TEST(SegmentTree, RangeAddShiftsQueries) {
+  RangeAddTree t(5, 0, 0);
+  t.add(1, 3, 7);
+  EXPECT_EQ(t.range_max(0, 4), 7);
+  EXPECT_EQ(t.range_min(0, 4), 0);
+  EXPECT_EQ(t.range_min(1, 3), 7);
+  t.add(0, 4, -2);
+  EXPECT_EQ(t.range_max(0, 0), -2);
+  EXPECT_EQ(t.range_max(0, 4), 5);
+}
+
+TEST(SegmentTree, MatchesNaiveOnRandomOperations) {
+  Rng rng(31);
+  const std::size_t n = 40;
+  RangeAddTree t(n, 3, 2);
+  std::vector<std::int64_t> naive(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    naive[i] = 3 + 2 * static_cast<std::int64_t>(i);
+  }
+  for (int op = 0; op < 500; ++op) {
+    auto lo = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    auto hi = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    if (lo > hi) std::swap(lo, hi);
+    if (rng.bernoulli(0.5)) {
+      const std::int64_t delta = rng.uniform_int(-20, 20);
+      t.add(lo, hi, delta);
+      for (std::size_t i = lo; i <= hi; ++i) naive[i] += delta;
+    } else {
+      std::int64_t mx = naive[lo];
+      std::int64_t mn = naive[lo];
+      for (std::size_t i = lo; i <= hi; ++i) {
+        mx = std::max(mx, naive[i]);
+        mn = std::min(mn, naive[i]);
+      }
+      EXPECT_EQ(t.range_max(lo, hi), mx);
+      EXPECT_EQ(t.range_min(lo, hi), mn);
+    }
+  }
+}
+
+// ------------------------------------------------------------- feasibility
+
+TEST(Feasibility, LindleyPeakSimple) {
+  // 5 bytes at t=0, rate 2: occupancy 3, 1, 0.
+  const ByteArrivals a = {{0, 5}};
+  EXPECT_EQ(lindley_peak(a, 2), 3);
+}
+
+TEST(Feasibility, LindleyDrainsAcrossGaps) {
+  const ByteArrivals a = {{0, 10}, {5, 10}};
+  // After step 0: 8; steps 1-4 drain 8 more -> 0; step 5: 8 again.
+  EXPECT_EQ(lindley_peak(a, 2), 8);
+}
+
+TEST(Feasibility, BothFormsAgreeOnRandomInstances) {
+  Rng rng(77);
+  for (int trial = 0; trial < 300; ++trial) {
+    ByteArrivals a;
+    Time t = 0;
+    const int steps = static_cast<int>(rng.uniform_int(1, 12));
+    for (int i = 0; i < steps; ++i) {
+      t += rng.uniform_int(1, 3);
+      a.emplace_back(t, rng.uniform_int(0, 9));
+    }
+    const Bytes buffer = rng.uniform_int(0, 12);
+    const Bytes rate = rng.uniform_int(1, 4);
+    EXPECT_EQ(feasible(a, buffer, rate),
+              feasible_interval_form(a, buffer, rate))
+        << "trial " << trial;
+  }
+}
+
+TEST(Feasibility, ArrivalsOfAggregatesRuns) {
+  const Stream s = stream_of({units(2, 3), slice(2, 4), units(5, 1)});
+  const ByteArrivals a = arrivals_of(s);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], (std::pair<Time, Bytes>{2, 7}));
+  EXPECT_EQ(a[1], (std::pair<Time, Bytes>{5, 1}));
+}
+
+// ------------------------------------------------------------ unit optimal
+
+TEST(UnitOptimal, AcceptsEverythingWhenFeasible) {
+  const Stream s = stream_of({units(0, 3, 5.0), units(1, 2, 1.0)});
+  const auto result = unit_optimal(s, /*buffer=*/5, /*rate=*/2);
+  EXPECT_DOUBLE_EQ(result.benefit, 17.0);
+  EXPECT_EQ(result.accepted_slices, 5);
+}
+
+TEST(UnitOptimal, PrefersHeavySlicesUnderPressure) {
+  // One step, B=2, R=1: at most 3 slices survive; it must keep the 3
+  // heaviest of the 5 offered.
+  const Stream s = stream_of({units(0, 2, 1.0), units(0, 3, 10.0)});
+  const auto result = unit_optimal(s, 2, 1);
+  EXPECT_DOUBLE_EQ(result.benefit, 30.0);
+  EXPECT_EQ(result.accepted_per_run[0], 0);
+  EXPECT_EQ(result.accepted_per_run[1], 3);
+}
+
+TEST(UnitOptimal, AcceptedSetIsFeasible) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Stream s =
+        analysis::random_unit_stream(rng, 20, 8, 10.0);
+    const Bytes buffer = rng.uniform_int(1, 10);
+    const Bytes rate = rng.uniform_int(1, 4);
+    const auto result = unit_optimal(s, buffer, rate);
+    ByteArrivals accepted;
+    for (std::size_t i = 0; i < s.run_count(); ++i) {
+      const std::int64_t take = result.accepted_per_run[i];
+      if (take == 0) continue;
+      const Time t = s.runs()[i].arrival;
+      if (!accepted.empty() && accepted.back().first == t) {
+        accepted.back().second += take;
+      } else {
+        accepted.emplace_back(t, take);
+      }
+    }
+    EXPECT_TRUE(feasible(accepted, buffer, rate)) << "trial " << trial;
+  }
+}
+
+TEST(UnitOptimal, MatchesBruteForceOnRandomSmallInstances) {
+  Rng rng(6);
+  for (int trial = 0; trial < 120; ++trial) {
+    const Stream s = analysis::random_unit_stream(rng, 6, 3, 8.0);
+    if (s.total_slices() > 14) continue;
+    const Bytes buffer = rng.uniform_int(1, 6);
+    const Bytes rate = rng.uniform_int(1, 3);
+    const auto fast = unit_optimal(s, buffer, rate);
+    const Weight oracle = brute_force_optimal(s, buffer, rate);
+    EXPECT_NEAR(fast.benefit, oracle, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(UnitOptimal, EmptyStream) {
+  const Stream s;
+  EXPECT_DOUBLE_EQ(unit_optimal(s, 5, 1).benefit, 0.0);
+}
+
+// --------------------------------------------------------------- Pareto DP
+
+TEST(ParetoDp, WholeFramesUnderPressure) {
+  // Two frames of 4 bytes each at t=0,1 with B=4, R=2: keeping both is
+  // infeasible (after step 1 occupancy would be 4+4-2-2 = 4 > ... check:
+  // keep both: Q(0)=2, Q(1)=4 <= B! So both fit). Use B=3 to force a choice.
+  const Stream s = stream_of({slice(0, 4, 10.0), slice(1, 4, 12.0)});
+  const auto both = pareto_dp_optimal(s, 4, 2);
+  EXPECT_DOUBLE_EQ(both.benefit, 22.0);
+  const auto pressured = pareto_dp_optimal(s, 3, 2);
+  EXPECT_DOUBLE_EQ(pressured.benefit, 12.0);  // keep the heavier frame
+  EXPECT_TRUE(pressured.exact);
+}
+
+TEST(ParetoDp, MatchesBruteForceOnRandomVariableInstances) {
+  Rng rng(8);
+  for (int trial = 0; trial < 120; ++trial) {
+    const Stream s =
+        analysis::random_variable_stream(rng, 6, 2, 6.0, /*max_slice=*/4);
+    if (s.total_slices() > 12) continue;
+    const Bytes buffer = rng.uniform_int(4, 12);
+    const Bytes rate = rng.uniform_int(1, 4);
+    const auto dp = pareto_dp_optimal(s, buffer, rate);
+    const Weight oracle = brute_force_optimal(s, buffer, rate);
+    EXPECT_TRUE(dp.exact);
+    EXPECT_NEAR(dp.benefit, oracle, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(ParetoDp, AgreesWithUnitOptimalOnUnitStreams) {
+  Rng rng(9);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Stream s = analysis::random_unit_stream(rng, 10, 5, 9.0);
+    const Bytes buffer = rng.uniform_int(1, 8);
+    const Bytes rate = rng.uniform_int(1, 3);
+    const auto dp = pareto_dp_optimal(s, buffer, rate);
+    const auto greedy = unit_optimal(s, buffer, rate);
+    EXPECT_NEAR(dp.benefit, greedy.benefit, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(ParetoDp, StateLimitProducesLowerBound) {
+  Rng rng(10);
+  const Stream s =
+      analysis::random_variable_stream(rng, 12, 3, 9.0, /*max_slice=*/5);
+  const auto exact = pareto_dp_optimal(s, 20, 3);
+  const auto capped = pareto_dp_optimal(s, 20, 3, /*state_limit=*/2);
+  EXPECT_FALSE(capped.exact);
+  EXPECT_LE(capped.benefit, exact.benefit + 1e-9);
+}
+
+TEST(ParetoDp, EmptyStream) {
+  const Stream s;
+  EXPECT_DOUBLE_EQ(pareto_dp_optimal(s, 5, 1).benefit, 0.0);
+}
+
+// ------------------------------------------------------- quantized bracket
+
+TEST(QuantizedBracket, QuantumOneIsExact) {
+  Rng rng(21);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Stream s =
+        analysis::random_variable_stream(rng, 8, 2, 7.0, /*max_slice=*/4);
+    const Bytes buffer = rng.uniform_int(4, 10);
+    const Bytes rate = rng.uniform_int(1, 3);
+    const auto exact = offline::pareto_dp_optimal(s, buffer, rate);
+    const auto bracket =
+        offline::quantized_optimal_bracket(s, buffer, rate, 1);
+    EXPECT_NEAR(bracket.lower, exact.benefit, 1e-9) << trial;
+    EXPECT_NEAR(bracket.upper, exact.benefit, 1e-9) << trial;
+  }
+}
+
+TEST(QuantizedBracket, SandwichesTheExactOptimum) {
+  Rng rng(22);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Stream s =
+        analysis::random_variable_stream(rng, 10, 2, 7.0, /*max_slice=*/9);
+    const Bytes buffer = rng.uniform_int(9, 24);
+    const Bytes rate = rng.uniform_int(3, 6);
+    const auto exact = offline::pareto_dp_optimal(s, buffer, rate);
+    for (Bytes quantum : {2, 3}) {
+      const auto bracket =
+          offline::quantized_optimal_bracket(s, buffer, rate, quantum);
+      EXPECT_LE(bracket.lower, exact.benefit + 1e-9)
+          << trial << " q=" << quantum;
+      EXPECT_GE(bracket.upper, exact.benefit - 1e-9)
+          << trial << " q=" << quantum;
+    }
+  }
+}
+
+TEST(QuantizedBracket, TightensAsQuantumShrinks) {
+  Rng rng(23);
+  const Stream s =
+      analysis::random_variable_stream(rng, 20, 3, 7.0, /*max_slice=*/16);
+  const Bytes buffer = 48;
+  const Bytes rate = 8;
+  const auto coarse = offline::quantized_optimal_bracket(s, buffer, rate, 8);
+  const auto fine = offline::quantized_optimal_bracket(s, buffer, rate, 1);
+  // Quantum 1 collapses the bracket to the exact optimum; the coarse
+  // bracket must contain it.
+  EXPECT_NEAR(fine.upper - fine.lower, 0.0, 1e-9);
+  EXPECT_LE(coarse.lower, fine.lower + 1e-9);
+  EXPECT_GE(coarse.upper, fine.upper - 1e-9);
+}
+
+// ------------------------------------------------------------- brute force
+
+TEST(BruteForce, TinyKnownInstance) {
+  // B=1, R=1, three unit slices at t=0 with weights 3,2,1: two can survive
+  // (send one, buffer one).
+  const Stream s =
+      stream_of({units(0, 1, 3.0), units(0, 1, 2.0), units(0, 1, 1.0)});
+  EXPECT_DOUBLE_EQ(brute_force_optimal(s, 1, 1), 5.0);
+}
+
+using OfflineDeathTest = ::testing::Test;
+
+TEST(OfflineDeathTest, BruteForceRefusesLargeInstances) {
+  const Stream s = stream_of({units(0, 64)});
+  EXPECT_DEATH(brute_force_optimal(s, 4, 1), "precondition");
+}
+
+TEST(OfflineDeathTest, UnitOptimalRequiresUnitSlices) {
+  const Stream s = stream_of({slice(0, 3)});
+  EXPECT_DEATH(unit_optimal(s, 4, 1), "precondition");
+}
+
+}  // namespace
+}  // namespace rtsmooth

@@ -1,0 +1,74 @@
+// Unit tests for the B = D*R planner and the closed-form guarantees it
+// exposes (Theorem 3.9, Lemma 3.6).
+
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+
+namespace rtsmooth {
+namespace {
+
+TEST(Planner, FromDelayRate) {
+  const Plan p = Planner::from_delay_rate(5, 3);
+  EXPECT_EQ(p.buffer, 15);
+  EXPECT_EQ(p.delay, 5);
+  EXPECT_EQ(p.rate, 3);
+}
+
+TEST(Planner, FromBufferRateExactDivision) {
+  const Plan p = Planner::from_buffer_rate(12, 4);
+  EXPECT_EQ(p.delay, 3);
+  EXPECT_EQ(p.buffer, 12);
+}
+
+TEST(Planner, FromBufferRateShrinksBufferToMultiple) {
+  // B=14, R=4 -> D=3 and B shrinks to 12 (B > DR would waste space,
+  // Sect. 3.3 observation 2).
+  const Plan p = Planner::from_buffer_rate(14, 4);
+  EXPECT_EQ(p.delay, 3);
+  EXPECT_EQ(p.buffer, 12);
+  EXPECT_EQ(p.rate, 4);
+  EXPECT_EQ(p.buffer, p.delay * p.rate);
+}
+
+TEST(Planner, FromBufferDelay) {
+  const Plan p = Planner::from_buffer_delay(14, 3);
+  EXPECT_EQ(p.rate, 4);
+  EXPECT_EQ(p.buffer, 12);
+  EXPECT_EQ(p.buffer, p.delay * p.rate);
+}
+
+TEST(Planner, AllConstructorsSatisfyIdentity) {
+  for (Bytes b : {7, 16, 100, 1000}) {
+    for (Bytes r : {1, 3, 7}) {
+      if (b < r) continue;
+      const Plan p = Planner::from_buffer_rate(b, r);
+      EXPECT_EQ(p.buffer, p.delay * p.rate);
+      EXPECT_LE(p.buffer, b);
+      EXPECT_GT(p.buffer + r, b);  // shrinks by less than one D-step
+    }
+  }
+}
+
+TEST(Planner, ThroughputGuarantee) {
+  EXPECT_DOUBLE_EQ(Planner::throughput_guarantee(100, 1), 1.0);
+  EXPECT_DOUBLE_EQ(Planner::throughput_guarantee(100, 21), 0.8);
+}
+
+TEST(Planner, BufferRatioGuarantee) {
+  EXPECT_DOUBLE_EQ(Planner::buffer_ratio_guarantee(25, 100), 0.25);
+  EXPECT_DOUBLE_EQ(Planner::buffer_ratio_guarantee(8, 8), 1.0);
+}
+
+using PlannerDeathTest = ::testing::Test;
+
+TEST(PlannerDeathTest, RejectsBufferSmallerThanRate) {
+  EXPECT_DEATH(Planner::from_buffer_rate(3, 4), "precondition");
+}
+
+TEST(PlannerDeathTest, RejectsZeroDelay) {
+  EXPECT_DEATH(Planner::from_delay_rate(0, 4), "precondition");
+}
+
+}  // namespace
+}  // namespace rtsmooth

@@ -1,0 +1,164 @@
+// Unit tests for the drop policies: victim selection semantics of TailDrop,
+// Greedy, HeadDrop, Random and the proactive threshold policy.
+
+#include <gtest/gtest.h>
+
+#include "core/server_buffer.h"
+#include "policies/greedy_drop.h"
+#include "policies/head_drop.h"
+#include "policies/policy_factory.h"
+#include "policies/proactive_threshold.h"
+#include "policies/random_drop.h"
+#include "policies/tail_drop.h"
+#include "stream_helpers.h"
+
+namespace rtsmooth {
+namespace {
+
+using testing::stream_of;
+using testing::units;
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  // Three unit-slice runs with distinct byte values, arriving in time order:
+  // old cheap (w=1), middle precious (w=9), new medium (w=5).
+  Stream stream_ = stream_of({units(0, 4, 1.0), units(1, 4, 9.0),
+                              units(2, 4, 5.0)});
+
+  ServerBuffer filled() {
+    ServerBuffer buf;
+    for (std::size_t i = 0; i < stream_.run_count(); ++i) {
+      buf.push(stream_.runs()[i], i, stream_.runs()[i].count);
+    }
+    return buf;  // 12 bytes
+  }
+
+  std::int64_t remaining(const ServerBuffer& buf, std::size_t run_index) {
+    std::int64_t n = 0;
+    for (std::size_t i = 0; i < buf.chunk_count(); ++i) {
+      if (buf.chunk(i).run_index == run_index) n += buf.chunk(i).slices;
+    }
+    return n;
+  }
+};
+
+TEST_F(PolicyTest, TailDropShedsNewestFirst) {
+  ServerBuffer buf = filled();
+  TailDropPolicy policy;
+  const DropResult freed = policy.shed(buf, 6);
+  EXPECT_EQ(freed.slices, 6);
+  EXPECT_EQ(buf.occupancy(), 6);
+  EXPECT_EQ(remaining(buf, 2), 0);  // newest gone entirely
+  EXPECT_EQ(remaining(buf, 1), 2);  // then the middle
+  EXPECT_EQ(remaining(buf, 0), 4);  // oldest untouched
+}
+
+TEST_F(PolicyTest, GreedyShedsCheapestFirst) {
+  ServerBuffer buf = filled();
+  GreedyDropPolicy policy;
+  policy.shed(buf, 6);
+  EXPECT_EQ(buf.occupancy(), 6);
+  EXPECT_EQ(remaining(buf, 0), 0);  // w=1 gone entirely
+  EXPECT_EQ(remaining(buf, 2), 2);  // then w=5
+  EXPECT_EQ(remaining(buf, 1), 4);  // w=9 untouched
+}
+
+TEST_F(PolicyTest, GreedyRespectsTransmittingHead) {
+  ServerBuffer buf = filled();
+  std::vector<SentPiece> pieces;
+  buf.send(1, pieces);  // completes one cheap unit slice; no partial head
+  GreedyDropPolicy policy;
+  policy.shed(buf, 5);
+  EXPECT_EQ(buf.occupancy(), 5);
+  EXPECT_EQ(remaining(buf, 0), 0);
+}
+
+TEST_F(PolicyTest, HeadDropShedsOldestFirst) {
+  ServerBuffer buf = filled();
+  HeadDropPolicy policy;
+  policy.shed(buf, 6);
+  EXPECT_EQ(buf.occupancy(), 6);
+  EXPECT_EQ(remaining(buf, 0), 0);
+  EXPECT_EQ(remaining(buf, 1), 2);
+  EXPECT_EQ(remaining(buf, 2), 4);
+}
+
+TEST_F(PolicyTest, RandomDropReachesTargetDeterministically) {
+  ServerBuffer buf1 = filled();
+  ServerBuffer buf2 = filled();
+  RandomDropPolicy a(123);
+  RandomDropPolicy b(123);
+  const DropResult f1 = a.shed(buf1, 5);
+  const DropResult f2 = b.shed(buf2, 5);
+  EXPECT_LE(buf1.occupancy(), 5);
+  EXPECT_EQ(f1.bytes, f2.bytes);
+  EXPECT_EQ(remaining(buf1, 0), remaining(buf2, 0));
+  EXPECT_EQ(remaining(buf1, 1), remaining(buf2, 1));
+}
+
+TEST_F(PolicyTest, ShedIsNoopWhenAlreadyUnderTarget) {
+  for (const auto& name : policy_names()) {
+    ServerBuffer buf = filled();
+    auto policy = make_policy(name);
+    const DropResult freed = policy->shed(buf, 100);
+    EXPECT_EQ(freed.slices, 0) << name;
+    EXPECT_EQ(buf.occupancy(), 12) << name;
+  }
+}
+
+TEST_F(PolicyTest, VariableSizeSlicesShedWholeSlicesOnly) {
+  Stream s = stream_of({
+      SliceRun{.arrival = 0, .slice_size = 5, .count = 2, .weight = 5.0},
+      SliceRun{.arrival = 1, .slice_size = 3, .count = 2, .weight = 30.0},
+  });
+  ServerBuffer buf;
+  buf.push(s.runs()[0], 0, 2);
+  buf.push(s.runs()[1], 1, 2);  // 16 bytes total
+  GreedyDropPolicy policy;
+  policy.shed(buf, 8);  // must drop 5-byte value-1 slices (cheapest)
+  EXPECT_EQ(buf.occupancy(), 6);  // dropped both 5B slices: 16 -> 6
+}
+
+TEST_F(PolicyTest, ProactiveEarlyDropsOnlyCheapDataAboveWatermark) {
+  ServerBuffer buf = filled();  // 12 bytes
+  ProactiveThresholdPolicy policy(
+      ProactiveConfig{.watermark = 0.5, .value_floor = 2.0});
+  // B = 12 -> watermark 6; only the w=1 run qualifies for early dropping.
+  const DropResult freed = policy.early_drop(buf, 12, 0);
+  EXPECT_EQ(freed.slices, 4);
+  EXPECT_EQ(buf.occupancy(), 8);  // stuck above watermark: rest is too dear
+  EXPECT_EQ(remaining(buf, 1), 4);
+  EXPECT_EQ(remaining(buf, 2), 4);
+}
+
+TEST_F(PolicyTest, ProactiveBelowWatermarkDoesNothing) {
+  ServerBuffer buf = filled();
+  ProactiveThresholdPolicy policy(
+      ProactiveConfig{.watermark = 1.0, .value_floor = 100.0});
+  EXPECT_EQ(policy.early_drop(buf, 12, 0).slices, 0);
+}
+
+TEST_F(PolicyTest, FactoryKnowsAllNamesAndRejectsUnknown) {
+  for (const auto& name : policy_names()) {
+    EXPECT_EQ(make_policy(name)->name(), name);
+  }
+  EXPECT_THROW(make_policy("no-such-policy"), std::invalid_argument);
+}
+
+TEST_F(PolicyTest, CloneProducesEqualBehaviour) {
+  for (const auto& name : policy_names()) {
+    auto original = make_policy(name, 99);
+    auto copy = original->clone();
+    ServerBuffer b1 = filled();
+    ServerBuffer b2 = filled();
+    original->shed(b1, 4);
+    copy->shed(b2, 4);
+    EXPECT_EQ(b1.occupancy(), b2.occupancy()) << name;
+    for (std::size_t r = 0; r < 3; ++r) {
+      EXPECT_EQ(remaining(b1, r), remaining(b2, r)) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtsmooth

@@ -1,0 +1,182 @@
+// Property tests: parameterized sweeps over random streams, policies and
+// resource configurations, asserting the paper's invariants hold on every
+// combination (gtest TEST_P as the property-based harness; seeds make each
+// instance reproducible).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "analysis/competitive.h"
+#include "core/planner.h"
+#include "offline/pareto_dp.h"
+#include "offline/unit_optimal.h"
+#include "policies/policy_factory.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace rtsmooth {
+namespace {
+
+// ------------------------------------------------------- system invariants
+
+using SystemParams = std::tuple<std::string /*policy*/, int /*seed*/,
+                                int /*rate*/, int /*delay*/>;
+
+std::string sanitize(std::string name) {
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+std::string system_param_name(
+    const ::testing::TestParamInfo<SystemParams>& param_info) {
+  const auto& [policy, seed, rate, delay] = param_info.param;
+  return sanitize(policy + "_s" + std::to_string(seed) + "_r" +
+                  std::to_string(rate) + "_d" + std::to_string(delay));
+}
+
+class SystemInvariants : public ::testing::TestWithParam<SystemParams> {};
+
+TEST_P(SystemInvariants, HoldOnRandomUnitStreams) {
+  const auto& [policy, seed, rate, delay] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const Stream s = analysis::random_unit_stream(rng, 40, 15, 12.0, 0.8);
+  const Plan plan = Planner::from_delay_rate(delay, rate);
+  sim::SmoothingSimulator simulator(
+      s, sim::SimConfig::balanced(plan), make_policy(policy));
+  ScheduleRecorder rec(s.run_count());
+  const SimReport report = simulator.run(&rec);
+
+  // Conservation (offered = played + dropped + residual) and drain.
+  EXPECT_TRUE(report.conserves());
+  EXPECT_EQ(report.residual.bytes, 0);
+
+  // Resource bounds (Definition 2.4 + Lemmas 3.2, 3.4).
+  EXPECT_LE(report.max_server_occupancy, plan.buffer);
+  EXPECT_LE(report.max_client_occupancy, plan.buffer);
+  EXPECT_LE(report.max_link_bytes_per_step, plan.rate);
+
+  // Client transparency at B = RD (Lemmas 3.3/3.4).
+  EXPECT_EQ(report.dropped_client_overflow.bytes, 0);
+  EXPECT_EQ(report.dropped_client_late.bytes, 0);
+
+  // Per-run timing: sends within B/R of arrival (Lemma 3.2), playout at
+  // AT + P + D.
+  for (std::size_t i = 0; i < s.run_count(); ++i) {
+    const RunOutcome& out = rec.run(i);
+    if (out.last_send != kNever) {
+      EXPECT_LE(out.last_send,
+                s.runs()[i].arrival + plan.buffer / plan.rate);
+      EXPECT_GE(out.first_send, s.runs()[i].arrival);
+    }
+    if (out.played > 0) {
+      EXPECT_EQ(out.play_time, s.runs()[i].arrival + 1 + plan.delay);
+    }
+    // Every slice of the run is accounted exactly once.
+    EXPECT_EQ(out.played + out.dropped_server + out.dropped_client,
+              s.runs()[i].count);
+  }
+
+  // Theorem 3.5: played bytes equal the off-line optimum (unit slices, any
+  // policy). The proactive policy early-drops and is exempt by design.
+  if (policy != "proactive") {
+    const auto optimal = offline::unit_optimal(s, plan.buffer, plan.rate);
+    EXPECT_EQ(report.played.bytes, optimal.accepted_bytes);
+  }
+
+  // Weighted benefit never beats the weighted off-line optimum.
+  const Weight opt_weight =
+      offline::unit_optimal(s, plan.buffer, plan.rate).benefit;
+  EXPECT_LE(report.played.weight, opt_weight + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicySeedGrid, SystemInvariants,
+    ::testing::Combine(
+        ::testing::Values("tail-drop", "greedy", "head-drop", "random",
+                          "proactive"),
+        ::testing::Values(1, 2, 3),
+        ::testing::Values(1, 3),
+        ::testing::Values(2, 5)),
+    system_param_name);
+
+// -------------------------------------------- variable-size slice sweeps
+
+using VariableParams = std::tuple<std::string, int /*seed*/, int /*lmax*/>;
+
+std::string variable_param_name(
+    const ::testing::TestParamInfo<VariableParams>& param_info) {
+  const auto& [policy, seed, lmax] = param_info.param;
+  return sanitize(policy + "_s" + std::to_string(seed) + "_l" +
+                  std::to_string(lmax));
+}
+
+class VariableSliceInvariants
+    : public ::testing::TestWithParam<VariableParams> {};
+
+TEST_P(VariableSliceInvariants, HoldOnRandomVariableStreams) {
+  const auto& [policy, seed, lmax] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 1000003);
+  const Stream s =
+      analysis::random_variable_stream(rng, 30, 5, 9.0, lmax, 0.75);
+  const Bytes buffer = std::max<Bytes>(s.max_slice_size() * 2, 6);
+  const Plan plan = Planner::from_buffer_rate(buffer, 2);
+  if (plan.buffer < s.max_slice_size()) GTEST_SKIP();
+  sim::SmoothingSimulator simulator(
+      s, sim::SimConfig::balanced(plan), make_policy(policy));
+  const SimReport report = simulator.run();
+  EXPECT_TRUE(report.conserves());
+  EXPECT_EQ(report.residual.bytes, 0);
+  EXPECT_LE(report.max_server_occupancy, plan.buffer);
+  EXPECT_EQ(report.dropped_client_overflow.bytes, 0);
+  EXPECT_EQ(report.dropped_client_late.bytes, 0);
+
+  // Theorem 3.9 envelope against the exact DP (throughput comparison uses
+  // the unweighted optimum: rebuild the stream with weight = size).
+  std::vector<SliceRun> unweighted(s.runs().begin(), s.runs().end());
+  for (auto& run : unweighted) {
+    run.weight = static_cast<Weight>(run.slice_size);
+  }
+  const Stream su = Stream::from_runs(std::move(unweighted));
+  const auto optimal = offline::pareto_dp_optimal(su, plan.buffer, plan.rate);
+  ASSERT_TRUE(optimal.exact);
+  const double guarantee =
+      Planner::throughput_guarantee(plan.buffer, s.max_slice_size());
+  EXPECT_GE(static_cast<double>(report.played.bytes) + 1e-6,
+            guarantee * optimal.benefit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariableGrid, VariableSliceInvariants,
+    ::testing::Combine(::testing::Values("tail-drop", "greedy", "random"),
+                       ::testing::Values(10, 11, 12, 13),
+                       ::testing::Values(2, 4, 7)),
+    variable_param_name);
+
+// ----------------------------------------------- offline solver properties
+
+class OfflineSolverProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(OfflineSolverProperties, GreedyDpAndFeasibilityAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const Stream s = analysis::random_unit_stream(rng, 15, 6, 10.0);
+  const Bytes buffer = rng.uniform_int(1, 8);
+  const Bytes rate = rng.uniform_int(1, 3);
+  const auto greedy = offline::unit_optimal(s, buffer, rate);
+  const auto dp = offline::pareto_dp_optimal(s, buffer, rate);
+  EXPECT_NEAR(greedy.benefit, dp.benefit, 1e-9);
+  // Monotonicity: more buffer or more rate never hurts.
+  EXPECT_LE(greedy.benefit,
+            offline::unit_optimal(s, buffer + 2, rate).benefit + 1e-9);
+  EXPECT_LE(greedy.benefit,
+            offline::unit_optimal(s, buffer, rate + 1).benefit + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OfflineSolverProperties,
+                         ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace rtsmooth

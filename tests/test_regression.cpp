@@ -1,0 +1,53 @@
+// End-to-end golden regression: exact weighted-loss values of every policy
+// and the off-line optimum on a fixed scenario (cnn-news, 200 frames, byte
+// slices, R = 0.9 x average, B = 2 x max frame). The whole pipeline — RNG,
+// MPEG model, slicer, planner, server, policies, link, client, solver — is
+// deterministic by design, so these values must never drift silently. If a
+// deliberate model change trips this test, regenerate the pinned values and
+// every number recorded in EXPERIMENTS.md.
+
+#include <gtest/gtest.h>
+
+#include "sim/sweep.h"
+#include "trace/slicer.h"
+#include "trace/stock_clips.h"
+
+namespace rtsmooth {
+namespace {
+
+TEST(GoldenRegression, ReferenceScenarioIsPinned) {
+  const Stream s = trace::slice_frames(trace::stock_clip("cnn-news", 200),
+                                       trace::ValueModel::mpeg_default(),
+                                       trace::Slicing::ByteSlices);
+  // Pin the workload itself first: if the trace changed, report that
+  // instead of a cascade of loss mismatches.
+  EXPECT_EQ(s.total_bytes(), 5697690);
+  EXPECT_EQ(s.max_frame_bytes(), 122880);
+  EXPECT_DOUBLE_EQ(s.total_weight(), 35261971.0);
+  const Bytes rate = sim::relative_rate(s, 0.9);
+  EXPECT_EQ(rate, 25640);
+
+  const double multiples[] = {2.0};
+  const std::vector<std::string> policies = {"tail-drop", "greedy",
+                                             "head-drop", "random",
+                                             "proactive"};
+  const auto points = sim::buffer_sweep(s, multiples, rate, policies,
+                                        /*with_optimal=*/true);
+  ASSERT_EQ(points.size(), 1u);
+  const auto& point = points.front();
+  const double expected[] = {
+      0.1191963716,  // tail-drop
+      0.0113294291,  // greedy — equal to the optimum on this scenario
+      0.0661370007,  // head-drop
+      0.0811245066,  // random (seeded)
+      0.0131472515,  // proactive (default config)
+  };
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    EXPECT_NEAR(point.policies[i].report.weighted_loss(), expected[i], 1e-9)
+        << policies[i];
+  }
+  EXPECT_NEAR(point.optimal.weighted_loss, 0.0113294291, 1e-9);
+}
+
+}  // namespace
+}  // namespace rtsmooth

@@ -1,0 +1,116 @@
+// Unit tests for the stream model (Definition 2.1): run aggregation, stream
+// invariants and the arrival cursor.
+
+#include <gtest/gtest.h>
+
+#include "core/slice.h"
+#include "stream_helpers.h"
+
+namespace rtsmooth {
+namespace {
+
+using testing::slice;
+using testing::stream_of;
+using testing::units;
+
+TEST(SliceRun, DerivedQuantities) {
+  const SliceRun r{.arrival = 3, .slice_size = 4, .count = 5, .weight = 8.0};
+  EXPECT_EQ(r.total_bytes(), 20);
+  EXPECT_DOUBLE_EQ(r.total_weight(), 40.0);
+  EXPECT_DOUBLE_EQ(r.byte_value(), 2.0);
+}
+
+TEST(Stream, EmptyStream) {
+  const Stream s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.total_bytes(), 0);
+  EXPECT_EQ(s.horizon(), 0);
+  EXPECT_EQ(s.average_rate(), 0.0);
+}
+
+TEST(Stream, TotalsAndMaxima) {
+  const Stream s = stream_of({units(0, 10, 2.0), slice(1, 7), units(2, 3)});
+  EXPECT_EQ(s.total_bytes(), 10 + 7 + 3);
+  EXPECT_EQ(s.total_slices(), 10 + 1 + 3);
+  EXPECT_DOUBLE_EQ(s.total_weight(), 20.0 + 7.0 + 3.0);
+  EXPECT_EQ(s.max_slice_size(), 7);
+  EXPECT_FALSE(s.unit_slices());
+}
+
+TEST(Stream, UnitSlicesDetected) {
+  EXPECT_TRUE(stream_of({units(0, 5), units(3, 2)}).unit_slices());
+}
+
+TEST(Stream, SortsRunsByArrival) {
+  const Stream s = stream_of({units(5, 1), units(0, 2), units(3, 1)});
+  ASSERT_EQ(s.run_count(), 3u);
+  EXPECT_EQ(s.runs()[0].arrival, 0);
+  EXPECT_EQ(s.runs()[1].arrival, 3);
+  EXPECT_EQ(s.runs()[2].arrival, 5);
+  EXPECT_EQ(s.first_arrival(), 0);
+  EXPECT_EQ(s.horizon(), 6);
+}
+
+TEST(Stream, MaxFrameBytesSumsSameStepRuns) {
+  // Two runs arriving together form one frame of 9 bytes.
+  const Stream s = stream_of({units(0, 4), slice(0, 5), units(1, 6)});
+  EXPECT_EQ(s.max_frame_bytes(), 9);
+}
+
+TEST(Stream, AverageRateSpansArrivalWindow) {
+  // 12 bytes over steps 2..5 -> 4 steps -> rate 3.
+  const Stream s = stream_of({units(2, 6), units(5, 6)});
+  EXPECT_DOUBLE_EQ(s.average_rate(), 3.0);
+}
+
+TEST(Stream, ArrivalsAtFindsGroups) {
+  const Stream s = stream_of({units(1, 1), units(1, 2), units(4, 3)});
+  EXPECT_EQ(s.arrivals_at(0).size(), 0u);
+  EXPECT_EQ(s.arrivals_at(1).size(), 2u);
+  EXPECT_EQ(s.arrivals_at(4).size(), 1u);
+  EXPECT_EQ(s.arrivals_at(5).size(), 0u);
+}
+
+TEST(ArrivalCursor, WalksGroupsInOrder) {
+  const Stream s = stream_of({units(0, 1), units(2, 2), units(2, 3)});
+  ArrivalCursor cursor(s);
+  const auto first = cursor.step(0);
+  EXPECT_EQ(first.runs.size(), 1u);
+  EXPECT_EQ(first.first_index, 0u);
+  EXPECT_EQ(cursor.step(1).runs.size(), 0u);
+  const auto batch = cursor.step(2);
+  EXPECT_EQ(batch.runs.size(), 2u);
+  EXPECT_EQ(batch.first_index, 1u);
+  EXPECT_TRUE(cursor.exhausted());
+  EXPECT_EQ(cursor.step(3).runs.size(), 0u);
+}
+
+TEST(ArrivalCursor, RepeatedStepYieldsNothing) {
+  const Stream s = stream_of({units(1, 4)});
+  ArrivalCursor cursor(s);
+  EXPECT_EQ(cursor.step(1).runs.size(), 1u);
+  EXPECT_EQ(cursor.step(1).runs.size(), 0u);
+}
+
+using SliceDeathTest = ::testing::Test;
+
+TEST(SliceDeathTest, RejectsNonPositiveCount) {
+  EXPECT_DEATH(stream_of({SliceRun{.arrival = 0, .slice_size = 1,
+                                   .count = 0, .weight = 1.0}}),
+               "precondition");
+}
+
+TEST(SliceDeathTest, RejectsNegativeArrival) {
+  EXPECT_DEATH(stream_of({SliceRun{.arrival = -1, .slice_size = 1,
+                                   .count = 1, .weight = 1.0}}),
+               "precondition");
+}
+
+TEST(SliceDeathTest, RejectsNegativeWeight) {
+  EXPECT_DEATH(stream_of({SliceRun{.arrival = 0, .slice_size = 1,
+                                   .count = 1, .weight = -2.0}}),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace rtsmooth

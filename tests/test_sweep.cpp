@@ -1,0 +1,102 @@
+// Tests for the sweep helpers that drive the figure benches, plus
+// figure-level shape assertions (the qualitative claims of Sect. 5 must
+// hold for any seed of the synthetic clip, not just the one in the bench).
+
+#include <gtest/gtest.h>
+
+#include "sim/sweep.h"
+#include "trace/slicer.h"
+#include "trace/stock_clips.h"
+
+namespace rtsmooth::sim {
+namespace {
+
+Stream clip(std::size_t frames) {
+  return trace::slice_frames(trace::stock_clip("cnn-news", frames),
+                             trace::ValueModel::mpeg_default(),
+                             trace::Slicing::ByteSlices);
+}
+
+TEST(RelativeRate, ScalesAverageAndClampsToOne) {
+  const Stream s = clip(200);
+  EXPECT_NEAR(static_cast<double>(relative_rate(s, 1.0)), s.average_rate(),
+              1.0);
+  EXPECT_NEAR(static_cast<double>(relative_rate(s, 0.5)),
+              0.5 * s.average_rate(), 1.0);
+  // A microscopic fraction still yields a usable rate.
+  EXPECT_GE(relative_rate(s, 1e-9), 1);
+}
+
+TEST(BufferSweep, ProducesOnePointPerMultiple) {
+  const Stream s = clip(150);
+  const double multiples[] = {1, 2, 4};
+  const std::vector<std::string> policies = {"tail-drop", "greedy"};
+  const auto points = buffer_sweep(s, multiples, relative_rate(s, 1.0),
+                                   policies, /*with_optimal=*/true);
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& point : points) {
+    EXPECT_EQ(point.policies.size(), 2u);
+    EXPECT_TRUE(point.has_optimal);
+    // B = D*R and B at least the requested multiple of the max frame.
+    EXPECT_EQ(point.plan.buffer, point.plan.delay * point.plan.rate);
+    EXPECT_GE(point.plan.buffer,
+              static_cast<Bytes>(point.x) * s.max_frame_bytes());
+  }
+}
+
+TEST(BufferSweep, Fig2ShapeHolds) {
+  // More buffer never hurts, Greedy <= Tail-Drop, Optimal <= Greedy.
+  const Stream s = clip(400);
+  const double multiples[] = {1, 3, 9};
+  const std::vector<std::string> policies = {"tail-drop", "greedy"};
+  const auto points =
+      buffer_sweep(s, multiples, relative_rate(s, 0.95), policies, true);
+  double last_tail = 1.0;
+  for (const auto& point : points) {
+    const double tail = point.policies[0].report.weighted_loss();
+    const double greedy = point.policies[1].report.weighted_loss();
+    EXPECT_LE(greedy, tail + 1e-9) << "x=" << point.x;
+    EXPECT_LE(point.optimal.weighted_loss, greedy + 1e-9) << "x=" << point.x;
+    EXPECT_LE(tail, last_tail + 1e-9) << "x=" << point.x;
+    last_tail = tail;
+  }
+}
+
+TEST(RateSweep, Fig4ShapeHolds) {
+  // Benefit is nondecreasing in the link rate, for every policy and the
+  // optimum.
+  const Stream s = clip(400);
+  const double fractions[] = {0.5, 0.8, 1.1, 1.4};
+  const std::vector<std::string> policies = {"tail-drop", "greedy"};
+  const auto points = rate_sweep(s, fractions, 4.0, policies, true);
+  ASSERT_EQ(points.size(), 4u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      EXPECT_GE(points[i].policies[p].report.benefit_fraction() + 1e-9,
+                points[i - 1].policies[p].report.benefit_fraction())
+          << policies[p] << " at x=" << points[i].x;
+    }
+    EXPECT_GE(points[i].optimal.benefit_fraction + 1e-9,
+              points[i - 1].optimal.benefit_fraction);
+  }
+  // Past the average rate with a real buffer, losses are minor.
+  EXPECT_GE(points.back().policies[1].report.benefit_fraction(), 0.99);
+}
+
+TEST(RateSweep, OptimalDominatesEveryPolicyEverywhere) {
+  const Stream s = clip(250);
+  const double fractions[] = {0.6, 1.0};
+  const std::vector<std::string> policies = {"tail-drop", "greedy",
+                                             "head-drop"};
+  const auto points = rate_sweep(s, fractions, 2.0, policies, true);
+  for (const auto& point : points) {
+    for (const auto& outcome : point.policies) {
+      EXPECT_LE(outcome.report.benefit_fraction(),
+                point.optimal.benefit_fraction + 1e-9)
+          << outcome.policy << " at x=" << point.x;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtsmooth::sim

@@ -1,0 +1,202 @@
+// Unit tests for src/util: RNG determinism and distributions, statistics,
+// CSV escaping, table formatting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace rtsmooth {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(7);
+  bool seen[9] = {};
+  for (int i = 0; i < 10000; ++i) {
+    seen[rng.uniform_int(0, 8)] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  Rng parent1(5);
+  Rng parent2(5);
+  Rng childa = parent1.split(1);
+  Rng childb = parent2.split(1);
+  EXPECT_EQ(childa(), childb());  // same parent state, same id -> same stream
+  Rng parent3(5);
+  Rng childc = parent3.split(2);
+  Rng parent4(5);
+  Rng childd = parent4.split(1);
+  EXPECT_NE(childc(), childd());  // different id -> different stream
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const double xs[] = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+}
+
+TEST(Autocorrelation, IidIsNearZeroAndTrendIsHigh) {
+  Rng rng(23);
+  std::vector<double> iid;
+  std::vector<double> trend;
+  double level = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    iid.push_back(rng.normal());
+    level = 0.99 * level + rng.normal() * 0.1;
+    trend.push_back(level);
+  }
+  EXPECT_LT(std::abs(autocorrelation_lag1(iid)), 0.05);
+  EXPECT_GT(autocorrelation_lag1(trend), 0.9);
+}
+
+TEST(FormatBytes, PicksUnits) {
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_EQ(format_bytes(38.0 * 1024), "38.0 KB");
+  EXPECT_EQ(format_bytes(3.5 * 1024 * 1024), "3.5 MB");
+}
+
+TEST(Csv, EscapesSpecials) {
+  const std::string path = ::testing::TempDir() + "rtsmooth_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  }
+  std::ifstream in(path);
+  std::stringstream all;
+  all << in.rdbuf();
+  EXPECT_EQ(all.str(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, NumericFieldsRoundTrip) {
+  EXPECT_EQ(CsvWriter::field(std::int64_t{-42}), "-42");
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(CsvWriter::field(v)), v);
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"longer-name", "22.25"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22.25"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::pct(0.1234, 1), "12.3%");
+}
+
+}  // namespace
+}  // namespace rtsmooth
