@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dependency.dir/abl_dependency.cpp.o"
+  "CMakeFiles/abl_dependency.dir/abl_dependency.cpp.o.d"
+  "abl_dependency"
+  "abl_dependency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dependency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

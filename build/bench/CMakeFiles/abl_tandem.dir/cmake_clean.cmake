@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tandem.dir/abl_tandem.cpp.o"
+  "CMakeFiles/abl_tandem.dir/abl_tandem.cpp.o.d"
+  "abl_tandem"
+  "abl_tandem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tandem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_weighted_loss_above_rate.dir/fig2_weighted_loss_above_rate.cpp.o"
+  "CMakeFiles/fig2_weighted_loss_above_rate.dir/fig2_weighted_loss_above_rate.cpp.o.d"
+  "fig2_weighted_loss_above_rate"
+  "fig2_weighted_loss_above_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_weighted_loss_above_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_weighted_loss_above_rate.
+# This may be replaced when dependencies are built.

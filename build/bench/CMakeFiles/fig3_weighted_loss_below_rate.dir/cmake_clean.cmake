@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_weighted_loss_below_rate.dir/fig3_weighted_loss_below_rate.cpp.o"
+  "CMakeFiles/fig3_weighted_loss_below_rate.dir/fig3_weighted_loss_below_rate.cpp.o.d"
+  "fig3_weighted_loss_below_rate"
+  "fig3_weighted_loss_below_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_weighted_loss_below_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

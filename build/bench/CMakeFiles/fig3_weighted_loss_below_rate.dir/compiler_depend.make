@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_weighted_loss_below_rate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_weighted_loss_below_rate.
+# This may be replaced when dependencies are built.

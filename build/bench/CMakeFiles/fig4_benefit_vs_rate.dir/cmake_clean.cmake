@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_benefit_vs_rate.dir/fig4_benefit_vs_rate.cpp.o"
+  "CMakeFiles/fig4_benefit_vs_rate.dir/fig4_benefit_vs_rate.cpp.o.d"
+  "fig4_benefit_vs_rate"
+  "fig4_benefit_vs_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_benefit_vs_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

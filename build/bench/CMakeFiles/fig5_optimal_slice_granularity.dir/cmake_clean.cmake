@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_optimal_slice_granularity.dir/fig5_optimal_slice_granularity.cpp.o"
+  "CMakeFiles/fig5_optimal_slice_granularity.dir/fig5_optimal_slice_granularity.cpp.o.d"
+  "fig5_optimal_slice_granularity"
+  "fig5_optimal_slice_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_optimal_slice_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_weighted_loss_slice_granularity.dir/fig6_weighted_loss_slice_granularity.cpp.o"
+  "CMakeFiles/fig6_weighted_loss_slice_granularity.dir/fig6_weighted_loss_slice_granularity.cpp.o.d"
+  "fig6_weighted_loss_slice_granularity"
+  "fig6_weighted_loss_slice_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_weighted_loss_slice_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

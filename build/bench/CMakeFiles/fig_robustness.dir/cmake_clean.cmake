@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_robustness.dir/fig_robustness.cpp.o"
+  "CMakeFiles/fig_robustness.dir/fig_robustness.cpp.o.d"
+  "fig_robustness"
+  "fig_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

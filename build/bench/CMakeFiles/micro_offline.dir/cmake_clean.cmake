@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_offline.dir/micro_offline.cpp.o"
+  "CMakeFiles/micro_offline.dir/micro_offline.cpp.o.d"
+  "micro_offline"
+  "micro_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

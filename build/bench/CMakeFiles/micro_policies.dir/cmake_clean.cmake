@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_policies.dir/micro_policies.cpp.o"
+  "CMakeFiles/micro_policies.dir/micro_policies.cpp.o.d"
+  "micro_policies"
+  "micro_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_alternatives.dir/tab_alternatives.cpp.o"
+  "CMakeFiles/tab_alternatives.dir/tab_alternatives.cpp.o.d"
+  "tab_alternatives"
+  "tab_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

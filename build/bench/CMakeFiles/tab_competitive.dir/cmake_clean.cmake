@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_competitive.dir/tab_competitive.cpp.o"
+  "CMakeFiles/tab_competitive.dir/tab_competitive.cpp.o.d"
+  "tab_competitive"
+  "tab_competitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_competitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_lossless.dir/tab_lossless.cpp.o"
+  "CMakeFiles/tab_lossless.dir/tab_lossless.cpp.o.d"
+  "tab_lossless"
+  "tab_lossless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_lossless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_tradeoff.dir/tab_tradeoff.cpp.o"
+  "CMakeFiles/tab_tradeoff.dir/tab_tradeoff.cpp.o.d"
+  "tab_tradeoff"
+  "tab_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

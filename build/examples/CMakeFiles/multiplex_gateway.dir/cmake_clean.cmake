@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplex_gateway.dir/multiplex_gateway.cpp.o"
+  "CMakeFiles/multiplex_gateway.dir/multiplex_gateway.cpp.o.d"
+  "multiplex_gateway"
+  "multiplex_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplex_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_policy_comparison.dir/vod_policy_comparison.cpp.o"
+  "CMakeFiles/vod_policy_comparison.dir/vod_policy_comparison.cpp.o.d"
+  "vod_policy_comparison"
+  "vod_policy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

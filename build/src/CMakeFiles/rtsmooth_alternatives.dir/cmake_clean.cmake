@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsmooth_alternatives.dir/alternatives/strategies.cpp.o"
+  "CMakeFiles/rtsmooth_alternatives.dir/alternatives/strategies.cpp.o.d"
+  "librtsmooth_alternatives.a"
+  "librtsmooth_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsmooth_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtsmooth_alternatives.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/adversarial.cpp" "src/CMakeFiles/rtsmooth_analysis.dir/analysis/adversarial.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_analysis.dir/analysis/adversarial.cpp.o.d"
+  "/root/repo/src/analysis/bounds.cpp" "src/CMakeFiles/rtsmooth_analysis.dir/analysis/bounds.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_analysis.dir/analysis/bounds.cpp.o.d"
+  "/root/repo/src/analysis/competitive.cpp" "src/CMakeFiles/rtsmooth_analysis.dir/analysis/competitive.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_analysis.dir/analysis/competitive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsmooth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsmooth_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsmooth_offline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsmooth_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsmooth_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsmooth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsmooth_analysis.dir/analysis/adversarial.cpp.o"
+  "CMakeFiles/rtsmooth_analysis.dir/analysis/adversarial.cpp.o.d"
+  "CMakeFiles/rtsmooth_analysis.dir/analysis/bounds.cpp.o"
+  "CMakeFiles/rtsmooth_analysis.dir/analysis/bounds.cpp.o.d"
+  "CMakeFiles/rtsmooth_analysis.dir/analysis/competitive.cpp.o"
+  "CMakeFiles/rtsmooth_analysis.dir/analysis/competitive.cpp.o.d"
+  "librtsmooth_analysis.a"
+  "librtsmooth_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsmooth_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cpp" "src/CMakeFiles/rtsmooth_core.dir/core/client.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_core.dir/core/client.cpp.o.d"
+  "/root/repo/src/core/generic_algorithm.cpp" "src/CMakeFiles/rtsmooth_core.dir/core/generic_algorithm.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_core.dir/core/generic_algorithm.cpp.o.d"
+  "/root/repo/src/core/link.cpp" "src/CMakeFiles/rtsmooth_core.dir/core/link.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_core.dir/core/link.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/rtsmooth_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/CMakeFiles/rtsmooth_core.dir/core/planner.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_core.dir/core/planner.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/rtsmooth_core.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_core.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/core/server_buffer.cpp" "src/CMakeFiles/rtsmooth_core.dir/core/server_buffer.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_core.dir/core/server_buffer.cpp.o.d"
+  "/root/repo/src/core/slice.cpp" "src/CMakeFiles/rtsmooth_core.dir/core/slice.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_core.dir/core/slice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsmooth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

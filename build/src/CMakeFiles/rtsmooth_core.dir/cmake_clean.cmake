@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsmooth_core.dir/core/client.cpp.o"
+  "CMakeFiles/rtsmooth_core.dir/core/client.cpp.o.d"
+  "CMakeFiles/rtsmooth_core.dir/core/generic_algorithm.cpp.o"
+  "CMakeFiles/rtsmooth_core.dir/core/generic_algorithm.cpp.o.d"
+  "CMakeFiles/rtsmooth_core.dir/core/link.cpp.o"
+  "CMakeFiles/rtsmooth_core.dir/core/link.cpp.o.d"
+  "CMakeFiles/rtsmooth_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/rtsmooth_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/rtsmooth_core.dir/core/planner.cpp.o"
+  "CMakeFiles/rtsmooth_core.dir/core/planner.cpp.o.d"
+  "CMakeFiles/rtsmooth_core.dir/core/schedule.cpp.o"
+  "CMakeFiles/rtsmooth_core.dir/core/schedule.cpp.o.d"
+  "CMakeFiles/rtsmooth_core.dir/core/server_buffer.cpp.o"
+  "CMakeFiles/rtsmooth_core.dir/core/server_buffer.cpp.o.d"
+  "CMakeFiles/rtsmooth_core.dir/core/slice.cpp.o"
+  "CMakeFiles/rtsmooth_core.dir/core/slice.cpp.o.d"
+  "librtsmooth_core.a"
+  "librtsmooth_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsmooth_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

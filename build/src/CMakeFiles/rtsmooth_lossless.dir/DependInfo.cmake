@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lossless/cumulative.cpp" "src/CMakeFiles/rtsmooth_lossless.dir/lossless/cumulative.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_lossless.dir/lossless/cumulative.cpp.o.d"
+  "/root/repo/src/lossless/delay_optimizer.cpp" "src/CMakeFiles/rtsmooth_lossless.dir/lossless/delay_optimizer.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_lossless.dir/lossless/delay_optimizer.cpp.o.d"
+  "/root/repo/src/lossless/online_window.cpp" "src/CMakeFiles/rtsmooth_lossless.dir/lossless/online_window.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_lossless.dir/lossless/online_window.cpp.o.d"
+  "/root/repo/src/lossless/taut_string.cpp" "src/CMakeFiles/rtsmooth_lossless.dir/lossless/taut_string.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_lossless.dir/lossless/taut_string.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsmooth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsmooth_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsmooth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsmooth_lossless.dir/lossless/cumulative.cpp.o"
+  "CMakeFiles/rtsmooth_lossless.dir/lossless/cumulative.cpp.o.d"
+  "CMakeFiles/rtsmooth_lossless.dir/lossless/delay_optimizer.cpp.o"
+  "CMakeFiles/rtsmooth_lossless.dir/lossless/delay_optimizer.cpp.o.d"
+  "CMakeFiles/rtsmooth_lossless.dir/lossless/online_window.cpp.o"
+  "CMakeFiles/rtsmooth_lossless.dir/lossless/online_window.cpp.o.d"
+  "CMakeFiles/rtsmooth_lossless.dir/lossless/taut_string.cpp.o"
+  "CMakeFiles/rtsmooth_lossless.dir/lossless/taut_string.cpp.o.d"
+  "librtsmooth_lossless.a"
+  "librtsmooth_lossless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsmooth_lossless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rtsmooth_lossless.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/offline/brute_force.cpp" "src/CMakeFiles/rtsmooth_offline.dir/offline/brute_force.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_offline.dir/offline/brute_force.cpp.o.d"
+  "/root/repo/src/offline/feasibility.cpp" "src/CMakeFiles/rtsmooth_offline.dir/offline/feasibility.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_offline.dir/offline/feasibility.cpp.o.d"
+  "/root/repo/src/offline/pareto_dp.cpp" "src/CMakeFiles/rtsmooth_offline.dir/offline/pareto_dp.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_offline.dir/offline/pareto_dp.cpp.o.d"
+  "/root/repo/src/offline/segment_tree.cpp" "src/CMakeFiles/rtsmooth_offline.dir/offline/segment_tree.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_offline.dir/offline/segment_tree.cpp.o.d"
+  "/root/repo/src/offline/unit_optimal.cpp" "src/CMakeFiles/rtsmooth_offline.dir/offline/unit_optimal.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_offline.dir/offline/unit_optimal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsmooth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsmooth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

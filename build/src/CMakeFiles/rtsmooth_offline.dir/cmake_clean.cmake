@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsmooth_offline.dir/offline/brute_force.cpp.o"
+  "CMakeFiles/rtsmooth_offline.dir/offline/brute_force.cpp.o.d"
+  "CMakeFiles/rtsmooth_offline.dir/offline/feasibility.cpp.o"
+  "CMakeFiles/rtsmooth_offline.dir/offline/feasibility.cpp.o.d"
+  "CMakeFiles/rtsmooth_offline.dir/offline/pareto_dp.cpp.o"
+  "CMakeFiles/rtsmooth_offline.dir/offline/pareto_dp.cpp.o.d"
+  "CMakeFiles/rtsmooth_offline.dir/offline/segment_tree.cpp.o"
+  "CMakeFiles/rtsmooth_offline.dir/offline/segment_tree.cpp.o.d"
+  "CMakeFiles/rtsmooth_offline.dir/offline/unit_optimal.cpp.o"
+  "CMakeFiles/rtsmooth_offline.dir/offline/unit_optimal.cpp.o.d"
+  "librtsmooth_offline.a"
+  "librtsmooth_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsmooth_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/greedy_drop.cpp" "src/CMakeFiles/rtsmooth_policies.dir/policies/greedy_drop.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_policies.dir/policies/greedy_drop.cpp.o.d"
+  "/root/repo/src/policies/head_drop.cpp" "src/CMakeFiles/rtsmooth_policies.dir/policies/head_drop.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_policies.dir/policies/head_drop.cpp.o.d"
+  "/root/repo/src/policies/policy_factory.cpp" "src/CMakeFiles/rtsmooth_policies.dir/policies/policy_factory.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_policies.dir/policies/policy_factory.cpp.o.d"
+  "/root/repo/src/policies/proactive_threshold.cpp" "src/CMakeFiles/rtsmooth_policies.dir/policies/proactive_threshold.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_policies.dir/policies/proactive_threshold.cpp.o.d"
+  "/root/repo/src/policies/random_drop.cpp" "src/CMakeFiles/rtsmooth_policies.dir/policies/random_drop.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_policies.dir/policies/random_drop.cpp.o.d"
+  "/root/repo/src/policies/tail_drop.cpp" "src/CMakeFiles/rtsmooth_policies.dir/policies/tail_drop.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_policies.dir/policies/tail_drop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsmooth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsmooth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

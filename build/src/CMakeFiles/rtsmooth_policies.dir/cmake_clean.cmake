@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsmooth_policies.dir/policies/greedy_drop.cpp.o"
+  "CMakeFiles/rtsmooth_policies.dir/policies/greedy_drop.cpp.o.d"
+  "CMakeFiles/rtsmooth_policies.dir/policies/head_drop.cpp.o"
+  "CMakeFiles/rtsmooth_policies.dir/policies/head_drop.cpp.o.d"
+  "CMakeFiles/rtsmooth_policies.dir/policies/policy_factory.cpp.o"
+  "CMakeFiles/rtsmooth_policies.dir/policies/policy_factory.cpp.o.d"
+  "CMakeFiles/rtsmooth_policies.dir/policies/proactive_threshold.cpp.o"
+  "CMakeFiles/rtsmooth_policies.dir/policies/proactive_threshold.cpp.o.d"
+  "CMakeFiles/rtsmooth_policies.dir/policies/random_drop.cpp.o"
+  "CMakeFiles/rtsmooth_policies.dir/policies/random_drop.cpp.o.d"
+  "CMakeFiles/rtsmooth_policies.dir/policies/tail_drop.cpp.o"
+  "CMakeFiles/rtsmooth_policies.dir/policies/tail_drop.cpp.o.d"
+  "librtsmooth_policies.a"
+  "librtsmooth_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsmooth_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsmooth_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/rtsmooth_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/rtsmooth_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/rtsmooth_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/rtsmooth_sim.dir/sim/step_trace.cpp.o"
+  "CMakeFiles/rtsmooth_sim.dir/sim/step_trace.cpp.o.d"
+  "CMakeFiles/rtsmooth_sim.dir/sim/sweep.cpp.o"
+  "CMakeFiles/rtsmooth_sim.dir/sim/sweep.cpp.o.d"
+  "librtsmooth_sim.a"
+  "librtsmooth_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsmooth_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

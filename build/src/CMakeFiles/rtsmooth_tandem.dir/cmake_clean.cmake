@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsmooth_tandem.dir/tandem/tandem.cpp.o"
+  "CMakeFiles/rtsmooth_tandem.dir/tandem/tandem.cpp.o.d"
+  "librtsmooth_tandem.a"
+  "librtsmooth_tandem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsmooth_tandem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/dependency.cpp" "src/CMakeFiles/rtsmooth_trace.dir/trace/dependency.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_trace.dir/trace/dependency.cpp.o.d"
+  "/root/repo/src/trace/gop.cpp" "src/CMakeFiles/rtsmooth_trace.dir/trace/gop.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_trace.dir/trace/gop.cpp.o.d"
+  "/root/repo/src/trace/mpeg_model.cpp" "src/CMakeFiles/rtsmooth_trace.dir/trace/mpeg_model.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_trace.dir/trace/mpeg_model.cpp.o.d"
+  "/root/repo/src/trace/slicer.cpp" "src/CMakeFiles/rtsmooth_trace.dir/trace/slicer.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_trace.dir/trace/slicer.cpp.o.d"
+  "/root/repo/src/trace/stock_clips.cpp" "src/CMakeFiles/rtsmooth_trace.dir/trace/stock_clips.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_trace.dir/trace/stock_clips.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/rtsmooth_trace.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_trace.dir/trace/trace_io.cpp.o.d"
+  "/root/repo/src/trace/value_model.cpp" "src/CMakeFiles/rtsmooth_trace.dir/trace/value_model.cpp.o" "gcc" "src/CMakeFiles/rtsmooth_trace.dir/trace/value_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rtsmooth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rtsmooth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsmooth_trace.dir/trace/dependency.cpp.o"
+  "CMakeFiles/rtsmooth_trace.dir/trace/dependency.cpp.o.d"
+  "CMakeFiles/rtsmooth_trace.dir/trace/gop.cpp.o"
+  "CMakeFiles/rtsmooth_trace.dir/trace/gop.cpp.o.d"
+  "CMakeFiles/rtsmooth_trace.dir/trace/mpeg_model.cpp.o"
+  "CMakeFiles/rtsmooth_trace.dir/trace/mpeg_model.cpp.o.d"
+  "CMakeFiles/rtsmooth_trace.dir/trace/slicer.cpp.o"
+  "CMakeFiles/rtsmooth_trace.dir/trace/slicer.cpp.o.d"
+  "CMakeFiles/rtsmooth_trace.dir/trace/stock_clips.cpp.o"
+  "CMakeFiles/rtsmooth_trace.dir/trace/stock_clips.cpp.o.d"
+  "CMakeFiles/rtsmooth_trace.dir/trace/trace_io.cpp.o"
+  "CMakeFiles/rtsmooth_trace.dir/trace/trace_io.cpp.o.d"
+  "CMakeFiles/rtsmooth_trace.dir/trace/value_model.cpp.o"
+  "CMakeFiles/rtsmooth_trace.dir/trace/value_model.cpp.o.d"
+  "librtsmooth_trace.a"
+  "librtsmooth_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsmooth_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtsmooth_util.dir/util/csv.cpp.o"
+  "CMakeFiles/rtsmooth_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/rtsmooth_util.dir/util/rng.cpp.o"
+  "CMakeFiles/rtsmooth_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/rtsmooth_util.dir/util/stats.cpp.o"
+  "CMakeFiles/rtsmooth_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/rtsmooth_util.dir/util/table.cpp.o"
+  "CMakeFiles/rtsmooth_util.dir/util/table.cpp.o.d"
+  "librtsmooth_util.a"
+  "librtsmooth_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtsmooth_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generic_algorithm.dir/test_generic_algorithm.cpp.o"
+  "CMakeFiles/test_generic_algorithm.dir/test_generic_algorithm.cpp.o.d"
+  "test_generic_algorithm"
+  "test_generic_algorithm.pdb"
+  "test_generic_algorithm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generic_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_slice[1]_include.cmake")
+include("/root/repo/build/tests/test_server_buffer[1]_include.cmake")
+include("/root/repo/build/tests/test_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_generic_algorithm[1]_include.cmake")
+include("/root/repo/build/tests/test_link[1]_include.cmake")
+include("/root/repo/build/tests/test_client[1]_include.cmake")
+include("/root/repo/build/tests/test_planner[1]_include.cmake")
+include("/root/repo/build/tests/test_offline[1]_include.cmake")
+include("/root/repo/build/tests/test_tradeoff[1]_include.cmake")
+include("/root/repo/build/tests/test_competitive[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_dependency[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_jitter[1]_include.cmake")
+include("/root/repo/build/tests/test_lossless[1]_include.cmake")
+include("/root/repo/build/tests/test_alternatives[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_schedule[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_model_based[1]_include.cmake")
+include("/root/repo/build/tests/test_tandem[1]_include.cmake")
+include("/root/repo/build/tests/test_consistency[1]_include.cmake")
+include("/root/repo/build/tests/test_regression[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")

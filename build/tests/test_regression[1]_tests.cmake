@@ -1,0 +1,3 @@
+add_test([=[GoldenRegression.ReferenceScenarioIsPinned]=]  /root/repo/build/tests/test_regression [==[--gtest_filter=GoldenRegression.ReferenceScenarioIsPinned]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[GoldenRegression.ReferenceScenarioIsPinned]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_regression_TESTS GoldenRegression.ReferenceScenarioIsPinned)
