@@ -1,13 +1,28 @@
-// Robustness sweep — the paper reports that its results "reflect typical
-// values for these clips" (Sect. 5). This bench re-derives the key Fig. 2/3
-// orderings on every stock clip and on fresh seeds of the MPEG model, so a
-// reader can check the shapes aren't an artifact of the one reference clip:
-//   Optimal <= Greedy <= Tail-Drop (weighted loss), at two rates and two
-//   buffer sizes per clip.
+// Robustness sweeps, in two halves.
+//
+// 1. The paper reports that its results "reflect typical values for these
+//    clips" (Sect. 5). The first table re-derives the key Fig. 2/3 orderings
+//    on every stock clip and on fresh seeds of the MPEG model, so a reader
+//    can check the shapes aren't an artifact of the one reference clip:
+//    Optimal <= Greedy <= Tail-Drop (weighted loss), at two rates and two
+//    buffer sizes per clip.
+//
+// 2. The fault sweeps take the Sect. 6 open problems (lossy / bursty /
+//    rate-varying channels) and measure weighted loss vs. fault severity —
+//    i.i.d. erasure rate, Gilbert-Elliott mean burst length, and throttle
+//    outage fraction — under both client degradation modes (skip vs. stall)
+//    and with the NACK/retransmit recovery path off and on. Each table's
+//    last column checks that loss is monotone in severity.
 
+#include <algorithm>
+#include <cstdint>
 #include <iostream>
+#include <memory>
+#include <span>
+#include <vector>
 
 #include "bench_common.h"
+#include "faults/fault_links.h"
 #include "sim/sweep.h"
 #include "trace/mpeg_model.h"
 
@@ -15,11 +30,9 @@ namespace {
 
 using namespace rtsmooth;
 
-int run(const bench::BenchOptions& opts) {
-  const std::size_t frames =
-      opts.frames ? opts.frames : (opts.quick ? 300 : 1000);
-  std::cout << "fig_robustness — Fig. 2/3 orderings across clips and seeds ("
-            << frames << " frames each)\n\n";
+void ordering_section(const bench::BenchOptions& opts, std::size_t frames) {
+  std::cout << "Fig. 2/3 orderings across clips and seeds (" << frames
+            << " frames each)\n";
   bench::Series series{.header = {"clip", "rate(xAvg)", "B(xMaxFrame)",
                                   "TailDrop", "Greedy", "Optimal",
                                   "ordering"}};
@@ -57,6 +70,116 @@ int run(const bench::BenchOptions& opts) {
     add_clip("cnn-news/seed" + std::to_string(seed), model.generate(frames));
   }
   series.emit(opts);
+}
+
+/// Runs one fault axis under skip/stall x recovery off/on and prints
+/// weighted loss per cell plus a monotonicity verdict on the no-recovery
+/// columns (recovery can legitimately flatten the curve).
+void fault_section(const bench::BenchOptions& opts, const Stream& s,
+                   const Plan& plan, const std::string& title,
+                   const char* axis, int axis_decimals,
+                   std::span<const double> severities,
+                   const sim::FaultLinkFactory& make_link,
+                   const char* csv_suffix) {
+  std::cout << "\n" << title << "\n";
+  bench::Series series{.header = {axis, "skip", "stall", "skip+rec",
+                                  "stall+rec", "retx(B)", "stalls",
+                                  "monotone"}};
+  const auto plain = sim::fault_sweep(s, plan, "greedy", severities, make_link,
+                                      RecoveryConfig{});
+  const auto recovered = sim::fault_sweep(s, plan, "greedy", severities,
+                                          make_link,
+                                          RecoveryConfig{.enabled = true});
+  double prev_skip = -1.0;
+  double prev_stall = -1.0;
+  for (std::size_t i = 0; i < severities.size(); ++i) {
+    const double skip = plain[i].skip.weighted_loss();
+    const double stall = plain[i].stall.weighted_loss();
+    const bool monotone =
+        skip >= prev_skip - 1e-12 && stall >= prev_stall - 1e-12;
+    series.add({Table::num(severities[i], axis_decimals), Table::pct(skip),
+                Table::pct(stall), Table::pct(recovered[i].skip.weighted_loss()),
+                Table::pct(recovered[i].stall.weighted_loss()),
+                std::to_string(recovered[i].skip.retransmitted_bytes),
+                std::to_string(plain[i].stall.stall_steps),
+                monotone ? "ok" : "VIOLATED"});
+    prev_skip = skip;
+    prev_stall = stall;
+  }
+  bench::BenchOptions section_opts = opts;
+  if (opts.csv_path) section_opts.csv_path = *opts.csv_path + csv_suffix;
+  series.emit(section_opts);
+}
+
+int run(const bench::BenchOptions& opts) {
+  const std::size_t frames =
+      opts.frames ? opts.frames : (opts.quick ? 300 : 1000);
+  std::cout << "fig_robustness — orderings across clips, then weighted loss "
+               "vs. fault severity\n\n";
+  ordering_section(opts, frames);
+
+  // Whole-frame slices for the fault half: a frame then takes several steps
+  // to transmit, so partial-frame underflow — the case where stall and skip
+  // genuinely differ — can actually occur.
+  const Stream s = bench::reference_stream(trace::Slicing::WholeFrame, frames);
+  const Bytes rate = sim::relative_rate(s, 1.1);
+  const Plan plan = Planner::from_buffer_rate(4 * s.max_frame_bytes(), rate);
+
+  {
+    const double probs[] = {0.0, 0.02, 0.05, 0.1, 0.2};
+    fault_section(
+        opts, s, plan, "i.i.d. erasure: weighted loss vs. loss probability",
+        "p(loss)", 2, probs,
+        [](double severity, Time link_delay) -> std::unique_ptr<Link> {
+          return std::make_unique<faults::ErasureLink>(
+              link_delay, severity,
+              Rng(900 + static_cast<std::uint64_t>(severity * 1000)));
+        },
+        ".erasure.csv");
+  }
+  {
+    // Severity = mean outage length 1/p_bad_to_good; entry rate fixed, so
+    // longer bursts mean a larger fraction of steps spent in outage.
+    // Geometric spacing: with ~20 bursts per run the realized outage
+    // fraction is noisy, and adjacent severities must stay separated by
+    // more than that noise for the monotone column to be meaningful.
+    const double bursts[] = {0.0, 2.0, 8.0, 32.0};
+    fault_section(
+        opts, s, plan,
+        "Gilbert-Elliott outages: weighted loss vs. mean burst length",
+        "burst(steps)", 0, bursts,
+        [](double severity, Time link_delay) -> std::unique_ptr<Link> {
+          faults::GilbertElliottConfig config;
+          config.p_good_to_bad = severity > 0.0 ? 0.02 : 0.0;
+          config.p_bad_to_good = severity > 0.0 ? 1.0 / severity : 1.0;
+          return std::make_unique<faults::GilbertElliottLink>(
+              link_delay, config,
+              Rng(7700 + static_cast<std::uint64_t>(severity)));
+        },
+        ".bursts.csv");
+  }
+  {
+    // Severity = fraction of steps with zero deliverable rate; the active
+    // steps carry 2R so the backlog can drain between outages. The period
+    // is long enough that the outage window overruns the smoothing delay's
+    // slack at the higher severities.
+    const double outage_fraction[] = {0.0, 0.25, 0.5, 0.75};
+    fault_section(
+        opts, s, plan,
+        "throttling: weighted loss vs. outage fraction (2R when active)",
+        "outage", 2, outage_fraction,
+        [rate](double severity, Time link_delay) -> std::unique_ptr<Link> {
+          constexpr std::size_t kPeriod = 48;
+          const auto zeros =
+              static_cast<std::size_t>(severity * kPeriod + 0.5);
+          std::vector<Bytes> pattern(kPeriod, 2 * rate);
+          std::fill_n(pattern.begin(), zeros, Bytes{0});
+          return std::make_unique<faults::ThrottledLink>(
+              std::make_unique<FixedDelayLink>(link_delay),
+              std::move(pattern));
+        },
+        ".throttle.csv");
+  }
   return 0;
 }
 

@@ -12,22 +12,28 @@ std::size_t type_index(FrameType t) { return static_cast<std::size_t>(t); }
 }  // namespace
 
 Client::Client(const Stream& stream, Bytes capacity, Time playout_offset,
-               PlayoutMode mode, Time smoothing_delay)
+               PlayoutMode mode, Time smoothing_delay,
+               UnderflowPolicy underflow, Time max_stall)
     : stream_(&stream),
       capacity_(capacity),
       offset_(playout_offset),
       mode_(mode),
       smoothing_delay_(smoothing_delay),
+      underflow_(underflow),
+      max_stall_(max_stall),
       runs_(stream.run_count()) {
   RTS_EXPECTS(capacity >= 1);
   RTS_EXPECTS(playout_offset >= 0);
   RTS_EXPECTS(mode == PlayoutMode::ArrivalPlusOffset || smoothing_delay >= 0);
+  RTS_EXPECTS(max_stall >= 0);
 }
 
 Time Client::playout_step(Time arrival) const {
-  if (mode_ == PlayoutMode::ArrivalPlusOffset) return arrival + offset_;
+  if (mode_ == PlayoutMode::ArrivalPlusOffset) {
+    return arrival + offset_ + stall_shift_;
+  }
   if (timer_base_ == kNever) return kNever;  // timer not armed yet
-  return timer_base_ + (arrival - timer_frame_);
+  return timer_base_ + stall_shift_ + (arrival - timer_frame_);
 }
 
 void Client::deliver(Time t, std::span<const SentPiece> pieces,
@@ -49,6 +55,7 @@ void Client::deliver(Time t, std::span<const SentPiece> pieces,
       // Deadline miss: the frame's playout step has passed (underflow at
       // playout already charged the slice; here we only account bytes).
       rs.late_lost += piece.bytes;
+      total_late_ += piece.bytes;
       if (rec != nullptr) rec->step().dropped_client += piece.bytes;
       continue;
     }
@@ -70,13 +77,34 @@ void Client::play(Time t, SimReport& report, ScheduleRecorder* rec) {
 void Client::play_frame(Time t, SimReport& report, ScheduleRecorder* rec) {
   Time frame_time;
   if (mode_ == PlayoutMode::ArrivalPlusOffset) {
-    frame_time = t - offset_;
+    frame_time = t - offset_ - stall_shift_;
   } else {
-    if (timer_base_ == kNever || t < timer_base_) return;  // timer pending
-    frame_time = timer_frame_ + (t - timer_base_);
+    if (timer_base_ == kNever || t < timer_base_ + stall_shift_) return;
+    frame_time = timer_frame_ + (t - timer_base_ - stall_shift_);
   }
   if (frame_time < 0) return;
-  for (const SliceRun& run : stream_->arrivals_at(frame_time)) {
+  const auto due = stream_->arrivals_at(frame_time);
+  if (underflow_ == UnderflowPolicy::Stall && !due.empty() &&
+      current_frame_stall_ < max_stall_) {
+    // A partially-arrived slice signals bytes still in flight (delayed or
+    // being retransmitted): pause playout one step and re-check. A frame
+    // with only whole slices stored gets no benefit from waiting — the
+    // missing slices were dropped at the server on purpose — and neither
+    // does a gap the link has already written off (`link_lost`): stalling
+    // for bytes that can never arrive only delays every later frame.
+    for (const SliceRun& run : due) {
+      const auto run_index =
+          static_cast<std::size_t>(&run - stream_->runs().data());
+      const RunState& rs = runs_[run_index];
+      if (!rs.played_out && (rs.stored + rs.link_lost) % run.slice_size != 0) {
+        ++stall_shift_;
+        ++current_frame_stall_;
+        return;
+      }
+    }
+  }
+  current_frame_stall_ = 0;
+  for (const SliceRun& run : due) {
     const auto run_index =
         static_cast<std::size_t>(&run - stream_->runs().data());
     RunState& rs = runs_[run_index];
@@ -87,6 +115,7 @@ void Client::play_frame(Time t, SimReport& report, ScheduleRecorder* rec) {
     const Bytes leftover = rs.stored - played_bytes;
     rs.played = complete;
     rs.leftover_lost += leftover;
+    if (leftover > 0) ++underflow_events_;
     occupancy_ -= rs.stored;
     rs.stored = 0;
     report.played.add(played_bytes, run.weight * static_cast<Weight>(complete),
@@ -118,6 +147,7 @@ void Client::settle_capacity(ScheduleRecorder* rec) {
     }
     rs.stored -= evict;
     rs.overflow_lost += evict;
+    total_overflow_ += evict;
     occupancy_ -= evict;
     bytes -= evict;
     if (rec != nullptr) rec->step().dropped_client += evict;
@@ -125,6 +155,12 @@ void Client::settle_capacity(ScheduleRecorder* rec) {
   }
   RTS_ASSERT(occupancy_ <= capacity_);
   arrived_this_step_.clear();
+}
+
+void Client::add_link_loss(std::size_t run_index, Bytes bytes) {
+  RTS_EXPECTS(run_index < runs_.size());
+  RTS_EXPECTS(bytes > 0);
+  runs_[run_index].link_lost += bytes;
 }
 
 void Client::finalize(SimReport& report) {
@@ -148,23 +184,32 @@ void Client::finalize(SimReport& report) {
       rs.stored = 0;
       continue;
     }
-    const Bytes lost_bytes = rs.overflow_lost + rs.late_lost + rs.leftover_lost;
+    const Bytes lost_bytes =
+        rs.overflow_lost + rs.late_lost + rs.leftover_lost + rs.link_lost;
     if (lost_bytes == 0) continue;
-    // Every transmitted byte was either played or lost at the client, and
-    // the server transmits whole slices in the long run, so the client's
-    // lost bytes always form whole slices once the link drains.
+    // Every transmitted byte was either played, lost at the client, or
+    // erased in flight and written off; the server transmits whole slices in
+    // the long run, so the combined loss always forms whole slices once the
+    // link drains. Whole-slice counts go to each category by its own byte
+    // total; the cross-category remainders (a slice split between, say, an
+    // erased half and a late half) are charged to the deadline-miss bucket.
     RTS_ASSERT(lost_bytes % run.slice_size == 0);
     const std::int64_t lost_slices = lost_bytes / run.slice_size;
-    const std::int64_t overflow_slices =
-        std::min(lost_slices, rs.overflow_lost / run.slice_size);
-    const std::int64_t late_slices = lost_slices - overflow_slices;
+    const std::int64_t overflow_slices = rs.overflow_lost / run.slice_size;
+    const std::int64_t link_slices = rs.link_lost / run.slice_size;
+    const std::int64_t late_slices = lost_slices - overflow_slices - link_slices;
+    RTS_ASSERT(late_slices >= 0);
     report.dropped_client_overflow.add(
         rs.overflow_lost, run.weight * static_cast<Weight>(overflow_slices),
         overflow_slices);
+    report.lost_link.add(rs.link_lost,
+                         run.weight * static_cast<Weight>(link_slices),
+                         link_slices);
     report.dropped_client_late.add(
         rs.late_lost + rs.leftover_lost,
         run.weight * static_cast<Weight>(late_slices), late_slices);
   }
+  report.stall_steps += stall_shift_;
 }
 
 }  // namespace rtsmooth

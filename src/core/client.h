@@ -11,6 +11,13 @@
 // refused (client overflow), and bytes delivered after their playout step
 // are useless (deadline miss / underflow). Under B = R*D neither occurs
 // (Lemmas 3.3, 3.4) and tests assert exactly that.
+//
+// On a faulty channel (src/faults/) underflow *does* occur, and the
+// UnderflowPolicy picks the degradation mode: Skip plays what is complete and
+// conceals the rest (weighted loss), Stall pauses playout — shifting the
+// timer base so every later deadline moves with it — for up to `max_stall`
+// steps while a partially-arrived slice may still be completed by a delayed
+// delivery or a retransmission.
 
 #pragma once
 
@@ -40,15 +47,33 @@ enum class PlayoutMode {
   TimerFromFirstDelivery,
 };
 
+/// What the client does when the frame due for playout is incomplete.
+enum class UnderflowPolicy {
+  /// Concealment: play the complete slices, count the partial remainder as
+  /// weighted loss, keep the playout clock running. The paper's implicit
+  /// behaviour.
+  Skip,
+  /// Rebuffer-and-resync: pause playout (shifting the timer base, so all
+  /// later deadlines shift too) while the due frame holds a partially
+  /// arrived slice whose missing bytes are not known lost, up to
+  /// `max_stall` steps per frame, then give up and play what is complete.
+  /// Gaps the link has written off (NACKed past recovery) never stall —
+  /// those bytes can no longer arrive.
+  Stall,
+};
+
 class Client {
  public:
   /// `capacity` is Bc in bytes; pass kUnbounded for an infinite buffer.
   /// `playout_offset` = P + D: frame t plays at t + playout_offset.
   /// For TimerFromFirstDelivery, `smoothing_delay` (= D) must be given:
   /// the timer arms at first delivery + D.
+  /// `max_stall` bounds the rebuffering spent on any one frame (Stall only).
   Client(const Stream& stream, Bytes capacity, Time playout_offset,
          PlayoutMode mode = PlayoutMode::ArrivalPlusOffset,
-         Time smoothing_delay = -1);
+         Time smoothing_delay = -1,
+         UnderflowPolicy underflow = UnderflowPolicy::Skip,
+         Time max_stall = 0);
 
   static constexpr Bytes kUnbounded = std::numeric_limits<Bytes>::max();
 
@@ -66,6 +91,12 @@ class Client {
   /// once per step, after deliver().
   void play(Time t, SimReport& report, ScheduleRecorder* rec);
 
+  /// Records bytes of run `run_index` that were erased in flight and written
+  /// off by the server's recovery path — they will never be delivered.
+  /// finalize() folds them into `report.lost_link` with consistent slice and
+  /// weight accounting.
+  void add_link_loss(std::size_t run_index, Bytes bytes);
+
   /// Converts end-of-simulation per-run byte losses into slice/weight
   /// tallies. Call exactly once, after the final step.
   void finalize(SimReport& report);
@@ -73,12 +104,20 @@ class Client {
   Bytes occupancy() const { return occupancy_; }
   Time playout_offset() const { return offset_; }
 
+  // -- observables for the InvariantMonitor (monotone running totals) ------
+  Time stall_steps() const { return stall_shift_; }
+  std::int64_t underflow_events() const { return underflow_events_; }
+  Bytes late_bytes_so_far() const { return total_late_; }
+  Bytes overflow_bytes_so_far() const { return total_overflow_; }
+  Bytes capacity() const { return capacity_; }
+
  private:
   struct RunState {
     Bytes stored = 0;         ///< bytes in the buffer, not yet played
     Bytes overflow_lost = 0;  ///< bytes refused for lack of space
     Bytes late_lost = 0;      ///< bytes delivered after the playout step
     Bytes leftover_lost = 0;  ///< bytes of incomplete slices at playout
+    Bytes link_lost = 0;      ///< bytes erased in flight, written off
     std::int64_t played = 0;  ///< complete slices played
     bool played_out = false;  ///< this run's playout step has passed
   };
@@ -94,8 +133,15 @@ class Client {
   Time offset_;
   PlayoutMode mode_;
   Time smoothing_delay_;
+  UnderflowPolicy underflow_;
+  Time max_stall_;
   Time timer_base_ = kNever;        ///< playout step of timer_frame_
   Time timer_frame_ = kNever;       ///< arrival time anchoring the timer
+  Time stall_shift_ = 0;            ///< total rebuffering; shifts every deadline
+  Time current_frame_stall_ = 0;    ///< stall spent on the frame now due
+  std::int64_t underflow_events_ = 0;
+  Bytes total_late_ = 0;
+  Bytes total_overflow_ = 0;
   Bytes occupancy_ = 0;
   std::vector<RunState> runs_;
   /// Pieces stored this step, newest last — the overflow eviction order.

@@ -35,13 +35,69 @@ void SmoothingServer::account_drop(const SliceRun& run, std::size_t run_index,
   }
 }
 
+void SmoothingServer::write_off(const SentPiece& piece) {
+  if (loss_sink_) loss_sink_(*piece.run, piece.run_index, piece.bytes);
+}
+
+void SmoothingServer::handle_nack(const Nack& nack, Time t) {
+  const RecoveryConfig& cfg = config_.recovery;
+  const std::int32_t next_attempt = nack.piece.retx_attempt + 1;
+  // Last step a retransmission may leave and still make AT + P + D.
+  const Time deadline = nack.piece.run->arrival + cfg.smoothing_delay;
+  if (!cfg.enabled || next_attempt > cfg.max_retries) {
+    write_off(nack.piece);
+    return;
+  }
+  const Time ready = t + (cfg.backoff_base << (next_attempt - 1));
+  if (ready > deadline) {
+    write_off(nack.piece);
+    return;
+  }
+  SentPiece copy = nack.piece;
+  copy.retx_attempt = next_attempt;
+  retx_queue_.push_back(RetxEntry{.piece = copy, .ready_at = ready});
+}
+
+Bytes SmoothingServer::send_retransmissions(Time t, Bytes budget,
+                                            std::vector<SentPiece>& out) {
+  Bytes sent = 0;
+  auto it = retx_queue_.begin();
+  while (it != retx_queue_.end()) {
+    // A queued piece whose deadline has passed can no longer help: write it
+    // off regardless of budget so the queue (and the simulation) drains.
+    if (t > it->piece.run->arrival + config_.recovery.smoothing_delay) {
+      write_off(it->piece);
+      it = retx_queue_.erase(it);
+      continue;
+    }
+    if (it->ready_at > t) {
+      ++it;
+      continue;
+    }
+    // Pieces are the atomic loss/retransmit unit; send head-of-line whole or
+    // not at all (no reordering past it).
+    if (it->piece.bytes > budget - sent) break;
+    sent += it->piece.bytes;
+    out.push_back(it->piece);
+    if (current_report_ != nullptr) {
+      current_report_->retransmitted_bytes += it->piece.bytes;
+    }
+    it = retx_queue_.erase(it);
+  }
+  return sent;
+}
+
 std::vector<SentPiece> SmoothingServer::step(Time t,
                                              const ArrivalBatch& arrivals,
+                                             std::span<const Nack> nacks,
                                              SimReport& report,
                                              ScheduleRecorder* rec) {
   now_ = t;
   current_report_ = &report;
   current_rec_ = rec;
+
+  // Loss feedback arriving this step: retry or write off.
+  for (const Nack& nack : nacks) handle_nack(nack, t);
 
   // Pro-active (early) drops act on the state before this step's arrivals.
   policy_->early_drop(buffer_, config_.buffer, t);
@@ -56,8 +112,16 @@ std::vector<SentPiece> SmoothingServer::step(Time t,
     if (rec != nullptr) rec->step().arrived += run.total_bytes();
   }
 
-  // Eq. (2): the send size is fixed from the pre-drop occupancy.
-  const Bytes planned_send = std::min(config_.rate, buffer_.occupancy());
+  // Retransmissions go out first: their deadlines are the closest, and
+  // giving them priority within the same rate R keeps Eq. (2)'s link
+  // constraint intact — recovery costs fresh throughput, never extra rate.
+  std::vector<SentPiece> pieces;
+  const Bytes retx_sent = send_retransmissions(t, config_.rate, pieces);
+
+  // Eq. (2): the send size is fixed from the pre-drop occupancy and the
+  // rate left after retransmissions.
+  const Bytes planned_send =
+      std::min(config_.rate - retx_sent, buffer_.occupancy());
 
   // Eq. (3): shed whole slices until post-send occupancy is at most B.
   const Bytes target = config_.buffer + planned_send;
@@ -67,11 +131,10 @@ std::vector<SentPiece> SmoothingServer::step(Time t,
   }
 
   // Transmit in FIFO order at the maximal possible rate.
-  std::vector<SentPiece> pieces;
   const Bytes sent = buffer_.send(planned_send, pieces);
   RTS_ASSERT(sent == planned_send);
   report.max_link_bytes_per_step =
-      std::max(report.max_link_bytes_per_step, sent);
+      std::max(report.max_link_bytes_per_step, retx_sent + sent);
   report.max_server_occupancy =
       std::max(report.max_server_occupancy, buffer_.occupancy());
   if (rec != nullptr) {
@@ -93,6 +156,12 @@ void SmoothingServer::account_residual(SimReport& report) const {
     report.residual.add(c.bytes(),
                         c.run->weight * static_cast<Weight>(c.slices),
                         c.slices);
+  }
+  for (const RetxEntry& entry : retx_queue_) {
+    const SliceRun& run = *entry.piece.run;
+    const std::int64_t whole = entry.piece.bytes / run.slice_size;
+    report.residual.add(entry.piece.bytes,
+                        run.weight * static_cast<Weight>(whole), whole);
   }
 }
 

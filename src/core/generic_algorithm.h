@@ -10,11 +10,25 @@
 // with unit slices the count dropped is exactly Eq. (3) regardless of
 // policy, which is what makes Theorem 3.5 policy-independent.
 
+// Recovery extension (not in the paper; see DESIGN.md "Fault model &
+// recovery semantics"): on a lossy link, erased pieces come back as NACKs.
+// A NACKed piece is retransmitted — with exponential backoff in slots and a
+// bounded retry budget — only while the copy can still arrive by its playout
+// deadline AT + P + D, i.e. while the retransmission step is <= AT + D.
+// Anything else is written off and surfaced to the accounting sink, so the
+// report's conservation invariant keeps holding byte-for-byte under faults.
+// Retransmissions take priority over fresh data inside the same link rate R,
+// so recovery degrades throughput instead of violating Eq. (2).
+
 #pragma once
 
+#include <deque>
+#include <functional>
 #include <memory>
+#include <span>
 
 #include "core/drop_policy.h"
+#include "core/link.h"
 #include "core/metrics.h"
 #include "core/schedule.h"
 #include "core/server_buffer.h"
@@ -23,9 +37,22 @@
 
 namespace rtsmooth {
 
+/// Retransmission behaviour for NACKed pieces. Disabled by default: every
+/// reported loss is written off immediately (pure-loss accounting).
+struct RecoveryConfig {
+  bool enabled = false;
+  std::int32_t max_retries = 3;  ///< retransmissions per piece beyond the original
+  Time backoff_base = 1;  ///< the k-th retransmission waits base << (k-1) slots
+  /// D, for the deadline test (a retransmission sent at step ts arrives at
+  /// ts + P and must make AT + P + D, so ts <= AT + D). The simulator fills
+  /// this from SimConfig; standalone servers set it explicitly.
+  Time smoothing_delay = 0;
+};
+
 struct ServerConfig {
   Bytes buffer = 1;  ///< B: bound on |Bs(t)| after each step
   Bytes rate = 1;    ///< R: link rate in bytes per step
+  RecoveryConfig recovery{};
 };
 
 /// The smoothing server: buffer + link-rate constraint + drop policy.
@@ -37,27 +64,60 @@ class SmoothingServer {
  public:
   SmoothingServer(ServerConfig config, std::unique_ptr<DropPolicy> policy);
 
-  /// Executes one step: (early drops,) arrivals, Eq. (3) drops, Eq. (2)
-  /// send. Drop and arrival tallies are accumulated into `report`; per-run
-  /// outcomes into `rec` if given. Returns the pieces submitted to the link.
+  /// Executes one step: NACK triage, (early drops,) arrivals, retransmit
+  /// due pieces, Eq. (3) drops, Eq. (2) send with the remaining rate. Drop
+  /// and arrival tallies are accumulated into `report`; per-run outcomes
+  /// into `rec` if given. Returns the pieces submitted to the link.
   std::vector<SentPiece> step(Time t, const ArrivalBatch& arrivals,
-                              SimReport& report, ScheduleRecorder* rec);
+                              std::span<const Nack> nacks, SimReport& report,
+                              ScheduleRecorder* rec);
+
+  /// Lossless-link convenience: step with no NACKs.
+  std::vector<SentPiece> step(Time t, const ArrivalBatch& arrivals,
+                              SimReport& report, ScheduleRecorder* rec) {
+    return step(t, arrivals, {}, report, rec);
+  }
 
   const ServerBuffer& buffer() const { return buffer_; }
   const ServerConfig& config() const { return config_; }
   const DropPolicy& policy() const { return *policy_; }
 
-  /// Moves whatever is still buffered into `report.residual` (for truncated
-  /// simulations). The simulator's normal path drains instead.
+  /// True when both the buffer and the retransmission queue are empty.
+  bool idle() const { return buffer_.empty() && retx_queue_.empty(); }
+
+  /// Invoked with every piece written off as link loss (NACKed but not
+  /// recoverable: retries exhausted, or the deadline cannot be met). The
+  /// simulator wires this to Client::add_link_loss so lost bytes stay in the
+  /// conservation ledger.
+  using LinkLossSink = std::function<void(const SliceRun& run,
+                                          std::size_t run_index, Bytes bytes)>;
+  void set_link_loss_sink(LinkLossSink sink) { loss_sink_ = std::move(sink); }
+
+  /// Moves whatever is still buffered or queued for retransmission into
+  /// `report.residual` (for truncated simulations). The simulator's normal
+  /// path drains instead.
   void account_residual(SimReport& report) const;
 
  private:
+  struct RetxEntry {
+    SentPiece piece;
+    Time ready_at = 0;  ///< earliest retransmission step (backoff applied)
+  };
+
   void account_drop(const SliceRun& run, std::size_t run_index,
                     std::int64_t slices, Time t);
+  void write_off(const SentPiece& piece);
+  void handle_nack(const Nack& nack, Time t);
+  /// Sends due retransmissions (FIFO, whole pieces) within `budget` bytes;
+  /// returns the bytes consumed.
+  Bytes send_retransmissions(Time t, Bytes budget,
+                             std::vector<SentPiece>& out);
 
   ServerConfig config_;
   std::unique_ptr<DropPolicy> policy_;
   ServerBuffer buffer_;
+  std::deque<RetxEntry> retx_queue_;
+  LinkLossSink loss_sink_;
   SimReport* current_report_ = nullptr;
   ScheduleRecorder* current_rec_ = nullptr;
   Time now_ = 0;

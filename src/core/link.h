@@ -6,6 +6,13 @@
 // Sect. 6: per-step delay P + j(t) with 0 <= j(t) <= J, FIFO order
 // preserved. The paper's analysis assumes J = 0; the jitter ablation bench
 // measures how much extra client budget restores losslessness.
+//
+// Faulty channels (erasures, outage bursts, throttling — the rest of the
+// Sect. 6 open problems) live in src/faults/. The base interface carries the
+// feedback path they need: a link that loses a piece surfaces it as a `Nack`
+// once the loss becomes knowable at the server, and the server's recovery
+// path (core/generic_algorithm.h) decides whether a retransmission can still
+// make the playout deadline. Lossless links never produce NACKs.
 
 #pragma once
 
@@ -19,8 +26,18 @@
 
 namespace rtsmooth {
 
-/// Abstract lossless FIFO pipe. Bytes submitted at step t are delivered at
-/// step >= t + min_delay(), in submission order.
+/// Feedback-path report of a piece the link definitively lost. The lost copy
+/// never reaches the client; `piece.retx_attempt` counts how many times this
+/// data had already been retransmitted when it was lost.
+struct Nack {
+  SentPiece piece;
+  Time sent_at = 0;  ///< step the lost copy entered the link
+};
+
+/// Abstract FIFO pipe. Bytes submitted at step t are delivered at
+/// step >= t + min_delay(), in submission order. Lossy implementations may
+/// silently drop pieces in flight; every dropped piece must eventually be
+/// surfaced through collect_nacks() exactly once.
 class Link {
  public:
   virtual ~Link() = default;
@@ -34,7 +51,17 @@ class Link {
   /// order.
   virtual std::vector<SentPiece> deliver(Time t) = 0;
 
-  virtual bool idle() const = 0;   ///< nothing in flight
+  /// Loss reports whose feedback reaches the server at step t (loss
+  /// detection time plus the reverse-path delay). Polled once per step, in
+  /// increasing order of t, like deliver(). Lossless links return nothing.
+  virtual std::vector<Nack> collect_nacks(Time t) {
+    (void)t;
+    return {};
+  }
+
+  /// Nothing in flight — including losses whose NACK is still in the
+  /// feedback pipe.
+  virtual bool idle() const = 0;
   virtual Time min_delay() const = 0;
 
  protected:

@@ -24,11 +24,22 @@ double SimReport::byte_loss() const {
 bool SimReport::conserves() const {
   const Bytes accounted = played.bytes + dropped_server.bytes +
                           dropped_client_overflow.bytes +
-                          dropped_client_late.bytes + residual.bytes;
+                          dropped_client_late.bytes + lost_link.bytes +
+                          residual.bytes;
   const std::int64_t slices_accounted =
       played.slices + dropped_server.slices + dropped_client_overflow.slices +
-      dropped_client_late.slices + residual.slices;
+      dropped_client_late.slices + lost_link.slices + residual.slices;
   return accounted == offered.bytes && slices_accounted == offered.slices;
+}
+
+InvariantViolations& InvariantViolations::operator+=(
+    const InvariantViolations& o) {
+  server_occupancy += o.server_occupancy;
+  server_sojourn += o.server_sojourn;
+  client_overflow += o.client_overflow;
+  client_underflow += o.client_underflow;
+  first = std::min(first, o.first);
+  return *this;
 }
 
 SimReport& SimReport::operator+=(const SimReport& o) {
@@ -37,6 +48,7 @@ SimReport& SimReport::operator+=(const SimReport& o) {
   dropped_server += o.dropped_server;
   dropped_client_overflow += o.dropped_client_overflow;
   dropped_client_late += o.dropped_client_late;
+  lost_link += o.lost_link;
   residual += o.residual;
   for (std::size_t i = 0; i < offered_by_type.size(); ++i) {
     offered_by_type[i] += o.offered_by_type[i];
@@ -47,6 +59,9 @@ SimReport& SimReport::operator+=(const SimReport& o) {
   max_link_bytes_per_step =
       std::max(max_link_bytes_per_step, o.max_link_bytes_per_step);
   steps += o.steps;
+  retransmitted_bytes += o.retransmitted_bytes;
+  stall_steps += o.stall_steps;
+  invariants += o.invariants;
   return *this;
 }
 
@@ -57,6 +72,13 @@ std::ostream& operator<<(std::ostream& os, const SimReport& r) {
      << r.dropped_server.bytes << "B, client-drop "
      << (r.dropped_client_overflow.bytes + r.dropped_client_late.bytes)
      << "B, weighted loss " << r.weighted_loss() * 100.0 << "%";
+  if (r.lost_link.bytes > 0) os << ", link-lost " << r.lost_link.bytes << "B";
+  if (r.retransmitted_bytes > 0) os << ", retx " << r.retransmitted_bytes << "B";
+  if (r.stall_steps > 0) os << ", stalled " << r.stall_steps;
+  if (r.invariants.any()) {
+    os << ", invariant violations " << r.invariants.total() << " (first at t="
+       << r.invariants.first << ")";
+  }
   return os;
 }
 

@@ -37,11 +37,17 @@ struct Chunk {
 
 /// A group of bytes handed to the link: `bytes` bytes of run `run`,
 /// completing `completed_slices` whole slices.
+///
+/// `retx_attempt` is 0 for a fresh transmission; a copy re-sent by the
+/// recovery path (see core/generic_algorithm.h) carries the number of
+/// retransmissions so far, so a lossy link's NACK can report how many times
+/// this data has already been retried.
 struct SentPiece {
   const SliceRun* run = nullptr;
   std::size_t run_index = 0;
   Bytes bytes = 0;
   std::int64_t completed_slices = 0;
+  std::int32_t retx_attempt = 0;
 };
 
 /// Result of a drop operation, for accounting.

@@ -1,0 +1,135 @@
+// Fault-injection links (DESIGN.md "Fault model & recovery semantics").
+//
+// The paper's channel (Sect. 2, Fig. 1) is lossless with constant delay P;
+// Sect. 6 leaves jittery and faulty channels open. These decorators inject
+// the three classic impairments around *any* inner link, so they compose
+// with each other and with BoundedJitterLink:
+//
+//   ErasureLink        — i.i.d. per-piece loss with probability p
+//   GilbertElliottLink — bursty loss from a 2-state good/bad Markov chain
+//   ThrottledLink      — time-varying deliverable rate (congestion/outage)
+//
+// All are seeded and deterministic. At severity zero (p = 0, always-good,
+// cap >= R) each is byte-identical to its inner link — a test pins exact
+// SimReport equality against FixedDelayLink on the reference clip.
+//
+// Loss feedback: an erased piece becomes a Nack surfaced to the server at
+// (would-be delivery time) + feedback_delay, modelling a client-side gap
+// detector plus the reverse path. The links never retransmit on their own —
+// that decision (deadline check, retry budget, backoff) belongs to the
+// server's recovery path in core/generic_algorithm.h.
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/link.h"
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace rtsmooth::faults {
+
+/// I.i.d. per-piece erasure: each submitted piece is lost with probability
+/// `loss_probability`, independently. Lost pieces are NACKed.
+class ErasureLink final : public Link {
+ public:
+  /// `feedback_delay` < 0 means "one propagation delay" (symmetric reverse
+  /// path): the NACK reaches the server at t + 2 * inner->min_delay().
+  ErasureLink(std::unique_ptr<Link> inner, double loss_probability, Rng rng,
+              Time feedback_delay = -1);
+  /// Convenience: erasures over a FixedDelayLink(propagation_delay).
+  ErasureLink(Time propagation_delay, double loss_probability, Rng rng,
+              Time feedback_delay = -1);
+
+  void submit(Time t, std::vector<SentPiece> pieces) override;
+  std::vector<SentPiece> deliver(Time t) override;
+  std::vector<Nack> collect_nacks(Time t) override;
+  bool idle() const override { return inner_->idle() && pending_nacks_.empty(); }
+  Time min_delay() const override { return inner_->min_delay(); }
+
+  double loss_probability() const { return p_; }
+
+ private:
+  std::unique_ptr<Link> inner_;
+  double p_;
+  Rng rng_;
+  Time feedback_delay_;
+  struct PendingNack {
+    Time at;
+    Nack nack;
+  };
+  std::deque<PendingNack> pending_nacks_;
+};
+
+/// Parameters of the Gilbert-Elliott two-state loss chain. The state
+/// advances once per step; pieces submitted in a step see that step's state.
+struct GilbertElliottConfig {
+  double p_good_to_bad = 0.0;  ///< per-step transition Good -> Bad
+  double p_bad_to_good = 1.0;  ///< per-step transition Bad -> Good
+  double loss_good = 0.0;      ///< erasure probability while Good
+  double loss_bad = 1.0;       ///< erasure probability while Bad (outage)
+};
+
+/// Bursty good/bad outage channel. With p_good_to_bad = 0 (always-good) it
+/// is byte-identical to its inner link. Mean burst length in steps is
+/// 1 / p_bad_to_good.
+class GilbertElliottLink final : public Link {
+ public:
+  GilbertElliottLink(std::unique_ptr<Link> inner, GilbertElliottConfig config,
+                     Rng rng, Time feedback_delay = -1);
+  GilbertElliottLink(Time propagation_delay, GilbertElliottConfig config,
+                     Rng rng, Time feedback_delay = -1);
+
+  void submit(Time t, std::vector<SentPiece> pieces) override;
+  std::vector<SentPiece> deliver(Time t) override;
+  std::vector<Nack> collect_nacks(Time t) override;
+  bool idle() const override { return inner_->idle() && pending_nacks_.empty(); }
+  Time min_delay() const override { return inner_->min_delay(); }
+
+  bool in_bad_state() const { return bad_; }
+
+ private:
+  void ensure_state(Time t);
+
+  std::unique_ptr<Link> inner_;
+  GilbertElliottConfig config_;
+  Rng rng_;
+  Time feedback_delay_;
+  bool bad_ = false;
+  Time state_time_ = -1;  ///< last step the chain was advanced to
+  struct PendingNack {
+    Time at;
+    Nack nack;
+  };
+  std::deque<PendingNack> pending_nacks_;
+};
+
+/// Time-varying deliverable rate: at step t at most
+/// `rate_pattern[t % rate_pattern.size()]` bytes enter the inner link;
+/// the excess queues (FIFO) and drains as capacity returns. Models
+/// congestion dips and outage windows (a 0 entry is a full stall). Never
+/// loses data — severe throttling shows up as deadline misses at the
+/// client, not as NACKs.
+class ThrottledLink final : public Link {
+ public:
+  ThrottledLink(std::unique_ptr<Link> inner, std::vector<Bytes> rate_pattern);
+  /// Convenience: a constant cap over a FixedDelayLink(propagation_delay).
+  ThrottledLink(Time propagation_delay, Bytes rate_cap);
+
+  void submit(Time t, std::vector<SentPiece> pieces) override;
+  std::vector<SentPiece> deliver(Time t) override;
+  bool idle() const override { return inner_->idle() && queued_ == 0; }
+  Time min_delay() const override { return inner_->min_delay(); }
+
+  Bytes cap_at(Time t) const;
+
+ private:
+  std::unique_ptr<Link> inner_;
+  std::vector<Bytes> pattern_;
+  std::deque<SentPiece> pending_;
+  Bytes queued_ = 0;
+};
+
+}  // namespace rtsmooth::faults

@@ -1,0 +1,48 @@
+#include "faults/invariant_monitor.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace rtsmooth::faults {
+
+InvariantMonitor::InvariantMonitor(Bytes server_buffer, Bytes rate)
+    : server_buffer_(server_buffer),
+      sojourn_bound_((server_buffer + rate - 1) / rate) {
+  RTS_EXPECTS(server_buffer >= 1);
+  RTS_EXPECTS(rate >= 1);
+}
+
+void InvariantMonitor::record(Time t,
+                              std::int64_t InvariantViolations::*counter) {
+  violations_.*counter += 1;
+  violations_.first = std::min(violations_.first, t);
+}
+
+void InvariantMonitor::check(Time t, const SmoothingServer& server,
+                             const Client& client) {
+  const ServerBuffer& buffer = server.buffer();
+  if (buffer.occupancy() > server_buffer_) {
+    record(t, &InvariantViolations::server_occupancy);
+  }
+  if (buffer.chunk_count() > 0) {
+    // The head chunk's bytes arrived at its run's arrival step; under the
+    // work-conserving generic algorithm they leave within B/R (Lemma 3.2).
+    const Time age = t - buffer.chunk(0).run->arrival;
+    if (age > sojourn_bound_) {
+      record(t, &InvariantViolations::server_sojourn);
+    }
+  }
+  if (client.overflow_bytes_so_far() > prev_overflow_) {
+    record(t, &InvariantViolations::client_overflow);
+  }
+  if (client.late_bytes_so_far() > prev_late_ ||
+      client.underflow_events() > prev_underflow_events_) {
+    record(t, &InvariantViolations::client_underflow);
+  }
+  prev_overflow_ = client.overflow_bytes_so_far();
+  prev_late_ = client.late_bytes_so_far();
+  prev_underflow_events_ = client.underflow_events();
+}
+
+}  // namespace rtsmooth::faults

@@ -1,0 +1,56 @@
+// Non-aborting watchdog for the paper's Lemma 3.2-3.4 guarantees.
+//
+// The contract macros in util/assert.h abort on violation, which is right
+// for *internal* accounting invariants (a negative occupancy is a bug). The
+// paper's *model* guarantees are different: on a faulty channel they are
+// expected to fail, and the interesting question is how often and how early.
+// The monitor checks them every step and records violations into
+// SimReport::invariants, so a faulty-link run degrades gracefully and the
+// robustness bench can report how far a channel pushes the system from the
+// paper's regime:
+//
+//   server occupancy  |Bs(t)| <= B                  (Eq. (3) post-state)
+//   server sojourn    every buffered byte leaves within ceil(B/R) of
+//                     arrival (Lemma 3.2) — retransmission priority can
+//                     stretch this, which is exactly worth observing
+//   client overflow   no delivered byte is evicted for space (Lemma 3.4)
+//   client underflow  no transmitted byte misses its deadline: no late
+//                     deliveries, no partial slice at playout (Lemma 3.3)
+//
+// Server-intentional drops (Eq. (3)) are not violations — the paper's model
+// sheds load at the server on purpose; link write-offs appear in
+// SimReport::lost_link, not here.
+
+#pragma once
+
+#include "core/client.h"
+#include "core/generic_algorithm.h"
+#include "core/metrics.h"
+#include "core/types.h"
+
+namespace rtsmooth::faults {
+
+class InvariantMonitor {
+ public:
+  InvariantMonitor(Bytes server_buffer, Bytes rate);
+
+  /// Checks the post-step state; call once per step after client playout.
+  void check(Time t, const SmoothingServer& server, const Client& client);
+
+  const InvariantViolations& violations() const { return violations_; }
+
+  /// Copies the verdict into the report. Call once, after the final step.
+  void finalize(SimReport& report) const { report.invariants = violations_; }
+
+ private:
+  void record(Time t, std::int64_t InvariantViolations::*counter);
+
+  Bytes server_buffer_;
+  Time sojourn_bound_;  ///< ceil(B / R)
+  Bytes prev_overflow_ = 0;
+  Bytes prev_late_ = 0;
+  std::int64_t prev_underflow_events_ = 0;
+  InvariantViolations violations_;
+};
+
+}  // namespace rtsmooth::faults

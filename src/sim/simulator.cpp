@@ -1,59 +1,122 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <sstream>
+#include <stdexcept>
 
+#include "faults/invariant_monitor.h"
 #include "policies/policy_factory.h"
 #include "util/assert.h"
 
 namespace rtsmooth::sim {
+namespace {
+
+/// Throws with the validation message before any member with aborting
+/// preconditions is constructed.
+const Stream& validated(const Stream& stream, const SimConfig& config) {
+  std::string problem = config.validate(stream);
+  if (!problem.empty()) {
+    throw std::invalid_argument("SimConfig: " + std::move(problem));
+  }
+  return stream;
+}
+
+ServerConfig server_config(const SimConfig& config) {
+  ServerConfig sc{.buffer = config.server_buffer,
+                  .rate = config.rate,
+                  .recovery = config.recovery};
+  // The deadline test lives at the server but D is a simulation-level
+  // parameter; keep callers from having to thread it twice.
+  sc.recovery.smoothing_delay = config.smoothing_delay;
+  return sc;
+}
+
+}  // namespace
+
+std::string SimConfig::validate(const Stream& stream) const {
+  std::ostringstream msg;
+  if (server_buffer < 1) {
+    msg << "server_buffer must be >= 1, got " << server_buffer;
+  } else if (client_buffer < 1) {
+    msg << "client_buffer must be >= 1, got " << client_buffer;
+  } else if (rate < 1) {
+    msg << "rate must be >= 1 byte/step, got " << rate;
+  } else if (smoothing_delay < 0) {
+    msg << "smoothing_delay must be >= 0, got " << smoothing_delay;
+  } else if (link_delay < 0) {
+    msg << "link_delay must be >= 0, got " << link_delay;
+  } else if (server_buffer < stream.max_slice_size()) {
+    msg << "server_buffer (" << server_buffer
+        << " bytes) is smaller than the stream's largest slice ("
+        << stream.max_slice_size()
+        << " bytes); a slice that cannot fit the buffer can never be "
+           "scheduled — grow the buffer or cut finer slices";
+  } else if (max_stall < 0) {
+    msg << "max_stall must be >= 0, got " << max_stall;
+  } else if (recovery.max_retries < 0) {
+    msg << "recovery.max_retries must be >= 0, got " << recovery.max_retries;
+  } else if (recovery.backoff_base < 1) {
+    msg << "recovery.backoff_base must be >= 1 slot, got "
+        << recovery.backoff_base;
+  } else if (recovery.backoff_base > 0 && recovery.max_retries > 62) {
+    msg << "recovery.max_retries (" << recovery.max_retries
+        << ") would overflow the exponential backoff; keep it <= 62";
+  }
+  return std::move(msg).str();
+}
 
 SmoothingSimulator::SmoothingSimulator(const Stream& stream, SimConfig config,
                                        std::unique_ptr<DropPolicy> policy,
                                        std::unique_ptr<Link> link)
-    : stream_(&stream),
+    : stream_(&validated(stream, config)),
       config_(config),
-      server_(ServerConfig{.buffer = config.server_buffer, .rate = config.rate},
-              std::move(policy)),
+      server_(server_config(config), std::move(policy)),
       link_(link ? std::move(link)
                  : std::make_unique<FixedDelayLink>(config.link_delay)),
       client_(stream, config.client_buffer,
               config.link_delay + config.smoothing_delay, config.playout,
-              config.smoothing_delay) {
-  RTS_EXPECTS(config.server_buffer >= stream.max_slice_size());
-  RTS_EXPECTS(config.client_buffer >= 1);
-  RTS_EXPECTS(config.rate >= 1);
-  RTS_EXPECTS(config.smoothing_delay >= 0);
-  RTS_EXPECTS(config.link_delay >= 0);
-}
+              config.smoothing_delay, config.underflow, config.max_stall) {}
 
 SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
   RTS_EXPECTS(!ran_);
   ran_ = true;
   SimReport report;
   ArrivalCursor cursor(*stream_);
+  faults::InvariantMonitor monitor(config_.server_buffer, config_.rate);
+  server_.set_link_loss_sink(
+      [this](const SliceRun& /*run*/, std::size_t run_index, Bytes bytes) {
+        client_.add_link_loss(run_index, bytes);
+      });
   const Time horizon = stream_->horizon();
   const Time playout_offset = config_.link_delay + config_.smoothing_delay;
   const Time last_playout = horizon - 1 + playout_offset;
   // Hard ceiling against accounting bugs keeping the loop alive: everything
   // must drain within the horizon plus transmit time plus pipeline depth.
+  // Faults extend the pipeline by bounded amounts — client rebuffering
+  // (counted as it happens) and the loss-feedback round trip — so the
+  // ceiling moves with them instead of aborting a legitimately slow run.
   const Time limit = horizon + playout_offset +
-                     stream_->total_bytes() / config_.rate + 16;
+                     stream_->total_bytes() / config_.rate + 16 +
+                     8 * (link_->min_delay() + 1) + 256;
   Time t = 0;
-  for (; t <= last_playout || !server_.buffer().empty() || !link_->idle() ||
+  for (; t <= last_playout || !server_.idle() || !link_->idle() ||
          client_.occupancy() > 0;  // timer-mode playout can trail the offset
        ++t) {
-    RTS_ASSERT(t <= limit);
+    RTS_ASSERT(t <= limit + client_.stall_steps());
     if (rec != nullptr) rec->begin_step(t);
-    auto pieces = server_.step(t, cursor.step(t), report, rec);
+    const auto nacks = link_->collect_nacks(t);
+    auto pieces = server_.step(t, cursor.step(t), nacks, report, rec);
     link_->submit(t, std::move(pieces));
     const auto delivered = link_->deliver(t);
     client_.deliver(t, delivered, report, rec);
     client_.play(t, report, rec);
+    monitor.check(t, server_, client_);
     if (rec != nullptr) rec->step().client_occupancy = client_.occupancy();
   }
   report.steps = t;
   client_.finalize(report);
   server_.account_residual(report);
+  monitor.finalize(report);
   RTS_ENSURES(report.conserves());
   return report;
 }

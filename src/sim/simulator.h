@@ -1,17 +1,25 @@
 // End-to-end slotted simulation of the smoothing system of Fig. 1:
 // source -> server buffer -> link -> client buffer -> playout device.
 //
-// Per step t (the event order fixed in Sect. 2.2): the frame A(t) arrives at
-// the server; the server drops and sends per the generic algorithm
-// (Eqs. (2),(3)) with its DropPolicy; the link delivers R(t) = S(t-P); the
-// client stores, then plays the frame whose playout step this is
-// (PT = AT + P + D). The run continues past the last arrival until the
-// server, link and playout pipeline fully drain, so reports always satisfy
-// conservation.
+// Per step t (the event order fixed in Sect. 2.2): loss feedback (NACKs)
+// reaches the server; the frame A(t) arrives at the server; the server
+// drops, retransmits and sends per the generic algorithm (Eqs. (2),(3))
+// with its DropPolicy; the link delivers R(t) = S(t-P); the client stores,
+// then plays the frame whose playout step this is (PT = AT + P + D, shifted
+// by any rebuffering under UnderflowPolicy::Stall). The run continues past
+// the last arrival until the server (buffer and retransmission queue), link
+// (including pending loss feedback) and playout pipeline fully drain, so
+// reports always satisfy conservation — even on faulty links.
+//
+// An InvariantMonitor (src/faults/) watches the Lemma 3.2-3.4 guarantees
+// every step and records violations into the report instead of aborting:
+// faulty channels are supposed to break them, and the measure of interest
+// is by how much.
 
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "core/client.h"
 #include "core/generic_algorithm.h"
@@ -33,6 +41,16 @@ struct SimConfig {
   /// synchronization-free protocol of Sect. 3.3.
   PlayoutMode playout = PlayoutMode::ArrivalPlusOffset;
 
+  /// Client degradation mode when the due frame is incomplete (faulty links
+  /// only — on the paper's lossless channel underflow never happens).
+  UnderflowPolicy underflow = UnderflowPolicy::Skip;
+  /// Max rebuffering steps spent on any one frame (Stall only).
+  Time max_stall = 16;
+
+  /// NACK/retransmit behaviour for lossy links; `smoothing_delay` inside is
+  /// filled in by the simulator, callers only set the other fields.
+  RecoveryConfig recovery{};
+
   /// The paper's recommended configuration: Bs = Bc = B = D*R.
   static SimConfig balanced(const Plan& plan, Time link_delay = 1) {
     return SimConfig{.server_buffer = plan.buffer,
@@ -41,13 +59,20 @@ struct SimConfig {
                      .smoothing_delay = plan.delay,
                      .link_delay = link_delay};
   }
+
+  /// Validates the configuration against `stream` and returns a
+  /// human-readable description of the first problem, or an empty string if
+  /// the configuration is runnable. Notably checks the documented
+  /// precondition server_buffer >= the stream's largest slice — a slice
+  /// that can never fit could never be scheduled.
+  std::string validate(const Stream& stream) const;
 };
 
 class SmoothingSimulator {
  public:
   /// `link` defaults to FixedDelayLink(config.link_delay). The stream must
-  /// outlive the simulator. Precondition: server_buffer >= the stream's
-  /// largest slice (a slice that can never fit could never be scheduled).
+  /// outlive the simulator. Throws std::invalid_argument with the
+  /// config.validate() message if the configuration is not runnable.
   SmoothingSimulator(const Stream& stream, SimConfig config,
                      std::unique_ptr<DropPolicy> policy,
                      std::unique_ptr<Link> link = nullptr);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "policies/policy_factory.h"
 #include "util/assert.h"
 
 namespace rtsmooth::sim {
@@ -60,6 +61,32 @@ std::vector<SweepPoint> rate_sweep(const Stream& stream,
       point.has_optimal = true;
     }
     out.push_back(std::move(point));
+  }
+  return out;
+}
+
+std::vector<FaultPoint> fault_sweep(const Stream& stream, const Plan& plan,
+                                    std::string_view policy,
+                                    std::span<const double> severities,
+                                    const FaultLinkFactory& make_link,
+                                    const RecoveryConfig& recovery,
+                                    Time max_stall, Time link_delay) {
+  RTS_EXPECTS(make_link != nullptr);
+  auto run_one = [&](double severity, UnderflowPolicy underflow) {
+    SimConfig config = SimConfig::balanced(plan, link_delay);
+    config.underflow = underflow;
+    config.max_stall = max_stall;
+    config.recovery = recovery;
+    SmoothingSimulator simulator(stream, config, make_policy(policy),
+                                 make_link(severity, link_delay));
+    return simulator.run();
+  };
+  std::vector<FaultPoint> out;
+  out.reserve(severities.size());
+  for (double severity : severities) {
+    out.push_back(FaultPoint{.severity = severity,
+                             .skip = run_one(severity, UnderflowPolicy::Skip),
+                             .stall = run_one(severity, UnderflowPolicy::Stall)});
   }
   return out;
 }

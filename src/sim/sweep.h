@@ -1,16 +1,22 @@
 // Parameter sweeps matching the axes of the paper's figures: weighted loss
 // as a function of buffer size (in multiples of the largest frame,
 // Figs. 2/3/5/6) and of link rate (relative to the average stream rate,
-// Fig. 4).
+// Fig. 4). `fault_sweep` adds the robustness axis the paper leaves open
+// (Sect. 6): weighted loss as a function of channel-fault severity, under
+// both client degradation modes.
 
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/link.h"
 #include "core/planner.h"
 #include "sim/experiment.h"
+#include "sim/simulator.h"
 
 namespace rtsmooth::sim {
 
@@ -41,5 +47,29 @@ std::vector<SweepPoint> rate_sweep(const Stream& stream,
 
 /// Rounds a relative link rate to at least 1 byte/step.
 Bytes relative_rate(const Stream& stream, double fraction);
+
+/// One fault-severity point: the identical stream/plan/policy run under both
+/// client degradation modes on a link built at that severity.
+struct FaultPoint {
+  double severity = 0.0;
+  SimReport skip;   ///< UnderflowPolicy::Skip (concealment)
+  SimReport stall;  ///< UnderflowPolicy::Stall (rebuffer-and-resync)
+};
+
+/// Builds the faulty link for one sweep point. `severity` is whatever the
+/// caller sweeps (erasure probability, outage rate, throttle depth);
+/// severity 0 must mean "no faults".
+using FaultLinkFactory =
+    std::function<std::unique_ptr<Link>(double severity, Time link_delay)>;
+
+/// For each severity, simulates `policy` on the balanced plan over
+/// make_link(severity), once per underflow policy, with the given recovery
+/// settings. All runs are deterministic for a deterministic factory.
+std::vector<FaultPoint> fault_sweep(const Stream& stream, const Plan& plan,
+                                    std::string_view policy,
+                                    std::span<const double> severities,
+                                    const FaultLinkFactory& make_link,
+                                    const RecoveryConfig& recovery,
+                                    Time max_stall = 16, Time link_delay = 1);
 
 }  // namespace rtsmooth::sim

@@ -1,0 +1,374 @@
+// Tests for the fault-injection links and the recovery path (the Sect. 6
+// open problems made concrete): zero-fault identity against the paper's
+// constant-delay link, NACK feedback timing, deadline-aware retransmission,
+// the two client degradation modes, and the Lemma 3.2-3.4 invariant monitor.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/link.h"
+#include "core/planner.h"
+#include "faults/fault_links.h"
+#include "policies/policy_factory.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "stream_helpers.h"
+#include "trace/slicer.h"
+#include "trace/stock_clips.h"
+
+namespace rtsmooth {
+namespace {
+
+using faults::ErasureLink;
+using faults::GilbertElliottConfig;
+using faults::GilbertElliottLink;
+using faults::ThrottledLink;
+using sim::SimConfig;
+using sim::SmoothingSimulator;
+using testing::slice;
+using testing::stream_of;
+using testing::units;
+
+Stream clip_stream() {
+  return trace::slice_frames(trace::stock_clip("cnn-news", 150),
+                             trace::ValueModel::mpeg_default(),
+                             trace::Slicing::ByteSlices);
+}
+
+Plan clip_plan(const Stream& s) {
+  return Planner::from_buffer_rate(2 * s.max_frame_bytes(),
+                                   sim::relative_rate(s, 0.95));
+}
+
+SimReport run_link(const Stream& s, const SimConfig& config,
+                   std::unique_ptr<Link> link) {
+  SmoothingSimulator simulator(s, config, make_policy("greedy"),
+                               std::move(link));
+  return simulator.run();
+}
+
+std::vector<SentPiece> piece_of(const Stream& s, std::size_t run_index,
+                                Bytes bytes) {
+  return {SentPiece{.run = &s.runs()[run_index],
+                    .run_index = run_index,
+                    .bytes = bytes,
+                    .completed_slices = bytes}};
+}
+
+// ------------------------------------------------- zero-fault identity
+
+// At severity zero every fault link must be indistinguishable from the
+// paper's FixedDelayLink — pinned as exact SimReport equality, every field.
+
+TEST(FaultIdentity, ErasureAtZeroProbabilityIsByteIdentical) {
+  const Stream s = clip_stream();
+  const Plan plan = clip_plan(s);
+  const SimReport baseline = sim::simulate(s, plan, "greedy");
+  const SimReport faulty =
+      run_link(s, SimConfig::balanced(plan),
+               std::make_unique<ErasureLink>(/*propagation_delay=*/1,
+                                             /*loss_probability=*/0.0, Rng(7)));
+  EXPECT_EQ(faulty, baseline);
+}
+
+TEST(FaultIdentity, AlwaysGoodGilbertElliottIsByteIdentical) {
+  const Stream s = clip_stream();
+  const Plan plan = clip_plan(s);
+  const SimReport baseline = sim::simulate(s, plan, "greedy");
+  const SimReport faulty = run_link(
+      s, SimConfig::balanced(plan),
+      std::make_unique<GilbertElliottLink>(
+          /*propagation_delay=*/1,
+          GilbertElliottConfig{.p_good_to_bad = 0.0, .p_bad_to_good = 1.0},
+          Rng(7)));
+  EXPECT_EQ(faulty, baseline);
+}
+
+TEST(FaultIdentity, ThrottleAtFullRateIsByteIdentical) {
+  const Stream s = clip_stream();
+  const Plan plan = clip_plan(s);
+  const SimReport baseline = sim::simulate(s, plan, "greedy");
+  const SimReport faulty =
+      run_link(s, SimConfig::balanced(plan),
+               std::make_unique<ThrottledLink>(/*propagation_delay=*/1,
+                                               /*rate_cap=*/plan.rate));
+  EXPECT_EQ(faulty, baseline);
+}
+
+// ------------------------------------------------------ link unit tests
+
+TEST(ErasureLinkUnit, CertainLossNacksExactlyOnceAfterRoundTrip) {
+  const Stream s = stream_of({units(0, 10)});
+  ErasureLink link(/*propagation_delay=*/1, /*loss_probability=*/1.0, Rng(3));
+  link.submit(0, piece_of(s, 0, 4));
+  EXPECT_FALSE(link.idle());  // the pending NACK keeps the link busy
+  EXPECT_TRUE(link.deliver(1).empty());
+  EXPECT_TRUE(link.collect_nacks(0).empty());
+  EXPECT_TRUE(link.collect_nacks(1).empty());
+  // Default feedback delay is one propagation delay: loss knowable at t+P,
+  // report back at t + 2P = 2.
+  const auto nacks = link.collect_nacks(2);
+  ASSERT_EQ(nacks.size(), 1u);
+  EXPECT_EQ(nacks[0].piece.bytes, 4);
+  EXPECT_EQ(nacks[0].piece.retx_attempt, 0);
+  EXPECT_EQ(nacks[0].sent_at, 0);
+  EXPECT_TRUE(link.idle());
+  EXPECT_TRUE(link.collect_nacks(3).empty());  // exactly once
+}
+
+TEST(ErasureLinkUnit, ExplicitFeedbackDelayShiftsTheNack) {
+  const Stream s = stream_of({units(0, 10)});
+  ErasureLink link(/*propagation_delay=*/2, /*loss_probability=*/1.0, Rng(3),
+                   /*feedback_delay=*/5);
+  link.submit(1, piece_of(s, 0, 2));
+  EXPECT_TRUE(link.collect_nacks(7).empty());
+  EXPECT_EQ(link.collect_nacks(8).size(), 1u);  // 1 + 2 + 5
+}
+
+TEST(GilbertElliottUnit, DeterministicChainStartsGoodThenGoesBad) {
+  const Stream s = stream_of({units(0, 10)});
+  // p_good_to_bad = 1 flips at the first advance; p_bad_to_good = 0 pins it.
+  GilbertElliottLink link(
+      /*propagation_delay=*/1,
+      GilbertElliottConfig{.p_good_to_bad = 1.0, .p_bad_to_good = 0.0},
+      Rng(11));
+  link.submit(0, piece_of(s, 0, 3));  // step 0 is Good by convention
+  EXPECT_FALSE(link.in_bad_state());
+  EXPECT_EQ(link.deliver(1).size(), 1u);
+  link.submit(1, piece_of(s, 0, 3));  // chain flipped at step 1
+  EXPECT_TRUE(link.in_bad_state());
+  EXPECT_TRUE(link.deliver(2).empty());
+  EXPECT_EQ(link.collect_nacks(3).size(), 1u);  // lost copy NACKed at 1+1+1
+  EXPECT_TRUE(link.idle());
+}
+
+TEST(GilbertElliottUnit, ChainAdvancesWhileIdle) {
+  const Stream s = stream_of({units(0, 10)});
+  GilbertElliottLink link(
+      /*propagation_delay=*/1,
+      GilbertElliottConfig{.p_good_to_bad = 1.0, .p_bad_to_good = 0.0},
+      Rng(11));
+  // No traffic until step 5; the chain must have churned regardless.
+  EXPECT_TRUE(link.deliver(5).empty());
+  EXPECT_TRUE(link.in_bad_state());
+}
+
+TEST(ThrottledLinkUnit, SplitsAtTheCapAndPreservesBytesFifo) {
+  const Stream s = stream_of({slice(0, 5)});
+  ThrottledLink link(/*propagation_delay=*/0, /*rate_cap=*/2);
+  link.submit(0, piece_of(s, 0, 5));
+  Bytes total = 0;
+  std::int64_t completed = 0;
+  std::vector<Bytes> per_step;
+  for (Time t = 0; t < 4; ++t) {
+    Bytes step_bytes = 0;
+    for (const auto& piece : link.deliver(t)) {
+      step_bytes += piece.bytes;
+      completed += piece.completed_slices;
+    }
+    per_step.push_back(step_bytes);
+    total += step_bytes;
+  }
+  EXPECT_EQ(per_step, (std::vector<Bytes>{2, 2, 1, 0}));
+  EXPECT_EQ(total, 5);
+  // Slice completions ride with the tail fragment only — no double count.
+  EXPECT_EQ(completed, 5);
+  EXPECT_TRUE(link.idle());
+}
+
+TEST(ThrottledLinkUnit, ZeroEntriesStallThenDrain) {
+  const Stream s = stream_of({units(0, 10)});
+  ThrottledLink link(std::make_unique<FixedDelayLink>(0),
+                     std::vector<Bytes>{0, 0, 3});
+  link.submit(0, piece_of(s, 0, 6));
+  EXPECT_TRUE(link.deliver(0).empty());
+  EXPECT_TRUE(link.deliver(1).empty());
+  EXPECT_EQ(link.deliver(2).at(0).bytes, 3);  // pattern index 2
+  EXPECT_TRUE(link.deliver(3).empty());       // wrapped to index 0
+  EXPECT_TRUE(link.deliver(4).empty());
+  EXPECT_EQ(link.deliver(5).at(0).bytes, 3);
+  EXPECT_TRUE(link.idle());
+}
+
+// ------------------------------------------------- end-to-end recovery
+
+TEST(Recovery, TotalErasureWithoutRecoveryWritesEverythingOff) {
+  const Stream s = clip_stream();
+  const Plan plan = clip_plan(s);
+  SimConfig config = SimConfig::balanced(plan);
+  const SimReport report = run_link(
+      s, config, std::make_unique<ErasureLink>(1, /*p=*/1.0, Rng(17)));
+  EXPECT_TRUE(report.conserves());
+  EXPECT_EQ(report.played.bytes, 0);
+  EXPECT_EQ(report.retransmitted_bytes, 0);
+  EXPECT_GT(report.lost_link.bytes, 0);
+  // Every byte that entered the link was written off; the rest was dropped
+  // at the server by the policy as usual.
+  EXPECT_EQ(report.lost_link.bytes + report.dropped_server.bytes,
+            report.offered.bytes);
+}
+
+TEST(Recovery, TotalErasureWithRecoveryStillTerminatesAndConserves) {
+  const Stream s = clip_stream();
+  const Plan plan = clip_plan(s);
+  SimConfig config = SimConfig::balanced(plan);
+  config.recovery.enabled = true;
+  config.recovery.max_retries = 2;
+  const SimReport report = run_link(
+      s, config, std::make_unique<ErasureLink>(1, /*p=*/1.0, Rng(17)));
+  EXPECT_TRUE(report.conserves());
+  EXPECT_EQ(report.played.bytes, 0);
+  // Retries happened, hit the budget, and everything was written off.
+  EXPECT_GT(report.retransmitted_bytes, 0);
+  EXPECT_GT(report.lost_link.bytes, 0);
+}
+
+TEST(Recovery, RetransmissionRescuesBytesUnderModerateErasure) {
+  const Stream s = clip_stream();
+  const Plan plan = clip_plan(s);
+  auto erasure = [] {
+    return std::make_unique<ErasureLink>(1, /*p=*/0.3, Rng(23));
+  };
+  SimConfig off = SimConfig::balanced(plan);
+  SimConfig on = off;
+  on.recovery.enabled = true;
+  const SimReport without = run_link(s, off, erasure());
+  const SimReport with = run_link(s, on, erasure());
+  EXPECT_TRUE(without.conserves());
+  EXPECT_TRUE(with.conserves());
+  EXPECT_EQ(without.retransmitted_bytes, 0);
+  EXPECT_GT(with.retransmitted_bytes, 0);
+  // Recovery turns link write-offs back into playout.
+  EXPECT_GT(with.played.bytes, without.played.bytes);
+  EXPECT_LT(with.lost_link.bytes, without.lost_link.bytes);
+  EXPECT_LT(with.weighted_loss(), without.weighted_loss());
+}
+
+TEST(Recovery, ComposesOverAJitteryLink) {
+  const Stream s = clip_stream();
+  const Plan plan = clip_plan(s);
+  const Time j = 4;
+  SimConfig config = SimConfig::balanced(plan);
+  config.smoothing_delay += j;  // jitter compensation, as in test_jitter
+  config.client_buffer += j * plan.rate;
+  config.recovery.enabled = true;
+  const SimReport report = run_link(
+      s, config,
+      std::make_unique<ErasureLink>(
+          std::make_unique<BoundedJitterLink>(1, j, Rng(31)), /*p=*/0.1,
+          Rng(32)));
+  EXPECT_TRUE(report.conserves());
+  EXPECT_GT(report.played.bytes, 0);
+  EXPECT_GT(report.retransmitted_bytes, 0);
+}
+
+// --------------------------------------------------- stall vs skip
+
+// One 10-byte slice trickling through a cap-1 throttle: under Skip the
+// deadline hits with a partial slice (total loss); under Stall the client
+// rebuffers 4 steps and plays everything.
+TEST(UnderflowPolicy, StallRebuffersWhereSkipConceals) {
+  const Stream s = stream_of({slice(0, 10)});
+  const Plan plan = Planner::from_delay_rate(/*delay=*/5, /*rate=*/2);
+  auto throttled = [] {
+    return std::make_unique<ThrottledLink>(/*propagation_delay=*/1,
+                                           /*rate_cap=*/1);
+  };
+  SimConfig skip = SimConfig::balanced(plan);
+  skip.underflow = UnderflowPolicy::Skip;
+  SimConfig stall = skip;
+  stall.underflow = UnderflowPolicy::Stall;
+
+  const SimReport skipped = run_link(s, skip, throttled());
+  EXPECT_TRUE(skipped.conserves());
+  EXPECT_EQ(skipped.played.bytes, 0);
+  EXPECT_DOUBLE_EQ(skipped.weighted_loss(), 1.0);
+  EXPECT_EQ(skipped.stall_steps, 0);
+  EXPECT_GT(skipped.invariants.client_underflow, 0);
+
+  const SimReport stalled = run_link(s, stall, throttled());
+  EXPECT_TRUE(stalled.conserves());
+  EXPECT_EQ(stalled.played.bytes, 10);
+  EXPECT_DOUBLE_EQ(stalled.weighted_loss(), 0.0);
+  // Due at t = 6 with 6 of 10 bytes stored; the last byte lands at t = 10.
+  EXPECT_EQ(stalled.stall_steps, 4);
+}
+
+TEST(UnderflowPolicy, MaxStallCapsTheRebuffer) {
+  const Stream s = stream_of({slice(0, 10)});
+  const Plan plan = Planner::from_delay_rate(5, 2);
+  SimConfig config = SimConfig::balanced(plan);
+  config.underflow = UnderflowPolicy::Stall;
+  config.max_stall = 2;  // not enough: needs 4
+  const SimReport report =
+      run_link(s, config, std::make_unique<ThrottledLink>(1, 1));
+  EXPECT_TRUE(report.conserves());
+  EXPECT_EQ(report.played.bytes, 0);  // gave up after 2 stalls, then skipped
+  EXPECT_EQ(report.stall_steps, 2);
+}
+
+TEST(UnderflowPolicy, StallNeverTriggersOnServerIntentionalDrops) {
+  // Whole slices the *server* dropped (Eq. (3)) leave no partial at the
+  // client; Stall must not rebuffer for them — identical to Skip.
+  const Stream s = clip_stream();  // unit slices: partials are impossible
+  const Plan plan = clip_plan(s);
+  SimConfig config = SimConfig::balanced(plan);
+  config.underflow = UnderflowPolicy::Stall;
+  SmoothingSimulator simulator(s, config, make_policy("greedy"));
+  const SimReport stalling = simulator.run();
+  const SimReport baseline = sim::simulate(s, plan, "greedy");
+  EXPECT_EQ(stalling.stall_steps, 0);
+  EXPECT_EQ(stalling, baseline);
+}
+
+// ------------------------------------------------- invariant monitor
+
+TEST(InvariantMonitor, LosslessRunRecordsNoViolations) {
+  const Stream s = clip_stream();
+  const SimReport report = sim::simulate(s, clip_plan(s), "greedy");
+  EXPECT_FALSE(report.invariants.any());
+  EXPECT_EQ(report.invariants.first, kNever);
+}
+
+TEST(InvariantMonitor, ThrottledLinkViolatesClientUnderflow) {
+  const Stream s = clip_stream();
+  const Plan plan = clip_plan(s);
+  // Half the needed rate: deliveries pile up behind the throttle and miss
+  // their deadlines — exactly the Lemma 3.3 failure the monitor watches.
+  const SimReport report =
+      run_link(s, SimConfig::balanced(plan),
+               std::make_unique<ThrottledLink>(
+                   1, std::max<Bytes>(1, plan.rate / 2)));
+  EXPECT_TRUE(report.conserves());
+  EXPECT_GT(report.invariants.client_underflow, 0);
+  EXPECT_LT(report.invariants.first, report.steps);
+}
+
+// --------------------------------------------------------- fault sweep
+
+TEST(FaultSweep, SeverityZeroMatchesBaselineAndLossIsMonotone) {
+  const Stream s = clip_stream();
+  const Plan plan = clip_plan(s);
+  const double severities[] = {0.0, 0.1, 0.3};
+  const auto points = sim::fault_sweep(
+      s, plan, "greedy", severities,
+      [](double severity, Time link_delay) -> std::unique_ptr<Link> {
+        return std::make_unique<ErasureLink>(link_delay, severity, Rng(41));
+      },
+      RecoveryConfig{});
+  ASSERT_EQ(points.size(), 3u);
+  const SimReport baseline = sim::simulate(s, plan, "greedy");
+  EXPECT_EQ(points[0].skip, baseline);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].skip.weighted_loss(),
+              points[i - 1].skip.weighted_loss());
+    EXPECT_GE(points[i].stall.weighted_loss(),
+              points[i - 1].stall.weighted_loss());
+  }
+}
+
+}  // namespace
+}  // namespace rtsmooth

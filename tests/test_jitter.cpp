@@ -78,6 +78,61 @@ TEST(Jitter, DelayAndBufferSlackRestoreLosslessness) {
   EXPECT_EQ(report.dropped_server.bytes, fixed.dropped_server.bytes);
 }
 
+TEST(Jitter, TimerModeSelfCalibratesToActualLinkDelay) {
+  // The paper's Sect. 3.3 protocol arms one timer at the first delivery, so
+  // it needs no knowledge of P. Feed it a link 3 steps slower than the
+  // config claims: ArrivalPlusOffset mode misses every deadline by 3, the
+  // timer mode recalibrates and loses nothing.
+  const Stream s = clip_stream();
+  const Plan plan = Planner::from_buffer_rate(2 * s.max_frame_bytes(),
+                                              sim::relative_rate(s, 0.95));
+  auto run_mode = [&](PlayoutMode mode) {
+    SimConfig config = SimConfig::balanced(plan, /*link_delay=*/1);
+    config.playout = mode;
+    // Room for the extra (actual - nominal) * R bytes that pool while the
+    // playout base lags the deliveries.
+    config.client_buffer += 3 * plan.rate;
+    SmoothingSimulator simulator(s, config, make_policy("greedy"),
+                                 std::make_unique<FixedDelayLink>(4));
+    return simulator.run();
+  };
+  const SimReport offset = run_mode(PlayoutMode::ArrivalPlusOffset);
+  EXPECT_TRUE(offset.conserves());
+  EXPECT_GT(offset.dropped_client_late.bytes, 0);
+  const SimReport timer = run_mode(PlayoutMode::TimerFromFirstDelivery);
+  EXPECT_TRUE(timer.conserves());
+  EXPECT_EQ(timer.dropped_client_late.bytes, 0);
+  EXPECT_EQ(timer.dropped_client_overflow.bytes, 0);
+  EXPECT_EQ(timer.played.bytes, offset.played.bytes +
+                                    offset.dropped_client_late.bytes);
+}
+
+TEST(Jitter, TimerModeNeverLosesMoreThanOffsetModeOnAJitteryLink) {
+  // Self-calibration can only shift deadlines later (by the first batch's
+  // jitter draw), so with client-buffer headroom the timer mode's deadline
+  // losses are bounded by the offset mode's, seed by seed.
+  const Stream s = clip_stream();
+  const Time j = 6;
+  const Plan plan = Planner::from_buffer_rate(2 * s.max_frame_bytes(),
+                                              sim::relative_rate(s, 0.95));
+  for (std::uint64_t seed : {3u, 17u, 54u}) {
+    auto run_mode = [&](PlayoutMode mode) {
+      SimConfig config = SimConfig::balanced(plan, 1);
+      config.playout = mode;
+      config.client_buffer += j * plan.rate;
+      SmoothingSimulator simulator(
+          s, config, make_policy("greedy"),
+          std::make_unique<BoundedJitterLink>(1, j, Rng(seed)));
+      return simulator.run();
+    };
+    const SimReport offset = run_mode(PlayoutMode::ArrivalPlusOffset);
+    const SimReport timer = run_mode(PlayoutMode::TimerFromFirstDelivery);
+    EXPECT_TRUE(timer.conserves());
+    EXPECT_LE(timer.dropped_client_late.bytes, offset.dropped_client_late.bytes)
+        << "seed " << seed;
+  }
+}
+
 TEST(Jitter, CompensationIsDeterministicPerSeed) {
   const Stream s = clip_stream();
   const Plan plan =

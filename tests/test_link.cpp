@@ -82,6 +82,52 @@ TEST(BoundedJitterLink, DelayWithinBounds) {
   EXPECT_TRUE(link.idle());
 }
 
+TEST(BoundedJitterLink, FifoPreservedUnderMaximalJitter) {
+  // J larger than the whole submission window: any un-clamped draw could
+  // reorder any pair of batches, so this exercises the clamp on every step.
+  const Stream s = stream_of({units(0, 1000)});
+  BoundedJitterLink link(1, /*max_jitter=*/80, Rng(13));
+  for (Time t = 0; t < 50; ++t) {
+    link.submit(t, {SentPiece{.run = &s.runs()[0],
+                              .run_index = static_cast<std::size_t>(t),
+                              .bytes = 1,
+                              .completed_slices = 1}});
+  }
+  std::vector<std::size_t> order;
+  for (Time t = 0; t < 200; ++t) {
+    for (const auto& piece : link.deliver(t)) order.push_back(piece.run_index);
+  }
+  ASSERT_EQ(order.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_TRUE(link.idle());
+}
+
+TEST(BoundedJitterLink, ClampKeepsPerBatchDeliveryTimesMonotone) {
+  // The last_delivery_ clamp must make delivery time a non-decreasing
+  // function of submission order, for every seed we try.
+  const Stream s = stream_of({units(0, 1000)});
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    BoundedJitterLink link(2, 6, Rng(seed));
+    for (Time t = 0; t < 40; ++t) {
+      link.submit(t, {SentPiece{.run = &s.runs()[0],
+                                .run_index = static_cast<std::size_t>(t),
+                                .bytes = 1,
+                                .completed_slices = 1}});
+    }
+    std::vector<Time> delivery_of(40, -1);
+    for (Time t = 0; t < 100; ++t) {
+      for (const auto& piece : link.deliver(t)) {
+        delivery_of[piece.run_index] = t;
+        EXPECT_GE(t - static_cast<Time>(piece.run_index), 2);  // >= P
+        EXPECT_LE(t - static_cast<Time>(piece.run_index), 2 + 6);  // <= P+J
+      }
+    }
+    EXPECT_TRUE(std::is_sorted(delivery_of.begin(), delivery_of.end()))
+        << "seed " << seed;
+    EXPECT_TRUE(link.idle());
+  }
+}
+
 TEST(BoundedJitterLink, FifoPreservedUnderJitter) {
   const Stream s = stream_of({units(0, 1000)});
   BoundedJitterLink link(1, 7, Rng(9));

@@ -265,15 +265,38 @@ TEST(Simulator, EnlargingOnlyOneBufferDoesNotHelp) {
 
 using SimulatorDeathTest = ::testing::Test;
 
-TEST(SimulatorDeathTest, BufferSmallerThanLargestSliceAborts) {
+TEST(Simulator, BufferSmallerThanLargestSliceIsADescriptiveError) {
   const Stream s = stream_of({testing::slice(0, 10)});
   SimConfig config{.server_buffer = 5,
                    .client_buffer = 5,
                    .rate = 1,
                    .smoothing_delay = 5,
                    .link_delay = 1};
-  EXPECT_DEATH(SmoothingSimulator(s, config, make_policy("tail-drop")),
-               "precondition");
+  EXPECT_FALSE(config.validate(s).empty());
+  try {
+    SmoothingSimulator sim(s, config, make_policy("tail-drop"));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("largest slice"), std::string::npos) << what;
+    EXPECT_NE(what.find("10"), std::string::npos) << what;  // the slice size
+  }
+}
+
+TEST(Simulator, ValidateAcceptsRunnableConfigs) {
+  const Stream s = stream_of({testing::slice(0, 10)});
+  SimConfig config{.server_buffer = 10,
+                   .client_buffer = 10,
+                   .rate = 2,
+                   .smoothing_delay = 5,
+                   .link_delay = 1};
+  EXPECT_EQ(config.validate(s), "");
+  SimConfig bad_rate = config;
+  bad_rate.rate = 0;
+  EXPECT_NE(bad_rate.validate(s), "");
+  SimConfig bad_backoff = config;
+  bad_backoff.recovery.backoff_base = 0;
+  EXPECT_NE(bad_backoff.validate(s), "");
 }
 
 TEST(SimulatorDeathTest, RunTwiceAborts) {
