@@ -57,24 +57,39 @@ int run(const bench::BenchOptions& opts) {
             << "clip: cnn-news, " << frames_n << " frames\n\n";
   bench::Series series{.header = {"rate(xAvg)", "policy+values",
                                   "decodableFrames", "goodputBytes"}};
-  for (double rel : {0.7, 0.8, 0.9, 1.0}) {
-    const Bytes rate = sim::relative_rate(mpeg, rel);
-    const Plan plan =
-        Planner::from_buffer_rate(2 * mpeg.max_frame_bytes(), rate);
-    const Scored tail = score(frames, mpeg, plan, "tail-drop");
-    const Scored plain = score(frames, throughput, plan, "greedy");
-    const Scored weighted = score(frames, mpeg, plan, "greedy");
-    const Scored dep = score(frames, aware, plan, "greedy");
-    series.add({Table::num(rel, 1), "tail-drop",
-                Table::pct(tail.decodable), Table::pct(tail.goodput)});
-    series.add({Table::num(rel, 1), "greedy/throughput",
-                Table::pct(plain.decodable), Table::pct(plain.goodput)});
-    series.add({Table::num(rel, 1), "greedy/mpeg-12-8-1",
-                Table::pct(weighted.decodable), Table::pct(weighted.goodput)});
-    series.add({Table::num(rel, 1), "greedy/dependency",
-                Table::pct(dep.decodable), Table::pct(dep.goodput)});
+  struct Variant {
+    const char* label;
+    const Stream* stream;
+    const char* policy;
+  };
+  const Variant variants[] = {
+      {"tail-drop", &mpeg, "tail-drop"},
+      {"greedy/throughput", &throughput, "greedy"},
+      {"greedy/mpeg-12-8-1", &mpeg, "greedy"},
+      {"greedy/dependency", &aware, "greedy"},
+  };
+  constexpr std::size_t kVariantCount = std::size(variants);
+  const std::vector<double> rels = {0.7, 0.8, 0.9, 1.0};
+  sim::RunStats stats;
+  sim::ParallelRunner runner(opts.threads);
+  const auto scores = runner.map<Scored>(
+      rels.size() * kVariantCount,
+      [&](std::size_t i) {
+        const Variant& v = variants[i % kVariantCount];
+        const Bytes rate = sim::relative_rate(mpeg, rels[i / kVariantCount]);
+        const Plan plan =
+            Planner::from_buffer_rate(2 * mpeg.max_frame_bytes(), rate);
+        return score(frames, *v.stream, plan, v.policy);
+      },
+      &stats);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    series.add({Table::num(rels[i / kVariantCount], 1),
+                variants[i % kVariantCount].label,
+                Table::pct(scores[i].decodable),
+                Table::pct(scores[i].goodput)});
   }
   series.emit(opts);
+  bench::print_run_stats(stats);
   return 0;
 }
 

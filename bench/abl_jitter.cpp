@@ -31,24 +31,39 @@ int run(const bench::BenchOptions& opts) {
             << ")\n" << "clip: cnn-news, " << frames << " frames\n\n";
   bench::Series series{.header = {"J", "compensated", "lateLoss(bytes)",
                                   "clientOverflow(bytes)", "weightedLoss"}};
+  struct Cell {
+    Time j = 0;
+    bool compensated = false;
+  };
+  std::vector<Cell> cells;
   for (Time j : {0, 2, 4, 8, 16}) {
     for (bool compensated : {false, true}) {
-      sim::SimConfig config = sim::SimConfig::balanced(plan, p);
-      if (compensated) {
-        config.smoothing_delay += j;
-        config.client_buffer += j * plan.rate;
-      }
-      sim::SmoothingSimulator simulator(
-          s, config, make_policy("greedy"),
-          std::make_unique<BoundedJitterLink>(p, j, Rng(1234)));
-      const SimReport report = simulator.run();
-      series.add({std::to_string(j), compensated ? "yes" : "no",
-                  std::to_string(report.dropped_client_late.bytes),
-                  std::to_string(report.dropped_client_overflow.bytes),
-                  Table::pct(report.weighted_loss())});
+      cells.push_back(Cell{.j = j, .compensated = compensated});
     }
   }
+  sim::RunStats stats;
+  sim::ParallelRunner runner(opts.threads);
+  const auto reports = runner.map<SimReport>(
+      cells.size(),
+      [&](std::size_t i) {
+        sim::SimConfig config = sim::SimConfig::balanced(plan, p);
+        if (cells[i].compensated) {
+          config.smoothing_delay += cells[i].j;
+          config.client_buffer += cells[i].j * plan.rate;
+        }
+        return sim::simulate(
+            s, config, "greedy",
+            std::make_unique<BoundedJitterLink>(p, cells[i].j, Rng(1234)));
+      },
+      &stats);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    series.add({std::to_string(cells[i].j), cells[i].compensated ? "yes" : "no",
+                std::to_string(reports[i].dropped_client_late.bytes),
+                std::to_string(reports[i].dropped_client_overflow.bytes),
+                Table::pct(reports[i].weighted_loss())});
+  }
   series.emit(opts);
+  bench::print_run_stats(stats);
   return 0;
 }
 

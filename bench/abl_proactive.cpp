@@ -32,29 +32,56 @@ int run(const bench::BenchOptions& opts) {
             << "clip: cnn-news, " << frames << " frames\n\n";
   bench::Series series{.header = {"rate(xAvg)", "policy", "watermark",
                                   "valueFloor", "weightedLoss", "byteLoss"}};
+  // Flatten the (rate x policy-variant) grid into independent cells so the
+  // whole table runs as one parallel batch in row order.
+  struct Cell {
+    double rel = 0.0;
+    const char* base = nullptr;  // nullptr means proactive
+    double watermark = 0.0;
+    double floor = 0.0;
+  };
+  std::vector<Cell> cells;
   for (double rel : {0.8, 0.9, 1.0}) {
-    const Bytes rate = sim::relative_rate(s, rel);
-    const Plan plan = Planner::from_buffer_rate(2 * s.max_frame_bytes(), rate);
     for (const char* base : {"tail-drop", "greedy"}) {
-      const SimReport report = sim::simulate(s, plan, base);
-      series.add({Table::num(rel, 1), base, "-", "-",
-                  Table::pct(report.weighted_loss()),
-                  Table::pct(report.byte_loss())});
+      cells.push_back(Cell{.rel = rel, .base = base});
     }
     for (double watermark : {0.5, 0.75, 0.9}) {
       for (double floor : {1.0, 8.0}) {
-        sim::SmoothingSimulator simulator(
-            s, sim::SimConfig::balanced(plan),
-            std::make_unique<ProactiveThresholdPolicy>(ProactiveConfig{
-                .watermark = watermark, .value_floor = floor}));
-        const SimReport report = simulator.run();
-        series.add({Table::num(rel, 1), "proactive", Table::num(watermark, 2),
-                    Table::num(floor, 1), Table::pct(report.weighted_loss()),
-                    Table::pct(report.byte_loss())});
+        cells.push_back(Cell{.rel = rel, .watermark = watermark,
+                             .floor = floor});
       }
     }
   }
+  sim::RunStats stats;
+  sim::ParallelRunner runner(opts.threads);
+  const auto reports = runner.map<SimReport>(
+      cells.size(),
+      [&](std::size_t i) {
+        const Bytes rate = sim::relative_rate(s, cells[i].rel);
+        const Plan plan =
+            Planner::from_buffer_rate(2 * s.max_frame_bytes(), rate);
+        if (cells[i].base != nullptr) {
+          return sim::simulate(s, plan, cells[i].base);
+        }
+        sim::SmoothingSimulator simulator(
+            s, sim::SimConfig::balanced(plan),
+            std::make_unique<ProactiveThresholdPolicy>(ProactiveConfig{
+                .watermark = cells[i].watermark,
+                .value_floor = cells[i].floor}));
+        return simulator.run();
+      },
+      &stats);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    series.add({Table::num(cells[i].rel, 1),
+                cells[i].base != nullptr ? cells[i].base : "proactive",
+                cells[i].base != nullptr ? "-" : Table::num(cells[i].watermark,
+                                                            2),
+                cells[i].base != nullptr ? "-" : Table::num(cells[i].floor, 1),
+                Table::pct(reports[i].weighted_loss()),
+                Table::pct(reports[i].byte_loss())});
+  }
   series.emit(opts);
+  bench::print_run_stats(stats);
   return 0;
 }
 

@@ -34,40 +34,51 @@ int run(const bench::BenchOptions& opts) {
                                   "hop1Drop%", "hop2Drop%", "hop3Drop%",
                                   "weightedLoss", "D(slots)"}};
   const Bytes floor = std::max(fast, slow);  // minimum workable hop buffer
-  for (int budget_mult : {3, 6, 12}) {
-    const Bytes budget = budget_mult * s.max_frame_bytes();
-    struct Split {
-      const char* name;
-      double shares[3];
+  struct Split {
+    const char* name;
+    double shares[3];
+  };
+  constexpr Split kSplits[] = {
+      {"front-loaded", {0.8, 0.1, 0.1}},
+      {"even", {1.0 / 3, 1.0 / 3, 1.0 / 3}},
+      {"bottleneck", {0.1, 0.8, 0.1}},
+  };
+  constexpr std::size_t kSplitCount = std::size(kSplits);
+  const std::vector<int> budget_mults = {3, 6, 12};
+  sim::RunStats stats;
+  sim::ParallelRunner runner(opts.threads);
+  const auto reports = runner.map<TandemReport>(
+      budget_mults.size() * kSplitCount,
+      [&](std::size_t i) {
+        const Bytes budget =
+            budget_mults[i / kSplitCount] * s.max_frame_bytes();
+        const Split& split = kSplits[i % kSplitCount];
+        std::vector<HopConfig> hops;
+        const Bytes rates[3] = {fast, slow, fast};
+        for (int h = 0; h < 3; ++h) {
+          const auto share = static_cast<Bytes>(
+              split.shares[h] * static_cast<double>(budget));
+          hops.push_back(HopConfig{.buffer = std::max(floor, share),
+                                   .rate = rates[h],
+                                   .link_delay = 1});
+        }
+        TandemSimulator tandem(s, hops, TailDropPolicy{});
+        return tandem.run();
+      },
+      &stats);
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const TandemReport& report = reports[i];
+    auto drop_pct = [&](std::size_t h) {
+      return Table::pct(static_cast<double>(report.hop_drops[h].bytes) /
+                        static_cast<double>(s.total_bytes()));
     };
-    const Split splits[] = {
-        {"front-loaded", {0.8, 0.1, 0.1}},
-        {"even", {1.0 / 3, 1.0 / 3, 1.0 / 3}},
-        {"bottleneck", {0.1, 0.8, 0.1}},
-    };
-    for (const Split& split : splits) {
-      std::vector<HopConfig> hops;
-      const Bytes rates[3] = {fast, slow, fast};
-      for (int h = 0; h < 3; ++h) {
-        const auto share = static_cast<Bytes>(
-            split.shares[h] * static_cast<double>(budget));
-        hops.push_back(HopConfig{.buffer = std::max(floor, share),
-                                 .rate = rates[h],
-                                 .link_delay = 1});
-      }
-      TandemSimulator tandem(s, hops, TailDropPolicy{});
-      const TandemReport report = tandem.run();
-      auto drop_pct = [&](std::size_t h) {
-        return Table::pct(static_cast<double>(report.hop_drops[h].bytes) /
-                          static_cast<double>(s.total_bytes()));
-      };
-      series.add({Table::num(budget_mult, 0), split.name, drop_pct(0),
-                  drop_pct(1), drop_pct(2),
-                  Table::pct(report.end_to_end.weighted_loss()),
-                  std::to_string(report.smoothing_delay)});
-    }
+    series.add({Table::num(budget_mults[i / kSplitCount], 0),
+                kSplits[i % kSplitCount].name, drop_pct(0), drop_pct(1),
+                drop_pct(2), Table::pct(report.end_to_end.weighted_loss()),
+                std::to_string(report.smoothing_delay)});
   }
   series.emit(opts);
+  bench::print_run_stats(stats);
   std::cout << "\nreading: memory at the bottleneck wins; front-loading "
                "wastes budget shaping traffic the fast first link could "
                "carry anyway.\n";

@@ -5,6 +5,8 @@
 //   --frames N     clip length (default per bench)
 //   --csv PATH     additionally dump the series as CSV
 //   --quick        shrink the workload (used by the build's smoke run)
+//   --threads N    ParallelRunner pool width (default: RTSMOOTH_THREADS,
+//                  else every hardware thread; 1 = serial)
 
 #pragma once
 
@@ -14,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/runner.h"
 #include "trace/slicer.h"
 #include "trace/stock_clips.h"
 #include "util/csv.h"
@@ -26,6 +29,7 @@ struct BenchOptions {
   std::size_t frames = 0;  ///< 0 = use the bench's default
   std::optional<std::string> csv_path;
   bool quick = false;
+  unsigned threads = 0;  ///< 0 = RTSMOOTH_THREADS / hardware width
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -38,8 +42,11 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opts.csv_path = argv[++i];
     } else if (arg == "--quick") {
       opts.quick = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opts.threads = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "options: [--frames N] [--csv PATH] [--quick]\n";
+      std::cout << "options: [--frames N] [--csv PATH] [--quick] "
+                   "[--threads N]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown option: " << arg << "\n";
@@ -47,6 +54,12 @@ inline BenchOptions parse_options(int argc, char** argv) {
     }
   }
   return opts;
+}
+
+/// One-line batch timing footer, printed by every bench that fans work out
+/// over a ParallelRunner.
+inline void print_run_stats(const sim::RunStats& stats) {
+  std::cout << "\n[runner] " << stats.summary() << "\n";
 }
 
 /// The paper-calibrated reference clip at the requested granularity.

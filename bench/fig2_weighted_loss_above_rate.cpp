@@ -26,9 +26,14 @@ int run(const bench::BenchOptions& opts) {
   for (int m = 1; m <= 26; m += opts.quick ? 5 : 1) {
     multiples.push_back(m);
   }
-  const std::vector<std::string> policies = {"tail-drop", "greedy"};
-  const auto points =
-      sim::buffer_sweep(s, multiples, rate, policies, /*with_optimal=*/true);
+  const auto result = sim::sweep(
+      s, sim::SweepSpec{.axis = sim::SweepAxis::BufferMultiple,
+                        .values = multiples,
+                        .policies = {"tail-drop", "greedy"},
+                        .with_optimal = true,
+                        .rate = rate,
+                        .threads = opts.threads});
+  const auto& points = result.points;
 
   std::cout << "Fig. 2 — weighted loss vs buffer size, R = 1.1 x average "
                "rate, byte slices\n"
@@ -44,6 +49,7 @@ int run(const bench::BenchOptions& opts) {
                 Table::pct(point.optimal.weighted_loss)});
   }
   series.emit(opts);
+  bench::print_run_stats(result.stats);
   return 0;
 }
 

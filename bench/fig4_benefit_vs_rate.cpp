@@ -26,9 +26,14 @@ int run(const bench::BenchOptions& opts) {
   for (double f = 0.40; f <= 1.41; f += opts.quick ? 0.2 : 0.05) {
     fractions.push_back(f);
   }
-  const std::vector<std::string> policies = {"tail-drop", "greedy"};
-  const auto points = sim::rate_sweep(s, fractions, /*buffer_multiple=*/4.0,
-                                      policies, /*with_optimal=*/true);
+  const auto result = sim::sweep(
+      s, sim::SweepSpec{.axis = sim::SweepAxis::RateFraction,
+                        .values = fractions,
+                        .policies = {"tail-drop", "greedy"},
+                        .with_optimal = true,
+                        .buffer_multiple = 4.0,
+                        .threads = opts.threads});
+  const auto& points = result.points;
 
   std::cout << "Fig. 4 — benefit (% of total) vs link rate, byte slices, "
                "buffer = 4 x max frame\n"
@@ -42,6 +47,7 @@ int run(const bench::BenchOptions& opts) {
                 Table::pct(point.optimal.benefit_fraction)});
   }
   series.emit(opts);
+  bench::print_run_stats(result.stats);
   return 0;
 }
 

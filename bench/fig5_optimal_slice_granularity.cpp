@@ -34,28 +34,49 @@ int run(const bench::BenchOptions& opts) {
                "(see offline/pareto_dp.h)\n\n";
   bench::Series series{.header = {"buffer(xMaxFrame)", "OptByteSlices",
                                   "OptWholeFrame[lo", "hi]", "lossRatio"}};
-  for (int m = 1; m <= 26; m += opts.quick ? 5 : 1) {
-    const Bytes buffer = m * bytes_stream.max_frame_bytes();
-    const Plan plan = Planner::from_buffer_rate(buffer, rate);
-    const Weight total = bytes_stream.total_weight();
-    const auto byte_opt =
-        offline::unit_optimal(bytes_stream, plan.buffer, plan.rate);
-    const double byte_loss = 1.0 - byte_opt.benefit / total;
-    // Quantized bracket: optimistic benefit -> lower loss bound, and vice
-    // versa. The quantum scales with the buffer so each DP stays around
-    // 8k occupancy states regardless of the sweep point.
-    const Bytes quantum = std::max<Bytes>(256, plan.buffer / 8192);
-    const auto bracket = offline::quantized_optimal_bracket(
-        frame_stream, plan.buffer, plan.rate, quantum);
-    const double frame_loss_lo = 1.0 - bracket.upper / total;
-    const double frame_loss_hi = 1.0 - bracket.lower / total;
-    const double mid = (frame_loss_lo + frame_loss_hi) / 2.0;
-    const double ratio = byte_loss > 1e-12 ? mid / byte_loss : 1.0;
-    series.add({Table::num(m, 0), Table::pct(byte_loss),
-                Table::pct(frame_loss_lo), Table::pct(frame_loss_hi),
+  std::vector<int> multiples;
+  for (int m = 1; m <= 26; m += opts.quick ? 5 : 1) multiples.push_back(m);
+
+  // Both optima of one sweep point are independent solver calls on
+  // read-only streams; fan every (point, solver) pair out over the runner.
+  struct Row {
+    double byte_loss = 0.0;
+    double frame_loss_lo = 0.0;
+    double frame_loss_hi = 0.0;
+  };
+  const Weight total = bytes_stream.total_weight();
+  sim::ParallelRunner runner(opts.threads);
+  sim::RunStats stats;
+  const auto rows = runner.map<Row>(
+      multiples.size(),
+      [&](std::size_t i) {
+        const Bytes buffer = multiples[i] * bytes_stream.max_frame_bytes();
+        const Plan plan = Planner::from_buffer_rate(buffer, rate);
+        Row row;
+        const auto byte_opt =
+            offline::unit_optimal(bytes_stream, plan.buffer, plan.rate);
+        row.byte_loss = 1.0 - byte_opt.benefit / total;
+        // Quantized bracket: optimistic benefit -> lower loss bound, and
+        // vice versa. The quantum scales with the buffer so each DP stays
+        // around 8k occupancy states regardless of the sweep point.
+        const Bytes quantum = std::max<Bytes>(256, plan.buffer / 8192);
+        const auto bracket = offline::quantized_optimal_bracket(
+            frame_stream, plan.buffer, plan.rate, quantum);
+        row.frame_loss_lo = 1.0 - bracket.upper / total;
+        row.frame_loss_hi = 1.0 - bracket.lower / total;
+        return row;
+      },
+      &stats);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const double mid = (row.frame_loss_lo + row.frame_loss_hi) / 2.0;
+    const double ratio = row.byte_loss > 1e-12 ? mid / row.byte_loss : 1.0;
+    series.add({Table::num(multiples[i], 0), Table::pct(row.byte_loss),
+                Table::pct(row.frame_loss_lo), Table::pct(row.frame_loss_hi),
                 Table::num(ratio, 2)});
   }
   series.emit(opts);
+  bench::print_run_stats(stats);
   return 0;
 }
 

@@ -24,16 +24,21 @@ int run(const bench::BenchOptions& opts) {
   const Stream frame_stream =
       bench::reference_stream(trace::Slicing::WholeFrame, frames);
   const Bytes rate = sim::relative_rate(bytes_stream, 1.00);
-  const std::vector<std::string> policies = {"tail-drop", "greedy"};
 
   std::vector<double> multiples;
   for (int m = 1; m <= 26; m += opts.quick ? 5 : 1) {
     multiples.push_back(m);
   }
-  const auto byte_points =
-      sim::buffer_sweep(bytes_stream, multiples, rate, policies, false);
-  const auto frame_points =
-      sim::buffer_sweep(frame_stream, multiples, rate, policies, false);
+  const sim::SweepSpec spec{.axis = sim::SweepAxis::BufferMultiple,
+                            .values = multiples,
+                            .policies = {"tail-drop", "greedy"},
+                            .rate = rate,
+                            .threads = opts.threads};
+  auto byte_result = sim::sweep(bytes_stream, spec);
+  const auto frame_result = sim::sweep(frame_stream, spec);
+  const auto& byte_points = byte_result.points;
+  const auto& frame_points = frame_result.points;
+  byte_result.stats += frame_result.stats;
 
   std::cout << "Fig. 6 — weighted loss of Tail-Drop and Greedy, byte vs "
                "whole-frame slices, R = average rate\n"
@@ -50,6 +55,7 @@ int run(const bench::BenchOptions& opts) {
          Table::pct(frame_points[i].policies[1].report.weighted_loss())});
   }
   series.emit(opts);
+  bench::print_run_stats(byte_result.stats);
   return 0;
 }
 

@@ -13,12 +13,16 @@
 //    outage fraction — under both client degradation modes (skip vs. stall)
 //    and with the NACK/retransmit recovery path off and on. Each table's
 //    last column checks that loss is monotone in severity.
+//
+// Every cell of both halves is an independent simulation, so the whole
+// bench fans out over the ParallelRunner (--threads / RTSMOOTH_THREADS).
 
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -30,44 +34,72 @@ namespace {
 
 using namespace rtsmooth;
 
-void ordering_section(const bench::BenchOptions& opts, std::size_t frames) {
+void ordering_section(const bench::BenchOptions& opts, std::size_t frames,
+                      sim::RunStats* stats) {
   std::cout << "Fig. 2/3 orderings across clips and seeds (" << frames
             << " frames each)\n";
   bench::Series series{.header = {"clip", "rate(xAvg)", "B(xMaxFrame)",
                                   "TailDrop", "Greedy", "Optimal",
                                   "ordering"}};
 
+  // Materialize the clips first (cheap, sequential), then run the full
+  // (clip x rate x buffer) grid as one parallel batch of cells.
+  std::vector<std::pair<std::string, Stream>> clips;
   auto add_clip = [&](const std::string& label,
                       const trace::FrameSequence& sequence) {
-    const Stream s =
-        trace::slice_frames(sequence, trace::ValueModel::mpeg_default(),
-                            trace::Slicing::ByteSlices);
-    for (double rel : {0.9, 1.1}) {
-      const Bytes rate = sim::relative_rate(s, rel);
-      for (double mult : {2.0, 8.0}) {
-        const double multiples[] = {mult};
-        const std::vector<std::string> policies = {"tail-drop", "greedy"};
-        const auto points = sim::buffer_sweep(s, multiples, rate, policies,
-                                              /*with_optimal=*/true);
-        const auto& point = points.front();
-        const double tail = point.policies[0].report.weighted_loss();
-        const double greedy = point.policies[1].report.weighted_loss();
-        const double optimal = point.optimal.weighted_loss;
-        const bool ordered =
-            optimal <= greedy + 1e-9 && greedy <= tail + 1e-9;
-        series.add({label, Table::num(rel, 1), Table::num(mult, 0),
-                    Table::pct(tail), Table::pct(greedy), Table::pct(optimal),
-                    ordered ? "ok" : "VIOLATED"});
-      }
-    }
+    clips.emplace_back(
+        label, trace::slice_frames(sequence, trace::ValueModel::mpeg_default(),
+                                   trace::Slicing::ByteSlices));
   };
-
   for (const auto& name : trace::stock_clip_names()) {
     add_clip(name, trace::stock_clip(name, frames));
   }
   for (std::uint64_t seed : {101u, 202u, 303u}) {
     trace::MpegTraceModel model(trace::MpegModelConfig{}, seed);
     add_clip("cnn-news/seed" + std::to_string(seed), model.generate(frames));
+  }
+
+  struct Cell {
+    std::size_t clip = 0;
+    double rel = 0.0;
+    double mult = 0.0;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t c = 0; c < clips.size(); ++c) {
+    for (double rel : {0.9, 1.1}) {
+      for (double mult : {2.0, 8.0}) {
+        cells.push_back(Cell{.clip = c, .rel = rel, .mult = mult});
+      }
+    }
+  }
+
+  sim::ParallelRunner runner(opts.threads);
+  const auto points = runner.map<sim::SweepPoint>(
+      cells.size(),
+      [&](std::size_t i) {
+        const Stream& s = clips[cells[i].clip].second;
+        // One cell per task: the inner sweep stays serial (threads = 1).
+        return sim::sweep(s, sim::SweepSpec{
+                                 .axis = sim::SweepAxis::BufferMultiple,
+                                 .values = {cells[i].mult},
+                                 .policies = {"tail-drop", "greedy"},
+                                 .with_optimal = true,
+                                 .rate = sim::relative_rate(s, cells[i].rel),
+                                 .threads = 1})
+            .points.front();
+      },
+      stats);
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& point = points[i];
+    const double tail = point.policies[0].report.weighted_loss();
+    const double greedy = point.policies[1].report.weighted_loss();
+    const double optimal = point.optimal.weighted_loss;
+    const bool ordered = optimal <= greedy + 1e-9 && greedy <= tail + 1e-9;
+    series.add({clips[cells[i].clip].first, Table::num(cells[i].rel, 1),
+                Table::num(cells[i].mult, 0), Table::pct(tail),
+                Table::pct(greedy), Table::pct(optimal),
+                ordered ? "ok" : "VIOLATED"});
   }
   series.emit(opts);
 }
@@ -78,31 +110,38 @@ void ordering_section(const bench::BenchOptions& opts, std::size_t frames) {
 void fault_section(const bench::BenchOptions& opts, const Stream& s,
                    const Plan& plan, const std::string& title,
                    const char* axis, int axis_decimals,
-                   std::span<const double> severities,
-                   const sim::FaultLinkFactory& make_link,
-                   const char* csv_suffix) {
+                   std::vector<double> severities,
+                   sim::FaultLinkFactory make_link, const char* csv_suffix,
+                   sim::RunStats* stats) {
   std::cout << "\n" << title << "\n";
   bench::Series series{.header = {axis, "skip", "stall", "skip+rec",
                                   "stall+rec", "retx(B)", "stalls",
                                   "monotone"}};
-  const auto plain = sim::fault_sweep(s, plan, "greedy", severities, make_link,
-                                      RecoveryConfig{});
-  const auto recovered = sim::fault_sweep(s, plan, "greedy", severities,
-                                          make_link,
-                                          RecoveryConfig{.enabled = true});
+  sim::SweepSpec spec{.axis = sim::SweepAxis::FaultSeverity,
+                      .values = std::move(severities),
+                      .policies = {"greedy"},
+                      .plan = plan,
+                      .link_factory = std::move(make_link),
+                      .threads = opts.threads};
+  const auto plain = sim::sweep(s, spec);
+  spec.recovery = RecoveryConfig{.enabled = true};
+  const auto recovered = sim::sweep(s, spec);
+  *stats += plain.stats;
+  *stats += recovered.stats;
   double prev_skip = -1.0;
   double prev_stall = -1.0;
-  for (std::size_t i = 0; i < severities.size(); ++i) {
-    const double skip = plain[i].skip.weighted_loss();
-    const double stall = plain[i].stall.weighted_loss();
+  for (std::size_t i = 0; i < plain.faults.size(); ++i) {
+    const double skip = plain.faults[i].skip.weighted_loss();
+    const double stall = plain.faults[i].stall.weighted_loss();
     const bool monotone =
         skip >= prev_skip - 1e-12 && stall >= prev_stall - 1e-12;
-    series.add({Table::num(severities[i], axis_decimals), Table::pct(skip),
-                Table::pct(stall), Table::pct(recovered[i].skip.weighted_loss()),
-                Table::pct(recovered[i].stall.weighted_loss()),
-                std::to_string(recovered[i].skip.retransmitted_bytes),
-                std::to_string(plain[i].stall.stall_steps),
-                monotone ? "ok" : "VIOLATED"});
+    series.add(
+        {Table::num(spec.values[i], axis_decimals), Table::pct(skip),
+         Table::pct(stall), Table::pct(recovered.faults[i].skip.weighted_loss()),
+         Table::pct(recovered.faults[i].stall.weighted_loss()),
+         std::to_string(recovered.faults[i].skip.retransmitted_bytes),
+         std::to_string(plain.faults[i].stall.stall_steps),
+         monotone ? "ok" : "VIOLATED"});
     prev_skip = skip;
     prev_stall = stall;
   }
@@ -116,7 +155,8 @@ int run(const bench::BenchOptions& opts) {
       opts.frames ? opts.frames : (opts.quick ? 300 : 1000);
   std::cout << "fig_robustness — orderings across clips, then weighted loss "
                "vs. fault severity\n\n";
-  ordering_section(opts, frames);
+  sim::RunStats stats;
+  ordering_section(opts, frames, &stats);
 
   // Whole-frame slices for the fault half: a frame then takes several steps
   // to transmit, so partial-frame underflow — the case where stall and skip
@@ -125,61 +165,52 @@ int run(const bench::BenchOptions& opts) {
   const Bytes rate = sim::relative_rate(s, 1.1);
   const Plan plan = Planner::from_buffer_rate(4 * s.max_frame_bytes(), rate);
 
-  {
-    const double probs[] = {0.0, 0.02, 0.05, 0.1, 0.2};
-    fault_section(
-        opts, s, plan, "i.i.d. erasure: weighted loss vs. loss probability",
-        "p(loss)", 2, probs,
-        [](double severity, Time link_delay) -> std::unique_ptr<Link> {
-          return std::make_unique<faults::ErasureLink>(
-              link_delay, severity,
-              Rng(900 + static_cast<std::uint64_t>(severity * 1000)));
-        },
-        ".erasure.csv");
-  }
-  {
-    // Severity = mean outage length 1/p_bad_to_good; entry rate fixed, so
-    // longer bursts mean a larger fraction of steps spent in outage.
-    // Geometric spacing: with ~20 bursts per run the realized outage
-    // fraction is noisy, and adjacent severities must stay separated by
-    // more than that noise for the monotone column to be meaningful.
-    const double bursts[] = {0.0, 2.0, 8.0, 32.0};
-    fault_section(
-        opts, s, plan,
-        "Gilbert-Elliott outages: weighted loss vs. mean burst length",
-        "burst(steps)", 0, bursts,
-        [](double severity, Time link_delay) -> std::unique_ptr<Link> {
-          faults::GilbertElliottConfig config;
-          config.p_good_to_bad = severity > 0.0 ? 0.02 : 0.0;
-          config.p_bad_to_good = severity > 0.0 ? 1.0 / severity : 1.0;
-          return std::make_unique<faults::GilbertElliottLink>(
-              link_delay, config,
-              Rng(7700 + static_cast<std::uint64_t>(severity)));
-        },
-        ".bursts.csv");
-  }
-  {
-    // Severity = fraction of steps with zero deliverable rate; the active
-    // steps carry 2R so the backlog can drain between outages. The period
-    // is long enough that the outage window overruns the smoothing delay's
-    // slack at the higher severities.
-    const double outage_fraction[] = {0.0, 0.25, 0.5, 0.75};
-    fault_section(
-        opts, s, plan,
-        "throttling: weighted loss vs. outage fraction (2R when active)",
-        "outage", 2, outage_fraction,
-        [rate](double severity, Time link_delay) -> std::unique_ptr<Link> {
-          constexpr std::size_t kPeriod = 48;
-          const auto zeros =
-              static_cast<std::size_t>(severity * kPeriod + 0.5);
-          std::vector<Bytes> pattern(kPeriod, 2 * rate);
-          std::fill_n(pattern.begin(), zeros, Bytes{0});
-          return std::make_unique<faults::ThrottledLink>(
-              std::make_unique<FixedDelayLink>(link_delay),
-              std::move(pattern));
-        },
-        ".throttle.csv");
-  }
+  fault_section(
+      opts, s, plan, "i.i.d. erasure: weighted loss vs. loss probability",
+      "p(loss)", 2, {0.0, 0.02, 0.05, 0.1, 0.2},
+      [](double severity, Time link_delay) -> std::unique_ptr<Link> {
+        return std::make_unique<faults::ErasureLink>(
+            link_delay, severity,
+            Rng(900 + static_cast<std::uint64_t>(severity * 1000)));
+      },
+      ".erasure.csv", &stats);
+  // Severity = mean outage length 1/p_bad_to_good; entry rate fixed, so
+  // longer bursts mean a larger fraction of steps spent in outage.
+  // Geometric spacing: with ~20 bursts per run the realized outage
+  // fraction is noisy, and adjacent severities must stay separated by
+  // more than that noise for the monotone column to be meaningful.
+  fault_section(
+      opts, s, plan,
+      "Gilbert-Elliott outages: weighted loss vs. mean burst length",
+      "burst(steps)", 0, {0.0, 2.0, 8.0, 32.0},
+      [](double severity, Time link_delay) -> std::unique_ptr<Link> {
+        faults::GilbertElliottConfig config;
+        config.p_good_to_bad = severity > 0.0 ? 0.02 : 0.0;
+        config.p_bad_to_good = severity > 0.0 ? 1.0 / severity : 1.0;
+        return std::make_unique<faults::GilbertElliottLink>(
+            link_delay, config,
+            Rng(7700 + static_cast<std::uint64_t>(severity)));
+      },
+      ".bursts.csv", &stats);
+  // Severity = fraction of steps with zero deliverable rate; the active
+  // steps carry 2R so the backlog can drain between outages. The period
+  // is long enough that the outage window overruns the smoothing delay's
+  // slack at the higher severities.
+  fault_section(
+      opts, s, plan,
+      "throttling: weighted loss vs. outage fraction (2R when active)",
+      "outage", 2, {0.0, 0.25, 0.5, 0.75},
+      [rate](double severity, Time link_delay) -> std::unique_ptr<Link> {
+        constexpr std::size_t kPeriod = 48;
+        const auto zeros = static_cast<std::size_t>(severity * kPeriod + 0.5);
+        std::vector<Bytes> pattern(kPeriod, 2 * rate);
+        std::fill_n(pattern.begin(), zeros, Bytes{0});
+        return std::make_unique<faults::ThrottledLink>(
+            std::make_unique<FixedDelayLink>(link_delay), std::move(pattern));
+      },
+      ".throttle.csv", &stats);
+
+  bench::print_run_stats(stats);
   return 0;
 }
 

@@ -3,6 +3,7 @@
 // delivers, plus the statistical-multiplexing sweep (capacity per channel
 // to hold weighted loss under 1%, alone vs aggregated).
 
+#include <functional>
 #include <iostream>
 
 #include "alternatives/strategies.h"
@@ -15,8 +16,8 @@ namespace {
 using namespace rtsmooth;
 using namespace rtsmooth::alternatives;
 
-void part_a_strategies(const Stream& stream,
-                       const bench::BenchOptions& opts) {
+void part_a_strategies(const Stream& stream, const bench::BenchOptions& opts,
+                       sim::RunStats* stats) {
   const Bytes avg = sim::relative_rate(stream, 1.0);
   std::cout << "(a) one channel, rate = average where applicable "
             << "(avg = " << Table::num(static_cast<double>(avg) / 1024, 1)
@@ -29,13 +30,18 @@ void part_a_strategies(const Stream& stream,
   rcbr.headroom = 1.2;
   rcbr.buffer = 4 * stream.max_frame_bytes();
   rcbr.floor_rate = 1024;
-  const StrategyOutcome outcomes[] = {
-      evaluate_peak_provision(stream),
-      evaluate_truncation(stream, avg),
-      evaluate_smoothing(stream, avg, 25, "tail-drop"),
-      evaluate_smoothing(stream, avg, 25, "greedy"),
-      evaluate_renegotiated_cbr(stream, rcbr),
+  using StrategyFn = std::function<StrategyOutcome()>;
+  const std::vector<StrategyFn> strategies = {
+      [&] { return evaluate_peak_provision(stream); },
+      [&] { return evaluate_truncation(stream, avg); },
+      [&] { return evaluate_smoothing(stream, avg, 25, "tail-drop"); },
+      [&] { return evaluate_smoothing(stream, avg, 25, "greedy"); },
+      [&] { return evaluate_renegotiated_cbr(stream, rcbr); },
   };
+  sim::ParallelRunner runner(opts.threads);
+  const auto outcomes = runner.map<StrategyOutcome>(
+      strategies.size(), [&](std::size_t i) { return strategies[i](); },
+      stats);
   bench::Series series{.header = {"strategy", "peakKB", "avgKB",
                                   "delivered", "benefit", "delay",
                                   "bufferKB", "renegs"}};
@@ -51,7 +57,8 @@ void part_a_strategies(const Stream& stream,
   series.emit(opts);
 }
 
-void part_b_multiplexing(std::size_t frames) {
+void part_b_multiplexing(std::size_t frames, unsigned threads,
+                         sim::RunStats* stats) {
   // Short smoothing delay (0.2 s): per-channel provisioning must then cover
   // scene-level bursts, which rarely coincide across channels — the regime
   // where multiplexing pays.
@@ -59,8 +66,10 @@ void part_b_multiplexing(std::size_t frames) {
                "for <= 1% weighted loss (delay 5)\n\n";
   bench::Series series{.header = {"channels", "perChannelAloneKB",
                                   "perChannelTogetherKB", "gain"}};
+  // Channel generation is cheap and seed-indexed, so it stays serial; the
+  // binary searches over the smoothing rate are the expensive part and fan
+  // out — one task per channel, one per aggregate checkpoint.
   std::vector<Stream> channels;
-  double sum_alone = 0.0;
   for (std::uint64_t k = 0; k < 16; ++k) {
     trace::MpegModelConfig cfg;
     cfg.scene_sigma = (k % 2 == 0) ? 0.30 : 0.55;  // heterogeneous mix
@@ -68,18 +77,39 @@ void part_b_multiplexing(std::size_t frames) {
     channels.push_back(trace::slice_frames(model.generate(frames),
                                            trace::ValueModel::mpeg_default(),
                                            trace::Slicing::ByteSlices));
-    sum_alone +=
-        static_cast<double>(min_rate_for_loss(channels.back(), 5, 0.01));
-    const std::size_t n = channels.size();
-    if (n == 1 || n == 2 || n == 4 || n == 8 || n == 16) {
-      const Stream aggregate = merge_streams(channels);
-      const double together =
-          static_cast<double>(min_rate_for_loss(aggregate, 5, 0.01)) /
-          static_cast<double>(n);
+  }
+  const std::vector<std::size_t> checkpoints = {1, 2, 4, 8, 16};
+  sim::ParallelRunner runner(threads);
+  const auto alone_rates = runner.map<double>(
+      channels.size(),
+      [&](std::size_t i) {
+        return static_cast<double>(min_rate_for_loss(channels[i], 5, 0.01));
+      },
+      stats);
+  const auto together_rates = runner.map<double>(
+      checkpoints.size(),
+      [&](std::size_t i) {
+        const std::vector<Stream> prefix(channels.begin(),
+                                         channels.begin() +
+                                             static_cast<std::ptrdiff_t>(
+                                                 checkpoints[i]));
+        const Stream aggregate = merge_streams(prefix);
+        return static_cast<double>(min_rate_for_loss(aggregate, 5, 0.01)) /
+               static_cast<double>(checkpoints[i]);
+      },
+      stats);
+  double sum_alone = 0.0;
+  std::size_t next_checkpoint = 0;
+  for (std::size_t n = 1; n <= channels.size(); ++n) {
+    sum_alone += alone_rates[n - 1];
+    if (next_checkpoint < checkpoints.size() &&
+        n == checkpoints[next_checkpoint]) {
+      const double together = together_rates[next_checkpoint];
       const double alone = sum_alone / static_cast<double>(n);
       series.add({std::to_string(n), Table::num(alone / 1024, 1),
                   Table::num(together / 1024, 1),
                   Table::num(alone / together, 2)});
+      ++next_checkpoint;
     }
   }
   series.emit(bench::BenchOptions{});
@@ -96,7 +126,9 @@ int main(int argc, char** argv) {
                                         frames);
   std::cout << "tab_alternatives — smoothing vs the introduction's "
                "alternatives (" << frames << " frames)\n\n";
-  part_a_strategies(stream, opts);
-  part_b_multiplexing(opts.quick ? 250 : 500);
+  rtsmooth::sim::RunStats stats;
+  part_a_strategies(stream, opts, &stats);
+  part_b_multiplexing(opts.quick ? 250 : 500, opts.threads, &stats);
+  rtsmooth::bench::print_run_stats(stats);
   return 0;
 }

@@ -22,48 +22,76 @@ namespace {
 using namespace rtsmooth;
 using namespace rtsmooth::analysis;
 
-void part_a_thm47(const bench::BenchOptions& opts) {
+void part_a_thm47(const bench::BenchOptions& opts, sim::RunStats* stats) {
   std::cout << "(a) Theorem 4.7 — Greedy on the adversarial stream\n\n";
   bench::Series series{.header = {"B", "alpha", "measured", "closedForm",
                                   "lowerBound(2-eps)", "upperBound(Thm4.1)"}};
+  struct Cell {
+    Bytes b;
+    double alpha;
+  };
+  std::vector<Cell> cells;
   for (Bytes b : {10, 50, 200}) {
     for (double alpha : {2.0, 4.0, 16.0, 100.0}) {
-      const Stream s = thm47_stream(b, alpha);
-      const RatioResult measured = measured_ratio(s, b, 1, "greedy");
-      series.add({std::to_string(b), Table::num(alpha, 1),
-                  Table::num(measured.ratio, 4),
-                  Table::num(greedy_thm47_exact_ratio(b, alpha), 4),
-                  Table::num(greedy_lower_bound_thm47(b, alpha), 4),
-                  Table::num(greedy_competitive_upper_bound(b, 1), 4)});
+      cells.push_back(Cell{.b = b, .alpha = alpha});
     }
+  }
+  sim::ParallelRunner runner(opts.threads);
+  const auto ratios = runner.map<double>(
+      cells.size(),
+      [&](std::size_t i) {
+        const Stream s = thm47_stream(cells[i].b, cells[i].alpha);
+        return measured_ratio(s, cells[i].b, 1, "greedy").ratio;
+      },
+      stats);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    series.add(
+        {std::to_string(cells[i].b), Table::num(cells[i].alpha, 1),
+         Table::num(ratios[i], 4),
+         Table::num(greedy_thm47_exact_ratio(cells[i].b, cells[i].alpha), 4),
+         Table::num(greedy_lower_bound_thm47(cells[i].b, cells[i].alpha), 4),
+         Table::num(greedy_competitive_upper_bound(cells[i].b, 1), 4)});
   }
   series.emit(opts);
 }
 
-void part_b_thm48() {
+void part_b_thm48(unsigned threads, sim::RunStats* stats) {
   std::cout << "\n(b) Theorem 4.8 — two-scenario adversary vs deterministic "
                "policies (B = 600, alpha = 2)\n\n";
   const Bytes b = 600;
   const double alpha = 2.0;
   bench::Series series{.header = {"policy", "worstT1", "maxScenarioRatio",
                                   "paperBound"}};
-  for (const auto& policy : policy_names()) {
+  const std::vector<std::string> policies = known_policies();
+  constexpr double kZ[] = {1.0, 1.3, 1.6861, 2.2, 3.0};
+  constexpr std::size_t kZCount = std::size(kZ);
+  sim::ParallelRunner runner(threads);
+  // One task per (policy, z): both scenario streams and both measured runs.
+  const auto ratios = runner.map<double>(
+      policies.size() * kZCount,
+      [&](std::size_t i) {
+        const std::string& policy = policies[i / kZCount];
+        const auto t1 = static_cast<Time>(
+            std::llround(static_cast<double>(b) / kZ[i % kZCount]));
+        const Stream s1 = thm48_scenario1_stream(b, t1, alpha);
+        const Stream s2 = thm48_scenario2_stream(b, t1, alpha);
+        return std::max(measured_ratio(s1, b, 1, policy).ratio,
+                        measured_ratio(s2, b, 1, policy).ratio);
+      },
+      stats);
+  for (std::size_t p = 0; p < policies.size(); ++p) {
     double worst = 0.0;
     Time worst_t1 = 0;
-    for (double z : {1.0, 1.3, 1.6861, 2.2, 3.0}) {
-      const auto t1 =
-          static_cast<Time>(std::llround(static_cast<double>(b) / z));
-      const Stream s1 = thm48_scenario1_stream(b, t1, alpha);
-      const Stream s2 = thm48_scenario2_stream(b, t1, alpha);
-      const double r = std::max(measured_ratio(s1, b, 1, policy).ratio,
-                                measured_ratio(s2, b, 1, policy).ratio);
+    for (std::size_t zi = 0; zi < kZCount; ++zi) {
+      const double r = ratios[p * kZCount + zi];
       if (r > worst) {
         worst = r;
-        worst_t1 = t1;
+        worst_t1 =
+            static_cast<Time>(std::llround(static_cast<double>(b) / kZ[zi]));
       }
     }
-    series.add({std::string(policy), std::to_string(worst_t1),
-                Table::num(worst, 4), "1.2287"});
+    series.add({policies[p], std::to_string(worst_t1), Table::num(worst, 4),
+                "1.2287"});
   }
   series.emit(bench::BenchOptions{});
 
@@ -78,17 +106,31 @@ void part_b_thm48() {
             << "  (Lotker/Sviridenko remark)\n";
 }
 
-void part_c_random(const bench::BenchOptions& opts) {
+void part_c_random(const bench::BenchOptions& opts, sim::RunStats* stats) {
   const int trials = opts.quick ? 100 : 600;
   std::cout << "\n(c) Theorem 4.1 — worst measured Greedy ratio over "
             << trials << " random unit-slice streams (guarantee: 4)\n\n";
+  // The trial inputs come from one sequential RNG stream, so draw them
+  // up front (cheap) and fan only the ratio measurements out.
   Rng rng(20250704);
+  std::vector<std::pair<Stream, Bytes>> inputs;
+  inputs.reserve(static_cast<std::size_t>(trials));
+  for (int i = 0; i < trials; ++i) {
+    Stream s = random_unit_stream(rng, 30, 12, 40.0);
+    const Bytes buffer = rng.uniform_int(2, 16);
+    inputs.emplace_back(std::move(s), buffer);
+  }
+  sim::ParallelRunner runner(opts.threads);
+  const auto ratios = runner.map<double>(
+      inputs.size(),
+      [&](std::size_t i) {
+        return measured_ratio(inputs[i].first, inputs[i].second, 1, "greedy")
+            .ratio;
+      },
+      stats);
   double worst = 1.0;
   double sum = 0.0;
-  for (int i = 0; i < trials; ++i) {
-    const Stream s = random_unit_stream(rng, 30, 12, 40.0);
-    const Bytes buffer = rng.uniform_int(2, 16);
-    const double ratio = measured_ratio(s, buffer, 1, "greedy").ratio;
+  for (const double ratio : ratios) {
     worst = std::max(worst, ratio);
     sum += ratio;
   }
@@ -102,8 +144,10 @@ void part_c_random(const bench::BenchOptions& opts) {
 int main(int argc, char** argv) {
   const auto opts = rtsmooth::bench::parse_options(argc, argv);
   std::cout << "tab_competitive — Sect. 4 results\n\n";
-  part_a_thm47(opts);
-  part_b_thm48();
-  part_c_random(opts);
+  rtsmooth::sim::RunStats stats;
+  part_a_thm47(opts, &stats);
+  part_b_thm48(opts.threads, &stats);
+  part_c_random(opts, &stats);
+  rtsmooth::bench::print_run_stats(stats);
   return 0;
 }

@@ -29,7 +29,7 @@ using lossless::live_walls;
 using lossless::taut_string;
 
 void part_a_grid(const CumulativeCurve& arrivals,
-                 const bench::BenchOptions& opts) {
+                 const bench::BenchOptions& opts, sim::RunStats* stats) {
   std::cout << "(a) lossless peak rate (KB/slot) vs startup delay and "
                "client buffer; unsmoothed peak = "
             << Table::num(static_cast<double>(arrivals.peak_increment()) /
@@ -40,60 +40,94 @@ void part_a_grid(const CumulativeCurve& arrivals,
                           1)
             << " KB\n\n";
   bench::Series series{.header = {"buffer", "D=1", "D=5", "D=25", "D=125"}};
-  for (Bytes buffer_kb : {120, 480, 1920, 7680}) {
-    std::vector<std::string> row = {std::to_string(buffer_kb) + "KB"};
-    for (Time d : {1, 5, 25, 125}) {
-      const double peak =
-          lossless::min_peak_for_delay(arrivals, d, buffer_kb * 1024);
-      row.push_back(Table::num(peak / 1024.0, 1));
+  const std::vector<Bytes> buffers_kb = {120, 480, 1920, 7680};
+  constexpr Time kDelays[] = {1, 5, 25, 125};
+  constexpr std::size_t kDelayCount = std::size(kDelays);
+  sim::ParallelRunner runner(opts.threads);
+  const auto peaks = runner.map<double>(
+      buffers_kb.size() * kDelayCount,
+      [&](std::size_t i) {
+        return lossless::min_peak_for_delay(
+            arrivals, kDelays[i % kDelayCount],
+            buffers_kb[i / kDelayCount] * 1024);
+      },
+      stats);
+  for (std::size_t b = 0; b < buffers_kb.size(); ++b) {
+    std::vector<std::string> row = {std::to_string(buffers_kb[b]) + "KB"};
+    for (std::size_t d = 0; d < kDelayCount; ++d) {
+      row.push_back(Table::num(peaks[b * kDelayCount + d] / 1024.0, 1));
     }
     series.add(std::move(row));
   }
   series.emit(opts);
 }
 
-void part_b_online(const CumulativeCurve& arrivals) {
+void part_b_online(const CumulativeCurve& arrivals, unsigned threads,
+                   sim::RunStats* stats) {
   const lossless::SmoothingWalls walls = live_walls(arrivals, 25, 2 << 20);
   const double offline = taut_string(walls.lower, walls.upper).peak_rate;
   std::cout << "\n(b) on-line window convergence (delay 25, buffer 2 MB): "
                "peak rate vs lookahead window\n\n";
   bench::Series series{
       .header = {"window", "peak(drain)", "peak(prefetch)", "xOffline"}};
-  for (Time window : {Time{5}, Time{15}, Time{50}, Time{150}, Time{500},
-                      arrivals.length() + 25}) {
-    const double drain =
-        lossless::online_smooth(walls, window, lossless::BlockAnchor::Drain)
-            .peak_rate;
-    const double prefetch =
-        lossless::online_smooth(walls, window,
-                                lossless::BlockAnchor::Prefetch)
-            .peak_rate;
-    series.add({std::to_string(window), Table::num(drain / 1024.0, 1),
-                Table::num(prefetch / 1024.0, 1),
-                Table::num(std::min(drain, prefetch) / offline, 3)});
+  const std::vector<Time> windows = {Time{5},   Time{15},  Time{50},
+                                     Time{150}, Time{500}, arrivals.length() +
+                                                               25};
+  struct Row {
+    double drain = 0.0;
+    double prefetch = 0.0;
+  };
+  sim::ParallelRunner runner(threads);
+  const auto rows = runner.map<Row>(
+      windows.size(),
+      [&](std::size_t i) {
+        return Row{.drain = lossless::online_smooth(
+                                walls, windows[i],
+                                lossless::BlockAnchor::Drain)
+                                .peak_rate,
+                   .prefetch = lossless::online_smooth(
+                                   walls, windows[i],
+                                   lossless::BlockAnchor::Prefetch)
+                                   .peak_rate};
+      },
+      stats);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    series.add(
+        {std::to_string(windows[i]), Table::num(rows[i].drain / 1024.0, 1),
+         Table::num(rows[i].prefetch / 1024.0, 1),
+         Table::num(std::min(rows[i].drain, rows[i].prefetch) / offline, 3)});
   }
   series.emit(bench::BenchOptions{});
   std::cout << "    offline optimum: " << Table::num(offline / 1024.0, 1)
             << " KB/slot\n";
 }
 
-void part_c_knee(const CumulativeCurve& arrivals) {
+void part_c_knee(const CumulativeCurve& arrivals, unsigned threads,
+                 sim::RunStats* stats) {
   std::cout << "\n(c) optimal initial delay (Zhao et al.): smallest delay "
                "after which more delay buys nothing\n\n";
   bench::Series series{.header = {"buffer", "peak(D=0)", "floor", "kneeDelay"}};
-  for (Bytes buffer_kb : {120, 480, 1920}) {
-    const auto knee =
-        lossless::optimal_initial_delay(arrivals, buffer_kb * 1024);
-    series.add({std::to_string(buffer_kb) + "KB",
-                Table::num(knee.peak_at_zero / 1024.0, 1),
-                Table::num(knee.peak_rate / 1024.0, 1),
-                std::to_string(knee.delay)});
+  const std::vector<Bytes> buffers_kb = {120, 480, 1920};
+  sim::ParallelRunner runner(threads);
+  const auto knees = runner.map<lossless::DelayKnee>(
+      buffers_kb.size(),
+      [&](std::size_t i) {
+        return lossless::optimal_initial_delay(arrivals,
+                                               buffers_kb[i] * 1024);
+      },
+      stats);
+  for (std::size_t i = 0; i < buffers_kb.size(); ++i) {
+    series.add({std::to_string(buffers_kb[i]) + "KB",
+                Table::num(knees[i].peak_at_zero / 1024.0, 1),
+                Table::num(knees[i].peak_rate / 1024.0, 1),
+                std::to_string(knees[i].delay)});
   }
   series.emit(bench::BenchOptions{});
 }
 
 void part_d_lossy_vs_lossless(const Stream& stream,
-                              const CumulativeCurve& arrivals) {
+                              const CumulativeCurve& arrivals,
+                              unsigned threads, sim::RunStats* stats) {
   const Time delay = 25;
   const Bytes buffer = 2 << 20;
   const double lossless_rate =
@@ -105,15 +139,24 @@ void part_d_lossy_vs_lossless(const Stream& stream,
   bench::Series series{
       .header = {"rate(xLossless)", "rate(KB)", "greedyWeightedLoss",
                  "byteLoss"}};
-  for (double frac : {1.0, 0.9, 0.8, 0.7, 0.6, 0.5}) {
+  const std::vector<double> fracs = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5};
+  sim::ParallelRunner runner(threads);
+  const auto reports = runner.map<SimReport>(
+      fracs.size(),
+      [&](std::size_t i) {
+        const auto rate =
+            std::max<Bytes>(1, static_cast<Bytes>(fracs[i] * lossless_rate));
+        return sim::simulate(stream, Planner::from_delay_rate(delay, rate),
+                             "greedy");
+      },
+      stats);
+  for (std::size_t i = 0; i < fracs.size(); ++i) {
     const auto rate =
-        std::max<Bytes>(1, static_cast<Bytes>(frac * lossless_rate));
-    const Plan plan = Planner::from_delay_rate(delay, rate);
-    const SimReport report = sim::simulate(stream, plan, "greedy");
-    series.add({Table::num(frac, 1),
+        std::max<Bytes>(1, static_cast<Bytes>(fracs[i] * lossless_rate));
+    series.add({Table::num(fracs[i], 1),
                 Table::num(static_cast<double>(rate) / 1024.0, 1),
-                Table::pct(report.weighted_loss()),
-                Table::pct(report.byte_loss())});
+                Table::pct(reports[i].weighted_loss()),
+                Table::pct(reports[i].byte_loss())});
   }
   series.emit(bench::BenchOptions{});
 }
@@ -129,9 +172,11 @@ int main(int argc, char** argv) {
       sequence, trace::ValueModel::mpeg_default(), trace::Slicing::ByteSlices);
   std::cout << "tab_lossless — lossless smoothing context (" << frames
             << " frames)\n\n";
-  part_a_grid(arrivals, opts);
-  part_b_online(arrivals);
-  part_c_knee(arrivals);
-  part_d_lossy_vs_lossless(stream, arrivals);
+  rtsmooth::sim::RunStats stats;
+  part_a_grid(arrivals, opts, &stats);
+  part_b_online(arrivals, opts.threads, &stats);
+  part_c_knee(arrivals, opts.threads, &stats);
+  part_d_lossy_vs_lossless(stream, arrivals, opts.threads, &stats);
+  rtsmooth::bench::print_run_stats(stats);
   return 0;
 }

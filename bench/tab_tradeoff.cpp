@@ -25,7 +25,8 @@ namespace {
 
 using namespace rtsmooth;
 
-void part_a_theorem35(const bench::BenchOptions& opts, std::size_t frames) {
+void part_a_theorem35(const bench::BenchOptions& opts, std::size_t frames,
+                      sim::RunStats* stats) {
   const Stream s = trace::slice_frames(trace::stock_clip("cnn-news", frames),
                                        trace::ValueModel::throughput(),
                                        trace::Slicing::ByteSlices);
@@ -34,26 +35,45 @@ void part_a_theorem35(const bench::BenchOptions& opts, std::size_t frames) {
   bench::Series series{.header = {"R(xAvg)", "B(xMaxFrame)", "policy",
                                   "generic(bytes)", "optimal(bytes)",
                                   "equal"}};
-  for (double rel : {0.8, 1.0}) {
-    const Bytes rate = sim::relative_rate(s, rel);
-    for (int mult : {1, 4}) {
-      const Plan plan =
-          Planner::from_buffer_rate(mult * s.max_frame_bytes(), rate);
-      const Bytes optimal =
-          offline::unit_optimal(s, plan.buffer, plan.rate).accepted_bytes;
-      for (const char* policy : {"tail-drop", "greedy", "random"}) {
-        const SimReport report = sim::simulate(s, plan, policy);
-        series.add({Table::num(rel, 1), Table::num(mult, 0), policy,
-                    std::to_string(report.played.bytes),
-                    std::to_string(optimal),
-                    report.played.bytes == optimal ? "yes" : "NO"});
-      }
+  struct Cell {
+    double rel;
+    int mult;
+  };
+  const std::vector<Cell> cells = {{0.8, 1}, {0.8, 4}, {1.0, 1}, {1.0, 4}};
+  constexpr const char* kPolicies[] = {"tail-drop", "greedy", "random"};
+  struct Row {
+    Bytes optimal = 0;
+    Bytes played[3] = {0, 0, 0};
+  };
+  sim::ParallelRunner runner(opts.threads);
+  const auto rows = runner.map<Row>(
+      cells.size(),
+      [&](std::size_t i) {
+        const Bytes rate = sim::relative_rate(s, cells[i].rel);
+        const Plan plan = Planner::from_buffer_rate(
+            cells[i].mult * s.max_frame_bytes(), rate);
+        Row row;
+        row.optimal =
+            offline::unit_optimal(s, plan.buffer, plan.rate).accepted_bytes;
+        for (std::size_t p = 0; p < 3; ++p) {
+          row.played[p] = sim::simulate(s, plan, kPolicies[p]).played.bytes;
+        }
+        return row;
+      },
+      stats);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t p = 0; p < 3; ++p) {
+      series.add({Table::num(cells[i].rel, 1), Table::num(cells[i].mult, 0),
+                  kPolicies[p], std::to_string(rows[i].played[p]),
+                  std::to_string(rows[i].optimal),
+                  rows[i].played[p] == rows[i].optimal ? "yes" : "NO"});
     }
   }
   series.emit(opts);
 }
 
-void part_b_delay_grid(std::size_t frames) {
+void part_b_delay_grid(std::size_t frames, unsigned threads,
+                       sim::RunStats* stats) {
   const Stream s = trace::slice_frames(trace::stock_clip("cnn-news", frames),
                                        trace::ValueModel::throughput(),
                                        trace::Slicing::ByteSlices);
@@ -66,25 +86,33 @@ void part_b_delay_grid(std::size_t frames) {
   bench::Series series{
       .header = {"D(steps)", "served(bytes)", "late(bytes)",
                  "clientOverflow(bytes)", "byteLoss"}};
-  for (Time d :
-       {ideal.delay / 4, ideal.delay / 2, ideal.delay, ideal.delay * 2}) {
-    sim::SimConfig config{.server_buffer = ideal.buffer,
-                          .client_buffer = ideal.buffer,
-                          .rate = ideal.rate,
-                          .smoothing_delay = std::max<Time>(1, d),
-                          .link_delay = 1};
-    sim::SmoothingSimulator simulator(s, config, make_policy("tail-drop"));
-    const SimReport report = simulator.run();
-    series.add({std::to_string(config.smoothing_delay),
-                std::to_string(report.played.bytes),
-                std::to_string(report.dropped_client_late.bytes),
-                std::to_string(report.dropped_client_overflow.bytes),
-                Table::pct(report.byte_loss())});
+  const std::vector<Time> delays = {ideal.delay / 4, ideal.delay / 2,
+                                    ideal.delay, ideal.delay * 2};
+  sim::ParallelRunner runner(threads);
+  const auto reports = runner.map<SimReport>(
+      delays.size(),
+      [&](std::size_t i) {
+        const sim::SimConfig config{
+            .server_buffer = ideal.buffer,
+            .client_buffer = ideal.buffer,
+            .rate = ideal.rate,
+            .smoothing_delay = std::max<Time>(1, delays[i]),
+            .link_delay = 1};
+        return sim::simulate(s, config, "tail-drop");
+      },
+      stats);
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    series.add({std::to_string(std::max<Time>(1, delays[i])),
+                std::to_string(reports[i].played.bytes),
+                std::to_string(reports[i].dropped_client_late.bytes),
+                std::to_string(reports[i].dropped_client_overflow.bytes),
+                Table::pct(reports[i].byte_loss())});
   }
   series.emit(bench::BenchOptions{});
 }
 
-void part_c_theorem39(std::size_t frames) {
+void part_c_theorem39(std::size_t frames, unsigned threads,
+                      sim::RunStats* stats) {
   const Stream s = trace::slice_frames(trace::stock_clip("cnn-news", frames),
                                        trace::ValueModel::throughput(),
                                        trace::Slicing::WholeFrame);
@@ -94,43 +122,67 @@ void part_c_theorem39(std::size_t frames) {
                                   "optimal(bytes)", "measuredRatio",
                                   "guarantee"}};
   const Bytes rate = sim::relative_rate(s, 0.9);
-  for (int mult : {1, 2, 4, 8}) {
-    const Bytes buffer = mult * s.max_frame_bytes();
-    // Round the delay up so B = D*R stays >= Lmax (whole-frame slices).
-    const Plan plan = Planner::from_delay_rate((buffer + rate - 1) / rate, rate);
-    const SimReport report = sim::simulate(s, plan, "tail-drop");
-    // Conservative comparison point: the quantized bracket's *upper* bound
-    // on the optimum (a smaller measured ratio than against the exact
-    // optimum, so the guarantee check only gets harder).
-    const auto optimal = offline::quantized_optimal_bracket(
-        s, plan.buffer, plan.rate, std::max<Bytes>(256, plan.buffer / 8192));
+  const std::vector<int> mults = {1, 2, 4, 8};
+  struct Row {
+    Plan plan;
+    Bytes played = 0;
+    double optimal_upper = 0.0;
+  };
+  sim::ParallelRunner runner(threads);
+  const auto rows = runner.map<Row>(
+      mults.size(),
+      [&](std::size_t i) {
+        const Bytes buffer = mults[i] * s.max_frame_bytes();
+        // Round the delay up so B = D*R stays >= Lmax (whole-frame slices).
+        const Plan plan =
+            Planner::from_delay_rate((buffer + rate - 1) / rate, rate);
+        // Conservative comparison point: the quantized bracket's *upper*
+        // bound on the optimum (a smaller measured ratio than against the
+        // exact optimum, so the guarantee check only gets harder).
+        const auto optimal = offline::quantized_optimal_bracket(
+            s, plan.buffer, plan.rate,
+            std::max<Bytes>(256, plan.buffer / 8192));
+        return Row{.plan = plan,
+                   .played = sim::simulate(s, plan, "tail-drop").played.bytes,
+                   .optimal_upper = optimal.upper};
+      },
+      stats);
+  for (std::size_t i = 0; i < mults.size(); ++i) {
     const double measured =
-        static_cast<double>(report.played.bytes) / optimal.upper;
-    series.add({Table::num(mult, 0), std::to_string(report.played.bytes),
-                Table::num(optimal.upper, 0), Table::num(measured, 4),
+        static_cast<double>(rows[i].played) / rows[i].optimal_upper;
+    series.add({Table::num(mults[i], 0), std::to_string(rows[i].played),
+                Table::num(rows[i].optimal_upper, 0),
+                Table::num(measured, 4),
                 Table::num(Planner::throughput_guarantee(
-                               plan.buffer, s.max_slice_size()),
+                               rows[i].plan.buffer, s.max_slice_size()),
                            4)});
   }
   series.emit(bench::BenchOptions{});
 }
 
-void part_d_lemma36() {
+void part_d_lemma36(unsigned threads, sim::RunStats* stats) {
   const Bytes b2 = 64;
   const Stream s = analysis::lemma36_stream(b2, /*batches=*/50);
   std::cout << "\n(d) Lemma 3.6 — tight batch stream (batch = " << b2
             << "): throughput(B1)/throughput(B2) vs bound B1/B2\n\n";
   bench::Series series{.header = {"B1", "B2", "measuredRatio", "bound"}};
-  const Plan big = Planner::from_buffer_rate(b2, 1);
-  const Bytes big_throughput = sim::simulate(s, big, "tail-drop").played.bytes;
-  for (Bytes b1 : {8, 16, 32, 64}) {
-    const Plan plan = Planner::from_buffer_rate(b1, 1);
-    const Bytes throughput = sim::simulate(s, plan, "tail-drop").played.bytes;
-    series.add({std::to_string(b1), std::to_string(b2),
-                Table::num(static_cast<double>(throughput) /
+  const std::vector<Bytes> buffers = {8, 16, 32, 64, b2};
+  sim::ParallelRunner runner(threads);
+  const auto throughputs = runner.map<Bytes>(
+      buffers.size(),
+      [&](std::size_t i) {
+        const Plan plan = Planner::from_buffer_rate(buffers[i], 1);
+        return sim::simulate(s, plan, "tail-drop").played.bytes;
+      },
+      stats);
+  const Bytes big_throughput = throughputs.back();
+  for (std::size_t i = 0; i + 1 < buffers.size(); ++i) {
+    series.add({std::to_string(buffers[i]), std::to_string(b2),
+                Table::num(static_cast<double>(throughputs[i]) /
                                static_cast<double>(big_throughput),
                            4),
-                Table::num(Planner::buffer_ratio_guarantee(b1, b2), 4)});
+                Table::num(Planner::buffer_ratio_guarantee(buffers[i], b2),
+                           4)});
   }
   series.emit(bench::BenchOptions{});
 }
@@ -142,9 +194,11 @@ int main(int argc, char** argv) {
   const std::size_t frames = opts.frames ? opts.frames : (opts.quick ? 200 : 800);
   std::cout << "tab_tradeoff — Sect. 3 results on the cnn-news clip ("
             << frames << " frames)\n\n";
-  part_a_theorem35(opts, frames);
-  part_b_delay_grid(frames);
-  part_c_theorem39(std::min<std::size_t>(frames, 400));
-  part_d_lemma36();
+  rtsmooth::sim::RunStats stats;
+  part_a_theorem35(opts, frames, &stats);
+  part_b_delay_grid(frames, opts.threads, &stats);
+  part_c_theorem39(std::min<std::size_t>(frames, 400), opts.threads, &stats);
+  part_d_lemma36(opts.threads, &stats);
+  rtsmooth::bench::print_run_stats(stats);
   return 0;
 }

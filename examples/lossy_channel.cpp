@@ -44,11 +44,10 @@ int main(int argc, char** argv) {
     sim::SimConfig config = sim::SimConfig::balanced(plan);
     config.underflow = underflow;
     config.recovery.enabled = recover;  // NACK + deadline-aware retransmit
-    sim::SmoothingSimulator simulator(
-        stream, config, make_policy("greedy"),
+    const SimReport report = sim::simulate(
+        stream, config, "greedy",
         std::make_unique<faults::ErasureLink>(config.link_delay, loss,
                                               Rng(2026)));
-    const SimReport report = simulator.run();
     std::cout << label << ":\n"
               << "  weighted loss   " << report.weighted_loss() * 100 << "%\n"
               << "  written off     "

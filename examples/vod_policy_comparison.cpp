@@ -39,16 +39,19 @@ int main(int argc, char** argv) {
             << " frames; link at 90% of average rate; weighted loss by "
                "policy and buffer size\n\n";
 
-  const std::vector<std::string> policies = policy_names();
+  const std::vector<std::string> policies = known_policies();
   std::vector<std::string> header = {"buffer(xMaxFrame)", "delay(frames)"};
   for (const auto& p : policies) header.push_back(p);
   header.push_back("offline-optimal");
   Table table(header);
 
-  const double multiples[] = {1, 2, 4, 8, 16};
-  const auto points =
-      sim::buffer_sweep(stream, multiples, rate, policies, true);
-  for (const auto& point : points) {
+  const auto result =
+      sim::sweep(stream, sim::SweepSpec{.axis = sim::SweepAxis::BufferMultiple,
+                                        .values = {1, 2, 4, 8, 16},
+                                        .policies = policies,
+                                        .with_optimal = true,
+                                        .rate = rate});
+  for (const auto& point : result.points) {
     std::vector<std::string> row = {Table::num(point.x, 0),
                                     std::to_string(point.plan.delay)};
     for (const auto& outcome : point.policies) {

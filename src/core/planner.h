@@ -19,6 +19,8 @@ struct Plan {
   Bytes buffer = 0;  ///< B, bytes at the server and at the client each
   Time delay = 0;    ///< D, smoothing delay in steps (playout at AT + P + D)
   Bytes rate = 0;    ///< R, link bytes per step
+
+  bool operator==(const Plan&) const = default;
 };
 
 class Planner {

@@ -19,11 +19,20 @@ std::unique_ptr<DropPolicy> make_policy(std::string_view name,
   if (name == "proactive") {
     return std::make_unique<ProactiveThresholdPolicy>(ProactiveConfig{});
   }
-  throw std::invalid_argument("unknown drop policy: " + std::string(name));
+  std::string message = "unknown policy '" + std::string(name) + "'; known: ";
+  bool first = true;
+  for (const std::string& known : known_policies()) {
+    if (!first) message += ", ";
+    message += known;
+    first = false;
+  }
+  throw std::invalid_argument(message);
 }
 
-std::vector<std::string> policy_names() {
+std::vector<std::string> known_policies() {
   return {"tail-drop", "greedy", "head-drop", "random", "proactive"};
 }
+
+std::vector<std::string> policy_names() { return known_policies(); }
 
 }  // namespace rtsmooth

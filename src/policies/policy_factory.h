@@ -12,12 +12,17 @@
 namespace rtsmooth {
 
 /// Creates a policy by name: "tail-drop", "greedy", "head-drop", "random",
-/// "proactive". Throws std::invalid_argument for unknown names.
+/// "proactive". Throws std::invalid_argument for unknown names; the message
+/// lists every registered name (see known_policies()).
 /// `seed` feeds randomized policies; deterministic ones ignore it.
 std::unique_ptr<DropPolicy> make_policy(std::string_view name,
                                         std::uint64_t seed = 7);
 
-/// All registered policy names, for CLI help and exhaustive test sweeps.
+/// All registered policy names, for CLI help, error messages and exhaustive
+/// test sweeps.
+std::vector<std::string> known_policies();
+
+[[deprecated("renamed to known_policies()")]]
 std::vector<std::string> policy_names();
 
 }  // namespace rtsmooth

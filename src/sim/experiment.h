@@ -17,17 +17,26 @@ namespace rtsmooth::sim {
 struct PolicyOutcome {
   std::string policy;
   SimReport report;
+
+  bool operator==(const PolicyOutcome&) const = default;
 };
 
-/// Simulates every named policy on `stream` under the balanced plan.
+/// Simulates every named policy on `stream` under the balanced plan. Each
+/// policy runs as an independent task on a ParallelRunner (sim/runner.h):
+/// `threads = 0` defers to RTSMOOTH_THREADS / the hardware, `threads = 1`
+/// runs serially in place; the outcomes are identical either way and keep
+/// the order of `policies`.
 std::vector<PolicyOutcome> run_policies(const Stream& stream, const Plan& plan,
                                         std::span<const std::string> policies,
-                                        Time link_delay = 1);
+                                        Time link_delay = 1,
+                                        unsigned threads = 0);
 
 struct OptimalPoint {
   double weighted_loss = 0.0;
   double benefit_fraction = 1.0;
   bool exact = true;  ///< false if the Pareto DP hit its state limit
+
+  bool operator==(const OptimalPoint&) const = default;
 };
 
 /// Off-line optimal for the server-side problem (buffer B, rate R): exact

@@ -1,0 +1,97 @@
+// Parallel batch execution for independent simulation tasks.
+//
+// Every figure/table bench replays the same read-only Stream under dozens of
+// independent (plan, policy, link, severity) combinations; each combination
+// is a pure function of its inputs (seeded RNGs live inside the task, the
+// Stream is never mutated). ParallelRunner exploits that: a fixed pool of
+// std::thread workers pulls tasks off a shared index — no work stealing, no
+// task dependencies — and results land in submission order, so a parallel
+// batch is byte-identical to running the same tasks in a serial loop.
+//
+// Width control, in priority order:
+//   1. an explicit `threads` argument (SweepSpec::threads, --threads N),
+//   2. the RTSMOOTH_THREADS environment variable,
+//   3. std::thread::hardware_concurrency().
+// Width 1 executes in place on the calling thread (no pool, no atomics), so
+// `threads=1` *is* the serial path rather than merely approximating it.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rtsmooth::sim {
+
+/// Per-batch timing observability: the repo's first perf hook. Benches print
+/// `summary()`; future BENCH_*.json trajectories can record the fields.
+struct RunStats {
+  std::size_t tasks = 0;        ///< tasks executed in the batch
+  unsigned threads = 1;         ///< pool width actually used
+  std::int64_t total_task_us = 0;  ///< sum of per-task wall time (~cpu time)
+  std::int64_t max_task_us = 0;    ///< slowest single task
+  std::int64_t wall_us = 0;        ///< end-to-end batch time
+
+  /// total_task_us / wall_us — average task concurrency. Equals the
+  /// parallel speedup when the pool is not oversubscribed (threads <=
+  /// cores); on an oversubscribed host tasks time-slice, inflating their
+  /// individual wall spans, and this reads as concurrency, not speedup.
+  /// 1.0 when serial.
+  double speedup() const;
+  /// One line for bench output, e.g.
+  /// "78 tasks on 8 threads: 4123ms total, max task 102ms, wall 612ms (6.7x)".
+  std::string summary() const;
+
+  /// Merges another batch into this one (benches that run several batches
+  /// report the aggregate). Wall time adds: batches ran back to back.
+  RunStats& operator+=(const RunStats& o);
+};
+
+/// Resolves a requested width against RTSMOOTH_THREADS and the hardware:
+/// `requested` > 0 wins, else the environment variable, else
+/// hardware_concurrency(); always returns at least 1.
+unsigned resolve_threads(unsigned requested);
+
+/// Executes a batch of independent tasks on a fixed thread pool.
+///
+/// Contract for tasks: each task owns all state it mutates (write to your
+/// own pre-allocated result slot; seed your own RNG). Tasks must not touch
+/// shared mutable state — the Stream and any captured configuration are
+/// read-only. A task that throws does not abort the batch: the remaining
+/// tasks still run, then the exception thrown by the lowest-indexed failing
+/// task is rethrown (deterministic, like the serial loop).
+class ParallelRunner {
+ public:
+  /// `threads == 0` defers to RTSMOOTH_THREADS / the hardware; see
+  /// resolve_threads().
+  explicit ParallelRunner(unsigned threads = 0);
+
+  unsigned threads() const { return threads_; }
+
+  /// Runs every task; task i's side effects are its own. Returns timing
+  /// stats for the batch.
+  RunStats run(std::vector<std::function<void()>> tasks);
+
+  /// Convenience: `results[i] = fn(i)` for i in [0, count), results in index
+  /// order. R must be default-constructible and movable. Accumulates timing
+  /// into *stats when given.
+  template <typename R, typename Fn>
+  std::vector<R> map(std::size_t count, Fn&& fn, RunStats* stats = nullptr) {
+    std::vector<R> results(count);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      tasks.push_back([&results, &fn, i] { results[i] = fn(i); });
+    }
+    const RunStats batch = run(std::move(tasks));
+    if (stats != nullptr) *stats += batch;
+    return results;
+  }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace rtsmooth::sim

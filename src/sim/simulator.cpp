@@ -128,4 +128,11 @@ SimReport simulate(const Stream& stream, const Plan& plan,
   return simulator.run();
 }
 
+SimReport simulate(const Stream& stream, const SimConfig& config,
+                   std::string_view policy_name, std::unique_ptr<Link> link) {
+  SmoothingSimulator simulator(stream, config, make_policy(policy_name),
+                               std::move(link));
+  return simulator.run();
+}
+
 }  // namespace rtsmooth::sim

@@ -97,4 +97,11 @@ class SmoothingSimulator {
 SimReport simulate(const Stream& stream, const Plan& plan,
                    std::string_view policy_name, Time link_delay = 1);
 
+/// One-call convenience for callers with a hand-built configuration or a
+/// custom (e.g. faulty) link: simulate `stream` under `config` with the
+/// named policy. `link` defaults to FixedDelayLink(config.link_delay).
+SimReport simulate(const Stream& stream, const SimConfig& config,
+                   std::string_view policy_name,
+                   std::unique_ptr<Link> link = nullptr);
+
 }  // namespace rtsmooth::sim

@@ -1,12 +1,88 @@
 #include "sim/sweep.h"
 
-#include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <utility>
 
 #include "policies/policy_factory.h"
 #include "util/assert.h"
 
 namespace rtsmooth::sim {
+namespace {
+
+Bytes buffer_from_multiple(const Stream& stream, double multiple) {
+  return static_cast<Bytes>(
+      std::llround(multiple * static_cast<double>(stream.max_frame_bytes())));
+}
+
+/// The fixed link rate of a BufferMultiple / FaultSeverity sweep: explicit,
+/// or the stream's average when the spec leaves it 0.
+Bytes fixed_rate(const Stream& stream, const SweepSpec& spec) {
+  return spec.rate > 0 ? spec.rate : relative_rate(stream, 1.0);
+}
+
+Plan plan_for_buffer(const Stream& stream, Bytes buffer, Bytes rate) {
+  if (buffer < stream.max_slice_size()) {
+    throw std::invalid_argument(
+        "sweep: buffer (" + std::to_string(buffer) +
+        " bytes) is smaller than the stream's largest slice (" +
+        std::to_string(stream.max_slice_size()) +
+        " bytes); grow the swept multiple or cut finer slices");
+  }
+  // Round the delay *up* so B = D*R never shrinks below the requested
+  // size (shrinking could violate B >= Lmax for whole-frame slices).
+  return Planner::from_delay_rate((buffer + rate - 1) / rate, rate);
+}
+
+SimReport fault_run(const Stream& stream, const SweepSpec& spec,
+                    const Plan& plan, const std::string& policy,
+                    double severity, UnderflowPolicy underflow) {
+  SimConfig config = SimConfig::balanced(plan, spec.link_delay);
+  config.underflow = underflow;
+  config.max_stall = spec.max_stall;
+  config.recovery = spec.recovery;
+  SmoothingSimulator simulator(stream, config, make_policy(policy),
+                               spec.link_factory(severity, spec.link_delay));
+  return simulator.run();
+}
+
+SweepResult fault_axis_sweep(const Stream& stream, const SweepSpec& spec) {
+  if (!spec.link_factory) {
+    throw std::invalid_argument(
+        "sweep: the FaultSeverity axis requires SweepSpec::link_factory");
+  }
+  if (spec.policies.empty()) {
+    throw std::invalid_argument(
+        "sweep: the FaultSeverity axis needs one policy in "
+        "SweepSpec::policies");
+  }
+  const std::string& policy = spec.policies.front();
+  const Plan plan =
+      spec.plan ? *spec.plan
+                : Planner::from_buffer_rate(
+                      buffer_from_multiple(stream, spec.buffer_multiple),
+                      fixed_rate(stream, spec));
+  SweepResult result;
+  result.faults.resize(spec.values.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(2 * spec.values.size());
+  for (std::size_t i = 0; i < spec.values.size(); ++i) {
+    FaultPoint* point = &result.faults[i];
+    point->severity = spec.values[i];
+    tasks.push_back([&stream, &spec, &policy, plan, point] {
+      point->skip = fault_run(stream, spec, plan, policy, point->severity,
+                              UnderflowPolicy::Skip);
+    });
+    tasks.push_back([&stream, &spec, &policy, plan, point] {
+      point->stall = fault_run(stream, spec, plan, policy, point->severity,
+                               UnderflowPolicy::Stall);
+    });
+  }
+  result.stats = ParallelRunner(spec.threads).run(std::move(tasks));
+  return result;
+}
+
+}  // namespace
 
 Bytes relative_rate(const Stream& stream, double fraction) {
   RTS_EXPECTS(fraction > 0.0);
@@ -14,30 +90,67 @@ Bytes relative_rate(const Stream& stream, double fraction) {
       1, static_cast<Bytes>(std::llround(fraction * stream.average_rate())));
 }
 
+SweepResult sweep(const Stream& stream, const SweepSpec& spec) {
+  if (spec.axis == SweepAxis::FaultSeverity) {
+    return fault_axis_sweep(stream, spec);
+  }
+  if (spec.policies.empty() && !spec.with_optimal) {
+    throw std::invalid_argument(
+        "sweep: nothing to run per point — give SweepSpec::policies at "
+        "least one entry or set with_optimal");
+  }
+  SweepResult result;
+  result.points.resize(spec.values.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(spec.values.size() *
+                (spec.policies.size() + (spec.with_optimal ? 1 : 0)));
+  for (std::size_t i = 0; i < spec.values.size(); ++i) {
+    SweepPoint* point = &result.points[i];
+    point->x = spec.values[i];
+    const Bytes rate = spec.axis == SweepAxis::BufferMultiple
+                           ? fixed_rate(stream, spec)
+                           : relative_rate(stream, point->x);
+    const Bytes buffer =
+        spec.axis == SweepAxis::BufferMultiple
+            ? buffer_from_multiple(stream, point->x)
+            : buffer_from_multiple(stream, spec.buffer_multiple);
+    point->plan = plan_for_buffer(stream, buffer, rate);
+    point->policies.resize(spec.policies.size());
+    for (std::size_t j = 0; j < spec.policies.size(); ++j) {
+      point->policies[j].policy = spec.policies[j];
+      tasks.push_back([&stream, &spec, point, j] {
+        point->policies[j].report = simulate(
+            stream, point->plan, point->policies[j].policy, spec.link_delay);
+      });
+    }
+    if (spec.with_optimal) {
+      point->has_optimal = true;
+      tasks.push_back([&stream, point] {
+        point->optimal =
+            offline_optimal(stream, point->plan.buffer, point->plan.rate);
+      });
+    }
+  }
+  result.stats = ParallelRunner(spec.threads).run(std::move(tasks));
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated wrappers. Serial (threads = 1), matching their historical
+// behaviour; new code states the grid in a SweepSpec instead.
+
 std::vector<SweepPoint> buffer_sweep(const Stream& stream,
                                      std::span<const double> buffer_multiples,
                                      Bytes rate,
                                      std::span<const std::string> policies,
                                      bool with_optimal) {
-  std::vector<SweepPoint> out;
-  out.reserve(buffer_multiples.size());
-  for (double mult : buffer_multiples) {
-    const auto buffer = static_cast<Bytes>(
-        std::llround(mult * static_cast<double>(stream.max_frame_bytes())));
-    RTS_EXPECTS(buffer >= stream.max_slice_size());
-    // Round the delay *up* so B = D*R never shrinks below the requested
-    // size (shrinking could violate B >= Lmax for whole-frame slices).
-    const Plan plan =
-        Planner::from_delay_rate((buffer + rate - 1) / rate, rate);
-    SweepPoint point{.x = mult, .plan = plan};
-    point.policies = run_policies(stream, plan, policies);
-    if (with_optimal) {
-      point.optimal = offline_optimal(stream, plan.buffer, plan.rate);
-      point.has_optimal = true;
-    }
-    out.push_back(std::move(point));
-  }
-  return out;
+  SweepSpec spec{.axis = SweepAxis::BufferMultiple,
+                 .values = {buffer_multiples.begin(), buffer_multiples.end()},
+                 .policies = {policies.begin(), policies.end()},
+                 .with_optimal = with_optimal,
+                 .rate = rate,
+                 .threads = 1};
+  return sweep(stream, spec).points;
 }
 
 std::vector<SweepPoint> rate_sweep(const Stream& stream,
@@ -45,24 +158,13 @@ std::vector<SweepPoint> rate_sweep(const Stream& stream,
                                    double buffer_multiple,
                                    std::span<const std::string> policies,
                                    bool with_optimal) {
-  std::vector<SweepPoint> out;
-  out.reserve(rate_fractions.size());
-  for (double fraction : rate_fractions) {
-    const Bytes rate = relative_rate(stream, fraction);
-    const auto buffer = static_cast<Bytes>(std::llround(
-        buffer_multiple * static_cast<double>(stream.max_frame_bytes())));
-    RTS_EXPECTS(buffer >= stream.max_slice_size());
-    const Plan plan =
-        Planner::from_delay_rate((buffer + rate - 1) / rate, rate);
-    SweepPoint point{.x = fraction, .plan = plan};
-    point.policies = run_policies(stream, plan, policies);
-    if (with_optimal) {
-      point.optimal = offline_optimal(stream, plan.buffer, plan.rate);
-      point.has_optimal = true;
-    }
-    out.push_back(std::move(point));
-  }
-  return out;
+  SweepSpec spec{.axis = SweepAxis::RateFraction,
+                 .values = {rate_fractions.begin(), rate_fractions.end()},
+                 .policies = {policies.begin(), policies.end()},
+                 .with_optimal = with_optimal,
+                 .buffer_multiple = buffer_multiple,
+                 .threads = 1};
+  return sweep(stream, spec).points;
 }
 
 std::vector<FaultPoint> fault_sweep(const Stream& stream, const Plan& plan,
@@ -72,23 +174,16 @@ std::vector<FaultPoint> fault_sweep(const Stream& stream, const Plan& plan,
                                     const RecoveryConfig& recovery,
                                     Time max_stall, Time link_delay) {
   RTS_EXPECTS(make_link != nullptr);
-  auto run_one = [&](double severity, UnderflowPolicy underflow) {
-    SimConfig config = SimConfig::balanced(plan, link_delay);
-    config.underflow = underflow;
-    config.max_stall = max_stall;
-    config.recovery = recovery;
-    SmoothingSimulator simulator(stream, config, make_policy(policy),
-                                 make_link(severity, link_delay));
-    return simulator.run();
-  };
-  std::vector<FaultPoint> out;
-  out.reserve(severities.size());
-  for (double severity : severities) {
-    out.push_back(FaultPoint{.severity = severity,
-                             .skip = run_one(severity, UnderflowPolicy::Skip),
-                             .stall = run_one(severity, UnderflowPolicy::Stall)});
-  }
-  return out;
+  SweepSpec spec{.axis = SweepAxis::FaultSeverity,
+                 .values = {severities.begin(), severities.end()},
+                 .policies = {std::string(policy)},
+                 .plan = plan,
+                 .link_factory = make_link,
+                 .recovery = recovery,
+                 .max_stall = max_stall,
+                 .link_delay = link_delay,
+                 .threads = 1};
+  return sweep(stream, spec).faults;
 }
 
 }  // namespace rtsmooth::sim

@@ -352,13 +352,19 @@ TEST(InvariantMonitor, ThrottledLinkViolatesClientUnderflow) {
 TEST(FaultSweep, SeverityZeroMatchesBaselineAndLossIsMonotone) {
   const Stream s = clip_stream();
   const Plan plan = clip_plan(s);
-  const double severities[] = {0.0, 0.1, 0.3};
-  const auto points = sim::fault_sweep(
-      s, plan, "greedy", severities,
-      [](double severity, Time link_delay) -> std::unique_ptr<Link> {
-        return std::make_unique<ErasureLink>(link_delay, severity, Rng(41));
-      },
-      RecoveryConfig{});
+  const auto points =
+      sim::sweep(s, sim::SweepSpec{
+                        .axis = sim::SweepAxis::FaultSeverity,
+                        .values = {0.0, 0.1, 0.3},
+                        .policies = {"greedy"},
+                        .plan = plan,
+                        .link_factory =
+                            [](double severity,
+                               Time link_delay) -> std::unique_ptr<Link> {
+                          return std::make_unique<ErasureLink>(
+                              link_delay, severity, Rng(41));
+                        }})
+          .faults;
   ASSERT_EQ(points.size(), 3u);
   const SimReport baseline = sim::simulate(s, plan, "greedy");
   EXPECT_EQ(points[0].skip, baseline);

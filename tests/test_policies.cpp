@@ -97,7 +97,7 @@ TEST_F(PolicyTest, RandomDropReachesTargetDeterministically) {
 }
 
 TEST_F(PolicyTest, ShedIsNoopWhenAlreadyUnderTarget) {
-  for (const auto& name : policy_names()) {
+  for (const auto& name : known_policies()) {
     ServerBuffer buf = filled();
     auto policy = make_policy(name);
     const DropResult freed = policy->shed(buf, 100);
@@ -139,14 +139,14 @@ TEST_F(PolicyTest, ProactiveBelowWatermarkDoesNothing) {
 }
 
 TEST_F(PolicyTest, FactoryKnowsAllNamesAndRejectsUnknown) {
-  for (const auto& name : policy_names()) {
+  for (const auto& name : known_policies()) {
     EXPECT_EQ(make_policy(name)->name(), name);
   }
   EXPECT_THROW(make_policy("no-such-policy"), std::invalid_argument);
 }
 
 TEST_F(PolicyTest, CloneProducesEqualBehaviour) {
-  for (const auto& name : policy_names()) {
+  for (const auto& name : known_policies()) {
     auto original = make_policy(name, 99);
     auto copy = original->clone();
     ServerBuffer b1 = filled();

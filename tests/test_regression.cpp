@@ -27,12 +27,16 @@ TEST(GoldenRegression, ReferenceScenarioIsPinned) {
   const Bytes rate = sim::relative_rate(s, 0.9);
   EXPECT_EQ(rate, 25640);
 
-  const double multiples[] = {2.0};
   const std::vector<std::string> policies = {"tail-drop", "greedy",
                                              "head-drop", "random",
                                              "proactive"};
-  const auto points = sim::buffer_sweep(s, multiples, rate, policies,
-                                        /*with_optimal=*/true);
+  const auto points =
+      sim::sweep(s, sim::SweepSpec{.axis = sim::SweepAxis::BufferMultiple,
+                                   .values = {2.0},
+                                   .policies = policies,
+                                   .with_optimal = true,
+                                   .rate = rate})
+          .points;
   ASSERT_EQ(points.size(), 1u);
   const auto& point = points.front();
   const double expected[] = {

@@ -1,0 +1,236 @@
+// Tests for the ParallelRunner and the determinism contract of sweep():
+// for any thread count, a parallel batch must produce results byte-identical
+// to the serial (threads = 1) path, in submission order. Also pins the
+// deprecated positional wrappers to sweep() so the one release they survive
+// stays faithful.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "faults/fault_links.h"
+#include "sim/runner.h"
+#include "sim/sweep.h"
+#include "trace/slicer.h"
+#include "trace/stock_clips.h"
+
+namespace rtsmooth::sim {
+namespace {
+
+Stream clip(std::size_t frames) {
+  return trace::slice_frames(trace::stock_clip("cnn-news", frames),
+                             trace::ValueModel::mpeg_default(),
+                             trace::Slicing::ByteSlices);
+}
+
+FaultLinkFactory erasure_factory() {
+  return [](double severity, Time link_delay) -> std::unique_ptr<Link> {
+    return std::make_unique<faults::ErasureLink>(link_delay, severity,
+                                                 Rng(41));
+  };
+}
+
+// ------------------------------------------------------------ ParallelRunner
+
+TEST(ParallelRunner, ResolveThreadsPrefersExplicitArgument) {
+  EXPECT_EQ(resolve_threads(3), 3u);
+  EXPECT_GE(resolve_threads(0), 1u);  // env or hardware, but never 0
+}
+
+TEST(ParallelRunner, MapReturnsResultsInSubmissionOrder) {
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ParallelRunner runner(threads);
+    EXPECT_EQ(runner.threads(), threads);
+    const auto out = runner.map<std::size_t>(
+        100, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 100u) << "threads=" << threads;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], i * i) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelRunner, RunExecutesEveryTaskExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 8u}) {
+    std::atomic<int> calls{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 37; ++i) {
+      tasks.push_back([&calls] { calls.fetch_add(1); });
+    }
+    const RunStats stats = ParallelRunner(threads).run(std::move(tasks));
+    EXPECT_EQ(calls.load(), 37);
+    EXPECT_EQ(stats.tasks, 37u);
+    EXPECT_EQ(stats.threads, threads);
+    EXPECT_GE(stats.wall_us, 0);
+  }
+}
+
+TEST(ParallelRunner, LowestIndexedExceptionWinsDeterministically) {
+  for (unsigned threads : {1u, 2u, 8u}) {
+    ParallelRunner runner(threads);
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.push_back([i] {
+        if (i == 5) throw std::runtime_error("task five");
+        if (i == 11) throw std::runtime_error("task eleven");
+      });
+    }
+    try {
+      runner.run(std::move(tasks));
+      FAIL() << "expected a rethrow, threads=" << threads;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task five") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelRunner, StatsAccumulateAcrossBatches) {
+  RunStats total;
+  ParallelRunner runner(2);
+  runner.map<int>(4, [](std::size_t i) { return static_cast<int>(i); },
+                  &total);
+  runner.map<int>(6, [](std::size_t i) { return static_cast<int>(i); },
+                  &total);
+  EXPECT_EQ(total.tasks, 10u);
+  EXPECT_GE(total.speedup(), 0.0);
+  EXPECT_FALSE(total.summary().empty());
+}
+
+// ------------------------------------------- sweep() determinism contract
+
+TEST(SweepDeterminism, BufferAxisIsByteIdenticalAcrossThreadCounts) {
+  const Stream s = clip(200);
+  SweepSpec spec{.axis = SweepAxis::BufferMultiple,
+                 .values = {1, 2, 4},
+                 .policies = {"tail-drop", "greedy", "random"},
+                 .with_optimal = true,
+                 .threads = 1};
+  const auto serial = sweep(s, spec);
+  for (unsigned threads : {2u, 8u}) {
+    spec.threads = threads;
+    const auto parallel = sweep(s, spec);
+    EXPECT_EQ(parallel.points, serial.points) << "threads=" << threads;
+    EXPECT_TRUE(parallel.faults.empty());
+  }
+}
+
+TEST(SweepDeterminism, RateAxisIsByteIdenticalAcrossThreadCounts) {
+  const Stream s = clip(200);
+  SweepSpec spec{.axis = SweepAxis::RateFraction,
+                 .values = {0.6, 0.9, 1.2},
+                 .policies = {"tail-drop", "greedy"},
+                 .with_optimal = true,
+                 .buffer_multiple = 2.0,
+                 .threads = 1};
+  const auto serial = sweep(s, spec);
+  for (unsigned threads : {2u, 8u}) {
+    spec.threads = threads;
+    EXPECT_EQ(sweep(s, spec).points, serial.points) << "threads=" << threads;
+  }
+}
+
+TEST(SweepDeterminism, FaultAxisIsByteIdenticalAcrossThreadCounts) {
+  const Stream s = clip(200);
+  SweepSpec spec{.axis = SweepAxis::FaultSeverity,
+                 .values = {0.0, 0.1, 0.3},
+                 .policies = {"greedy"},
+                 .link_factory = erasure_factory(),
+                 .recovery = RecoveryConfig{.enabled = true},
+                 .threads = 1};
+  const auto serial = sweep(s, spec);
+  ASSERT_EQ(serial.faults.size(), 3u);
+  EXPECT_TRUE(serial.points.empty());
+  for (unsigned threads : {2u, 8u}) {
+    spec.threads = threads;
+    EXPECT_EQ(sweep(s, spec).faults, serial.faults) << "threads=" << threads;
+  }
+}
+
+TEST(SweepDeterminism, PointsStayInValueOrderUnderParallelism) {
+  const Stream s = clip(150);
+  const auto result =
+      sweep(s, SweepSpec{.axis = SweepAxis::BufferMultiple,
+                         .values = {8, 1, 4, 2},  // deliberately unsorted
+                         .policies = {"greedy"},
+                         .threads = 8});
+  ASSERT_EQ(result.points.size(), 4u);
+  EXPECT_EQ(result.points[0].x, 8.0);
+  EXPECT_EQ(result.points[1].x, 1.0);
+  EXPECT_EQ(result.points[2].x, 4.0);
+  EXPECT_EQ(result.points[3].x, 2.0);
+  for (const auto& point : result.points) {
+    ASSERT_EQ(point.policies.size(), 1u);
+    EXPECT_EQ(point.policies[0].policy, "greedy");
+  }
+}
+
+TEST(SweepSpecValidation, RejectsUnrunnableSpecs) {
+  const Stream s = clip(100);
+  EXPECT_THROW(
+      sweep(s, SweepSpec{.axis = SweepAxis::BufferMultiple,
+                         .values = {2.0},
+                         .policies = {}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      sweep(s, SweepSpec{.axis = SweepAxis::FaultSeverity,
+                         .values = {0.1},
+                         .policies = {"greedy"}}),  // no link_factory
+      std::invalid_argument);
+}
+
+// -------------------------------------------------- deprecated wrappers
+
+// The wrappers exist precisely to keep old call sites compiling; calling
+// them here is the point, so silence the deprecation locally.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(DeprecatedWrappers, BufferSweepMatchesSweep) {
+  const Stream s = clip(150);
+  const double multiples[] = {1, 2, 4};
+  const std::vector<std::string> policies = {"tail-drop", "greedy"};
+  const Bytes rate = relative_rate(s, 0.9);
+  const auto legacy = buffer_sweep(s, multiples, rate, policies, true);
+  const auto modern =
+      sweep(s, SweepSpec{.axis = SweepAxis::BufferMultiple,
+                         .values = {1, 2, 4},
+                         .policies = policies,
+                         .with_optimal = true,
+                         .rate = rate});
+  EXPECT_EQ(legacy, modern.points);
+}
+
+TEST(DeprecatedWrappers, RateSweepMatchesSweep) {
+  const Stream s = clip(150);
+  const double fractions[] = {0.7, 1.0};
+  const std::vector<std::string> policies = {"tail-drop", "greedy"};
+  const auto legacy = rate_sweep(s, fractions, 3.0, policies, false);
+  const auto modern = sweep(s, SweepSpec{.axis = SweepAxis::RateFraction,
+                                         .values = {0.7, 1.0},
+                                         .policies = policies,
+                                         .buffer_multiple = 3.0});
+  EXPECT_EQ(legacy, modern.points);
+}
+
+TEST(DeprecatedWrappers, FaultSweepMatchesSweep) {
+  const Stream s = clip(150);
+  const Plan plan =
+      Planner::from_buffer_rate(4 * s.max_frame_bytes(), relative_rate(s, 1.0));
+  const double severities[] = {0.0, 0.2};
+  const auto legacy = fault_sweep(s, plan, "greedy", severities,
+                                  erasure_factory(), RecoveryConfig{});
+  const auto modern = sweep(s, SweepSpec{.axis = SweepAxis::FaultSeverity,
+                                         .values = {0.0, 0.2},
+                                         .policies = {"greedy"},
+                                         .plan = plan,
+                                         .link_factory = erasure_factory()});
+  EXPECT_EQ(legacy, modern.faults);
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace rtsmooth::sim

@@ -77,7 +77,7 @@ TEST(Simulator, NoClientLossAtBalancedPlan) {
   const Stream s = small_clip_stream(trace::Slicing::ByteSlices);
   const Bytes rate = sim::relative_rate(s, 0.9);
   const Plan plan = Planner::from_buffer_rate(2 * s.max_frame_bytes(), rate);
-  for (const auto& policy : policy_names()) {
+  for (const auto& policy : known_policies()) {
     const SimReport report = sim::simulate(s, plan, policy);
     EXPECT_TRUE(report.conserves()) << policy;
     EXPECT_EQ(report.dropped_client_overflow.bytes, 0) << policy;
@@ -158,7 +158,7 @@ TEST(Simulator, OfflineOptimalNeverWorseThanOnline) {
   const Bytes rate = sim::relative_rate(s, 0.8);
   const Plan plan = Planner::from_buffer_rate(2 * s.max_frame_bytes(), rate);
   const auto optimal = sim::offline_optimal(s, plan.buffer, plan.rate);
-  for (const auto& policy : policy_names()) {
+  for (const auto& policy : known_policies()) {
     const SimReport report = sim::simulate(s, plan, policy);
     EXPECT_LE(report.benefit_fraction(), optimal.benefit_fraction + 1e-9)
         << policy;
@@ -183,7 +183,7 @@ TEST(Simulator, RunPoliciesHelperCoversAll) {
   const Plan plan =
       Planner::from_buffer_rate(2 * s.max_frame_bytes(),
                                 sim::relative_rate(s, 1.0));
-  const std::vector<std::string> names = policy_names();
+  const std::vector<std::string> names = known_policies();
   const auto outcomes = sim::run_policies(s, plan, names);
   ASSERT_EQ(outcomes.size(), names.size());
   for (std::size_t i = 0; i < names.size(); ++i) {

@@ -29,11 +29,15 @@ TEST(RelativeRate, ScalesAverageAndClampsToOne) {
 
 TEST(BufferSweep, ProducesOnePointPerMultiple) {
   const Stream s = clip(150);
-  const double multiples[] = {1, 2, 4};
-  const std::vector<std::string> policies = {"tail-drop", "greedy"};
-  const auto points = buffer_sweep(s, multiples, relative_rate(s, 1.0),
-                                   policies, /*with_optimal=*/true);
+  const auto result =
+      sweep(s, SweepSpec{.axis = SweepAxis::BufferMultiple,
+                         .values = {1, 2, 4},
+                         .policies = {"tail-drop", "greedy"},
+                         .with_optimal = true,
+                         .rate = relative_rate(s, 1.0)});
+  const auto& points = result.points;
   ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(result.stats.tasks, 9u);  // 3 points x (2 policies + optimal)
   for (const auto& point : points) {
     EXPECT_EQ(point.policies.size(), 2u);
     EXPECT_TRUE(point.has_optimal);
@@ -47,10 +51,13 @@ TEST(BufferSweep, ProducesOnePointPerMultiple) {
 TEST(BufferSweep, Fig2ShapeHolds) {
   // More buffer never hurts, Greedy <= Tail-Drop, Optimal <= Greedy.
   const Stream s = clip(400);
-  const double multiples[] = {1, 3, 9};
-  const std::vector<std::string> policies = {"tail-drop", "greedy"};
   const auto points =
-      buffer_sweep(s, multiples, relative_rate(s, 0.95), policies, true);
+      sweep(s, SweepSpec{.axis = SweepAxis::BufferMultiple,
+                         .values = {1, 3, 9},
+                         .policies = {"tail-drop", "greedy"},
+                         .with_optimal = true,
+                         .rate = relative_rate(s, 0.95)})
+          .points;
   double last_tail = 1.0;
   for (const auto& point : points) {
     const double tail = point.policies[0].report.weighted_loss();
@@ -66,9 +73,13 @@ TEST(RateSweep, Fig4ShapeHolds) {
   // Benefit is nondecreasing in the link rate, for every policy and the
   // optimum.
   const Stream s = clip(400);
-  const double fractions[] = {0.5, 0.8, 1.1, 1.4};
   const std::vector<std::string> policies = {"tail-drop", "greedy"};
-  const auto points = rate_sweep(s, fractions, 4.0, policies, true);
+  const auto points = sweep(s, SweepSpec{.axis = SweepAxis::RateFraction,
+                                         .values = {0.5, 0.8, 1.1, 1.4},
+                                         .policies = policies,
+                                         .with_optimal = true,
+                                         .buffer_multiple = 4.0})
+                          .points;
   ASSERT_EQ(points.size(), 4u);
   for (std::size_t i = 1; i < points.size(); ++i) {
     for (std::size_t p = 0; p < policies.size(); ++p) {
@@ -85,10 +96,13 @@ TEST(RateSweep, Fig4ShapeHolds) {
 
 TEST(RateSweep, OptimalDominatesEveryPolicyEverywhere) {
   const Stream s = clip(250);
-  const double fractions[] = {0.6, 1.0};
-  const std::vector<std::string> policies = {"tail-drop", "greedy",
-                                             "head-drop"};
-  const auto points = rate_sweep(s, fractions, 2.0, policies, true);
+  const auto points =
+      sweep(s, SweepSpec{.axis = SweepAxis::RateFraction,
+                         .values = {0.6, 1.0},
+                         .policies = {"tail-drop", "greedy", "head-drop"},
+                         .with_optimal = true,
+                         .buffer_multiple = 2.0})
+          .points;
   for (const auto& point : points) {
     for (const auto& outcome : point.policies) {
       EXPECT_LE(outcome.report.benefit_fraction(),
