@@ -27,9 +27,10 @@ struct Scored {
 };
 
 Scored score(const trace::FrameSequence& frames, const Stream& stream,
-             const Plan& plan, const char* policy) {
-  sim::SmoothingSimulator simulator(stream, sim::SimConfig::balanced(plan),
-                                    make_policy(policy));
+             const Plan& plan, const char* policy, obs::Telemetry telemetry) {
+  sim::SimConfig config = sim::SimConfig::balanced(plan);
+  config.telemetry = telemetry;
+  sim::SmoothingSimulator simulator(stream, config, make_policy(policy));
   ScheduleRecorder rec(stream.run_count());
   const SimReport report = simulator.run(&rec);
   const auto dep = trace::analyze_decodability(
@@ -71,6 +72,9 @@ int run(const bench::BenchOptions& opts) {
   constexpr std::size_t kVariantCount = std::size(variants);
   const std::vector<double> rels = {0.7, 0.8, 0.9, 1.0};
   sim::RunStats stats;
+  bench::JsonReport json("abl_dependency", opts);
+  obs::Registry reg;
+  bench::TaskTelemetry telemetry(json.enabled(), rels.size() * kVariantCount);
   sim::ParallelRunner runner(opts.threads);
   const auto scores = runner.map<Scored>(
       rels.size() * kVariantCount,
@@ -79,9 +83,10 @@ int run(const bench::BenchOptions& opts) {
         const Bytes rate = sim::relative_rate(mpeg, rels[i / kVariantCount]);
         const Plan plan =
             Planner::from_buffer_rate(2 * mpeg.max_frame_bytes(), rate);
-        return score(frames, *v.stream, plan, v.policy);
+        return score(frames, *v.stream, plan, v.policy, telemetry.at(i));
       },
       &stats);
+  telemetry.merge_into(reg);
   for (std::size_t i = 0; i < scores.size(); ++i) {
     series.add({Table::num(rels[i / kVariantCount], 1),
                 variants[i % kVariantCount].label,
@@ -89,6 +94,8 @@ int run(const bench::BenchOptions& opts) {
                 Table::pct(scores[i].goodput)});
   }
   series.emit(opts);
+  json.add_series("value_models", series);
+  json.write(stats, reg);
   bench::print_run_stats(stats);
   return 0;
 }

@@ -42,6 +42,9 @@ int run(const bench::BenchOptions& opts) {
     }
   }
   sim::RunStats stats;
+  bench::JsonReport json("abl_jitter", opts);
+  obs::Registry reg;
+  bench::TaskTelemetry telemetry(json.enabled(), cells.size());
   sim::ParallelRunner runner(opts.threads);
   const auto reports = runner.map<SimReport>(
       cells.size(),
@@ -51,11 +54,13 @@ int run(const bench::BenchOptions& opts) {
           config.smoothing_delay += cells[i].j;
           config.client_buffer += cells[i].j * plan.rate;
         }
+        config.telemetry = telemetry.at(i);
         return sim::simulate(
             s, config, "greedy",
             std::make_unique<BoundedJitterLink>(p, cells[i].j, Rng(1234)));
       },
       &stats);
+  telemetry.merge_into(reg);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     series.add({std::to_string(cells[i].j), cells[i].compensated ? "yes" : "no",
                 std::to_string(reports[i].dropped_client_late.bytes),
@@ -63,6 +68,8 @@ int run(const bench::BenchOptions& opts) {
                 Table::pct(reports[i].weighted_loss())});
   }
   series.emit(opts);
+  json.add_series("jitter_grid", series);
+  json.write(stats, reg);
   bench::print_run_stats(stats);
   return 0;
 }

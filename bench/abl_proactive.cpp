@@ -53,6 +53,9 @@ int run(const bench::BenchOptions& opts) {
     }
   }
   sim::RunStats stats;
+  bench::JsonReport json("abl_proactive", opts);
+  obs::Registry reg;
+  bench::TaskTelemetry telemetry(json.enabled(), cells.size());
   sim::ParallelRunner runner(opts.threads);
   const auto reports = runner.map<SimReport>(
       cells.size(),
@@ -61,16 +64,19 @@ int run(const bench::BenchOptions& opts) {
         const Plan plan =
             Planner::from_buffer_rate(2 * s.max_frame_bytes(), rate);
         if (cells[i].base != nullptr) {
-          return sim::simulate(s, plan, cells[i].base);
+          return sim::simulate(s, plan, cells[i].base, 1, telemetry.at(i));
         }
+        sim::SimConfig config = sim::SimConfig::balanced(plan);
+        config.telemetry = telemetry.at(i);
         sim::SmoothingSimulator simulator(
-            s, sim::SimConfig::balanced(plan),
+            s, config,
             std::make_unique<ProactiveThresholdPolicy>(ProactiveConfig{
                 .watermark = cells[i].watermark,
                 .value_floor = cells[i].floor}));
         return simulator.run();
       },
       &stats);
+  telemetry.merge_into(reg);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     series.add({Table::num(cells[i].rel, 1),
                 cells[i].base != nullptr ? cells[i].base : "proactive",
@@ -81,6 +87,8 @@ int run(const bench::BenchOptions& opts) {
                 Table::pct(reports[i].byte_loss())});
   }
   series.emit(opts);
+  json.add_series("proactive_grid", series);
+  json.write(stats, reg);
   bench::print_run_stats(stats);
   return 0;
 }

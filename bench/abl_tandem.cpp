@@ -78,6 +78,11 @@ int run(const bench::BenchOptions& opts) {
                 std::to_string(report.smoothing_delay)});
   }
   series.emit(opts);
+  // The tandem pipeline drives hops directly (no SmoothingSimulator), so
+  // there is no registry to fill — the document still carries the series.
+  bench::JsonReport json("abl_tandem", opts);
+  json.add_series("buffer_placement", series);
+  json.write(stats, obs::Registry{});
   bench::print_run_stats(stats);
   std::cout << "\nreading: memory at the bottleneck wins; front-loading "
                "wastes budget shaping traffic the fast first link could "

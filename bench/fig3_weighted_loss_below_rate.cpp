@@ -23,13 +23,16 @@ int run(const bench::BenchOptions& opts) {
   for (int m = 1; m <= 26; m += opts.quick ? 5 : 1) {
     multiples.push_back(m);
   }
-  const auto result = sim::sweep(
-      s, sim::SweepSpec{.axis = sim::SweepAxis::BufferMultiple,
-                        .values = multiples,
-                        .policies = {"tail-drop", "greedy"},
-                        .with_optimal = true,
-                        .rate = rate,
-                        .threads = opts.threads});
+  bench::JsonReport json("fig3_weighted_loss_below_rate", opts);
+  obs::Registry reg;
+  sim::SweepSpec spec{.axis = sim::SweepAxis::BufferMultiple,
+                      .values = multiples,
+                      .policies = {"tail-drop", "greedy"},
+                      .with_optimal = true,
+                      .rate = rate,
+                      .threads = opts.threads};
+  if (json.enabled()) spec.registry = &reg;
+  const auto result = sim::sweep(s, spec);
   const auto& points = result.points;
 
   std::cout << "Fig. 3 — weighted loss vs buffer size, R = 0.9 x average "
@@ -46,6 +49,8 @@ int run(const bench::BenchOptions& opts) {
                 Table::pct(point.policies[0].report.byte_loss())});
   }
   series.emit(opts);
+  json.add_series("weighted_loss_vs_buffer", series);
+  json.write(result.stats, reg);
   bench::print_run_stats(result.stats);
   return 0;
 }

@@ -26,13 +26,16 @@ int run(const bench::BenchOptions& opts) {
   for (double f = 0.40; f <= 1.41; f += opts.quick ? 0.2 : 0.05) {
     fractions.push_back(f);
   }
-  const auto result = sim::sweep(
-      s, sim::SweepSpec{.axis = sim::SweepAxis::RateFraction,
-                        .values = fractions,
-                        .policies = {"tail-drop", "greedy"},
-                        .with_optimal = true,
-                        .buffer_multiple = 4.0,
-                        .threads = opts.threads});
+  bench::JsonReport json("fig4_benefit_vs_rate", opts);
+  obs::Registry reg;
+  sim::SweepSpec spec{.axis = sim::SweepAxis::RateFraction,
+                      .values = fractions,
+                      .policies = {"tail-drop", "greedy"},
+                      .with_optimal = true,
+                      .buffer_multiple = 4.0,
+                      .threads = opts.threads};
+  if (json.enabled()) spec.registry = &reg;
+  const auto result = sim::sweep(s, spec);
   const auto& points = result.points;
 
   std::cout << "Fig. 4 — benefit (% of total) vs link rate, byte slices, "
@@ -47,6 +50,8 @@ int run(const bench::BenchOptions& opts) {
                 Table::pct(point.optimal.benefit_fraction)});
   }
   series.emit(opts);
+  json.add_series("benefit_vs_rate", series);
+  json.write(result.stats, reg);
   bench::print_run_stats(result.stats);
   return 0;
 }

@@ -76,6 +76,10 @@ int run(const bench::BenchOptions& opts) {
                 Table::num(ratio, 2)});
   }
   series.emit(opts);
+  // Offline solvers only — no simulator runs, so the registry stays empty.
+  bench::JsonReport json("fig5_optimal_slice_granularity", opts);
+  json.add_series("optimal_loss_vs_buffer", series);
+  json.write(stats, obs::Registry{});
   bench::print_run_stats(stats);
   return 0;
 }

@@ -29,11 +29,14 @@ int run(const bench::BenchOptions& opts) {
   for (int m = 1; m <= 26; m += opts.quick ? 5 : 1) {
     multiples.push_back(m);
   }
-  const sim::SweepSpec spec{.axis = sim::SweepAxis::BufferMultiple,
-                            .values = multiples,
-                            .policies = {"tail-drop", "greedy"},
-                            .rate = rate,
-                            .threads = opts.threads};
+  bench::JsonReport json("fig6_weighted_loss_slice_granularity", opts);
+  obs::Registry reg;
+  sim::SweepSpec spec{.axis = sim::SweepAxis::BufferMultiple,
+                      .values = multiples,
+                      .policies = {"tail-drop", "greedy"},
+                      .rate = rate,
+                      .threads = opts.threads};
+  if (json.enabled()) spec.registry = &reg;  // both sweeps fold into one
   auto byte_result = sim::sweep(bytes_stream, spec);
   const auto frame_result = sim::sweep(frame_stream, spec);
   const auto& byte_points = byte_result.points;
@@ -55,6 +58,8 @@ int run(const bench::BenchOptions& opts) {
          Table::pct(frame_points[i].policies[1].report.weighted_loss())});
   }
   series.emit(opts);
+  json.add_series("weighted_loss_by_granularity", series);
+  json.write(byte_result.stats, reg);
   bench::print_run_stats(byte_result.stats);
   return 0;
 }

@@ -35,7 +35,8 @@ namespace {
 using namespace rtsmooth;
 
 void ordering_section(const bench::BenchOptions& opts, std::size_t frames,
-                      sim::RunStats* stats) {
+                      sim::RunStats* stats, bench::JsonReport* json,
+                      obs::Registry* reg) {
   std::cout << "Fig. 2/3 orderings across clips and seeds (" << frames
             << " frames each)\n";
   bench::Series series{.header = {"clip", "rate(xAvg)", "B(xMaxFrame)",
@@ -74,21 +75,24 @@ void ordering_section(const bench::BenchOptions& opts, std::size_t frames,
   }
 
   sim::ParallelRunner runner(opts.threads);
+  bench::TaskTelemetry telemetry(reg != nullptr, cells.size());
   const auto points = runner.map<sim::SweepPoint>(
       cells.size(),
       [&](std::size_t i) {
         const Stream& s = clips[cells[i].clip].second;
-        // One cell per task: the inner sweep stays serial (threads = 1).
-        return sim::sweep(s, sim::SweepSpec{
-                                 .axis = sim::SweepAxis::BufferMultiple,
-                                 .values = {cells[i].mult},
-                                 .policies = {"tail-drop", "greedy"},
-                                 .with_optimal = true,
-                                 .rate = sim::relative_rate(s, cells[i].rel),
-                                 .threads = 1})
-            .points.front();
+        // One cell per task: the inner sweep stays serial (threads = 1) and
+        // records into the task's private registry.
+        sim::SweepSpec spec{.axis = sim::SweepAxis::BufferMultiple,
+                            .values = {cells[i].mult},
+                            .policies = {"tail-drop", "greedy"},
+                            .with_optimal = true,
+                            .rate = sim::relative_rate(s, cells[i].rel),
+                            .threads = 1};
+        spec.registry = telemetry.at(i).registry;
+        return sim::sweep(s, spec).points.front();
       },
       stats);
+  if (reg != nullptr) telemetry.merge_into(*reg);
 
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto& point = points[i];
@@ -102,6 +106,7 @@ void ordering_section(const bench::BenchOptions& opts, std::size_t frames,
                 ordered ? "ok" : "VIOLATED"});
   }
   series.emit(opts);
+  if (json != nullptr) json->add_series("orderings", series);
 }
 
 /// Runs one fault axis under skip/stall x recovery off/on and prints
@@ -112,7 +117,8 @@ void fault_section(const bench::BenchOptions& opts, const Stream& s,
                    const char* axis, int axis_decimals,
                    std::vector<double> severities,
                    sim::FaultLinkFactory make_link, const char* csv_suffix,
-                   sim::RunStats* stats) {
+                   sim::RunStats* stats, bench::JsonReport* json,
+                   obs::Registry* reg) {
   std::cout << "\n" << title << "\n";
   bench::Series series{.header = {axis, "skip", "stall", "skip+rec",
                                   "stall+rec", "retx(B)", "stalls",
@@ -123,6 +129,7 @@ void fault_section(const bench::BenchOptions& opts, const Stream& s,
                       .plan = plan,
                       .link_factory = std::move(make_link),
                       .threads = opts.threads};
+  spec.registry = reg;
   const auto plain = sim::sweep(s, spec);
   spec.recovery = RecoveryConfig{.enabled = true};
   const auto recovered = sim::sweep(s, spec);
@@ -148,6 +155,12 @@ void fault_section(const bench::BenchOptions& opts, const Stream& s,
   bench::BenchOptions section_opts = opts;
   if (opts.csv_path) section_opts.csv_path = *opts.csv_path + csv_suffix;
   series.emit(section_opts);
+  // csv_suffix doubles as the series name: ".erasure.csv" -> "erasure".
+  if (json != nullptr) {
+    std::string name(csv_suffix);
+    name = name.substr(1, name.size() - 5);
+    json->add_series(name, series);
+  }
 }
 
 int run(const bench::BenchOptions& opts) {
@@ -156,7 +169,11 @@ int run(const bench::BenchOptions& opts) {
   std::cout << "fig_robustness — orderings across clips, then weighted loss "
                "vs. fault severity\n\n";
   sim::RunStats stats;
-  ordering_section(opts, frames, &stats);
+  bench::JsonReport json("fig_robustness", opts);
+  obs::Registry reg;
+  bench::JsonReport* json_ptr = json.enabled() ? &json : nullptr;
+  obs::Registry* reg_ptr = json.enabled() ? &reg : nullptr;
+  ordering_section(opts, frames, &stats, json_ptr, reg_ptr);
 
   // Whole-frame slices for the fault half: a frame then takes several steps
   // to transmit, so partial-frame underflow — the case where stall and skip
@@ -173,7 +190,7 @@ int run(const bench::BenchOptions& opts) {
             link_delay, severity,
             Rng(900 + static_cast<std::uint64_t>(severity * 1000)));
       },
-      ".erasure.csv", &stats);
+      ".erasure.csv", &stats, json_ptr, reg_ptr);
   // Severity = mean outage length 1/p_bad_to_good; entry rate fixed, so
   // longer bursts mean a larger fraction of steps spent in outage.
   // Geometric spacing: with ~20 bursts per run the realized outage
@@ -191,7 +208,7 @@ int run(const bench::BenchOptions& opts) {
             link_delay, config,
             Rng(7700 + static_cast<std::uint64_t>(severity)));
       },
-      ".bursts.csv", &stats);
+      ".bursts.csv", &stats, json_ptr, reg_ptr);
   // Severity = fraction of steps with zero deliverable rate; the active
   // steps carry 2R so the backlog can drain between outages. The period
   // is long enough that the outage window overruns the smoothing delay's
@@ -208,8 +225,9 @@ int run(const bench::BenchOptions& opts) {
         return std::make_unique<faults::ThrottledLink>(
             std::make_unique<FixedDelayLink>(link_delay), std::move(pattern));
       },
-      ".throttle.csv", &stats);
+      ".throttle.csv", &stats, json_ptr, reg_ptr);
 
+  json.write(stats, reg);
   bench::print_run_stats(stats);
   return 0;
 }

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "microbench_main.h"
+
 #include "offline/pareto_dp.h"
 #include "offline/unit_optimal.h"
 #include "sim/sweep.h"
@@ -53,4 +55,4 @@ BENCHMARK(BM_ParetoDp)->Arg(100)->Arg(250)->Arg(500);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+RTSMOOTH_BENCHMARK_MAIN()

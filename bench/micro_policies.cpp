@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "microbench_main.h"
+
 #include "core/server_buffer.h"
 #include "policies/policy_factory.h"
 #include "sim/simulator.h"
@@ -80,4 +82,4 @@ BENCHMARK_CAPTURE(BM_EndToEndSimulation, greedy, "greedy");
 
 }  // namespace
 
-BENCHMARK_MAIN();
+RTSMOOTH_BENCHMARK_MAIN()

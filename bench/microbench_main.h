@@ -1,0 +1,47 @@
+// Shared main() for the google-benchmark micro binaries: translates the
+// harness-wide `--json PATH` flag into google-benchmark's native JSON
+// reporter flags (--benchmark_out=PATH --benchmark_out_format=json), so
+// every bench binary — table benches and micros alike — shares one
+// machine-readable switch. Everything else passes through untouched, so
+// the usual --benchmark_filter / --benchmark_min_time flags still work.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rtsmooth::bench {
+
+inline int benchmark_main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      args.push_back("--benchmark_out=" + std::string(argv[++i]));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  std::vector<char*> rewritten;
+  rewritten.reserve(args.size());
+  for (std::string& arg : args) rewritten.push_back(arg.data());
+  int count = static_cast<int>(rewritten.size());
+  benchmark::Initialize(&count, rewritten.data());
+  if (benchmark::ReportUnrecognizedArguments(count, rewritten.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace rtsmooth::bench
+
+#define RTSMOOTH_BENCHMARK_MAIN()                       \
+  int main(int argc, char** argv) {                     \
+    return rtsmooth::bench::benchmark_main(argc, argv); \
+  }

@@ -17,7 +17,7 @@ using namespace rtsmooth;
 using namespace rtsmooth::alternatives;
 
 void part_a_strategies(const Stream& stream, const bench::BenchOptions& opts,
-                       sim::RunStats* stats) {
+                       sim::RunStats* stats, bench::JsonReport* json) {
   const Bytes avg = sim::relative_rate(stream, 1.0);
   std::cout << "(a) one channel, rate = average where applicable "
             << "(avg = " << Table::num(static_cast<double>(avg) / 1024, 1)
@@ -55,10 +55,11 @@ void part_a_strategies(const Stream& stream, const bench::BenchOptions& opts,
                 std::to_string(out.renegotiations)});
   }
   series.emit(opts);
+  if (json != nullptr) json->add_series("strategies", series);
 }
 
 void part_b_multiplexing(std::size_t frames, unsigned threads,
-                         sim::RunStats* stats) {
+                         sim::RunStats* stats, bench::JsonReport* json) {
   // Short smoothing delay (0.2 s): per-channel provisioning must then cover
   // scene-level bursts, which rarely coincide across channels — the regime
   // where multiplexing pays.
@@ -113,6 +114,7 @@ void part_b_multiplexing(std::size_t frames, unsigned threads,
     }
   }
   series.emit(bench::BenchOptions{});
+  if (json != nullptr) json->add_series("multiplexing", series);
 }
 
 }  // namespace
@@ -127,8 +129,12 @@ int main(int argc, char** argv) {
   std::cout << "tab_alternatives — smoothing vs the introduction's "
                "alternatives (" << frames << " frames)\n\n";
   rtsmooth::sim::RunStats stats;
-  part_a_strategies(stream, opts, &stats);
-  part_b_multiplexing(opts.quick ? 250 : 500, opts.threads, &stats);
+  rtsmooth::bench::JsonReport json("tab_alternatives", opts);
+  auto* json_ptr = json.enabled() ? &json : nullptr;
+  part_a_strategies(stream, opts, &stats, json_ptr);
+  part_b_multiplexing(opts.quick ? 250 : 500, opts.threads, &stats, json_ptr);
+  // The strategy evaluators own their simulators internally, so no registry.
+  json.write(stats, rtsmooth::obs::Registry{});
   rtsmooth::bench::print_run_stats(stats);
   return 0;
 }

@@ -22,7 +22,8 @@ namespace {
 using namespace rtsmooth;
 using namespace rtsmooth::analysis;
 
-void part_a_thm47(const bench::BenchOptions& opts, sim::RunStats* stats) {
+void part_a_thm47(const bench::BenchOptions& opts, sim::RunStats* stats,
+                  bench::JsonReport* json) {
   std::cout << "(a) Theorem 4.7 — Greedy on the adversarial stream\n\n";
   bench::Series series{.header = {"B", "alpha", "measured", "closedForm",
                                   "lowerBound(2-eps)", "upperBound(Thm4.1)"}};
@@ -53,9 +54,11 @@ void part_a_thm47(const bench::BenchOptions& opts, sim::RunStats* stats) {
          Table::num(greedy_competitive_upper_bound(cells[i].b, 1), 4)});
   }
   series.emit(opts);
+  if (json != nullptr) json->add_series("theorem47", series);
 }
 
-void part_b_thm48(unsigned threads, sim::RunStats* stats) {
+void part_b_thm48(unsigned threads, sim::RunStats* stats,
+                  bench::JsonReport* json) {
   std::cout << "\n(b) Theorem 4.8 — two-scenario adversary vs deterministic "
                "policies (B = 600, alpha = 2)\n\n";
   const Bytes b = 600;
@@ -94,6 +97,7 @@ void part_b_thm48(unsigned threads, sim::RunStats* stats) {
                 "1.2287"});
   }
   series.emit(bench::BenchOptions{});
+  if (json != nullptr) json->add_series("theorem48", series);
 
   std::cout << "\n    lower-bound optimization over alpha:\n";
   const auto paper = deterministic_lower_bound(2.0);
@@ -106,7 +110,8 @@ void part_b_thm48(unsigned threads, sim::RunStats* stats) {
             << "  (Lotker/Sviridenko remark)\n";
 }
 
-void part_c_random(const bench::BenchOptions& opts, sim::RunStats* stats) {
+void part_c_random(const bench::BenchOptions& opts, sim::RunStats* stats,
+                   bench::JsonReport* json) {
   const int trials = opts.quick ? 100 : 600;
   std::cout << "\n(c) Theorem 4.1 — worst measured Greedy ratio over "
             << trials << " random unit-slice streams (guarantee: 4)\n\n";
@@ -137,6 +142,11 @@ void part_c_random(const bench::BenchOptions& opts, sim::RunStats* stats) {
   std::cout << "      worst = " << Table::num(worst, 4)
             << ", mean = " << Table::num(sum / trials, 4)
             << ", bound = 4.0000\n";
+  if (json != nullptr) {
+    bench::Series series{.header = {"worst", "mean", "bound"}};
+    series.add({Table::num(worst, 4), Table::num(sum / trials, 4), "4.0000"});
+    json->add_series("theorem41_random", series);
+  }
 }
 
 }  // namespace
@@ -145,9 +155,13 @@ int main(int argc, char** argv) {
   const auto opts = rtsmooth::bench::parse_options(argc, argv);
   std::cout << "tab_competitive — Sect. 4 results\n\n";
   rtsmooth::sim::RunStats stats;
-  part_a_thm47(opts, &stats);
-  part_b_thm48(opts.threads, &stats);
-  part_c_random(opts, &stats);
+  rtsmooth::bench::JsonReport json("tab_competitive", opts);
+  auto* json_ptr = json.enabled() ? &json : nullptr;
+  part_a_thm47(opts, &stats, json_ptr);
+  part_b_thm48(opts.threads, &stats, json_ptr);
+  part_c_random(opts, &stats, json_ptr);
+  // measured_ratio() drives its own simulator internally, so no registry.
+  json.write(stats, rtsmooth::obs::Registry{});
   rtsmooth::bench::print_run_stats(stats);
   return 0;
 }

@@ -29,7 +29,8 @@ using lossless::live_walls;
 using lossless::taut_string;
 
 void part_a_grid(const CumulativeCurve& arrivals,
-                 const bench::BenchOptions& opts, sim::RunStats* stats) {
+                 const bench::BenchOptions& opts, sim::RunStats* stats,
+                 bench::JsonReport* json) {
   std::cout << "(a) lossless peak rate (KB/slot) vs startup delay and "
                "client buffer; unsmoothed peak = "
             << Table::num(static_cast<double>(arrivals.peak_increment()) /
@@ -60,10 +61,11 @@ void part_a_grid(const CumulativeCurve& arrivals,
     series.add(std::move(row));
   }
   series.emit(opts);
+  if (json != nullptr) json->add_series("peak_rate_grid", series);
 }
 
 void part_b_online(const CumulativeCurve& arrivals, unsigned threads,
-                   sim::RunStats* stats) {
+                   sim::RunStats* stats, bench::JsonReport* json) {
   const lossless::SmoothingWalls walls = live_walls(arrivals, 25, 2 << 20);
   const double offline = taut_string(walls.lower, walls.upper).peak_rate;
   std::cout << "\n(b) on-line window convergence (delay 25, buffer 2 MB): "
@@ -98,12 +100,13 @@ void part_b_online(const CumulativeCurve& arrivals, unsigned threads,
          Table::num(std::min(rows[i].drain, rows[i].prefetch) / offline, 3)});
   }
   series.emit(bench::BenchOptions{});
+  if (json != nullptr) json->add_series("online_window", series);
   std::cout << "    offline optimum: " << Table::num(offline / 1024.0, 1)
             << " KB/slot\n";
 }
 
 void part_c_knee(const CumulativeCurve& arrivals, unsigned threads,
-                 sim::RunStats* stats) {
+                 sim::RunStats* stats, bench::JsonReport* json) {
   std::cout << "\n(c) optimal initial delay (Zhao et al.): smallest delay "
                "after which more delay buys nothing\n\n";
   bench::Series series{.header = {"buffer", "peak(D=0)", "floor", "kneeDelay"}};
@@ -123,11 +126,13 @@ void part_c_knee(const CumulativeCurve& arrivals, unsigned threads,
                 std::to_string(knees[i].delay)});
   }
   series.emit(bench::BenchOptions{});
+  if (json != nullptr) json->add_series("delay_knee", series);
 }
 
 void part_d_lossy_vs_lossless(const Stream& stream,
                               const CumulativeCurve& arrivals,
-                              unsigned threads, sim::RunStats* stats) {
+                              unsigned threads, sim::RunStats* stats,
+                              bench::JsonReport* json, obs::Registry* reg) {
   const Time delay = 25;
   const Bytes buffer = 2 << 20;
   const double lossless_rate =
@@ -141,15 +146,17 @@ void part_d_lossy_vs_lossless(const Stream& stream,
                  "byteLoss"}};
   const std::vector<double> fracs = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5};
   sim::ParallelRunner runner(threads);
+  bench::TaskTelemetry telemetry(reg != nullptr, fracs.size());
   const auto reports = runner.map<SimReport>(
       fracs.size(),
       [&](std::size_t i) {
         const auto rate =
             std::max<Bytes>(1, static_cast<Bytes>(fracs[i] * lossless_rate));
         return sim::simulate(stream, Planner::from_delay_rate(delay, rate),
-                             "greedy");
+                             "greedy", 1, telemetry.at(i));
       },
       stats);
+  if (reg != nullptr) telemetry.merge_into(*reg);
   for (std::size_t i = 0; i < fracs.size(); ++i) {
     const auto rate =
         std::max<Bytes>(1, static_cast<Bytes>(fracs[i] * lossless_rate));
@@ -159,6 +166,7 @@ void part_d_lossy_vs_lossless(const Stream& stream,
                 Table::pct(reports[i].byte_loss())});
   }
   series.emit(bench::BenchOptions{});
+  if (json != nullptr) json->add_series("lossy_vs_lossless", series);
 }
 
 }  // namespace
@@ -173,10 +181,16 @@ int main(int argc, char** argv) {
   std::cout << "tab_lossless — lossless smoothing context (" << frames
             << " frames)\n\n";
   rtsmooth::sim::RunStats stats;
-  part_a_grid(arrivals, opts, &stats);
-  part_b_online(arrivals, opts.threads, &stats);
-  part_c_knee(arrivals, opts.threads, &stats);
-  part_d_lossy_vs_lossless(stream, arrivals, opts.threads, &stats);
+  rtsmooth::bench::JsonReport json("tab_lossless", opts);
+  rtsmooth::obs::Registry reg;
+  auto* json_ptr = json.enabled() ? &json : nullptr;
+  auto* reg_ptr = json.enabled() ? &reg : nullptr;
+  part_a_grid(arrivals, opts, &stats, json_ptr);
+  part_b_online(arrivals, opts.threads, &stats, json_ptr);
+  part_c_knee(arrivals, opts.threads, &stats, json_ptr);
+  part_d_lossy_vs_lossless(stream, arrivals, opts.threads, &stats, json_ptr,
+                           reg_ptr);
+  json.write(stats, reg);
   rtsmooth::bench::print_run_stats(stats);
   return 0;
 }

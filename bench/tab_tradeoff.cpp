@@ -26,7 +26,8 @@ namespace {
 using namespace rtsmooth;
 
 void part_a_theorem35(const bench::BenchOptions& opts, std::size_t frames,
-                      sim::RunStats* stats) {
+                      sim::RunStats* stats, bench::JsonReport* json,
+                      obs::Registry* reg) {
   const Stream s = trace::slice_frames(trace::stock_clip("cnn-news", frames),
                                        trace::ValueModel::throughput(),
                                        trace::Slicing::ByteSlices);
@@ -46,6 +47,7 @@ void part_a_theorem35(const bench::BenchOptions& opts, std::size_t frames,
     Bytes played[3] = {0, 0, 0};
   };
   sim::ParallelRunner runner(opts.threads);
+  bench::TaskTelemetry telemetry(reg != nullptr, cells.size());
   const auto rows = runner.map<Row>(
       cells.size(),
       [&](std::size_t i) {
@@ -56,11 +58,14 @@ void part_a_theorem35(const bench::BenchOptions& opts, std::size_t frames,
         row.optimal =
             offline::unit_optimal(s, plan.buffer, plan.rate).accepted_bytes;
         for (std::size_t p = 0; p < 3; ++p) {
-          row.played[p] = sim::simulate(s, plan, kPolicies[p]).played.bytes;
+          row.played[p] =
+              sim::simulate(s, plan, kPolicies[p], 1, telemetry.at(i))
+                  .played.bytes;
         }
         return row;
       },
       stats);
+  if (reg != nullptr) telemetry.merge_into(*reg);
   for (std::size_t i = 0; i < cells.size(); ++i) {
     for (std::size_t p = 0; p < 3; ++p) {
       series.add({Table::num(cells[i].rel, 1), Table::num(cells[i].mult, 0),
@@ -70,10 +75,12 @@ void part_a_theorem35(const bench::BenchOptions& opts, std::size_t frames,
     }
   }
   series.emit(opts);
+  if (json != nullptr) json->add_series("theorem35", series);
 }
 
 void part_b_delay_grid(std::size_t frames, unsigned threads,
-                       sim::RunStats* stats) {
+                       sim::RunStats* stats, bench::JsonReport* json,
+                       obs::Registry* reg) {
   const Stream s = trace::slice_frames(trace::stock_clip("cnn-news", frames),
                                        trace::ValueModel::throughput(),
                                        trace::Slicing::ByteSlices);
@@ -89,18 +96,21 @@ void part_b_delay_grid(std::size_t frames, unsigned threads,
   const std::vector<Time> delays = {ideal.delay / 4, ideal.delay / 2,
                                     ideal.delay, ideal.delay * 2};
   sim::ParallelRunner runner(threads);
+  bench::TaskTelemetry telemetry(reg != nullptr, delays.size());
   const auto reports = runner.map<SimReport>(
       delays.size(),
       [&](std::size_t i) {
-        const sim::SimConfig config{
+        sim::SimConfig config{
             .server_buffer = ideal.buffer,
             .client_buffer = ideal.buffer,
             .rate = ideal.rate,
             .smoothing_delay = std::max<Time>(1, delays[i]),
             .link_delay = 1};
+        config.telemetry = telemetry.at(i);
         return sim::simulate(s, config, "tail-drop");
       },
       stats);
+  if (reg != nullptr) telemetry.merge_into(*reg);
   for (std::size_t i = 0; i < delays.size(); ++i) {
     series.add({std::to_string(std::max<Time>(1, delays[i])),
                 std::to_string(reports[i].played.bytes),
@@ -109,10 +119,12 @@ void part_b_delay_grid(std::size_t frames, unsigned threads,
                 Table::pct(reports[i].byte_loss())});
   }
   series.emit(bench::BenchOptions{});
+  if (json != nullptr) json->add_series("delay_grid", series);
 }
 
 void part_c_theorem39(std::size_t frames, unsigned threads,
-                      sim::RunStats* stats) {
+                      sim::RunStats* stats, bench::JsonReport* json,
+                      obs::Registry* reg) {
   const Stream s = trace::slice_frames(trace::stock_clip("cnn-news", frames),
                                        trace::ValueModel::throughput(),
                                        trace::Slicing::WholeFrame);
@@ -129,6 +141,7 @@ void part_c_theorem39(std::size_t frames, unsigned threads,
     double optimal_upper = 0.0;
   };
   sim::ParallelRunner runner(threads);
+  bench::TaskTelemetry telemetry(reg != nullptr, mults.size());
   const auto rows = runner.map<Row>(
       mults.size(),
       [&](std::size_t i) {
@@ -142,11 +155,14 @@ void part_c_theorem39(std::size_t frames, unsigned threads,
         const auto optimal = offline::quantized_optimal_bracket(
             s, plan.buffer, plan.rate,
             std::max<Bytes>(256, plan.buffer / 8192));
-        return Row{.plan = plan,
-                   .played = sim::simulate(s, plan, "tail-drop").played.bytes,
-                   .optimal_upper = optimal.upper};
+        return Row{
+            .plan = plan,
+            .played = sim::simulate(s, plan, "tail-drop", 1, telemetry.at(i))
+                          .played.bytes,
+            .optimal_upper = optimal.upper};
       },
       stats);
+  if (reg != nullptr) telemetry.merge_into(*reg);
   for (std::size_t i = 0; i < mults.size(); ++i) {
     const double measured =
         static_cast<double>(rows[i].played) / rows[i].optimal_upper;
@@ -158,9 +174,11 @@ void part_c_theorem39(std::size_t frames, unsigned threads,
                            4)});
   }
   series.emit(bench::BenchOptions{});
+  if (json != nullptr) json->add_series("theorem39", series);
 }
 
-void part_d_lemma36(unsigned threads, sim::RunStats* stats) {
+void part_d_lemma36(unsigned threads, sim::RunStats* stats,
+                    bench::JsonReport* json, obs::Registry* reg) {
   const Bytes b2 = 64;
   const Stream s = analysis::lemma36_stream(b2, /*batches=*/50);
   std::cout << "\n(d) Lemma 3.6 — tight batch stream (batch = " << b2
@@ -168,13 +186,16 @@ void part_d_lemma36(unsigned threads, sim::RunStats* stats) {
   bench::Series series{.header = {"B1", "B2", "measuredRatio", "bound"}};
   const std::vector<Bytes> buffers = {8, 16, 32, 64, b2};
   sim::ParallelRunner runner(threads);
+  bench::TaskTelemetry telemetry(reg != nullptr, buffers.size());
   const auto throughputs = runner.map<Bytes>(
       buffers.size(),
       [&](std::size_t i) {
         const Plan plan = Planner::from_buffer_rate(buffers[i], 1);
-        return sim::simulate(s, plan, "tail-drop").played.bytes;
+        return sim::simulate(s, plan, "tail-drop", 1, telemetry.at(i))
+            .played.bytes;
       },
       stats);
+  if (reg != nullptr) telemetry.merge_into(*reg);
   const Bytes big_throughput = throughputs.back();
   for (std::size_t i = 0; i + 1 < buffers.size(); ++i) {
     series.add({std::to_string(buffers[i]), std::to_string(b2),
@@ -185,6 +206,7 @@ void part_d_lemma36(unsigned threads, sim::RunStats* stats) {
                            4)});
   }
   series.emit(bench::BenchOptions{});
+  if (json != nullptr) json->add_series("lemma36", series);
 }
 
 }  // namespace
@@ -195,10 +217,16 @@ int main(int argc, char** argv) {
   std::cout << "tab_tradeoff — Sect. 3 results on the cnn-news clip ("
             << frames << " frames)\n\n";
   rtsmooth::sim::RunStats stats;
-  part_a_theorem35(opts, frames, &stats);
-  part_b_delay_grid(frames, opts.threads, &stats);
-  part_c_theorem39(std::min<std::size_t>(frames, 400), opts.threads, &stats);
-  part_d_lemma36(opts.threads, &stats);
+  rtsmooth::bench::JsonReport json("tab_tradeoff", opts);
+  rtsmooth::obs::Registry reg;
+  auto* json_ptr = json.enabled() ? &json : nullptr;
+  auto* reg_ptr = json.enabled() ? &reg : nullptr;
+  part_a_theorem35(opts, frames, &stats, json_ptr, reg_ptr);
+  part_b_delay_grid(frames, opts.threads, &stats, json_ptr, reg_ptr);
+  part_c_theorem39(std::min<std::size_t>(frames, 400), opts.threads, &stats,
+                   json_ptr, reg_ptr);
+  part_d_lemma36(opts.threads, &stats, json_ptr, reg_ptr);
+  json.write(stats, reg);
   rtsmooth::bench::print_run_stats(stats);
   return 0;
 }

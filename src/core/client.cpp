@@ -28,6 +28,22 @@ Client::Client(const Stream& stream, Bytes capacity, Time playout_offset,
   RTS_EXPECTS(max_stall >= 0);
 }
 
+void Client::set_telemetry(obs::Telemetry telemetry) {
+  if (telemetry.registry == nullptr) return;
+  obs::Registry& reg = *telemetry.registry;
+  // Eager creation keeps snapshots structurally identical across runs (a
+  // lossless run reports client.late_bytes = 0 rather than omitting it).
+  played_bytes_ = &reg.counter("client.played_bytes");
+  late_bytes_ = &reg.counter("client.late_bytes");
+  overflow_bytes_ = &reg.counter("client.overflow_bytes");
+  underflow_count_ = &reg.counter("client.underflow_events");
+  occupancy_hist_ = &reg.histogram("client.occupancy",
+                                   obs::HistogramSpec::exponential(1, 32));
+  stall_run_hist_ = &reg.histogram("client.stall_run_length",
+                                   obs::HistogramSpec::exponential(1, 16));
+  max_occupancy_ = &reg.gauge("client.max_occupancy");
+}
+
 Time Client::playout_step(Time arrival) const {
   if (mode_ == PlayoutMode::ArrivalPlusOffset) {
     return arrival + offset_ + stall_shift_;
@@ -56,6 +72,7 @@ void Client::deliver(Time t, std::span<const SentPiece> pieces,
       // playout already charged the slice; here we only account bytes).
       rs.late_lost += piece.bytes;
       total_late_ += piece.bytes;
+      if (late_bytes_ != nullptr) late_bytes_->add(piece.bytes);
       if (rec != nullptr) rec->step().dropped_client += piece.bytes;
       continue;
     }
@@ -71,6 +88,10 @@ void Client::play(Time t, SimReport& report, ScheduleRecorder* rec) {
   settle_capacity(rec);
   report.max_client_occupancy =
       std::max(report.max_client_occupancy, occupancy_);
+  if (occupancy_hist_ != nullptr) {
+    occupancy_hist_->record(occupancy_);
+    max_occupancy_->update(occupancy_);
+  }
   RTS_ENSURES(occupancy_ >= 0);
 }
 
@@ -103,6 +124,11 @@ void Client::play_frame(Time t, SimReport& report, ScheduleRecorder* rec) {
       }
     }
   }
+  if (stall_run_hist_ != nullptr && current_frame_stall_ > 0) {
+    // The frame now due stops stalling here — either complete at last or out
+    // of budget; either way the run length is final.
+    stall_run_hist_->record(current_frame_stall_);
+  }
   current_frame_stall_ = 0;
   for (const SliceRun& run : due) {
     const auto run_index =
@@ -115,7 +141,12 @@ void Client::play_frame(Time t, SimReport& report, ScheduleRecorder* rec) {
     const Bytes leftover = rs.stored - played_bytes;
     rs.played = complete;
     rs.leftover_lost += leftover;
-    if (leftover > 0) ++underflow_events_;
+    total_leftover_ += leftover;
+    if (leftover > 0) {
+      ++underflow_events_;
+      if (underflow_count_ != nullptr) underflow_count_->add(1);
+    }
+    if (played_bytes_ != nullptr) played_bytes_->add(played_bytes);
     occupancy_ -= rs.stored;
     rs.stored = 0;
     report.played.add(played_bytes, run.weight * static_cast<Weight>(complete),
@@ -148,6 +179,7 @@ void Client::settle_capacity(ScheduleRecorder* rec) {
     rs.stored -= evict;
     rs.overflow_lost += evict;
     total_overflow_ += evict;
+    if (overflow_bytes_ != nullptr) overflow_bytes_->add(evict);
     occupancy_ -= evict;
     bytes -= evict;
     if (rec != nullptr) rec->step().dropped_client += evict;

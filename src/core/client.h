@@ -30,6 +30,7 @@
 #include "core/server_buffer.h"
 #include "core/slice.h"
 #include "core/types.h"
+#include "obs/telemetry.h"
 
 namespace rtsmooth {
 
@@ -104,11 +105,18 @@ class Client {
   Bytes occupancy() const { return occupancy_; }
   Time playout_offset() const { return offset_; }
 
+  /// Installs the telemetry handle (null by default: no cost). The client
+  /// records per-step occupancy, played/late/overflow byte counters, and the
+  /// distribution of rebuffering run lengths ("client.stall_run_length").
+  void set_telemetry(obs::Telemetry telemetry);
+
   // -- observables for the InvariantMonitor (monotone running totals) ------
   Time stall_steps() const { return stall_shift_; }
   std::int64_t underflow_events() const { return underflow_events_; }
   Bytes late_bytes_so_far() const { return total_late_; }
   Bytes overflow_bytes_so_far() const { return total_overflow_; }
+  /// Bytes of incomplete slices discarded at their playout step.
+  Bytes leftover_bytes_so_far() const { return total_leftover_; }
   Bytes capacity() const { return capacity_; }
 
  private:
@@ -142,11 +150,20 @@ class Client {
   std::int64_t underflow_events_ = 0;
   Bytes total_late_ = 0;
   Bytes total_overflow_ = 0;
+  Bytes total_leftover_ = 0;
   Bytes occupancy_ = 0;
   std::vector<RunState> runs_;
   /// Pieces stored this step, newest last — the overflow eviction order.
   std::vector<std::pair<std::size_t, Bytes>> arrived_this_step_;
   bool finalized_ = false;
+  // Instruments resolved by set_telemetry(); null while telemetry is off.
+  obs::Counter* played_bytes_ = nullptr;
+  obs::Counter* late_bytes_ = nullptr;
+  obs::Counter* overflow_bytes_ = nullptr;
+  obs::Counter* underflow_count_ = nullptr;
+  obs::Histogram* occupancy_hist_ = nullptr;
+  obs::Histogram* stall_run_hist_ = nullptr;
+  obs::Gauge* max_occupancy_ = nullptr;
 };
 
 }  // namespace rtsmooth

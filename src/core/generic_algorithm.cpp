@@ -35,7 +35,24 @@ void SmoothingServer::account_drop(const SliceRun& run, std::size_t run_index,
   }
 }
 
+void SmoothingServer::set_telemetry(obs::Telemetry telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry.registry == nullptr) return;
+  obs::Registry& reg = *telemetry.registry;
+  // Eager creation keeps snapshots structurally identical across runs:
+  // a lossless run reports server.retx_bytes = 0 rather than omitting it.
+  sent_bytes_ = &reg.counter("server.sent_bytes");
+  retx_bytes_ = &reg.counter("server.retx_bytes");
+  nacks_seen_ = &reg.counter("server.nacks");
+  shed_events_ = &reg.counter("server.shed_events");
+  written_off_bytes_ = &reg.counter("server.written_off_bytes");
+  occupancy_hist_ = &reg.histogram("server.occupancy",
+                                   obs::HistogramSpec::exponential(1, 32));
+  max_occupancy_ = &reg.gauge("server.max_occupancy");
+}
+
 void SmoothingServer::write_off(const SentPiece& piece) {
+  if (written_off_bytes_ != nullptr) written_off_bytes_->add(piece.bytes);
   if (loss_sink_) loss_sink_(*piece.run, piece.run_index, piece.bytes);
 }
 
@@ -126,6 +143,8 @@ std::vector<SentPiece> SmoothingServer::step(Time t,
   // Eq. (3): shed whole slices until post-send occupancy is at most B.
   const Bytes target = config_.buffer + planned_send;
   if (buffer_.occupancy() > target) {
+    const obs::Span drop_span(telemetry_, "policy.drop");
+    if (shed_events_ != nullptr) shed_events_->add(1);
     policy_->shed(buffer_, target);
     RTS_ASSERT(buffer_.occupancy() <= target);
   }
@@ -144,6 +163,15 @@ std::vector<SentPiece> SmoothingServer::step(Time t,
     rec->step().server_occupancy = buffer_.occupancy();
   }
   RTS_ENSURES(buffer_.occupancy() <= config_.buffer);
+  if (occupancy_hist_ != nullptr) {
+    sent_bytes_->add(sent);
+    retx_bytes_->add(retx_sent);
+    nacks_seen_->add(static_cast<std::int64_t>(nacks.size()));
+    // Post-step occupancy distribution, one sample per step; Eq. (3)'s
+    // |Bs(t)| <= B shows up as max() <= B.
+    occupancy_hist_->record(buffer_.occupancy());
+    max_occupancy_->update(buffer_.occupancy());
+  }
 
   current_report_ = nullptr;
   current_rec_ = nullptr;

@@ -34,6 +34,7 @@
 #include "core/server_buffer.h"
 #include "core/slice.h"
 #include "core/types.h"
+#include "obs/telemetry.h"
 
 namespace rtsmooth {
 
@@ -93,6 +94,13 @@ class SmoothingServer {
                                           std::size_t run_index, Bytes bytes)>;
   void set_link_loss_sink(LinkLossSink sink) { loss_sink_ = std::move(sink); }
 
+  /// Installs the telemetry handle (null by default: no cost). The server
+  /// records per-step occupancy, send/retransmit/write-off counters, and a
+  /// "policy.drop" Span around each Eq. (3) shed. Instruments are resolved
+  /// once here, so the per-step cost with telemetry on is plain pointer
+  /// arithmetic, not map lookups.
+  void set_telemetry(obs::Telemetry telemetry);
+
   /// Moves whatever is still buffered or queued for retransmission into
   /// `report.residual` (for truncated simulations). The simulator's normal
   /// path drains instead.
@@ -118,6 +126,15 @@ class SmoothingServer {
   ServerBuffer buffer_;
   std::deque<RetxEntry> retx_queue_;
   LinkLossSink loss_sink_;
+  obs::Telemetry telemetry_;
+  // Instruments resolved by set_telemetry(); null while telemetry is off.
+  obs::Counter* sent_bytes_ = nullptr;
+  obs::Counter* retx_bytes_ = nullptr;
+  obs::Counter* nacks_seen_ = nullptr;
+  obs::Counter* shed_events_ = nullptr;
+  obs::Counter* written_off_bytes_ = nullptr;
+  obs::Histogram* occupancy_hist_ = nullptr;
+  obs::Gauge* max_occupancy_ = nullptr;
   SimReport* current_report_ = nullptr;
   ScheduleRecorder* current_rec_ = nullptr;
   Time now_ = 0;

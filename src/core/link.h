@@ -22,6 +22,7 @@
 
 #include "core/server_buffer.h"
 #include "core/types.h"
+#include "obs/telemetry.h"
 #include "util/rng.h"
 
 namespace rtsmooth {
@@ -63,6 +64,12 @@ class Link {
   /// feedback pipe.
   virtual bool idle() const = 0;
   virtual Time min_delay() const = 0;
+
+  /// Installs a telemetry handle. The base links record nothing (the
+  /// simulator already traces deliveries); fault links override this to
+  /// count erasures and loss runs. Decorators must forward to their inner
+  /// link.
+  virtual void set_telemetry(obs::Telemetry telemetry) { (void)telemetry; }
 
  protected:
   Link() = default;

@@ -45,6 +45,16 @@ ErasureLink::ErasureLink(Time propagation_delay, double loss_probability,
     : ErasureLink(fixed(propagation_delay), loss_probability, rng,
                   feedback_delay) {}
 
+void ErasureLink::set_telemetry(obs::Telemetry telemetry) {
+  inner_->set_telemetry(telemetry);
+  if (telemetry.registry == nullptr) return;
+  obs::Registry& reg = *telemetry.registry;
+  erased_pieces_ = &reg.counter("link.erased_pieces");
+  erased_bytes_ = &reg.counter("link.erased_bytes");
+  loss_run_hist_ = &reg.histogram("link.loss_run",
+                                  obs::HistogramSpec::exponential(1, 16));
+}
+
 void ErasureLink::submit(Time t, std::vector<SentPiece> pieces) {
   std::vector<SentPiece> kept;
   kept.reserve(pieces.size());
@@ -55,7 +65,18 @@ void ErasureLink::submit(Time t, std::vector<SentPiece> pieces) {
       pending_nacks_.push_back(PendingNack{
           .at = t + inner_->min_delay() + feedback_delay_,
           .nack = Nack{.piece = piece, .sent_at = t}});
+      if (erased_pieces_ != nullptr) {
+        erased_pieces_->add(1);
+        erased_bytes_->add(piece.bytes);
+        ++loss_run_;
+      }
       continue;
+    }
+    if (loss_run_ > 0) {
+      // A surviving piece ends the consecutive-erasure run. (A run still
+      // open when the stream ends is not flushed — it has no defined end.)
+      loss_run_hist_->record(loss_run_);
+      loss_run_ = 0;
     }
     kept.push_back(std::move(piece));
   }
@@ -91,6 +112,16 @@ GilbertElliottLink::GilbertElliottLink(Time propagation_delay,
     : GilbertElliottLink(fixed(propagation_delay), config, rng,
                          feedback_delay) {}
 
+void GilbertElliottLink::set_telemetry(obs::Telemetry telemetry) {
+  inner_->set_telemetry(telemetry);
+  if (telemetry.registry == nullptr) return;
+  obs::Registry& reg = *telemetry.registry;
+  erased_pieces_ = &reg.counter("link.erased_pieces");
+  erased_bytes_ = &reg.counter("link.erased_bytes");
+  loss_run_hist_ = &reg.histogram("link.loss_run",
+                                  obs::HistogramSpec::exponential(1, 16));
+}
+
 void GilbertElliottLink::ensure_state(Time t) {
   // One transition draw per elapsed step, so the burst-length distribution
   // is independent of traffic (an idle channel still churns states).
@@ -99,7 +130,18 @@ void GilbertElliottLink::ensure_state(Time t) {
     if (state_time_ == 0) continue;  // initial state is Good by convention
     const double flip =
         bad_ ? config_.p_bad_to_good : config_.p_good_to_bad;
-    if (flip > 0.0 && rng_.bernoulli(flip)) bad_ = !bad_;
+    if (flip > 0.0 && rng_.bernoulli(flip)) {
+      bad_ = !bad_;
+      if (loss_run_hist_ != nullptr) {
+        if (bad_) {
+          bad_since_ = state_time_;
+        } else if (bad_since_ >= 0) {
+          // Burst over: its length in steps is the "link.loss_run" sample.
+          loss_run_hist_->record(state_time_ - bad_since_);
+          bad_since_ = -1;
+        }
+      }
+    }
   }
 }
 
@@ -113,6 +155,10 @@ void GilbertElliottLink::submit(Time t, std::vector<SentPiece> pieces) {
       pending_nacks_.push_back(PendingNack{
           .at = t + inner_->min_delay() + feedback_delay_,
           .nack = Nack{.piece = piece, .sent_at = t}});
+      if (erased_pieces_ != nullptr) {
+        erased_pieces_->add(1);
+        erased_bytes_->add(piece.bytes);
+      }
       continue;
     }
     kept.push_back(std::move(piece));
@@ -147,6 +193,14 @@ ThrottledLink::ThrottledLink(std::unique_ptr<Link> inner,
 ThrottledLink::ThrottledLink(Time propagation_delay, Bytes rate_cap)
     : ThrottledLink(fixed(propagation_delay), std::vector<Bytes>{rate_cap}) {}
 
+void ThrottledLink::set_telemetry(obs::Telemetry telemetry) {
+  inner_->set_telemetry(telemetry);
+  if (telemetry.registry == nullptr) return;
+  obs::Registry& reg = *telemetry.registry;
+  split_pieces_ = &reg.counter("link.split_pieces");
+  max_backlog_ = &reg.gauge("link.max_backlog");
+}
+
 Bytes ThrottledLink::cap_at(Time t) const {
   return pattern_[static_cast<std::size_t>(t) % pattern_.size()];
 }
@@ -157,6 +211,7 @@ void ThrottledLink::submit(Time t, std::vector<SentPiece> pieces) {
     queued_ += piece.bytes;
     pending_.push_back(std::move(piece));
   }
+  if (max_backlog_ != nullptr) max_backlog_->update(queued_);
 }
 
 std::vector<SentPiece> ThrottledLink::deliver(Time t) {
@@ -179,6 +234,7 @@ std::vector<SentPiece> ThrottledLink::deliver(Time t) {
     SentPiece fragment = head;
     fragment.bytes = budget;
     fragment.completed_slices = 0;
+    if (split_pieces_ != nullptr) split_pieces_->add(1);
     head.bytes -= budget;
     queued_ -= budget;
     budget = 0;

@@ -48,6 +48,10 @@ class ErasureLink final : public Link {
   std::vector<Nack> collect_nacks(Time t) override;
   bool idle() const override { return inner_->idle() && pending_nacks_.empty(); }
   Time min_delay() const override { return inner_->min_delay(); }
+  /// Counts erased pieces/bytes and the length of each consecutive-erasure
+  /// run ("link.loss_run", flushed when a piece survives). Forwards to the
+  /// inner link.
+  void set_telemetry(obs::Telemetry telemetry) override;
 
   double loss_probability() const { return p_; }
 
@@ -61,6 +65,10 @@ class ErasureLink final : public Link {
     Nack nack;
   };
   std::deque<PendingNack> pending_nacks_;
+  obs::Counter* erased_pieces_ = nullptr;
+  obs::Counter* erased_bytes_ = nullptr;
+  obs::Histogram* loss_run_hist_ = nullptr;
+  std::int64_t loss_run_ = 0;  ///< consecutive erased pieces, not yet flushed
 };
 
 /// Parameters of the Gilbert-Elliott two-state loss chain. The state
@@ -87,6 +95,9 @@ class GilbertElliottLink final : public Link {
   std::vector<Nack> collect_nacks(Time t) override;
   bool idle() const override { return inner_->idle() && pending_nacks_.empty(); }
   Time min_delay() const override { return inner_->min_delay(); }
+  /// Counts erased pieces/bytes and each completed Bad-state burst length in
+  /// steps ("link.loss_run"). Forwards to the inner link.
+  void set_telemetry(obs::Telemetry telemetry) override;
 
   bool in_bad_state() const { return bad_; }
 
@@ -104,6 +115,10 @@ class GilbertElliottLink final : public Link {
     Nack nack;
   };
   std::deque<PendingNack> pending_nacks_;
+  obs::Counter* erased_pieces_ = nullptr;
+  obs::Counter* erased_bytes_ = nullptr;
+  obs::Histogram* loss_run_hist_ = nullptr;
+  Time bad_since_ = -1;  ///< step the current Bad burst began
 };
 
 /// Time-varying deliverable rate: at step t at most
@@ -122,6 +137,9 @@ class ThrottledLink final : public Link {
   std::vector<SentPiece> deliver(Time t) override;
   bool idle() const override { return inner_->idle() && queued_ == 0; }
   Time min_delay() const override { return inner_->min_delay(); }
+  /// Tracks the throttle backlog high-watermark and piece splits at the cap.
+  /// Forwards to the inner link.
+  void set_telemetry(obs::Telemetry telemetry) override;
 
   Bytes cap_at(Time t) const;
 
@@ -130,6 +148,8 @@ class ThrottledLink final : public Link {
   std::vector<Bytes> pattern_;
   std::deque<SentPiece> pending_;
   Bytes queued_ = 0;
+  obs::Counter* split_pieces_ = nullptr;
+  obs::Gauge* max_backlog_ = nullptr;
 };
 
 }  // namespace rtsmooth::faults

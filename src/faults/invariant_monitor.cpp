@@ -1,44 +1,65 @@
 #include "faults/invariant_monitor.h"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/trace_writer.h"
 #include "util/assert.h"
 
 namespace rtsmooth::faults {
 
-InvariantMonitor::InvariantMonitor(Bytes server_buffer, Bytes rate)
+InvariantMonitor::InvariantMonitor(Bytes server_buffer, Bytes rate,
+                                   obs::Telemetry telemetry)
     : server_buffer_(server_buffer),
-      sojourn_bound_((server_buffer + rate - 1) / rate) {
+      sojourn_bound_((server_buffer + rate - 1) / rate),
+      telemetry_(telemetry) {
   RTS_EXPECTS(server_buffer >= 1);
   RTS_EXPECTS(rate >= 1);
 }
 
 void InvariantMonitor::record(Time t,
-                              std::int64_t InvariantViolations::*counter) {
+                              std::int64_t InvariantViolations::*counter,
+                              std::string_view kind, std::int64_t magnitude) {
   violations_.*counter += 1;
   violations_.first = std::min(violations_.first, t);
+  if (telemetry_.registry != nullptr) {
+    telemetry_.registry->counter(std::string("invariant.") += kind).add(1);
+  }
+  if (telemetry_.tracer != nullptr) {
+    obs::Json event = obs::Json::object();
+    event["type"] = "violation";
+    event["t"] = t;
+    event["kind"] = kind;
+    event["magnitude"] = magnitude;
+    telemetry_.tracer->write(event);
+  }
 }
 
 void InvariantMonitor::check(Time t, const SmoothingServer& server,
                              const Client& client) {
   const ServerBuffer& buffer = server.buffer();
   if (buffer.occupancy() > server_buffer_) {
-    record(t, &InvariantViolations::server_occupancy);
+    record(t, &InvariantViolations::server_occupancy, "server_occupancy",
+           buffer.occupancy() - server_buffer_);
   }
   if (buffer.chunk_count() > 0) {
     // The head chunk's bytes arrived at its run's arrival step; under the
     // work-conserving generic algorithm they leave within B/R (Lemma 3.2).
     const Time age = t - buffer.chunk(0).run->arrival;
     if (age > sojourn_bound_) {
-      record(t, &InvariantViolations::server_sojourn);
+      record(t, &InvariantViolations::server_sojourn, "server_sojourn",
+             age - sojourn_bound_);
     }
   }
   if (client.overflow_bytes_so_far() > prev_overflow_) {
-    record(t, &InvariantViolations::client_overflow);
+    record(t, &InvariantViolations::client_overflow, "client_overflow",
+           client.overflow_bytes_so_far() - prev_overflow_);
   }
   if (client.late_bytes_so_far() > prev_late_ ||
       client.underflow_events() > prev_underflow_events_) {
-    record(t, &InvariantViolations::client_underflow);
+    record(t, &InvariantViolations::client_underflow, "client_underflow",
+           (client.late_bytes_so_far() - prev_late_) +
+               (client.underflow_events() - prev_underflow_events_));
   }
   prev_overflow_ = client.overflow_bytes_so_far();
   prev_late_ = client.late_bytes_so_far();

@@ -27,12 +27,20 @@
 #include "core/generic_algorithm.h"
 #include "core/metrics.h"
 #include "core/types.h"
+#include "obs/telemetry.h"
 
 namespace rtsmooth::faults {
 
 class InvariantMonitor {
  public:
-  InvariantMonitor(Bytes server_buffer, Bytes rate);
+  /// With a non-null `telemetry`, every violation additionally increments an
+  /// "invariant.<kind>" counter and — when a tracer is attached — emits a
+  /// JSONL event {"type":"violation","t":...,"kind":...,"magnitude":...}.
+  /// Magnitude is the overshoot in the invariant's own unit: bytes over B
+  /// (server_occupancy / client_overflow), steps over ceil(B/R)
+  /// (server_sojourn), late bytes + partial-slice events (client_underflow).
+  InvariantMonitor(Bytes server_buffer, Bytes rate,
+                   obs::Telemetry telemetry = {});
 
   /// Checks the post-step state; call once per step after client playout.
   void check(Time t, const SmoothingServer& server, const Client& client);
@@ -43,10 +51,12 @@ class InvariantMonitor {
   void finalize(SimReport& report) const { report.invariants = violations_; }
 
  private:
-  void record(Time t, std::int64_t InvariantViolations::*counter);
+  void record(Time t, std::int64_t InvariantViolations::*counter,
+              std::string_view kind, std::int64_t magnitude);
 
   Bytes server_buffer_;
   Time sojourn_bound_;  ///< ceil(B / R)
+  obs::Telemetry telemetry_;
   Bytes prev_overflow_ = 0;
   Bytes prev_late_ = 0;
   std::int64_t prev_underflow_events_ = 0;

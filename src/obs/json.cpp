@@ -1,0 +1,123 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace rtsmooth::obs {
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          os << "\\u00" << kHex[(static_cast<unsigned char>(c) >> 4) & 0xf]
+             << kHex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    os << "null";
+    return;
+  }
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  RTS_ASSERT(ec == std::errc());
+  std::string_view text(buf, static_cast<std::size_t>(end - buf));
+  os << text;
+  // Keep a double visibly a double ("3" would read back as an integer).
+  if (text.find_first_of(".eE") == std::string_view::npos) os << ".0";
+}
+
+}  // namespace
+
+void Json::push_back(Json v) {
+  RTS_EXPECTS(kind_ == Kind::Array || kind_ == Kind::Null);
+  kind_ = Kind::Array;
+  children_.push_back(std::move(v));
+}
+
+Json& Json::operator[](std::string_view key) {
+  RTS_EXPECTS(kind_ == Kind::Object || kind_ == Kind::Null);
+  kind_ = Kind::Object;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] == key) return children_[i];
+  }
+  keys_.emplace_back(key);
+  children_.emplace_back();
+  return children_.back();
+}
+
+void Json::write(std::ostream& os) const {
+  switch (kind_) {
+    case Kind::Null:
+      os << "null";
+      break;
+    case Kind::Bool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Kind::Int:
+      os << int_;
+      break;
+    case Kind::Double:
+      write_double(os, double_);
+      break;
+    case Kind::String:
+      write_escaped(os, string_);
+      break;
+    case Kind::Array:
+      os << '[';
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) os << ',';
+        children_[i].write(os);
+      }
+      os << ']';
+      break;
+    case Kind::Object:
+      os << '{';
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) os << ',';
+        write_escaped(os, keys_[i]);
+        os << ':';
+        children_[i].write(os);
+      }
+      os << '}';
+      break;
+  }
+}
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  write(os);
+  return std::move(os).str();
+}
+
+}  // namespace rtsmooth::obs

@@ -1,0 +1,88 @@
+// Minimal JSON document builder for machine-readable output: the JSONL run
+// tracer, registry snapshots, and the BENCH_*.json bench reports.
+//
+// Writer only — the repo never parses JSON, it only emits it (the CI schema
+// check parses with Python). Two properties matter more than generality:
+//
+//   * object keys keep *insertion order*, so a document built by the same
+//     code path is byte-stable across runs, platforms and thread counts —
+//     the golden-file tests and the threads=N == serial determinism
+//     contract (DESIGN.md Sect. 9) compare dumped strings directly;
+//   * numbers round-trip: integers print exactly, doubles print the
+//     shortest decimal that parses back to the same value (to_chars).
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace rtsmooth::obs {
+
+/// One JSON value: null, bool, integer, double, string, array, or an
+/// insertion-ordered object. Build with the constructors plus push_back()
+/// (arrays) and operator[] (objects); serialize with dump() / write().
+class Json {
+ public:
+  Json() = default;
+  Json(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}  // NOLINT
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  Json(T v)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::Int), int_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : kind_(Kind::Double), double_(v) {}           // NOLINT
+  Json(const char* s) : kind_(Kind::String), string_(s) {}      // NOLINT
+  Json(std::string s)                                           // NOLINT
+      : kind_(Kind::String), string_(std::move(s)) {}
+  Json(std::string_view s) : kind_(Kind::String), string_(s) {}  // NOLINT
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+  }
+
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Array append. A default-constructed (null) value promotes to an array
+  /// on first push, so `Json rows; rows.push_back(...)` works.
+  void push_back(Json v);
+
+  /// Object member access: inserts a null member on first use, preserving
+  /// insertion order. A null value promotes to an object on first use.
+  Json& operator[](std::string_view key);
+
+  std::size_t size() const { return children_.size(); }
+
+  /// Serializes compactly (no whitespace), keys in insertion order.
+  std::string dump() const;
+  void write(std::ostream& os) const;
+
+  bool operator==(const Json&) const = default;
+
+ private:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> children_;    ///< array elements / object values
+  std::vector<std::string> keys_; ///< object keys, parallel to children_
+};
+
+}  // namespace rtsmooth::obs

@@ -1,0 +1,22 @@
+#include "obs/trace_writer.h"
+
+#include <stdexcept>
+
+namespace rtsmooth::obs {
+
+TraceWriter::TraceWriter(const std::string& path)
+    : file_(path, std::ios::trunc), out_(&file_) {
+  if (!file_.is_open()) {
+    throw std::runtime_error("TraceWriter: cannot open " + path);
+  }
+}
+
+TraceWriter::TraceWriter(std::ostream& out) : out_(&out) {}
+
+void TraceWriter::write(const Json& event) {
+  event.write(*out_);
+  *out_ << '\n';
+  ++events_;
+}
+
+}  // namespace rtsmooth::obs

@@ -33,6 +33,4 @@ std::vector<std::string> known_policies() {
   return {"tail-drop", "greedy", "head-drop", "random", "proactive"};
 }
 
-std::vector<std::string> policy_names() { return known_policies(); }
-
 }  // namespace rtsmooth

@@ -22,7 +22,4 @@ std::unique_ptr<DropPolicy> make_policy(std::string_view name,
 /// test sweeps.
 std::vector<std::string> known_policies();
 
-[[deprecated("renamed to known_policies()")]]
-std::vector<std::string> policy_names();
-
 }  // namespace rtsmooth

@@ -60,6 +60,7 @@ RunStats& RunStats::operator+=(const RunStats& o) {
   threads = std::max(threads, o.threads);
   total_task_us += o.total_task_us;
   max_task_us = std::max(max_task_us, o.max_task_us);
+  queue_us += o.queue_us;
   wall_us += o.wall_us;
   return *this;
 }
@@ -74,7 +75,8 @@ unsigned resolve_threads(unsigned requested) {
 ParallelRunner::ParallelRunner(unsigned threads)
     : threads_(resolve_threads(threads)) {}
 
-RunStats ParallelRunner::run(std::vector<std::function<void()>> tasks) {
+RunStats ParallelRunner::run(std::vector<std::function<void()>> tasks,
+                             const Progress& progress) {
   RunStats stats;
   stats.tasks = tasks.size();
   const auto width = static_cast<unsigned>(std::min<std::size_t>(
@@ -85,27 +87,33 @@ RunStats ParallelRunner::run(std::vector<std::function<void()>> tasks) {
   if (width <= 1) {
     // In-place serial path: no pool, no atomics — `threads=1` is the
     // reference execution the parallel path must match byte for byte.
+    std::size_t done = 0;
     for (auto& task : tasks) {
       const auto start = Clock::now();
+      stats.queue_us += us_between(batch_start, start);
       task();
       const std::int64_t us = us_between(start, Clock::now());
       stats.total_task_us += us;
       stats.max_task_us = std::max(stats.max_task_us, us);
+      if (progress) progress(++done, tasks.size());
     }
     stats.wall_us = us_between(batch_start, Clock::now());
     return stats;
   }
 
   std::atomic<std::size_t> next{0};
+  std::size_t done = 0;  // guarded by merge_mutex
   std::vector<std::exception_ptr> errors(tasks.size());
   std::mutex merge_mutex;
   auto worker = [&] {
     std::int64_t local_total = 0;
     std::int64_t local_max = 0;
+    std::int64_t local_queue = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= tasks.size()) break;
       const auto start = Clock::now();
+      local_queue += us_between(batch_start, start);
       try {
         tasks[i]();
       } catch (...) {
@@ -114,10 +122,15 @@ RunStats ParallelRunner::run(std::vector<std::function<void()>> tasks) {
       const std::int64_t us = us_between(start, Clock::now());
       local_total += us;
       local_max = std::max(local_max, us);
+      if (progress) {
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        progress(++done, tasks.size());
+      }
     }
     const std::lock_guard<std::mutex> lock(merge_mutex);
     stats.total_task_us += local_total;
     stats.max_task_us = std::max(stats.max_task_us, local_max);
+    stats.queue_us += local_queue;
   };
 
   std::vector<std::thread> pool;

@@ -32,6 +32,9 @@ struct RunStats {
   unsigned threads = 1;         ///< pool width actually used
   std::int64_t total_task_us = 0;  ///< sum of per-task wall time (~cpu time)
   std::int64_t max_task_us = 0;    ///< slowest single task
+  std::int64_t queue_us = 0;  ///< sum of per-task wait from batch start to
+                              ///< task start — queueing delay behind the
+                              ///< pool; grows with tasks/threads
   std::int64_t wall_us = 0;        ///< end-to-end batch time
 
   /// total_task_us / wall_us — average task concurrency. Equals the
@@ -70,9 +73,16 @@ class ParallelRunner {
 
   unsigned threads() const { return threads_; }
 
+  /// Called after each task completes with (done, total). Invocations are
+  /// serialized but their order follows completion, not submission; keep
+  /// the callback cheap — it runs under the pool's merge lock.
+  using Progress = std::function<void(std::size_t done, std::size_t total)>;
+
   /// Runs every task; task i's side effects are its own. Returns timing
-  /// stats for the batch.
-  RunStats run(std::vector<std::function<void()>> tasks);
+  /// stats for the batch. `progress`, when given, is notified once per
+  /// completed task.
+  RunStats run(std::vector<std::function<void()>> tasks,
+               const Progress& progress = nullptr);
 
   /// Convenience: `results[i] = fn(i)` for i in [0, count), results in index
   /// order. R must be default-constructible and movable. Accumulates timing

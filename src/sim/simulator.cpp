@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "faults/invariant_monitor.h"
+#include "obs/trace_writer.h"
 #include "policies/policy_factory.h"
 #include "util/assert.h"
 
@@ -19,6 +20,19 @@ const Stream& validated(const Stream& stream, const SimConfig& config) {
     throw std::invalid_argument("SimConfig: " + std::move(problem));
   }
   return stream;
+}
+
+Bytes piece_bytes(std::span<const SentPiece> pieces) {
+  Bytes sum = 0;
+  for (const SentPiece& piece : pieces) sum += piece.bytes;
+  return sum;
+}
+
+/// Everything the client has discarded so far, matching the CSV step trace's
+/// dropped_client semantics (late + overflow + partial slices at playout).
+Bytes client_dropped_so_far(const Client& client) {
+  return client.late_bytes_so_far() + client.overflow_bytes_so_far() +
+         client.leftover_bytes_so_far();
 }
 
 ServerConfig server_config(const SimConfig& config) {
@@ -75,18 +89,54 @@ SmoothingSimulator::SmoothingSimulator(const Stream& stream, SimConfig config,
                  : std::make_unique<FixedDelayLink>(config.link_delay)),
       client_(stream, config.client_buffer,
               config.link_delay + config.smoothing_delay, config.playout,
-              config.smoothing_delay, config.underflow, config.max_stall) {}
+              config.smoothing_delay, config.underflow, config.max_stall) {
+  if (config_.telemetry.enabled()) {
+    server_.set_telemetry(config_.telemetry);
+    client_.set_telemetry(config_.telemetry);
+    link_->set_telemetry(config_.telemetry);
+  }
+}
 
 SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
   RTS_EXPECTS(!ran_);
   ran_ = true;
   SimReport report;
   ArrivalCursor cursor(*stream_);
-  faults::InvariantMonitor monitor(config_.server_buffer, config_.rate);
+  faults::InvariantMonitor monitor(config_.server_buffer, config_.rate,
+                                   config_.telemetry);
   server_.set_link_loss_sink(
       [this](const SliceRun& /*run*/, std::size_t run_index, Bytes bytes) {
         client_.add_link_loss(run_index, bytes);
       });
+
+  // Telemetry instruments, resolved once; all null when disabled, so the
+  // per-step cost of the instrumentation below is a handful of predictable
+  // branches.
+  obs::Registry* reg = config_.telemetry.registry;
+  obs::TraceWriter* tracer = config_.telemetry.tracer;
+  obs::Histogram* sojourn_hist = nullptr;
+  obs::Histogram* burst_hist = nullptr;
+  if (reg != nullptr) {
+    // Lemma 3.2 in distribution form: on a lossless balanced run every
+    // byte-weighted sample is <= ceil(B/R), so max() pins the bound.
+    sojourn_hist = &reg->histogram("byte.sojourn_steps",
+                                   obs::HistogramSpec::exponential(1, 24));
+    burst_hist = &reg->histogram("drop.burst_length",
+                                 obs::HistogramSpec::exponential(1, 16));
+  }
+  if (tracer != nullptr) {
+    obs::Json event = obs::Json::object();
+    event["type"] = "config";
+    event["server_buffer"] = config_.server_buffer;
+    event["client_buffer"] = config_.client_buffer;
+    event["rate"] = config_.rate;
+    event["smoothing_delay"] = config_.smoothing_delay;
+    event["link_delay"] = config_.link_delay;
+    event["runs"] = static_cast<std::int64_t>(stream_->run_count());
+    tracer->write(event);
+  }
+  std::int64_t drop_burst = 0;  ///< consecutive steps with server drops
+
   const Time horizon = stream_->horizon();
   const Time playout_offset = config_.link_delay + config_.smoothing_delay;
   const Time last_playout = horizon - 1 + playout_offset;
@@ -104,27 +154,100 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
        ++t) {
     RTS_ASSERT(t <= limit + client_.stall_steps());
     if (rec != nullptr) rec->begin_step(t);
+    // Pre-step snapshots for the per-step deltas the tracer reports.
+    const Bytes drops_before = report.dropped_server.bytes;
+    const Bytes played_before = report.played.bytes;
+    const Bytes client_dropped_before = client_dropped_so_far(client_);
+    const Time stalls_before = client_.stall_steps();
+
     const auto nacks = link_->collect_nacks(t);
-    auto pieces = server_.step(t, cursor.step(t), nacks, report, rec);
+    const ArrivalBatch batch = cursor.step(t);
+    Bytes arrived = 0;
+    if (tracer != nullptr) {
+      for (const SliceRun& run : batch.runs) arrived += run.total_bytes();
+    }
+    std::vector<SentPiece> pieces;
+    {
+      const obs::Span step_span(config_.telemetry, "server.step");
+      pieces = server_.step(t, batch, nacks, report, rec);
+    }
+    const Bytes sent = piece_bytes(pieces);
+    if (sojourn_hist != nullptr) {
+      for (const SentPiece& piece : pieces) {
+        sojourn_hist->record(t - piece.run->arrival, piece.bytes);
+      }
+      const Bytes dropped_now = report.dropped_server.bytes - drops_before;
+      if (dropped_now > 0) {
+        ++drop_burst;
+      } else if (drop_burst > 0) {
+        burst_hist->record(drop_burst);
+        drop_burst = 0;
+      }
+    }
     link_->submit(t, std::move(pieces));
     const auto delivered = link_->deliver(t);
     client_.deliver(t, delivered, report, rec);
     client_.play(t, report, rec);
     monitor.check(t, server_, client_);
     if (rec != nullptr) rec->step().client_occupancy = client_.occupancy();
+    if (tracer != nullptr) {
+      // Violation events for this step (from monitor.check above) precede
+      // the step event itself.
+      obs::Json event = obs::Json::object();
+      event["type"] = "step";
+      event["t"] = t;
+      event["arrived"] = arrived;
+      event["sent"] = sent;
+      event["delivered"] = piece_bytes(delivered);
+      event["played"] = report.played.bytes - played_before;
+      event["dropped_server"] = report.dropped_server.bytes - drops_before;
+      event["dropped_client"] =
+          client_dropped_so_far(client_) - client_dropped_before;
+      event["server_occupancy"] = server_.buffer().occupancy();
+      event["client_occupancy"] = client_.occupancy();
+      event["stalled"] = client_.stall_steps() > stalls_before;
+      tracer->write(event);
+    }
+  }
+  if (burst_hist != nullptr && drop_burst > 0) {
+    burst_hist->record(drop_burst);  // a burst running into the drain tail
   }
   report.steps = t;
   client_.finalize(report);
   server_.account_residual(report);
   monitor.finalize(report);
+  if (reg != nullptr) {
+    reg->counter("sim.steps").add(report.steps);
+    reg->counter("sim.runs").add(1);
+    reg->counter("sim.stall_steps").add(report.stall_steps);
+  }
+  if (tracer != nullptr) {
+    obs::Json event = obs::Json::object();
+    event["type"] = "run";
+    event["steps"] = report.steps;
+    event["offered_bytes"] = report.offered.bytes;
+    event["played_bytes"] = report.played.bytes;
+    event["dropped_server_bytes"] = report.dropped_server.bytes;
+    event["dropped_client_overflow_bytes"] =
+        report.dropped_client_overflow.bytes;
+    event["dropped_client_late_bytes"] = report.dropped_client_late.bytes;
+    event["lost_link_bytes"] = report.lost_link.bytes;
+    event["residual_bytes"] = report.residual.bytes;
+    event["retransmitted_bytes"] = report.retransmitted_bytes;
+    event["stall_steps"] = report.stall_steps;
+    event["invariant_violations"] = report.invariants.total();
+    tracer->write(event);
+  }
   RTS_ENSURES(report.conserves());
   return report;
 }
 
 SimReport simulate(const Stream& stream, const Plan& plan,
-                   std::string_view policy_name, Time link_delay) {
-  SmoothingSimulator simulator(stream, SimConfig::balanced(plan, link_delay),
-                               make_policy(policy_name));
+                   std::string_view policy_name, Time link_delay,
+                   obs::Telemetry telemetry) {
+  SimConfig config = SimConfig::balanced(plan, link_delay);
+  config.telemetry = telemetry;
+  SmoothingSimulator simulator(stream, config, make_policy(policy_name));
   return simulator.run();
 }
 

@@ -28,6 +28,7 @@
 #include "core/planner.h"
 #include "core/schedule.h"
 #include "core/slice.h"
+#include "obs/telemetry.h"
 
 namespace rtsmooth::sim {
 
@@ -50,6 +51,13 @@ struct SimConfig {
   /// NACK/retransmit behaviour for lossy links; `smoothing_delay` inside is
   /// filled in by the simulator, callers only set the other fields.
   RecoveryConfig recovery{};
+
+  /// Telemetry handle, null by default (instrumentation costs nothing; see
+  /// obs/telemetry.h). With a registry the run fills counters and the
+  /// occupancy / sojourn / stall / drop-burst histograms; with a tracer it
+  /// emits one JSONL event per step plus config/violation/run events — a
+  /// machine-readable superset of the CSV step trace.
+  obs::Telemetry telemetry{};
 
   /// The paper's recommended configuration: Bs = Bc = B = D*R.
   static SimConfig balanced(const Plan& plan, Time link_delay = 1) {
@@ -93,9 +101,11 @@ class SmoothingSimulator {
 };
 
 /// One-call convenience: simulate `stream` under the balanced plan with the
-/// named policy (see policy_factory.h).
+/// named policy (see policy_factory.h). Pass a telemetry handle to collect
+/// counters/histograms or a JSONL trace for the run.
 SimReport simulate(const Stream& stream, const Plan& plan,
-                   std::string_view policy_name, Time link_delay = 1);
+                   std::string_view policy_name, Time link_delay = 1,
+                   obs::Telemetry telemetry = {});
 
 /// One-call convenience for callers with a hand-built configuration or a
 /// custom (e.g. faulty) link: simulate `stream` under `config` with the

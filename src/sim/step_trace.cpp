@@ -1,12 +1,18 @@
 #include "sim/step_trace.h"
 
-#include "util/assert.h"
+#include <stdexcept>
+
 #include "util/csv.h"
 
 namespace rtsmooth::sim {
 
 void write_step_trace(const std::string& path, const ScheduleRecorder& rec) {
-  RTS_EXPECTS(rec.level() == ScheduleRecorder::Level::RunsAndSteps);
+  if (rec.level() != ScheduleRecorder::Level::RunsAndSteps) {
+    throw std::invalid_argument(
+        "write_step_trace: the recorder was created at Level::RunsOnly, so "
+        "there are no per-step sets to write — construct the "
+        "ScheduleRecorder with Level::RunsAndSteps to capture them");
+  }
   CsvWriter csv(path);
   csv.row({"t", "arrived", "sent", "delivered", "played", "dropped_server",
            "dropped_client", "server_occupancy", "client_occupancy"});

@@ -12,8 +12,8 @@
 namespace rtsmooth::sim {
 
 /// Writes one CSV row per recorded step. The recorder must have been
-/// created at Level::RunsAndSteps (aborts otherwise — silently writing an
-/// empty trace would be worse). Columns:
+/// created at Level::RunsAndSteps; throws std::invalid_argument otherwise —
+/// silently writing an empty trace would be worse. Columns:
 ///   t, arrived, sent, delivered, played, dropped_server, dropped_client,
 ///   server_occupancy, client_occupancy
 void write_step_trace(const std::string& path, const ScheduleRecorder& rec);

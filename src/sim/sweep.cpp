@@ -36,14 +36,36 @@ Plan plan_for_buffer(const Stream& stream, Bytes buffer, Bytes rate) {
 
 SimReport fault_run(const Stream& stream, const SweepSpec& spec,
                     const Plan& plan, const std::string& policy,
-                    double severity, UnderflowPolicy underflow) {
+                    double severity, UnderflowPolicy underflow,
+                    obs::Telemetry telemetry) {
   SimConfig config = SimConfig::balanced(plan, spec.link_delay);
   config.underflow = underflow;
   config.max_stall = spec.max_stall;
   config.recovery = spec.recovery;
+  config.telemetry = telemetry;
   SmoothingSimulator simulator(stream, config, make_policy(policy),
                                spec.link_factory(severity, spec.link_delay));
   return simulator.run();
+}
+
+/// Cells may run on any thread, so each gets a private registry (slot k for
+/// task k); fold_cells() merges them in submission order afterwards, making
+/// the merged snapshot independent of the thread count (DESIGN.md Sect. 9).
+std::vector<obs::Registry> cell_registries(const SweepSpec& spec,
+                                           std::size_t tasks) {
+  return std::vector<obs::Registry>(spec.registry != nullptr ? tasks : 0);
+}
+
+obs::Telemetry cell_telemetry(std::vector<obs::Registry>& cells,
+                              std::size_t k) {
+  if (cells.empty()) return {};
+  return obs::Telemetry{.registry = &cells[k]};
+}
+
+void fold_cells(const SweepSpec& spec,
+                const std::vector<obs::Registry>& cells) {
+  if (spec.registry == nullptr) return;
+  for (const obs::Registry& cell : cells) spec.registry->merge(cell);
 }
 
 SweepResult fault_axis_sweep(const Stream& stream, const SweepSpec& spec) {
@@ -64,21 +86,30 @@ SweepResult fault_axis_sweep(const Stream& stream, const SweepSpec& spec) {
                       fixed_rate(stream, spec));
   SweepResult result;
   result.faults.resize(spec.values.size());
+  std::vector<obs::Registry> cells =
+      cell_registries(spec, 2 * spec.values.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(2 * spec.values.size());
   for (std::size_t i = 0; i < spec.values.size(); ++i) {
     FaultPoint* point = &result.faults[i];
     point->severity = spec.values[i];
-    tasks.push_back([&stream, &spec, &policy, plan, point] {
+    const std::size_t k = tasks.size();
+    tasks.push_back([&stream, &spec, &policy, &cells, plan, point, k] {
+      const obs::Telemetry tel = cell_telemetry(cells, k);
+      const obs::Span cell_span(tel, "sweep.cell");
       point->skip = fault_run(stream, spec, plan, policy, point->severity,
-                              UnderflowPolicy::Skip);
+                              UnderflowPolicy::Skip, tel);
     });
-    tasks.push_back([&stream, &spec, &policy, plan, point] {
+    tasks.push_back([&stream, &spec, &policy, &cells, plan, point, k] {
+      const obs::Telemetry tel = cell_telemetry(cells, k + 1);
+      const obs::Span cell_span(tel, "sweep.cell");
       point->stall = fault_run(stream, spec, plan, policy, point->severity,
-                               UnderflowPolicy::Stall);
+                               UnderflowPolicy::Stall, tel);
     });
   }
-  result.stats = ParallelRunner(spec.threads).run(std::move(tasks));
+  result.stats =
+      ParallelRunner(spec.threads).run(std::move(tasks), spec.progress);
+  fold_cells(spec, cells);
   return result;
 }
 
@@ -101,9 +132,12 @@ SweepResult sweep(const Stream& stream, const SweepSpec& spec) {
   }
   SweepResult result;
   result.points.resize(spec.values.size());
+  const std::size_t per_point =
+      spec.policies.size() + (spec.with_optimal ? 1 : 0);
+  std::vector<obs::Registry> cells =
+      cell_registries(spec, spec.values.size() * per_point);
   std::vector<std::function<void()>> tasks;
-  tasks.reserve(spec.values.size() *
-                (spec.policies.size() + (spec.with_optimal ? 1 : 0)));
+  tasks.reserve(spec.values.size() * per_point);
   for (std::size_t i = 0; i < spec.values.size(); ++i) {
     SweepPoint* point = &result.points[i];
     point->x = spec.values[i];
@@ -118,72 +152,29 @@ SweepResult sweep(const Stream& stream, const SweepSpec& spec) {
     point->policies.resize(spec.policies.size());
     for (std::size_t j = 0; j < spec.policies.size(); ++j) {
       point->policies[j].policy = spec.policies[j];
-      tasks.push_back([&stream, &spec, point, j] {
-        point->policies[j].report = simulate(
-            stream, point->plan, point->policies[j].policy, spec.link_delay);
+      const std::size_t k = tasks.size();
+      tasks.push_back([&stream, &spec, &cells, point, j, k] {
+        const obs::Telemetry tel = cell_telemetry(cells, k);
+        const obs::Span cell_span(tel, "sweep.cell");
+        point->policies[j].report =
+            simulate(stream, point->plan, point->policies[j].policy,
+                     spec.link_delay, tel);
       });
     }
     if (spec.with_optimal) {
       point->has_optimal = true;
-      tasks.push_back([&stream, point] {
+      const std::size_t k = tasks.size();
+      tasks.push_back([&stream, &cells, point, k] {
+        const obs::Span cell_span(cell_telemetry(cells, k), "sweep.cell");
         point->optimal =
             offline_optimal(stream, point->plan.buffer, point->plan.rate);
       });
     }
   }
-  result.stats = ParallelRunner(spec.threads).run(std::move(tasks));
+  result.stats =
+      ParallelRunner(spec.threads).run(std::move(tasks), spec.progress);
+  fold_cells(spec, cells);
   return result;
-}
-
-// ---------------------------------------------------------------------------
-// Deprecated wrappers. Serial (threads = 1), matching their historical
-// behaviour; new code states the grid in a SweepSpec instead.
-
-std::vector<SweepPoint> buffer_sweep(const Stream& stream,
-                                     std::span<const double> buffer_multiples,
-                                     Bytes rate,
-                                     std::span<const std::string> policies,
-                                     bool with_optimal) {
-  SweepSpec spec{.axis = SweepAxis::BufferMultiple,
-                 .values = {buffer_multiples.begin(), buffer_multiples.end()},
-                 .policies = {policies.begin(), policies.end()},
-                 .with_optimal = with_optimal,
-                 .rate = rate,
-                 .threads = 1};
-  return sweep(stream, spec).points;
-}
-
-std::vector<SweepPoint> rate_sweep(const Stream& stream,
-                                   std::span<const double> rate_fractions,
-                                   double buffer_multiple,
-                                   std::span<const std::string> policies,
-                                   bool with_optimal) {
-  SweepSpec spec{.axis = SweepAxis::RateFraction,
-                 .values = {rate_fractions.begin(), rate_fractions.end()},
-                 .policies = {policies.begin(), policies.end()},
-                 .with_optimal = with_optimal,
-                 .buffer_multiple = buffer_multiple,
-                 .threads = 1};
-  return sweep(stream, spec).points;
-}
-
-std::vector<FaultPoint> fault_sweep(const Stream& stream, const Plan& plan,
-                                    std::string_view policy,
-                                    std::span<const double> severities,
-                                    const FaultLinkFactory& make_link,
-                                    const RecoveryConfig& recovery,
-                                    Time max_stall, Time link_delay) {
-  RTS_EXPECTS(make_link != nullptr);
-  SweepSpec spec{.axis = SweepAxis::FaultSeverity,
-                 .values = {severities.begin(), severities.end()},
-                 .policies = {std::string(policy)},
-                 .plan = plan,
-                 .link_factory = make_link,
-                 .recovery = recovery,
-                 .max_stall = max_stall,
-                 .link_delay = link_delay,
-                 .threads = 1};
-  return sweep(stream, spec).faults;
 }
 
 }  // namespace rtsmooth::sim

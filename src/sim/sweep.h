@@ -22,6 +22,7 @@
 
 #include "core/link.h"
 #include "core/planner.h"
+#include "obs/telemetry.h"
 #include "sim/experiment.h"
 #include "sim/runner.h"
 #include "sim/simulator.h"
@@ -64,8 +65,7 @@ enum class SweepAxis {
 };
 
 /// One declarative description of a sweep — the grid, the fixed parameters,
-/// and the execution width — consumed by sweep(). Replaces the positional
-/// buffer_sweep/rate_sweep/fault_sweep signatures.
+/// and the execution width — consumed by sweep().
 struct SweepSpec {
   SweepAxis axis = SweepAxis::BufferMultiple;
   /// The swept parameter, one result entry per value, in this order.
@@ -100,6 +100,16 @@ struct SweepSpec {
   /// Pool width: 0 defers to RTSMOOTH_THREADS / hardware_concurrency, 1 is
   /// the in-place serial path. Output is identical either way.
   unsigned threads = 0;
+
+  // ---- observability ----
+  /// Merged telemetry for the whole grid. Each cell simulates against its
+  /// own private registry (cells may run on any thread); after the batch
+  /// the cell registries fold into *registry in submission order, so the
+  /// snapshot is byte-identical for any thread count. Every cell also times
+  /// itself under a "sweep.cell" Span. Null: no telemetry, no cost.
+  obs::Registry* registry = nullptr;
+  /// Per-cell completion callback, forwarded to the ParallelRunner.
+  ParallelRunner::Progress progress;
 };
 
 /// Results of one sweep(): `points` for the BufferMultiple / RateFraction
@@ -119,40 +129,5 @@ SweepResult sweep(const Stream& stream, const SweepSpec& spec);
 
 /// Rounds a relative link rate to at least 1 byte/step.
 Bytes relative_rate(const Stream& stream, double fraction);
-
-// ---------------------------------------------------------------------------
-// Deprecated positional wrappers, kept one release for out-of-tree callers.
-// Each forwards to sweep() with threads = 1, preserving the historical
-// serial execution exactly.
-
-/// For each multiple m, runs with B = m * stream.max_frame_bytes() and the
-/// given fixed rate (D derived from B = D*R). Multiples below 1 are invalid
-/// for whole-frame slicing (a frame must fit the buffer).
-[[deprecated("use sweep(stream, SweepSpec{.axis = SweepAxis::BufferMultiple, ...})")]]
-std::vector<SweepPoint> buffer_sweep(const Stream& stream,
-                                     std::span<const double> buffer_multiples,
-                                     Bytes rate,
-                                     std::span<const std::string> policies,
-                                     bool with_optimal);
-
-/// For each fraction f, runs with R = round(f * stream.average_rate()) and
-/// a buffer of `buffer_multiple` times the largest frame.
-[[deprecated("use sweep(stream, SweepSpec{.axis = SweepAxis::RateFraction, ...})")]]
-std::vector<SweepPoint> rate_sweep(const Stream& stream,
-                                   std::span<const double> rate_fractions,
-                                   double buffer_multiple,
-                                   std::span<const std::string> policies,
-                                   bool with_optimal);
-
-/// For each severity, simulates `policy` on the balanced plan over
-/// make_link(severity), once per underflow policy, with the given recovery
-/// settings. All runs are deterministic for a deterministic factory.
-[[deprecated("use sweep(stream, SweepSpec{.axis = SweepAxis::FaultSeverity, ...})")]]
-std::vector<FaultPoint> fault_sweep(const Stream& stream, const Plan& plan,
-                                    std::string_view policy,
-                                    std::span<const double> severities,
-                                    const FaultLinkFactory& make_link,
-                                    const RecoveryConfig& recovery,
-                                    Time max_stall = 16, Time link_delay = 1);
 
 }  // namespace rtsmooth::sim

@@ -1,0 +1,112 @@
+// Golden tests for the rtsmooth-bench-v1 document written by the benches'
+// --json flag (bench/bench_common.h): top-level key set and order, series
+// mirroring, the runner section, and the registry/timers split that keeps
+// the deterministic part separable from wall-clock noise.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.h"
+
+namespace rtsmooth::bench {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct TempJson {
+  std::string path = ::testing::TempDir() + "rtsmooth_bench.json";
+  ~TempJson() { std::remove(path.c_str()); }
+};
+
+BenchOptions options_with_json(const std::string& path) {
+  BenchOptions opts;
+  opts.frames = 42;
+  opts.quick = true;
+  opts.threads = 3;
+  opts.json_path = path;
+  return opts;
+}
+
+sim::RunStats stats_fixture() {
+  sim::RunStats stats;
+  stats.tasks = 4;
+  stats.threads = 2;
+  stats.total_task_us = 1000;
+  stats.max_task_us = 400;
+  stats.queue_us = 50;
+  stats.wall_us = 600;
+  return stats;
+}
+
+TEST(JsonReport, DisabledWithoutJsonFlag) {
+  const JsonReport report("some_bench", BenchOptions{});
+  EXPECT_FALSE(report.enabled());
+}
+
+TEST(JsonReport, GoldenDocumentShape) {
+  const TempJson tmp;
+  JsonReport report("fig_example", options_with_json(tmp.path));
+  ASSERT_TRUE(report.enabled());
+  Series series{.header = {"x", "y"}};
+  series.add({"1", "10%"});
+  series.add({"2", "20%"});
+  report.add_series("loss_curve", series);
+  obs::Registry reg;
+  reg.counter("server.sent_bytes").add(123);
+  reg.gauge("server.max_occupancy").update(9);
+  reg.histogram("h", obs::HistogramSpec{.bounds = {1, 2}}).record(2);
+  reg.timer("sweep.cell").record(17);
+  report.write(stats_fixture(), reg);
+
+  const std::string text = slurp(tmp.path);
+  // Exact golden except the timers histogram (wall-clock samples are real
+  // here only because we recorded a fixed value, so it stays exact too).
+  EXPECT_EQ(
+      text,
+      "{\"schema\":\"rtsmooth-bench-v1\",\"bench\":\"fig_example\","
+      "\"options\":{\"frames\":42,\"quick\":true,\"threads\":3},"
+      "\"series\":[{\"name\":\"loss_curve\",\"header\":[\"x\",\"y\"],"
+      "\"rows\":[[\"1\",\"10%\"],[\"2\",\"20%\"]]}],"
+      "\"runner\":{\"tasks\":4,\"threads\":2,\"total_task_us\":1000,"
+      "\"max_task_us\":400,\"queue_us\":50,\"wall_us\":600},"
+      "\"registry\":{"
+      "\"counters\":{\"server.sent_bytes\":123},"
+      "\"gauges\":{\"server.max_occupancy\":9},"
+      "\"histograms\":{\"h\":{\"count\":1,\"sum\":2,\"min\":2,\"max\":2,"
+      "\"bounds\":[1,2],\"counts\":[0,1,0]}}},"
+      "\"timers\":{\"sweep.cell\":" +
+          reg.timers().at("sweep.cell").to_json().dump() + "}}\n");
+}
+
+TEST(JsonReport, EmptyRegistryStillEmitsAllSections) {
+  const TempJson tmp;
+  JsonReport report("tab_example", options_with_json(tmp.path));
+  report.write(stats_fixture(), obs::Registry{});
+  const std::string text = slurp(tmp.path);
+  for (const char* key : {"\"schema\":\"rtsmooth-bench-v1\"", "\"series\":[]",
+                          "\"registry\":{\"counters\":{},\"gauges\":{},"
+                          "\"histograms\":{}}",
+                          "\"timers\":{}"}) {
+    EXPECT_NE(text.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST(JsonReport, AddSeriesIsNoOpWhenDisabled) {
+  JsonReport report("noop", BenchOptions{});
+  Series series{.header = {"a"}};
+  series.add({"1"});
+  report.add_series("s", series);  // must not throw or write anything
+  report.write(sim::RunStats{}, obs::Registry{});
+}
+
+}  // namespace
+}  // namespace rtsmooth::bench

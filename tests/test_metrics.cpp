@@ -1,11 +1,20 @@
 // Unit tests for the metrics types: Tally arithmetic, SimReport derived
-// measures, conservation checking and aggregation.
+// measures, conservation checking and aggregation — including on reports
+// produced by real faulty-link runs, where conservation must absorb the
+// lost-in-link and retransmission flows.
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 
 #include "core/metrics.h"
+#include "core/planner.h"
+#include "faults/fault_links.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "trace/slicer.h"
+#include "trace/stock_clips.h"
 
 namespace rtsmooth {
 namespace {
@@ -93,6 +102,47 @@ TEST(SimReport, PerTypeArraysIndexByFrameType) {
   r.offered_by_type[static_cast<std::size_t>(FrameType::B)].add(1, 1.0, 1);
   EXPECT_EQ(r.offered_by_type[0].bytes, 12);  // I
   EXPECT_EQ(r.offered_by_type[2].bytes, 1);   // B
+}
+
+// ------------------------------------------------ faulty-link run reports
+
+SimReport faulty_report(double erasure, bool recovery) {
+  const Stream s = trace::slice_frames(
+      trace::stock_clip("cnn-news", 150), trace::ValueModel::mpeg_default(),
+      trace::Slicing::WholeFrame);
+  const Plan plan = Planner::from_buffer_rate(
+      4 * s.max_frame_bytes(), sim::relative_rate(s, 1.1));
+  sim::SimConfig config = sim::SimConfig::balanced(plan);
+  if (recovery) config.recovery = RecoveryConfig{.enabled = true};
+  return sim::simulate(
+      s, config, "greedy",
+      std::make_unique<faults::ErasureLink>(1, erasure, Rng(77)));
+}
+
+TEST(SimReport, ConservesAcrossFaultyLinkRuns) {
+  // Erased bytes flow into lost_link (no recovery) or come back as
+  // retransmissions (recovery on); the conservation identity must hold in
+  // both regimes, not just on clean links.
+  const SimReport plain = faulty_report(0.1, /*recovery=*/false);
+  EXPECT_TRUE(plain.conserves());
+  EXPECT_GT(plain.lost_link.bytes, 0);
+  const SimReport recovered = faulty_report(0.1, /*recovery=*/true);
+  EXPECT_TRUE(recovered.conserves());
+  EXPECT_GT(recovered.retransmitted_bytes, 0);
+  EXPECT_GT(recovered.played.bytes, plain.played.bytes);
+}
+
+TEST(SimReport, StreamInsertionCoversFaultFigures) {
+  // The printed summary must surface the fault-path tallies, not just the
+  // clean-run figures: link losses without recovery, retransmissions with.
+  std::ostringstream plain;
+  plain << faulty_report(0.15, /*recovery=*/false);
+  EXPECT_NE(plain.str().find("offered"), std::string::npos);
+  EXPECT_NE(plain.str().find("link-lost"), std::string::npos) << plain.str();
+  std::ostringstream recovered;
+  recovered << faulty_report(0.15, /*recovery=*/true);
+  EXPECT_NE(recovered.str().find("retx"), std::string::npos)
+      << recovered.str();
 }
 
 }  // namespace

@@ -1,17 +1,21 @@
 // Tests for the ParallelRunner and the determinism contract of sweep():
 // for any thread count, a parallel batch must produce results byte-identical
-// to the serial (threads = 1) path, in submission order. Also pins the
-// deprecated positional wrappers to sweep() so the one release they survive
-// stays faithful.
+// to the serial (threads = 1) path, in submission order — including the
+// merged telemetry registry, which folds per-cell registries in submission
+// order. Also covers the progress callback and queue-wait accounting.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "faults/fault_links.h"
+#include "obs/telemetry.h"
 #include "sim/runner.h"
 #include "sim/sweep.h"
 #include "trace/slicer.h"
@@ -181,56 +185,117 @@ TEST(SweepSpecValidation, RejectsUnrunnableSpecs) {
       std::invalid_argument);
 }
 
-// -------------------------------------------------- deprecated wrappers
+// ------------------------------------------------ progress & queue wait
 
-// The wrappers exist precisely to keep old call sites compiling; calling
-// them here is the point, so silence the deprecation locally.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(DeprecatedWrappers, BufferSweepMatchesSweep) {
-  const Stream s = clip(150);
-  const double multiples[] = {1, 2, 4};
-  const std::vector<std::string> policies = {"tail-drop", "greedy"};
-  const Bytes rate = relative_rate(s, 0.9);
-  const auto legacy = buffer_sweep(s, multiples, rate, policies, true);
-  const auto modern =
-      sweep(s, SweepSpec{.axis = SweepAxis::BufferMultiple,
-                         .values = {1, 2, 4},
-                         .policies = policies,
-                         .with_optimal = true,
-                         .rate = rate});
-  EXPECT_EQ(legacy, modern.points);
+TEST(RunnerProgress, SerialReportsEveryTaskInOrder) {
+  ParallelRunner runner(1);
+  std::vector<std::function<void()>> tasks(5, [] {});
+  std::vector<std::size_t> seen;
+  const RunStats stats = runner.run(
+      std::move(tasks),
+      [&seen](std::size_t done, std::size_t total) {
+        EXPECT_EQ(total, 5u);
+        seen.push_back(done);
+      });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(stats.tasks, 5u);
 }
 
-TEST(DeprecatedWrappers, RateSweepMatchesSweep) {
-  const Stream s = clip(150);
-  const double fractions[] = {0.7, 1.0};
-  const std::vector<std::string> policies = {"tail-drop", "greedy"};
-  const auto legacy = rate_sweep(s, fractions, 3.0, policies, false);
-  const auto modern = sweep(s, SweepSpec{.axis = SweepAxis::RateFraction,
-                                         .values = {0.7, 1.0},
-                                         .policies = policies,
-                                         .buffer_multiple = 3.0});
-  EXPECT_EQ(legacy, modern.points);
+TEST(RunnerProgress, ParallelReportsEveryTaskExactlyOnce) {
+  ParallelRunner runner(4);
+  std::vector<std::function<void()>> tasks(32, [] {});
+  std::vector<std::size_t> seen;
+  runner.run(std::move(tasks),
+             [&seen](std::size_t done, std::size_t total) {
+               EXPECT_EQ(total, 32u);
+               seen.push_back(done);  // serialized under the merge lock
+             });
+  ASSERT_EQ(seen.size(), 32u);
+  // `done` is a running count, so the serialized invocations see 1..32.
+  std::sort(seen.begin(), seen.end());
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i + 1);
 }
 
-TEST(DeprecatedWrappers, FaultSweepMatchesSweep) {
-  const Stream s = clip(150);
-  const Plan plan =
-      Planner::from_buffer_rate(4 * s.max_frame_bytes(), relative_rate(s, 1.0));
-  const double severities[] = {0.0, 0.2};
-  const auto legacy = fault_sweep(s, plan, "greedy", severities,
-                                  erasure_factory(), RecoveryConfig{});
-  const auto modern = sweep(s, SweepSpec{.axis = SweepAxis::FaultSeverity,
-                                         .values = {0.0, 0.2},
-                                         .policies = {"greedy"},
-                                         .plan = plan,
-                                         .link_factory = erasure_factory()});
-  EXPECT_EQ(legacy, modern.faults);
+TEST(RunnerQueueWait, AccumulatesAcrossTasks) {
+  ParallelRunner runner(2);
+  std::vector<std::function<void()>> tasks(
+      8, [] { std::this_thread::sleep_for(std::chrono::milliseconds(1)); });
+  const RunStats stats = runner.run(std::move(tasks));
+  // Later tasks start after earlier ones finish, so total queueing delay is
+  // strictly positive on any batch with more tasks than threads.
+  EXPECT_GT(stats.queue_us, 0);
+  RunStats sum = stats;
+  sum += stats;
+  EXPECT_EQ(sum.queue_us, 2 * stats.queue_us);
 }
 
-#pragma GCC diagnostic pop
+TEST(SweepProgress, FiresOncePerCell) {
+  const Stream s = clip(120);
+  std::size_t calls = 0;
+  SweepSpec spec{.axis = SweepAxis::BufferMultiple,
+                 .values = {2, 4},
+                 .policies = {"tail-drop", "greedy"},
+                 .threads = 2};
+  spec.progress = [&calls](std::size_t, std::size_t total) {
+    EXPECT_EQ(total, 4u);
+    ++calls;
+  };
+  sweep(s, spec);
+  EXPECT_EQ(calls, 4u);
+}
+
+// ------------------------------------------- registry thread-determinism
+
+TEST(SweepTelemetry, RegistrySnapshotIdenticalAcrossThreadCounts) {
+  const Stream s = clip(150);
+  const auto snapshot = [&s](unsigned threads) {
+    obs::Registry reg;
+    SweepSpec spec{.axis = SweepAxis::BufferMultiple,
+                   .values = {1, 2, 4},
+                   .policies = {"tail-drop", "greedy"},
+                   .with_optimal = true,
+                   .threads = threads};
+    spec.registry = &reg;
+    sweep(s, spec);
+    // Timers are wall-clock noise; the deterministic snapshot excludes them.
+    return reg.to_json(/*include_timers=*/false).dump();
+  };
+  const std::string serial = snapshot(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, snapshot(4));
+  EXPECT_EQ(serial, snapshot(8));
+}
+
+TEST(SweepTelemetry, FaultAxisRegistryIdenticalAcrossThreadCounts) {
+  const Stream s = clip(150);
+  const auto snapshot = [&s](unsigned threads) {
+    obs::Registry reg;
+    SweepSpec spec{.axis = SweepAxis::FaultSeverity,
+                   .values = {0.0, 0.1, 0.3},
+                   .policies = {"greedy"},
+                   .link_factory = erasure_factory(),
+                   .threads = threads};
+    spec.registry = &reg;
+    sweep(s, spec);
+    return reg.to_json(/*include_timers=*/false).dump();
+  };
+  const std::string serial = snapshot(1);
+  EXPECT_EQ(serial, snapshot(4));
+}
+
+TEST(SweepTelemetry, CellSpansLandInTimers) {
+  const Stream s = clip(100);
+  obs::Registry reg;
+  SweepSpec spec{.axis = SweepAxis::BufferMultiple,
+                 .values = {2, 4},
+                 .policies = {"greedy"},
+                 .threads = 1};
+  spec.registry = &reg;
+  sweep(s, spec);
+  const auto it = reg.timers().find("sweep.cell");
+  ASSERT_NE(it, reg.timers().end());
+  EXPECT_EQ(it->second.count(), 2);  // one sample per cell
+}
 
 }  // namespace
 }  // namespace rtsmooth::sim

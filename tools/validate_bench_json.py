@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json artifacts produced by the bench `--json` mode.
+
+Two document kinds are accepted:
+
+* the repo's own `rtsmooth-bench-v1` schema (figure/table benches):
+    {
+      "schema": "rtsmooth-bench-v1",
+      "bench": "<name>",
+      "options": {"frames": int, "quick": bool, "threads": int},
+      "series": [{"name": str, "header": [str], "rows": [[str]]}, ...],
+      "runner": {"tasks": int, "threads": int, "total_task_us": int,
+                 "max_task_us": int, "queue_us": int, "wall_us": int},
+      "registry": {"counters": {...}, "gauges": {...},
+                   "histograms": {...}, "timers": {...}},
+    }
+  with at least one series, every series non-empty, and every row the same
+  width as its header;
+
+* google-benchmark's native JSON (micro benches), recognised by its
+  "context"/"benchmarks" top-level keys, with at least one benchmark entry.
+
+Usage: validate_bench_json.py FILE [FILE...]; exits non-zero on the first
+invalid or empty document, printing the reason.
+"""
+
+import json
+import sys
+
+
+def fail(path, reason):
+    print(f"FAIL {path}: {reason}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_histogram(path, name, hist):
+    for key in ("count", "sum", "min", "max", "bounds", "counts"):
+        if key not in hist:
+            fail(path, f"histogram {name!r} lacks {key!r}")
+    if len(hist["counts"]) != len(hist["bounds"]) + 1:
+        fail(path, f"histogram {name!r}: counts must be bounds+1 buckets")
+    if sum(hist["counts"]) != hist["count"]:
+        fail(path, f"histogram {name!r}: bucket counts do not sum to count")
+    if list(hist["bounds"]) != sorted(set(hist["bounds"])):
+        fail(path, f"histogram {name!r}: bounds not strictly increasing")
+
+
+def check_registry(path, registry):
+    for section in ("counters", "gauges", "histograms"):
+        if section not in registry:
+            fail(path, f"registry lacks {section!r}")
+        if not isinstance(registry[section], dict):
+            fail(path, f"registry {section!r} is not an object")
+    for name, hist in registry["histograms"].items():
+        check_histogram(path, name, hist)
+    for name, hist in registry.get("timers", {}).items():
+        check_histogram(path, name, hist)
+
+
+def check_rtsmooth(path, doc):
+    for key in ("bench", "options", "series", "runner", "registry"):
+        if key not in doc:
+            fail(path, f"missing top-level key {key!r}")
+    if not doc["bench"]:
+        fail(path, "empty bench name")
+    if not isinstance(doc["series"], list) or not doc["series"]:
+        fail(path, "series must be a non-empty array")
+    for series in doc["series"]:
+        name = series.get("name", "<unnamed>")
+        header, rows = series.get("header"), series.get("rows")
+        if not header:
+            fail(path, f"series {name!r} has an empty header")
+        if not rows:
+            fail(path, f"series {name!r} has no rows")
+        for row in rows:
+            if len(row) != len(header):
+                fail(path, f"series {name!r}: row width {len(row)} != "
+                           f"header width {len(header)}")
+    runner = doc["runner"]
+    for key in ("tasks", "threads", "total_task_us", "max_task_us",
+                "queue_us", "wall_us"):
+        if key not in runner:
+            fail(path, f"runner lacks {key!r}")
+    check_registry(path, doc["registry"])
+
+
+def check_google_benchmark(path, doc):
+    if not doc.get("benchmarks"):
+        fail(path, "google-benchmark document has no benchmark entries")
+    for entry in doc["benchmarks"]:
+        if "name" not in entry:
+            fail(path, "benchmark entry lacks a name")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            fail(path, f"unreadable: {e}")
+        if not text.strip():
+            fail(path, "empty file")
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as e:
+            fail(path, f"invalid JSON: {e}")
+        if not isinstance(doc, dict):
+            fail(path, "top level is not an object")
+        if doc.get("schema") == "rtsmooth-bench-v1":
+            check_rtsmooth(path, doc)
+        elif "benchmarks" in doc and "context" in doc:
+            check_google_benchmark(path, doc)
+        else:
+            fail(path, "unrecognised schema (neither rtsmooth-bench-v1 nor "
+                       "google-benchmark output)")
+        print(f"OK   {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
