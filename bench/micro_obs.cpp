@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "microbench_main.h"
+#include "obs/flight_recorder.h"
 #include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "sim/sweep.h"
@@ -75,6 +76,23 @@ void BM_SimulateTelemetryOn(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateTelemetryOn);
 
+// A flight recorder rides the same Telemetry handle: every step lands in
+// its ring (obs/flight_recorder.h). Its absolute overhead is tracked here;
+// the *disabled* path is the null handle above.
+void BM_SimulateFlightRecorderOn(benchmark::State& state) {
+  const Stream& s = clip_stream();
+  sim::SimConfig config = sim::SimConfig::balanced(reference_plan(s));
+  for (auto _ : state) {
+    obs::FlightRecorder recorder;
+    config.telemetry = obs::Telemetry{.recorder = &recorder};
+    const SimReport report = sim::simulate(s, config, "greedy");
+    benchmark::DoNotOptimize(report.played.bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          s.total_bytes());
+}
+BENCHMARK(BM_SimulateFlightRecorderOn);
+
 // -------------------------------------------------------------- micro-ops
 
 void BM_CounterAdd(benchmark::State& state) {
@@ -99,6 +117,18 @@ void BM_HistogramRecord(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HistogramRecord);
+
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  obs::FlightRecorder recorder;  // default 256-step window, no trigger
+  obs::StepRecord step;
+  for (auto _ : state) {
+    ++step.t;
+    step.sent = (step.sent + 7) % 1000;
+    recorder.record(step);
+    benchmark::DoNotOptimize(&recorder);
+  }
+}
+BENCHMARK(BM_FlightRecorderRecord);
 
 void BM_SpanDisabled(benchmark::State& state) {
   const obs::Telemetry telemetry;  // null: Span must not read the clock

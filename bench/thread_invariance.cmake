@@ -1,0 +1,27 @@
+# CTest driver for the thread-invariance gate (see bench/CMakeLists): run
+# the same bench serially and 4-wide, then require bench_diff to find zero
+# differences outside the quarantined wall-clock fields.
+
+set(serial "${WORK_DIR}/invariance_t1.json")
+set(wide "${WORK_DIR}/invariance_t4.json")
+
+execute_process(
+  COMMAND "${BENCH}" --quick --frames 120 --threads 1 --json "${serial}"
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serial bench run failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${BENCH}" --quick --frames 120 --threads 4 --json "${wide}"
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "4-thread bench run failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${BENCH_DIFF}" "${serial}" "${wide}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "thread counts changed the results (bench_diff ${rc})")
+endif()

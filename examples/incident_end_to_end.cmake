@@ -1,0 +1,41 @@
+# CTest driver for the incident-forensics pipeline (see examples/CMakeLists
+# for the variables): lossy_channel injects a Lemma 3.3 violation and writes
+# an incident + Chrome trace, the schema validator must accept the incident,
+# and trace_inspector must read it back and convert it.
+
+set(incident "${WORK_DIR}/incident_e2e.json")
+set(chrome "${WORK_DIR}/chrome_e2e.json")
+set(chrome_from_incident "${WORK_DIR}/chrome_e2e_incident.json")
+
+execute_process(
+  COMMAND "${LOSSY_CHANNEL}" 0.3 --incident "${incident}"
+          --chrome-trace "${chrome}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "lossy_channel failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${VALIDATOR}" "${incident}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "incident failed schema validation (${rc})")
+endif()
+
+execute_process(
+  COMMAND "${TRACE_INSPECTOR}" --incident "${incident}"
+          --chrome-out "${chrome_from_incident}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_inspector --incident failed (${rc})")
+endif()
+
+foreach(trace "${chrome}" "${chrome_from_incident}")
+  if(NOT EXISTS "${trace}")
+    message(FATAL_ERROR "missing Chrome trace ${trace}")
+  endif()
+  file(READ "${trace}" content LIMIT 8)
+  if(NOT content MATCHES "^\\[")
+    message(FATAL_ERROR "${trace} is not a trace_event JSON array")
+  endif()
+endforeach()

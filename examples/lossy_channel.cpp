@@ -8,13 +8,26 @@
 //   3. compare the client's two degradation modes (skip vs. stall),
 //   4. read the InvariantMonitor's verdict on the Lemma 3.2-3.4 guarantees.
 //
+// The unrecovered run is the forensics showcase: it flies a FlightRecorder,
+// so its first Lemma 3.3 violation freezes the trailing step window into an
+// `rtsmooth-incident-v1` report (--incident), and its JSONL trace converts
+// to a chrome://tracing / Perfetto timeline (--chrome-trace).
+//
 // Run:  ./examples/lossy_channel [loss-probability]
+//                                [--incident PATH] [--chrome-trace PATH]
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
 
 #include "core/planner.h"
 #include "faults/fault_links.h"
+#include "obs/chrome_trace.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace_writer.h"
 #include "policies/policy_factory.h"
 #include "sim/simulator.h"
 #include "sim/sweep.h"
@@ -25,7 +38,18 @@
 int main(int argc, char** argv) {
   using namespace rtsmooth;
 
-  const double loss = argc > 1 ? std::atof(argv[1]) : 0.05;
+  double loss = 0.05;
+  std::string incident_path;
+  std::string chrome_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--incident") == 0 && i + 1 < argc) {
+      incident_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
+      chrome_path = argv[++i];
+    } else {
+      loss = std::atof(argv[i]);
+    }
+  }
 
   // Whole-frame slices so a lost piece leaves a *partial* frame at the
   // client — the case where stall and skip genuinely differ.
@@ -40,10 +64,11 @@ int main(int argc, char** argv) {
             << plan.delay << " steps\n\n";
 
   auto run_one = [&](const char* label, bool recover,
-                     UnderflowPolicy underflow) {
+                     UnderflowPolicy underflow, obs::Telemetry telemetry) {
     sim::SimConfig config = sim::SimConfig::balanced(plan);
     config.underflow = underflow;
     config.recovery.enabled = recover;  // NACK + deadline-aware retransmit
+    config.telemetry = telemetry;
     const SimReport report = sim::simulate(
         stream, config, "greedy",
         std::make_unique<faults::ErasureLink>(config.link_delay, loss,
@@ -59,8 +84,44 @@ int main(int argc, char** argv) {
               << report.invariants.total() << "\n";
   };
 
-  run_one("no recovery, skip", false, UnderflowPolicy::Skip);
-  run_one("recovery, skip", true, UnderflowPolicy::Skip);
-  run_one("recovery, stall", true, UnderflowPolicy::Stall);
+  // The unrecovered run carries the forensics instruments. The recorder's
+  // 64-step window keeps the incident small enough to read whole; the
+  // tracer's JSONL feeds the Chrome-trace exporter.
+  obs::FlightRecorder recorder(
+      obs::FlightRecorderConfig{.window = 64, .max_incidents = 1});
+  std::ostringstream jsonl;
+  obs::TraceWriter tracer(jsonl);
+  run_one("no recovery, skip", false, UnderflowPolicy::Skip,
+          obs::Telemetry{.tracer = &tracer, .recorder = &recorder});
+  run_one("recovery, skip", true, UnderflowPolicy::Skip, {});
+  run_one("recovery, stall", true, UnderflowPolicy::Stall, {});
+
+  std::cout << "\nflight recorder: " << recorder.triggers_total()
+            << " triggers, " << recorder.incidents().size()
+            << " incident(s) captured\n";
+
+  if (!incident_path.empty()) {
+    if (recorder.incidents().empty()) {
+      std::cerr << "no incident captured (loss too low?); nothing to write to "
+                << incident_path << "\n";
+      return 1;
+    }
+    obs::FlightRecorder::write_incident(recorder.incidents().front(),
+                                        incident_path);
+    std::cout << "incident report written to " << incident_path << "\n";
+  }
+  if (!chrome_path.empty()) {
+    std::istringstream events(jsonl.str());
+    const obs::Json trace = obs::chrome_trace_from_jsonl(events);
+    std::ofstream out(chrome_path);
+    out << trace.dump() << "\n";
+    if (!out) {
+      std::cerr << "failed to write " << chrome_path << "\n";
+      return 1;
+    }
+    std::cout << "chrome trace (" << trace.size()
+              << " events) written to " << chrome_path
+              << " — open in chrome://tracing or ui.perfetto.dev\n";
+  }
   return 0;
 }

@@ -4,20 +4,113 @@
 // (what delay budget buys at each buffer size).
 //
 // Run:  ./examples/trace_inspector [trace-file-or-clip-name] [frames]
+//       ./examples/trace_inspector --incident FILE [--chrome-out PATH]
+//
+// The --incident mode reads an `rtsmooth-incident-v1` flight-recorder
+// report (see obs/flight_recorder.h), prints the trigger and the recorded
+// window, and with --chrome-out converts the window into a
+// chrome://tracing / Perfetto timeline.
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "lossless/cumulative.h"
 #include "lossless/delay_optimizer.h"
+#include "obs/chrome_trace.h"
+#include "obs/json.h"
 #include "trace/stock_clips.h"
 #include "trace/trace_io.h"
 #include "util/stats.h"
 #include "util/table.h"
 
+namespace {
+
+int inspect_incident(const std::string& path, const std::string& chrome_out) {
+  using namespace rtsmooth;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const obs::Json incident = obs::Json::parse(text.str());
+
+  const obs::Json* schema = incident.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "rtsmooth-incident-v1") {
+    std::cerr << path << " is not an rtsmooth-incident-v1 document\n";
+    return 1;
+  }
+  const obs::Json& trigger = incident.at("trigger");
+  std::cout << "incident #" << incident.at("incident").as_int() << " from "
+            << path << "\n  trigger  " << trigger.at("type").as_string();
+  if (const obs::Json* kind = trigger.find("kind")) {
+    std::cout << " (" << kind->as_string() << ", magnitude "
+              << trigger.at("magnitude").as_int() << ")";
+  }
+  std::cout << " at t=" << trigger.at("t").as_int() << "\n  context  ";
+  std::cout << incident.at("context").dump() << "\n";
+
+  const obs::Json& window = incident.at("window");
+  std::cout << "  window   " << window.size() << " steps (capacity "
+            << incident.at("window_capacity").as_int() << ", truncated: "
+            << (incident.at("truncated").as_bool() ? "yes" : "no") << ")\n\n";
+
+  Table steps({"t", "arrived", "sent", "delivered", "played", "drop.srv",
+               "drop.cli", "retx", "occ.srv", "occ.cli", "stalled"});
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const obs::Json& s = window.at(i);
+    steps.add_row({std::to_string(s.at("t").as_int()),
+                   std::to_string(s.at("arrived").as_int()),
+                   std::to_string(s.at("sent").as_int()),
+                   std::to_string(s.at("delivered").as_int()),
+                   std::to_string(s.at("played").as_int()),
+                   std::to_string(s.at("dropped_server").as_int()),
+                   std::to_string(s.at("dropped_client").as_int()),
+                   std::to_string(s.at("retransmitted").as_int()),
+                   std::to_string(s.at("server_occupancy").as_int()),
+                   std::to_string(s.at("client_occupancy").as_int()),
+                   s.at("stalled").as_bool() ? "yes" : ""});
+  }
+  steps.print(std::cout);
+
+  if (!chrome_out.empty()) {
+    const obs::Json trace = obs::chrome_trace_from_incident(incident);
+    std::ofstream out(chrome_out);
+    out << trace.dump() << "\n";
+    if (!out) {
+      std::cerr << "failed to write " << chrome_out << "\n";
+      return 1;
+    }
+    std::cout << "\nchrome trace (" << trace.size() << " events) written to "
+              << chrome_out
+              << " — open in chrome://tracing or ui.perfetto.dev\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace rtsmooth;
+
+  if (argc > 1 && std::strcmp(argv[1], "--incident") == 0) {
+    if (argc < 3) {
+      std::cerr << "usage: trace_inspector --incident FILE "
+                   "[--chrome-out PATH]\n";
+      return 1;
+    }
+    std::string chrome_out;
+    if (argc > 4 && std::strcmp(argv[3], "--chrome-out") == 0) {
+      chrome_out = argv[4];
+    }
+    return inspect_incident(argv[2], chrome_out);
+  }
 
   const std::string source = argc > 1 ? argv[1] : "cnn-news";
   const std::size_t max_frames =

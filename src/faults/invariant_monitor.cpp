@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace_writer.h"
 #include "util/assert.h"
 
@@ -32,6 +33,11 @@ void InvariantMonitor::record(Time t,
     event["kind"] = kind;
     event["magnitude"] = magnitude;
     telemetry_.tracer->write(event);
+  }
+  if (telemetry_.recorder != nullptr) {
+    // The simulator records step t before check(), so the captured window
+    // ends on the violating step itself.
+    telemetry_.recorder->on_violation(t, kind, magnitude);
   }
 }
 

@@ -33,9 +33,11 @@ namespace rtsmooth::faults {
 
 class InvariantMonitor {
  public:
-  /// With a non-null `telemetry`, every violation additionally increments an
-  /// "invariant.<kind>" counter and — when a tracer is attached — emits a
-  /// JSONL event {"type":"violation","t":...,"kind":...,"magnitude":...}.
+  /// With a non-null `telemetry`, every violation additionally increments
+  /// an "invariant.<kind>" counter; a tracer gets a JSONL event
+  /// {"type":"violation","t":...,"kind":...,"magnitude":...}; a flight
+  /// recorder captures the trailing step window as an incident report
+  /// (obs/flight_recorder.h).
   /// Magnitude is the overshoot in the invariant's own unit: bytes over B
   /// (server_occupancy / client_overflow), steps over ceil(B/R)
   /// (server_sojourn), late bytes + partial-slice events (client_underflow).

@@ -1,0 +1,233 @@
+#include "obs/chrome_trace.h"
+
+#include <istream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rtsmooth::obs {
+namespace {
+
+// Track (process) ids, fixed so exported traces line up across runs.
+constexpr std::int64_t kServerPid = 1;
+constexpr std::int64_t kLinkPid = 2;
+constexpr std::int64_t kClientPid = 3;
+constexpr std::int64_t kRecoveryPid = 4;
+
+std::int64_t int_or_zero(const Json& event, std::string_view key) {
+  const Json* value = event.find(key);
+  return value != nullptr && value->is_int() ? value->as_int() : 0;
+}
+
+bool bool_or_false(const Json& event, std::string_view key) {
+  const Json* value = event.find(key);
+  return value != nullptr && value->is_bool() && value->as_bool();
+}
+
+Json event_base(std::string_view name, std::string_view ph, std::int64_t ts,
+                std::int64_t pid) {
+  Json e = Json::object();
+  e["name"] = name;
+  e["ph"] = ph;
+  e["ts"] = ts;
+  e["pid"] = pid;
+  e["tid"] = 0;
+  return e;
+}
+
+void add_process_metadata(Json& out) {
+  constexpr std::pair<std::int64_t, const char*> kTracks[] = {
+      {kServerPid, "server"},
+      {kLinkPid, "link"},
+      {kClientPid, "client"},
+      {kRecoveryPid, "recovery"},
+  };
+  for (const auto& [pid, name] : kTracks) {
+    Json e = event_base("process_name", "M", 0, pid);
+    Json args = Json::object();
+    args["name"] = name;
+    e["args"] = std::move(args);
+    out.push_back(std::move(e));
+  }
+}
+
+void add_run_config_metadata(Json& out, const Json& config) {
+  Json e = event_base("run_config", "M", 0, kServerPid);
+  e["args"] = config;
+  out.push_back(std::move(e));
+}
+
+void add_counter(Json& out, std::string_view name, std::int64_t ts,
+                 std::int64_t pid, std::string_view arg_name,
+                 std::int64_t value) {
+  Json e = event_base(name, "C", ts, pid);
+  Json args = Json::object();
+  args[arg_name] = value;
+  e["args"] = std::move(args);
+  out.push_back(std::move(e));
+}
+
+/// The violation's kind names the component it indicts.
+std::int64_t violation_pid(std::string_view kind) {
+  if (kind.starts_with("server")) return kServerPid;
+  if (kind.starts_with("client")) return kClientPid;
+  return kRecoveryPid;
+}
+
+void add_violation_instant(Json& out, std::int64_t ts, std::string_view kind,
+                           std::int64_t magnitude) {
+  Json e = event_base(kind, "i", ts, violation_pid(kind));
+  e["s"] = "t";  // thread-scoped marker on the indicted track
+  Json args = Json::object();
+  args["magnitude"] = magnitude;
+  e["args"] = std::move(args);
+  out.push_back(std::move(e));
+}
+
+/// Accumulates consecutive stalled steps into one "X" slice on the client
+/// track — a rebuffering episode reads as one block, not a picket fence.
+class StallSlicer {
+ public:
+  explicit StallSlicer(std::int64_t step_us) : step_us_(step_us) {}
+
+  void step(Json& out, std::int64_t t, bool stalled) {
+    if (stalled) {
+      if (run_length_ == 0) run_start_ = t;
+      ++run_length_;
+      return;
+    }
+    flush(out);
+  }
+
+  void flush(Json& out) {
+    if (run_length_ == 0) return;
+    Json e = event_base("stall", "X", run_start_ * step_us_, kClientPid);
+    e["dur"] = run_length_ * step_us_;
+    Json args = Json::object();
+    args["steps"] = run_length_;
+    e["args"] = std::move(args);
+    out.push_back(std::move(e));
+    run_length_ = 0;
+  }
+
+ private:
+  std::int64_t step_us_;
+  std::int64_t run_start_ = 0;
+  std::int64_t run_length_ = 0;
+};
+
+/// Emits the per-track events for one step of flight data; shared between
+/// the JSONL path and the incident path, which carry the same fields.
+void add_step(Json& out, const Json& step, std::int64_t step_us,
+              StallSlicer& stalls) {
+  const std::int64_t t = int_or_zero(step, "t");
+  const std::int64_t ts = t * step_us;
+  add_counter(out, "occupancy", ts, kServerPid, "bytes",
+              int_or_zero(step, "server_occupancy"));
+  add_counter(out, "sent", ts, kServerPid, "bytes", int_or_zero(step, "sent"));
+  const std::int64_t dropped = int_or_zero(step, "dropped_server");
+  if (dropped > 0) {
+    Json e = event_base("drop", "i", ts, kServerPid);
+    e["s"] = "t";
+    Json args = Json::object();
+    args["bytes"] = dropped;
+    e["args"] = std::move(args);
+    out.push_back(std::move(e));
+  }
+  add_counter(out, "delivered", ts, kLinkPid, "bytes",
+              int_or_zero(step, "delivered"));
+  if (step.find("link_idle") != nullptr) {
+    add_counter(out, "idle", ts, kLinkPid, "idle",
+                bool_or_false(step, "link_idle") ? 1 : 0);
+  }
+  add_counter(out, "occupancy", ts, kClientPid, "bytes",
+              int_or_zero(step, "client_occupancy"));
+  add_counter(out, "played", ts, kClientPid, "bytes",
+              int_or_zero(step, "played"));
+  add_counter(out, "retransmitted", ts, kRecoveryPid, "bytes",
+              int_or_zero(step, "retransmitted"));
+  stalls.step(out, t, bool_or_false(step, "stalled"));
+}
+
+std::string event_type(const Json& event) {
+  const Json* type = event.find("type");
+  return type != nullptr && type->is_string() ? type->as_string()
+                                              : std::string();
+}
+
+}  // namespace
+
+Json chrome_trace_from_events(const std::vector<Json>& events,
+                              const ChromeTraceOptions& options) {
+  Json out = Json::array();
+  add_process_metadata(out);
+  StallSlicer stalls(options.step_us);
+  std::int64_t last_ts = 0;
+  for (const Json& event : events) {
+    const std::string type = event_type(event);
+    if (type == "config") {
+      add_run_config_metadata(out, event);
+    } else if (type == "step") {
+      add_step(out, event, options.step_us, stalls);
+      last_ts = int_or_zero(event, "t") * options.step_us;
+    } else if (type == "violation") {
+      const Json* kind = event.find("kind");
+      add_violation_instant(
+          out, int_or_zero(event, "t") * options.step_us,
+          kind != nullptr && kind->is_string() ? kind->as_string() : "unknown",
+          int_or_zero(event, "magnitude"));
+    } else if (type == "run") {
+      Json e = event_base("run_summary", "M", last_ts, kServerPid);
+      e["args"] = event;
+      out.push_back(std::move(e));
+    }
+  }
+  stalls.flush(out);
+  return out;
+}
+
+Json chrome_trace_from_jsonl(std::istream& in,
+                             const ChromeTraceOptions& options) {
+  std::vector<Json> events;
+  std::size_t line_number = 0;
+  for (std::string line; std::getline(in, line);) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      events.push_back(Json::parse(line));
+    } catch (const std::runtime_error& e) {
+      throw std::runtime_error("chrome_trace: JSONL line " +
+                               std::to_string(line_number) + ": " + e.what());
+    }
+  }
+  return chrome_trace_from_events(events, options);
+}
+
+Json chrome_trace_from_incident(const Json& incident,
+                                const ChromeTraceOptions& options) {
+  const Json* schema = incident.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "rtsmooth-incident-v1") {
+    throw std::runtime_error(
+        "chrome_trace: not an rtsmooth-incident-v1 document");
+  }
+  Json out = Json::array();
+  add_process_metadata(out);
+  add_run_config_metadata(out, incident.at("context"));
+  StallSlicer stalls(options.step_us);
+  for (const Json& step : incident.at("window").items()) {
+    add_step(out, step, options.step_us, stalls);
+  }
+  stalls.flush(out);
+  const Json& trigger = incident.at("trigger");
+  const Json* kind = trigger.find("kind");
+  add_violation_instant(
+      out, int_or_zero(trigger, "t") * options.step_us,
+      kind != nullptr && kind->is_string() ? kind->as_string()
+                                           : event_type(trigger),
+      int_or_zero(trigger, "magnitude"));
+  return out;
+}
+
+}  // namespace rtsmooth::obs

@@ -1,0 +1,56 @@
+// Chrome-trace exporter: converts the simulator's machine-readable output —
+// a JSONL run trace (obs/trace_writer.h) or an `rtsmooth-incident-v1`
+// flight-recorder document — into the Trace Event Format JSON array that
+// chrome://tracing and Perfetto open directly.
+//
+// Mapping (DESIGN.md Sect. 11): one process per component —
+//
+//   pid 1 "server"    occupancy + sent counters, "drop" instants, and the
+//                     sojourn/occupancy invariant violations
+//   pid 2 "link"      delivered counter and an idle(0/1) counter
+//   pid 3 "client"    occupancy + played counters, "stall" duration slices
+//                     (consecutive stalled steps become one "X" event), and
+//                     the overflow/underflow violations
+//   pid 4 "recovery"  retransmitted-bytes counter
+//
+// Simulated time has no wall-clock: one simulator step is rendered as
+// `ChromeTraceOptions::step_us` trace microseconds (default 1000, so the
+// Perfetto ruler reads "1 ms = 1 step"). Violations become thread-scoped
+// instant events named after their kind. The `config` event (or incident
+// context) lands in process_name metadata plus one "run_config" metadata
+// event, so the viewer shows the run parameters alongside the tracks.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace rtsmooth::obs {
+
+struct ChromeTraceOptions {
+  /// Trace microseconds per simulator step.
+  std::int64_t step_us = 1000;
+};
+
+/// Converts parsed JSONL events (`config` / `step` / `violation` / `run`
+/// objects, in emission order) into a trace_event array. Unknown event
+/// types are skipped; step events may omit keys added by later schema
+/// revisions (absent numeric fields read as 0).
+Json chrome_trace_from_events(const std::vector<Json>& events,
+                              const ChromeTraceOptions& options = {});
+
+/// Reads a JSONL stream (one JSON object per line, blank lines ignored) and
+/// converts it. Throws std::runtime_error on a malformed line.
+Json chrome_trace_from_jsonl(std::istream& in,
+                             const ChromeTraceOptions& options = {});
+
+/// Converts one `rtsmooth-incident-v1` document: the window becomes step
+/// events, the trigger a violation/instant marker. Throws
+/// std::runtime_error when `incident` does not carry the expected schema.
+Json chrome_trace_from_incident(const Json& incident,
+                                const ChromeTraceOptions& options = {});
+
+}  // namespace rtsmooth::obs

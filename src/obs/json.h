@@ -1,15 +1,18 @@
-// Minimal JSON document builder for machine-readable output: the JSONL run
-// tracer, registry snapshots, and the BENCH_*.json bench reports.
+// Minimal JSON value type for machine-readable output and forensics input:
+// the JSONL run tracer, registry snapshots, the BENCH_*.json bench reports,
+// and — since the flight-recorder work — parsing incident reports and JSONL
+// step traces back in (Json::parse) so the Chrome-trace exporter and
+// examples/trace_inspector can consume what the simulator emitted.
 //
-// Writer only — the repo never parses JSON, it only emits it (the CI schema
-// check parses with Python). Two properties matter more than generality:
+// Two properties matter more than generality:
 //
 //   * object keys keep *insertion order*, so a document built by the same
 //     code path is byte-stable across runs, platforms and thread counts —
 //     the golden-file tests and the threads=N == serial determinism
 //     contract (DESIGN.md Sect. 9) compare dumped strings directly;
 //   * numbers round-trip: integers print exactly, doubles print the
-//     shortest decimal that parses back to the same value (to_chars).
+//     shortest decimal that parses back to the same value (to_chars), and
+//     parse() keeps the int/double distinction the writer made.
 
 #pragma once
 
@@ -53,9 +56,40 @@ class Json {
     return j;
   }
 
+  /// Parses one JSON value (UTF-8, RFC 8259 subset: no duplicate-key
+  /// detection). Throws std::runtime_error with the byte offset of the
+  /// first error; trailing non-whitespace after the value is an error too.
+  static Json parse(std::string_view text);
+
   bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_int() const { return kind_ == Kind::Int; }
+  bool is_double() const { return kind_ == Kind::Double; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return kind_ == Kind::String; }
   bool is_array() const { return kind_ == Kind::Array; }
   bool is_object() const { return kind_ == Kind::Object; }
+
+  // Read accessors for parsed documents. All throw std::runtime_error on a
+  // kind mismatch — forensic tools prefer a message over an abort when fed
+  // a file that doesn't match the schema they expect.
+  bool as_bool() const;
+  std::int64_t as_int() const;     ///< Int only (a double 3.0 is not an int)
+  double as_double() const;        ///< Int or Double
+  const std::string& as_string() const;
+
+  /// Object member lookup; nullptr when absent or when this is not an
+  /// object. The only non-throwing probe, for optional keys.
+  const Json* find(std::string_view key) const;
+  /// Object member access; throws std::runtime_error naming the missing key.
+  const Json& at(std::string_view key) const;
+  /// Array element access; throws std::runtime_error on out-of-range.
+  const Json& at(std::size_t index) const;
+
+  /// Object keys in insertion order (empty for non-objects).
+  const std::vector<std::string>& keys() const { return keys_; }
+  /// Array elements / object values in insertion order.
+  const std::vector<Json>& items() const { return children_; }
 
   /// Array append. A default-constructed (null) value promotes to an array
   /// on first push, so `Json rows; rows.push_back(...)` works.

@@ -1,5 +1,7 @@
 #include "obs/telemetry.h"
 
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "util/assert.h"
@@ -41,7 +43,10 @@ Histogram::Histogram(HistogramSpec spec)
 }
 
 void Histogram::record(std::int64_t value, std::int64_t weight) {
-  RTS_EXPECTS(weight >= 0);
+  if (weight < 0) {
+    throw std::invalid_argument("Histogram: negative weight " +
+                                std::to_string(weight));
+  }
   if (weight == 0) return;
   const auto it =
       std::lower_bound(spec_.bounds.begin(), spec_.bounds.end(), value);
@@ -60,7 +65,12 @@ double Histogram::mean() const {
 }
 
 void Histogram::merge(const Histogram& other) {
-  RTS_EXPECTS(spec_.bounds == other.spec_.bounds);
+  if (spec_.bounds != other.spec_.bounds) {
+    // Mismatched bucket layouts mean different instrumentation sites were
+    // filed under one name — adding their buckets would fabricate data.
+    throw std::invalid_argument(
+        "Histogram: merge of mismatched bucket specs");
+  }
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts_[i] += other.counts_[i];
   }

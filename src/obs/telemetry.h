@@ -38,6 +38,7 @@
 
 namespace rtsmooth::obs {
 
+class FlightRecorder;
 class TraceWriter;
 
 /// Monotone event count. Merge: sum.
@@ -88,6 +89,8 @@ class Histogram {
  public:
   explicit Histogram(HistogramSpec spec);
 
+  /// Weight 0 is a no-op; a negative weight throws std::invalid_argument
+  /// (an un-count would silently corrupt every downstream sum).
   void record(std::int64_t value, std::int64_t weight = 1);
 
   std::int64_t count() const { return count_; }  ///< total recorded weight
@@ -102,7 +105,8 @@ class Histogram {
   const std::vector<std::int64_t>& counts() const { return counts_; }
 
   /// Adds `other` bucket-by-bucket. Bounds must match exactly — merged
-  /// histograms come from the same instrumentation site.
+  /// histograms come from the same instrumentation site; a mismatch throws
+  /// std::invalid_argument.
   void merge(const Histogram& other);
 
   Json to_json() const;
@@ -164,14 +168,19 @@ class Registry {
   std::map<std::string, Histogram, std::less<>> timers_;
 };
 
-/// The nullable handle threaded through SimConfig / SweepSpec. Two raw
-/// pointers, default both null; copying is free and the pointees must
+/// The nullable handle threaded through SimConfig / SweepSpec. Three raw
+/// pointers, default all null; copying is free and the pointees must
 /// outlive every component holding the handle.
 struct Telemetry {
   Registry* registry = nullptr;
   TraceWriter* tracer = nullptr;
+  /// Flight recorder (obs/flight_recorder.h): per-step ring + incident
+  /// capture on invariant violations. Same null-handle contract.
+  FlightRecorder* recorder = nullptr;
 
-  bool enabled() const { return registry != nullptr || tracer != nullptr; }
+  bool enabled() const {
+    return registry != nullptr || tracer != nullptr || recorder != nullptr;
+  }
   explicit operator bool() const { return enabled(); }
 };
 

@@ -5,7 +5,7 @@
 namespace rtsmooth::obs {
 
 TraceWriter::TraceWriter(const std::string& path)
-    : file_(path, std::ios::trunc), out_(&file_) {
+    : file_(path, std::ios::trunc), out_(&file_), path_(path) {
   if (!file_.is_open()) {
     throw std::runtime_error("TraceWriter: cannot open " + path);
   }
@@ -16,6 +16,11 @@ TraceWriter::TraceWriter(std::ostream& out) : out_(&out) {}
 void TraceWriter::write(const Json& event) {
   event.write(*out_);
   *out_ << '\n';
+  if (out_->fail()) {
+    throw std::runtime_error(
+        path_.empty() ? "TraceWriter: stream write failed"
+                      : "TraceWriter: write failed for " + path_);
+  }
   ++events_;
 }
 

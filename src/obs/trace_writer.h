@@ -25,7 +25,9 @@ class TraceWriter {
   /// std::ostringstream). The stream must outlive the writer.
   explicit TraceWriter(std::ostream& out);
 
-  /// Appends one event as a single line.
+  /// Appends one event as a single line. Throws std::runtime_error (naming
+  /// the path when one is known) if the underlying stream reports failure —
+  /// a trace truncated by a full disk must not pass silently.
   void write(const Json& event);
 
   std::int64_t events() const { return events_; }
@@ -33,6 +35,7 @@ class TraceWriter {
  private:
   std::ofstream file_;   ///< backing storage for the path constructor
   std::ostream* out_;    ///< the stream actually written to
+  std::string path_;     ///< for error messages; empty for stream writers
   std::int64_t events_ = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "faults/invariant_monitor.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace_writer.h"
 #include "policies/policy_factory.h"
 #include "util/assert.h"
@@ -114,6 +115,7 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
   // branches.
   obs::Registry* reg = config_.telemetry.registry;
   obs::TraceWriter* tracer = config_.telemetry.tracer;
+  obs::FlightRecorder* recorder = config_.telemetry.recorder;
   obs::Histogram* sojourn_hist = nullptr;
   obs::Histogram* burst_hist = nullptr;
   if (reg != nullptr) {
@@ -124,16 +126,32 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
     burst_hist = &reg->histogram("drop.burst_length",
                                  obs::HistogramSpec::exponential(1, 16));
   }
-  if (tracer != nullptr) {
-    obs::Json event = obs::Json::object();
-    event["type"] = "config";
+  // The tracer's config event and the flight recorder's incident context
+  // carry the same run parameters, so an incident report stays
+  // self-contained (DESIGN.md Sect. 11).
+  const auto fill_config = [this](obs::Json& event) {
     event["server_buffer"] = config_.server_buffer;
     event["client_buffer"] = config_.client_buffer;
     event["rate"] = config_.rate;
     event["smoothing_delay"] = config_.smoothing_delay;
     event["link_delay"] = config_.link_delay;
     event["runs"] = static_cast<std::int64_t>(stream_->run_count());
+  };
+  if (tracer != nullptr) {
+    obs::Json event = obs::Json::object();
+    event["type"] = "config";
+    fill_config(event);
     tracer->write(event);
+  }
+  if (recorder != nullptr) {
+    // annotate() rather than set_context(): a sweep cell tags its recorder
+    // (severity, cell index) before the run, and those keys must survive.
+    obs::Json context = obs::Json::object();
+    fill_config(context);
+    context["policy"] = server_.policy().name();
+    for (std::size_t i = 0; i < context.keys().size(); ++i) {
+      recorder->annotate(context.keys()[i], context.items()[i]);
+    }
   }
   std::int64_t drop_burst = 0;  ///< consecutive steps with server drops
 
@@ -154,16 +172,18 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
        ++t) {
     RTS_ASSERT(t <= limit + client_.stall_steps());
     if (rec != nullptr) rec->begin_step(t);
-    // Pre-step snapshots for the per-step deltas the tracer reports.
+    // Pre-step snapshots for the per-step deltas the tracer and flight
+    // recorder report.
     const Bytes drops_before = report.dropped_server.bytes;
     const Bytes played_before = report.played.bytes;
     const Bytes client_dropped_before = client_dropped_so_far(client_);
+    const Bytes retx_before = report.retransmitted_bytes;
     const Time stalls_before = client_.stall_steps();
 
     const auto nacks = link_->collect_nacks(t);
     const ArrivalBatch batch = cursor.step(t);
     Bytes arrived = 0;
-    if (tracer != nullptr) {
+    if (tracer != nullptr || recorder != nullptr) {
       for (const SliceRun& run : batch.runs) arrived += run.total_bytes();
     }
     std::vector<SentPiece> pieces;
@@ -188,6 +208,28 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
     const auto delivered = link_->deliver(t);
     client_.deliver(t, delivered, report, rec);
     client_.play(t, report, rec);
+    if (recorder != nullptr) {
+      // Appended *before* monitor.check so a violation at step t captures a
+      // window whose last record is step t itself.
+      obs::StepRecord step;
+      step.t = t;
+      step.arrived = arrived;
+      step.sent = sent;
+      step.delivered = piece_bytes(delivered);
+      step.played =
+          static_cast<std::int64_t>(report.played.bytes - played_before);
+      step.dropped_server =
+          static_cast<std::int64_t>(report.dropped_server.bytes - drops_before);
+      step.dropped_client = static_cast<std::int64_t>(
+          client_dropped_so_far(client_) - client_dropped_before);
+      step.retransmitted =
+          static_cast<std::int64_t>(report.retransmitted_bytes - retx_before);
+      step.server_occupancy = server_.buffer().occupancy();
+      step.client_occupancy = client_.occupancy();
+      step.link_idle = link_->idle();
+      step.stalled = client_.stall_steps() > stalls_before;
+      recorder->record(step);
+    }
     monitor.check(t, server_, client_);
     if (rec != nullptr) rec->step().client_occupancy = client_.occupancy();
     if (tracer != nullptr) {
@@ -203,6 +245,7 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
       event["dropped_server"] = report.dropped_server.bytes - drops_before;
       event["dropped_client"] =
           client_dropped_so_far(client_) - client_dropped_before;
+      event["retransmitted"] = report.retransmitted_bytes - retx_before;
       event["server_occupancy"] = server_.buffer().occupancy();
       event["client_occupancy"] = client_.occupancy();
       event["stalled"] = client_.stall_steps() > stalls_before;

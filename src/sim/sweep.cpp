@@ -48,25 +48,53 @@ SimReport fault_run(const Stream& stream, const SweepSpec& spec,
   return simulator.run();
 }
 
-/// Cells may run on any thread, so each gets a private registry (slot k for
-/// task k); fold_cells() merges them in submission order afterwards, making
-/// the merged snapshot independent of the thread count (DESIGN.md Sect. 9).
-std::vector<obs::Registry> cell_registries(const SweepSpec& spec,
-                                           std::size_t tasks) {
-  return std::vector<obs::Registry>(spec.registry != nullptr ? tasks : 0);
-}
+/// Per-cell telemetry isolation. Cells may run on any thread, so each gets
+/// a private registry and flight recorder (slot k for task k); fold()
+/// merges both in submission order afterwards, making the merged snapshot
+/// and incident list independent of the thread count (DESIGN.md Sect. 9).
+class CellTelemetry {
+ public:
+  CellTelemetry(const SweepSpec& spec, std::size_t tasks) : spec_(&spec) {
+    if (spec.registry != nullptr) registries_.resize(tasks);
+    if (spec.recorder != nullptr) {
+      recorders_.reserve(tasks);
+      for (std::size_t i = 0; i < tasks; ++i) {
+        recorders_.emplace_back(spec.recorder->config());
+        recorders_.back().annotate("cell", static_cast<std::int64_t>(i));
+      }
+    }
+  }
 
-obs::Telemetry cell_telemetry(std::vector<obs::Registry>& cells,
-                              std::size_t k) {
-  if (cells.empty()) return {};
-  return obs::Telemetry{.registry = &cells[k]};
-}
+  /// Incident context tag for cell k; call before the batch runs.
+  void annotate(std::size_t k, std::string_view key, obs::Json value) {
+    if (!recorders_.empty()) recorders_[k].annotate(key, std::move(value));
+  }
 
-void fold_cells(const SweepSpec& spec,
-                const std::vector<obs::Registry>& cells) {
-  if (spec.registry == nullptr) return;
-  for (const obs::Registry& cell : cells) spec.registry->merge(cell);
-}
+  obs::Telemetry at(std::size_t k) {
+    obs::Telemetry telemetry;
+    if (!registries_.empty()) telemetry.registry = &registries_[k];
+    if (!recorders_.empty()) telemetry.recorder = &recorders_[k];
+    return telemetry;
+  }
+
+  void fold() {
+    if (spec_->registry != nullptr) {
+      for (const obs::Registry& cell : registries_) {
+        spec_->registry->merge(cell);
+      }
+    }
+    if (spec_->recorder != nullptr) {
+      for (const obs::FlightRecorder& cell : recorders_) {
+        spec_->recorder->merge(cell);
+      }
+    }
+  }
+
+ private:
+  const SweepSpec* spec_;
+  std::vector<obs::Registry> registries_;
+  std::vector<obs::FlightRecorder> recorders_;
+};
 
 SweepResult fault_axis_sweep(const Stream& stream, const SweepSpec& spec) {
   if (!spec.link_factory) {
@@ -86,22 +114,25 @@ SweepResult fault_axis_sweep(const Stream& stream, const SweepSpec& spec) {
                       fixed_rate(stream, spec));
   SweepResult result;
   result.faults.resize(spec.values.size());
-  std::vector<obs::Registry> cells =
-      cell_registries(spec, 2 * spec.values.size());
+  CellTelemetry cells(spec, 2 * spec.values.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(2 * spec.values.size());
   for (std::size_t i = 0; i < spec.values.size(); ++i) {
     FaultPoint* point = &result.faults[i];
     point->severity = spec.values[i];
     const std::size_t k = tasks.size();
+    cells.annotate(k, "severity", point->severity);
+    cells.annotate(k, "underflow", "skip");
+    cells.annotate(k + 1, "severity", point->severity);
+    cells.annotate(k + 1, "underflow", "stall");
     tasks.push_back([&stream, &spec, &policy, &cells, plan, point, k] {
-      const obs::Telemetry tel = cell_telemetry(cells, k);
+      const obs::Telemetry tel = cells.at(k);
       const obs::Span cell_span(tel, "sweep.cell");
       point->skip = fault_run(stream, spec, plan, policy, point->severity,
                               UnderflowPolicy::Skip, tel);
     });
     tasks.push_back([&stream, &spec, &policy, &cells, plan, point, k] {
-      const obs::Telemetry tel = cell_telemetry(cells, k + 1);
+      const obs::Telemetry tel = cells.at(k + 1);
       const obs::Span cell_span(tel, "sweep.cell");
       point->stall = fault_run(stream, spec, plan, policy, point->severity,
                                UnderflowPolicy::Stall, tel);
@@ -109,7 +140,7 @@ SweepResult fault_axis_sweep(const Stream& stream, const SweepSpec& spec) {
   }
   result.stats =
       ParallelRunner(spec.threads).run(std::move(tasks), spec.progress);
-  fold_cells(spec, cells);
+  cells.fold();
   return result;
 }
 
@@ -134,8 +165,7 @@ SweepResult sweep(const Stream& stream, const SweepSpec& spec) {
   result.points.resize(spec.values.size());
   const std::size_t per_point =
       spec.policies.size() + (spec.with_optimal ? 1 : 0);
-  std::vector<obs::Registry> cells =
-      cell_registries(spec, spec.values.size() * per_point);
+  CellTelemetry cells(spec, spec.values.size() * per_point);
   std::vector<std::function<void()>> tasks;
   tasks.reserve(spec.values.size() * per_point);
   for (std::size_t i = 0; i < spec.values.size(); ++i) {
@@ -153,8 +183,9 @@ SweepResult sweep(const Stream& stream, const SweepSpec& spec) {
     for (std::size_t j = 0; j < spec.policies.size(); ++j) {
       point->policies[j].policy = spec.policies[j];
       const std::size_t k = tasks.size();
+      cells.annotate(k, "x", point->x);
       tasks.push_back([&stream, &spec, &cells, point, j, k] {
-        const obs::Telemetry tel = cell_telemetry(cells, k);
+        const obs::Telemetry tel = cells.at(k);
         const obs::Span cell_span(tel, "sweep.cell");
         point->policies[j].report =
             simulate(stream, point->plan, point->policies[j].policy,
@@ -164,8 +195,9 @@ SweepResult sweep(const Stream& stream, const SweepSpec& spec) {
     if (spec.with_optimal) {
       point->has_optimal = true;
       const std::size_t k = tasks.size();
+      cells.annotate(k, "x", point->x);
       tasks.push_back([&stream, &cells, point, k] {
-        const obs::Span cell_span(cell_telemetry(cells, k), "sweep.cell");
+        const obs::Span cell_span(cells.at(k), "sweep.cell");
         point->optimal =
             offline_optimal(stream, point->plan.buffer, point->plan.rate);
       });
@@ -173,7 +205,7 @@ SweepResult sweep(const Stream& stream, const SweepSpec& spec) {
   }
   result.stats =
       ParallelRunner(spec.threads).run(std::move(tasks), spec.progress);
-  fold_cells(spec, cells);
+  cells.fold();
   return result;
 }
 

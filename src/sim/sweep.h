@@ -22,6 +22,7 @@
 
 #include "core/link.h"
 #include "core/planner.h"
+#include "obs/flight_recorder.h"
 #include "obs/telemetry.h"
 #include "sim/experiment.h"
 #include "sim/runner.h"
@@ -108,6 +109,13 @@ struct SweepSpec {
   /// snapshot is byte-identical for any thread count. Every cell also times
   /// itself under a "sweep.cell" Span. Null: no telemetry, no cost.
   obs::Registry* registry = nullptr;
+  /// Merged incident sink for the whole grid, same isolation pattern as
+  /// `registry`: each cell flies its own FlightRecorder built from
+  /// recorder->config() and annotated with the cell's coordinates
+  /// (severity / x value, policy, cell index), and incidents fold into
+  /// *recorder in submission order — the merged incident list is
+  /// byte-identical for any thread count. Null: no recording, no cost.
+  obs::FlightRecorder* recorder = nullptr;
   /// Per-cell completion callback, forwarded to the ParallelRunner.
   ParallelRunner::Progress progress;
 };

@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -70,6 +71,75 @@ TEST(Json, ArraysAndNesting) {
   EXPECT_EQ(arr.dump(), "[1,\"two\",{\"k\":null}]");
 }
 
+// ------------------------------------------------------------ Json parse
+
+TEST(JsonParse, RoundTripsDumpedDocuments) {
+  Json doc = Json::object();
+  doc["name"] = "run";
+  doc["count"] = 42;
+  doc["ratio"] = 0.5;
+  doc["ok"] = true;
+  doc["nothing"] = Json();
+  Json arr = Json::array();
+  arr.push_back(-7);
+  arr.push_back("x");
+  doc["list"] = std::move(arr);
+  EXPECT_EQ(Json::parse(doc.dump()).dump(), doc.dump());
+}
+
+TEST(JsonParse, PreservesIntVersusDouble) {
+  const Json doc = Json::parse("{\"i\":10,\"d\":10.0,\"e\":1e2,\"n\":-3}");
+  EXPECT_TRUE(doc.at("i").is_int());
+  EXPECT_EQ(doc.at("i").as_int(), 10);
+  EXPECT_TRUE(doc.at("d").is_double());
+  EXPECT_DOUBLE_EQ(doc.at("d").as_double(), 10.0);
+  EXPECT_TRUE(doc.at("e").is_double());
+  EXPECT_DOUBLE_EQ(doc.at("e").as_double(), 100.0);
+  EXPECT_EQ(doc.at("n").as_int(), -3);
+  // as_double accepts either number kind; as_int only true ints.
+  EXPECT_DOUBLE_EQ(doc.at("i").as_double(), 10.0);
+  EXPECT_THROW(doc.at("d").as_int(), std::runtime_error);
+}
+
+TEST(JsonParse, DecodesEscapesIncludingUnicode) {
+  const Json doc =
+      Json::parse("\"a\\\"b\\\\c\\n\\t\\u0041\\u00e9\"");
+  EXPECT_EQ(doc.as_string(), "a\"b\\c\n\tA\xc3\xa9");
+  // Surrogate pair: U+1F600 must decode to 4 UTF-8 bytes.
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, WhitespaceIsInsignificant) {
+  const Json doc = Json::parse("  { \"a\" : [ 1 , 2 ] , \"b\" : null }  ");
+  EXPECT_EQ(doc.dump(), "{\"a\":[1,2],\"b\":null}");
+}
+
+TEST(JsonParse, ErrorsNameTheByteOffset) {
+  try {
+    Json::parse("{\"a\":}");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("byte 5"), std::string::npos);
+  }
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1 2]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(Json::parse("truish"), std::runtime_error);
+}
+
+TEST(JsonParse, AccessorsProbeAndThrow) {
+  const Json doc = Json::parse("{\"a\":1}");
+  ASSERT_NE(doc.find("a"), nullptr);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), std::runtime_error);
+  EXPECT_THROW(doc.at(std::size_t{0}), std::runtime_error);  // not an array
+  EXPECT_THROW(doc.at("a").as_string(), std::runtime_error);
+  EXPECT_THROW(doc.at("a").as_bool(), std::runtime_error);
+}
+
 // ------------------------------------------------------- instrument types
 
 TEST(Counter, AddsAndDefaultsToOne) {
@@ -116,6 +186,48 @@ TEST(Histogram, WeightedRecordCountsWeightNotSamples) {
   EXPECT_EQ(h.count(), 100);
   EXPECT_EQ(h.sum(), 300);
   EXPECT_EQ(h.counts(), (std::vector<std::int64_t>{100, 0, 0}));
+}
+
+TEST(Histogram, BoundaryValuesLandInTheLowerBucket) {
+  Histogram h(HistogramSpec{.bounds = {0, 5, 10}});
+  h.record(0);    // inclusive upper bound of the first bucket
+  h.record(5);    // second
+  h.record(6);    // third
+  h.record(10);   // third
+  h.record(11);   // overflow
+  h.record(-3);   // below every bound: first bucket
+  EXPECT_EQ(h.counts(), (std::vector<std::int64_t>{2, 1, 2, 1}));
+  EXPECT_EQ(h.min(), -3);
+  EXPECT_EQ(h.max(), 11);
+}
+
+TEST(Histogram, ZeroWeightIsANoOp) {
+  Histogram h(HistogramSpec{.bounds = {4, 8}});
+  h.record(3, 0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);  // still the empty sentinel
+  EXPECT_EQ(h.counts(), (std::vector<std::int64_t>{0, 0, 0}));
+}
+
+TEST(Histogram, NegativeWeightThrows) {
+  Histogram h(HistogramSpec{.bounds = {4, 8}});
+  EXPECT_THROW(h.record(3, -1), std::invalid_argument);
+  EXPECT_EQ(h.count(), 0);  // the rejected record left no trace
+}
+
+TEST(Histogram, MergeOfMismatchedSpecsThrows) {
+  Histogram a(HistogramSpec{.bounds = {1, 10}});
+  Histogram narrow(HistogramSpec{.bounds = {1}});
+  Histogram shifted(HistogramSpec{.bounds = {1, 20}});
+  a.record(5);
+  narrow.record(1);
+  shifted.record(15);
+  EXPECT_THROW(a.merge(narrow), std::invalid_argument);
+  EXPECT_THROW(a.merge(shifted), std::invalid_argument);
+  // The failed merges changed nothing.
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.counts(), (std::vector<std::int64_t>{0, 1, 0}));
 }
 
 TEST(Histogram, EmptyMinMaxAreZero) {
@@ -258,6 +370,37 @@ TEST(TraceWriter, WritesOneLinePerEvent) {
   writer.write(e2);
   EXPECT_EQ(writer.events(), 2);
   EXPECT_EQ(out.str(), "{\"type\":\"step\"}\n{\"type\":\"run\"}\n");
+}
+
+// A streambuf that refuses every byte, simulating a full disk.
+struct FailBuf : std::streambuf {
+  int overflow(int) override { return traits_type::eof(); }
+};
+
+TEST(TraceWriter, ThrowsWhenTheStreamFailsMidWrite) {
+  FailBuf buf;
+  std::ostream broken(&buf);
+  TraceWriter writer(broken);
+  Json event = Json::object();
+  event["type"] = "step";
+  EXPECT_THROW(writer.write(event), std::runtime_error);
+}
+
+TEST(TraceWriter, WriteFailureOnAFileNamesThePath) {
+  // /dev/full opens fine and fails with ENOSPC once the stream's buffer
+  // actually flushes — the closest thing to a deterministic full disk.
+  if (!std::ifstream("/dev/full").good()) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  TraceWriter writer("/dev/full");
+  Json event = Json::object();
+  event["payload"] = std::string(1 << 16, 'x');  // defeat stream buffering
+  try {
+    for (int i = 0; i < 64; ++i) writer.write(event);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/dev/full"), std::string::npos);
+  }
 }
 
 // -------------------------------------------- simulator acceptance checks

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Compares two bench JSON documents and reports every difference.
+
+The CI perf-regression gate runs each figure/table bench with `--json` and
+diffs the result against the committed baseline in bench/baselines/ (see
+tools/regen_bench_baselines.sh for the pinned recipe). The determinism
+contract (DESIGN.md Sect. 9) makes this a byte-level question for the
+*results*: series rows and registry snapshots must match exactly, for any
+thread count. Wall-clock numbers are honest noise, so they are quarantined:
+
+* `rtsmooth-bench-v1` documents — `schema`, `bench`, `options.frames`,
+  `options.quick` and every `series` / `registry` entry compare exactly;
+  `options.threads`, the `runner` block and the `timers` section are
+  timing/execution-width facts and are skipped unless `--time-tolerance`
+  asks for a bounded wall-clock comparison (relative, e.g. 0.5 = +/-50% on
+  `runner.wall_us`).
+
+* google-benchmark documents (micro benches) — compared by benchmark name
+  sets only; per-iteration times are machine noise.
+
+Usage: bench_diff.py BASELINE CURRENT [--time-tolerance FRAC]
+
+Exits 0 when the documents match, 1 with one line per difference when they
+do not, 2 on unreadable or unrecognised input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        print(f"ERROR {path}: unreadable: {e}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        print(f"ERROR {path}: invalid JSON: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def diff_value(diffs, where, base, cur):
+    """Recursive exact comparison, one diff line per leaf mismatch."""
+    if type(base) is not type(cur) and not (
+            isinstance(base, (int, float)) and isinstance(cur, (int, float))):
+        diffs.append(f"{where}: type {type(base).__name__} -> "
+                     f"{type(cur).__name__}")
+        return
+    if isinstance(base, dict):
+        for key in base:
+            if key not in cur:
+                diffs.append(f"{where}.{key}: removed")
+            else:
+                diff_value(diffs, f"{where}.{key}", base[key], cur[key])
+        for key in cur:
+            if key not in base:
+                diffs.append(f"{where}.{key}: added")
+    elif isinstance(base, list):
+        if len(base) != len(cur):
+            diffs.append(f"{where}: length {len(base)} -> {len(cur)}")
+            return
+        for i, (b, c) in enumerate(zip(base, cur)):
+            diff_value(diffs, f"{where}[{i}]", b, c)
+    elif base != cur:
+        diffs.append(f"{where}: {base!r} -> {cur!r}")
+
+
+def diff_rtsmooth(diffs, base, cur, tolerance):
+    diff_value(diffs, "bench", base.get("bench"), cur.get("bench"))
+
+    base_opts = dict(base.get("options", {}))
+    cur_opts = dict(cur.get("options", {}))
+    base_opts.pop("threads", None)  # execution width, not a result
+    cur_opts.pop("threads", None)
+    diff_value(diffs, "options", base_opts, cur_opts)
+
+    diff_value(diffs, "series", base.get("series"), cur.get("series"))
+    diff_value(diffs, "registry", base.get("registry"), cur.get("registry"))
+
+    if tolerance is not None:
+        base_wall = base.get("runner", {}).get("wall_us")
+        cur_wall = cur.get("runner", {}).get("wall_us")
+        if base_wall and cur_wall:
+            ratio = cur_wall / base_wall
+            if abs(ratio - 1.0) > tolerance:
+                diffs.append(
+                    f"runner.wall_us: {base_wall} -> {cur_wall} "
+                    f"({ratio:.2f}x exceeds +/-{tolerance:.0%} tolerance)")
+
+
+def diff_google_benchmark(diffs, base, cur):
+    base_names = [b.get("name") for b in base.get("benchmarks", [])]
+    cur_names = [b.get("name") for b in cur.get("benchmarks", [])]
+    for name in base_names:
+        if name not in cur_names:
+            diffs.append(f"benchmarks: {name!r} removed")
+    for name in cur_names:
+        if name not in base_names:
+            diffs.append(f"benchmarks: {name!r} added")
+
+
+def kind(doc):
+    if doc.get("schema") == "rtsmooth-bench-v1":
+        return "rtsmooth"
+    if "benchmarks" in doc and "context" in doc:
+        return "google-benchmark"
+    return None
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--time-tolerance", type=float, default=None, metavar="FRAC",
+        help="also compare runner.wall_us within this relative tolerance "
+             "(default: skip wall-clock entirely)")
+    args = parser.parse_args(argv[1:])
+
+    base, cur = load(args.baseline), load(args.current)
+    base_kind, cur_kind = kind(base), kind(cur)
+    if base_kind is None:
+        print(f"ERROR {args.baseline}: unrecognised schema", file=sys.stderr)
+        return 2
+    if base_kind != cur_kind:
+        print(f"ERROR: document kinds differ ({base_kind} vs {cur_kind})",
+              file=sys.stderr)
+        return 2
+
+    diffs = []
+    if base_kind == "rtsmooth":
+        diff_rtsmooth(diffs, base, cur, args.time_tolerance)
+    else:
+        diff_google_benchmark(diffs, base, cur)
+
+    if diffs:
+        print(f"DIFF {args.baseline} vs {args.current}: "
+              f"{len(diffs)} difference(s)")
+        for d in diffs:
+            print(f"  {d}")
+        return 1
+    print(f"MATCH {args.baseline} vs {args.current}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Selftests for bench_diff.py (run via ctest or directly)."""
+
+import copy
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_diff  # noqa: E402
+
+
+def bench_doc(threads=1, wall_us=1000):
+    return {
+        "schema": "rtsmooth-bench-v1",
+        "bench": "fig_test",
+        "options": {"frames": 120, "quick": True, "threads": threads},
+        "series": [{"name": "main", "header": ["a", "b"],
+                    "rows": [["1", "2"]]}],
+        "runner": {"tasks": 2, "threads": threads, "total_task_us": 10,
+                   "max_task_us": 7, "queue_us": 1, "wall_us": wall_us},
+        "registry": {"counters": {"c": 1}, "gauges": {}, "histograms": {}},
+    }
+
+
+class DiffTest(unittest.TestCase):
+    def run_diff(self, base, cur, *extra):
+        paths = []
+        for doc in (base, cur):
+            with tempfile.NamedTemporaryFile(
+                    "w", suffix=".json", delete=False) as f:
+                json.dump(doc, f)
+                paths.append(f.name)
+        try:
+            return bench_diff.main(["bench_diff.py", *paths, *extra])
+        finally:
+            for p in paths:
+                os.unlink(p)
+
+    def test_identical_docs_match(self):
+        self.assertEqual(self.run_diff(bench_doc(), bench_doc()), 0)
+
+    def test_thread_count_and_wall_clock_are_quarantined(self):
+        # The determinism contract: a 4-thread rerun must diff clean against
+        # a serial baseline even though runner/threads/wall differ.
+        self.assertEqual(
+            self.run_diff(bench_doc(threads=1, wall_us=1000),
+                          bench_doc(threads=4, wall_us=400)), 0)
+
+    def test_perturbed_registry_fails(self):
+        cur = bench_doc()
+        cur["registry"]["counters"]["c"] = 2
+        self.assertEqual(self.run_diff(bench_doc(), cur), 1)
+
+    def test_perturbed_series_row_fails(self):
+        cur = bench_doc()
+        cur["series"][0]["rows"][0][1] = "999"
+        self.assertEqual(self.run_diff(bench_doc(), cur), 1)
+
+    def test_added_registry_counter_fails(self):
+        cur = bench_doc()
+        cur["registry"]["counters"]["new"] = 5
+        self.assertEqual(self.run_diff(bench_doc(), cur), 1)
+
+    def test_changed_options_fail(self):
+        cur = bench_doc()
+        cur["options"]["frames"] = 240
+        self.assertEqual(self.run_diff(bench_doc(), cur), 1)
+
+    def test_time_tolerance_gate(self):
+        base = bench_doc(wall_us=1000)
+        slow = bench_doc(wall_us=3000)
+        self.assertEqual(self.run_diff(base, slow), 0)  # skipped by default
+        self.assertEqual(
+            self.run_diff(base, slow, "--time-tolerance", "0.5"), 1)
+        self.assertEqual(
+            self.run_diff(base, bench_doc(wall_us=1200),
+                          "--time-tolerance", "0.5"), 0)
+
+    def test_google_benchmark_name_sets(self):
+        base = {"context": {}, "benchmarks": [{"name": "BM_A"},
+                                              {"name": "BM_B"}]}
+        same = copy.deepcopy(base)
+        same["benchmarks"][0]["real_time"] = 123.4  # timing noise: ignored
+        self.assertEqual(self.run_diff(base, same), 0)
+        missing = {"context": {}, "benchmarks": [{"name": "BM_A"}]}
+        self.assertEqual(self.run_diff(base, missing), 1)
+
+    def test_mismatched_kinds_error(self):
+        gb = {"context": {}, "benchmarks": [{"name": "BM_A"}]}
+        self.assertEqual(self.run_diff(bench_doc(), gb), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

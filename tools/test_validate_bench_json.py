@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Selftests for validate_bench_json.py (run via ctest or directly)."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import validate_bench_json as v  # noqa: E402
+
+
+def bench_doc():
+    return {
+        "schema": "rtsmooth-bench-v1",
+        "bench": "fig_test",
+        "options": {"frames": 120, "quick": True, "threads": 0},
+        "series": [{"name": "main", "header": ["a", "b"],
+                    "rows": [["1", "2"], ["3", "4"]]}],
+        "runner": {"tasks": 2, "threads": 1, "total_task_us": 10,
+                   "max_task_us": 7, "queue_us": 1, "wall_us": 12},
+        "registry": {
+            "counters": {"c": 1}, "gauges": {}, "histograms": {
+                "h": {"count": 2, "sum": 3, "min": 1, "max": 2,
+                      "bounds": [2], "counts": [1, 1]}}},
+    }
+
+
+def step(t):
+    return {"t": t, "arrived": 1, "sent": 1, "delivered": 1, "played": 0,
+            "dropped_server": 0, "dropped_client": 0, "retransmitted": 0,
+            "server_occupancy": 5, "client_occupancy": 3,
+            "link_idle": False, "stalled": False}
+
+
+def incident_doc():
+    return {
+        "schema": "rtsmooth-incident-v1",
+        "incident": 0,
+        "trigger": {"type": "violation", "t": 11,
+                    "kind": "client_underflow", "magnitude": 1},
+        "context": {"policy": "greedy"},
+        "steps_recorded": 12,
+        "window_capacity": 4,
+        "truncated": True,
+        "window": [step(8), step(9), step(10), step(11)],
+    }
+
+
+class CheckFileTest(unittest.TestCase):
+    def check(self, doc):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump(doc, f)
+            path = f.name
+        try:
+            return v.check_file(path)
+        finally:
+            os.unlink(path)
+
+    def test_valid_bench_doc(self):
+        self.assertEqual(self.check(bench_doc()), [])
+
+    def test_valid_incident_doc(self):
+        self.assertEqual(self.check(incident_doc()), [])
+
+    def test_reports_all_violations_not_just_first(self):
+        doc = bench_doc()
+        doc["series"][0]["rows"].append(["lonely"])        # wrong width
+        doc["registry"]["histograms"]["h"]["counts"] = [5]  # wrong buckets
+        errors = self.check(doc)
+        self.assertGreaterEqual(len(errors), 2)
+        self.assertTrue(any("row width" in e for e in errors))
+        self.assertTrue(any("bounds+1" in e for e in errors))
+
+    def test_incident_window_must_be_chronological(self):
+        doc = incident_doc()
+        doc["window"][2]["t"] = 8
+        errors = self.check(doc)
+        self.assertTrue(any("not after" in e for e in errors))
+
+    def test_incident_window_over_capacity(self):
+        doc = incident_doc()
+        doc["window_capacity"] = 3
+        errors = self.check(doc)
+        self.assertTrue(any("over the" in e for e in errors))
+
+    def test_truncated_incident_needs_full_window(self):
+        doc = incident_doc()
+        doc["window"].pop()
+        doc["steps_recorded"] = 3
+        errors = self.check(doc)
+        self.assertTrue(any("full window" in e for e in errors))
+
+    def test_incident_steps_recorded_floor(self):
+        doc = incident_doc()
+        doc["steps_recorded"] = 2
+        errors = self.check(doc)
+        self.assertTrue(any("steps_recorded" in e for e in errors))
+
+    def test_incident_missing_step_key(self):
+        doc = incident_doc()
+        del doc["window"][1]["stalled"]
+        errors = self.check(doc)
+        self.assertTrue(any("window[1] lacks" in e for e in errors))
+
+    def test_unrecognised_schema(self):
+        errors = self.check({"schema": "nope"})
+        self.assertTrue(any("unrecognised schema" in e for e in errors))
+
+    def test_google_benchmark_doc(self):
+        doc = {"context": {}, "benchmarks": [{"name": "BM_X"}]}
+        self.assertEqual(self.check(doc), [])
+        doc["benchmarks"] = []
+        self.assertTrue(self.check(doc))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Validates BENCH_*.json artifacts produced by the bench `--json` mode.
+"""Validates the repo's machine-readable JSON artifacts.
 
-Two document kinds are accepted:
+Three document kinds are accepted:
 
 * the repo's own `rtsmooth-bench-v1` schema (figure/table benches):
     {
@@ -17,108 +17,197 @@ Two document kinds are accepted:
   with at least one series, every series non-empty, and every row the same
   width as its header;
 
+* the flight recorder's `rtsmooth-incident-v1` schema
+  (obs/flight_recorder.h):
+    {
+      "schema": "rtsmooth-incident-v1",
+      "incident": int,                  # index among captured incidents
+      "trigger": {"type": str, "t": int, ...},
+      "context": {...},                 # run parameters, self-contained
+      "steps_recorded": int,            # >= len(window)
+      "window_capacity": int,           # >= 1
+      "truncated": bool,                # ring wrapped before capture
+      "window": [{step record}, ...],   # chronological, t strictly rising
+    }
+
 * google-benchmark's native JSON (micro benches), recognised by its
   "context"/"benchmarks" top-level keys, with at least one benchmark entry.
 
-Usage: validate_bench_json.py FILE [FILE...]; exits non-zero on the first
-invalid or empty document, printing the reason.
+Usage: validate_bench_json.py FILE [FILE...]; checks every file, reports
+ALL violations found (not just the first), and exits non-zero when any
+file is invalid.
 """
 
 import json
 import sys
 
+STEP_RECORD_KEYS = (
+    "t", "arrived", "sent", "delivered", "played", "dropped_server",
+    "dropped_client", "retransmitted", "server_occupancy",
+    "client_occupancy", "link_idle", "stalled",
+)
 
-def fail(path, reason):
-    print(f"FAIL {path}: {reason}", file=sys.stderr)
-    sys.exit(1)
 
-
-def check_histogram(path, name, hist):
-    for key in ("count", "sum", "min", "max", "bounds", "counts"):
-        if key not in hist:
-            fail(path, f"histogram {name!r} lacks {key!r}")
+def check_histogram(errors, name, hist):
+    missing = [k for k in ("count", "sum", "min", "max", "bounds", "counts")
+               if k not in hist]
+    if missing:
+        errors.append(f"histogram {name!r} lacks {missing}")
+        return
     if len(hist["counts"]) != len(hist["bounds"]) + 1:
-        fail(path, f"histogram {name!r}: counts must be bounds+1 buckets")
+        errors.append(f"histogram {name!r}: counts must be bounds+1 buckets")
     if sum(hist["counts"]) != hist["count"]:
-        fail(path, f"histogram {name!r}: bucket counts do not sum to count")
+        errors.append(f"histogram {name!r}: bucket counts do not sum to count")
     if list(hist["bounds"]) != sorted(set(hist["bounds"])):
-        fail(path, f"histogram {name!r}: bounds not strictly increasing")
+        errors.append(f"histogram {name!r}: bounds not strictly increasing")
 
 
-def check_registry(path, registry):
+def check_registry(errors, registry):
     for section in ("counters", "gauges", "histograms"):
         if section not in registry:
-            fail(path, f"registry lacks {section!r}")
-        if not isinstance(registry[section], dict):
-            fail(path, f"registry {section!r} is not an object")
-    for name, hist in registry["histograms"].items():
-        check_histogram(path, name, hist)
+            errors.append(f"registry lacks {section!r}")
+        elif not isinstance(registry[section], dict):
+            errors.append(f"registry {section!r} is not an object")
+    for name, hist in registry.get("histograms", {}).items():
+        check_histogram(errors, name, hist)
     for name, hist in registry.get("timers", {}).items():
-        check_histogram(path, name, hist)
+        check_histogram(errors, name, hist)
 
 
-def check_rtsmooth(path, doc):
-    for key in ("bench", "options", "series", "runner", "registry"):
-        if key not in doc:
-            fail(path, f"missing top-level key {key!r}")
-    if not doc["bench"]:
-        fail(path, "empty bench name")
-    if not isinstance(doc["series"], list) or not doc["series"]:
-        fail(path, "series must be a non-empty array")
-    for series in doc["series"]:
-        name = series.get("name", "<unnamed>")
-        header, rows = series.get("header"), series.get("rows")
+def check_rtsmooth(errors, doc):
+    missing = [k for k in ("bench", "options", "series", "runner", "registry")
+               if k not in doc]
+    if missing:
+        errors.append(f"missing top-level keys {missing}")
+    if "bench" in doc and not doc["bench"]:
+        errors.append("empty bench name")
+    series = doc.get("series")
+    if not isinstance(series, list) or not series:
+        errors.append("series must be a non-empty array")
+        series = []
+    for entry in series:
+        name = entry.get("name", "<unnamed>")
+        header, rows = entry.get("header"), entry.get("rows")
         if not header:
-            fail(path, f"series {name!r} has an empty header")
+            errors.append(f"series {name!r} has an empty header")
         if not rows:
-            fail(path, f"series {name!r} has no rows")
-        for row in rows:
-            if len(row) != len(header):
-                fail(path, f"series {name!r}: row width {len(row)} != "
-                           f"header width {len(header)}")
-    runner = doc["runner"]
-    for key in ("tasks", "threads", "total_task_us", "max_task_us",
-                "queue_us", "wall_us"):
-        if key not in runner:
-            fail(path, f"runner lacks {key!r}")
-    check_registry(path, doc["registry"])
+            errors.append(f"series {name!r} has no rows")
+        for row in rows or []:
+            if header and len(row) != len(header):
+                errors.append(f"series {name!r}: row width {len(row)} != "
+                              f"header width {len(header)}")
+    runner = doc.get("runner", {})
+    missing = [k for k in ("tasks", "threads", "total_task_us", "max_task_us",
+                           "queue_us", "wall_us") if k not in runner]
+    if missing:
+        errors.append(f"runner lacks {missing}")
+    check_registry(errors, doc.get("registry", {}))
 
 
-def check_google_benchmark(path, doc):
+def check_incident(errors, doc):
+    missing = [k for k in ("incident", "trigger", "context", "steps_recorded",
+                           "window_capacity", "truncated", "window")
+               if k not in doc]
+    if missing:
+        errors.append(f"missing top-level keys {missing}")
+        return
+    trigger = doc["trigger"]
+    if not isinstance(trigger, dict):
+        errors.append("trigger is not an object")
+    else:
+        if not trigger.get("type"):
+            errors.append("trigger lacks a type")
+        if not isinstance(trigger.get("t"), int):
+            errors.append("trigger lacks an integer time 't'")
+    if not isinstance(doc["context"], dict):
+        errors.append("context is not an object")
+    if not isinstance(doc["truncated"], bool):
+        errors.append("truncated is not a bool")
+    capacity = doc["window_capacity"]
+    if not isinstance(capacity, int) or capacity < 1:
+        errors.append(f"window_capacity must be a positive int, "
+                      f"got {capacity!r}")
+    window = doc["window"]
+    if not isinstance(window, list) or not window:
+        errors.append("window must be a non-empty array")
+        return
+    if isinstance(capacity, int) and len(window) > capacity:
+        errors.append(f"window has {len(window)} steps, over the "
+                      f"capacity {capacity}")
+    if doc["truncated"] is True and isinstance(capacity, int) \
+            and len(window) != capacity:
+        errors.append("truncated incident must carry a full window "
+                      f"({len(window)} != {capacity})")
+    steps = doc["steps_recorded"]
+    if not isinstance(steps, int) or steps < len(window):
+        errors.append(f"steps_recorded ({steps!r}) < window length "
+                      f"({len(window)})")
+    prev_t = None
+    for i, record in enumerate(window):
+        if not isinstance(record, dict):
+            errors.append(f"window[{i}] is not an object")
+            continue
+        missing = [k for k in STEP_RECORD_KEYS if k not in record]
+        if missing:
+            errors.append(f"window[{i}] lacks {missing}")
+        t = record.get("t")
+        if prev_t is not None and isinstance(t, int) and t <= prev_t:
+            errors.append(f"window[{i}]: t={t} not after t={prev_t}")
+        if isinstance(t, int):
+            prev_t = t
+
+
+def check_google_benchmark(errors, doc):
     if not doc.get("benchmarks"):
-        fail(path, "google-benchmark document has no benchmark entries")
-    for entry in doc["benchmarks"]:
+        errors.append("google-benchmark document has no benchmark entries")
+        return
+    for i, entry in enumerate(doc["benchmarks"]):
         if "name" not in entry:
-            fail(path, "benchmark entry lacks a name")
+            errors.append(f"benchmark entry {i} lacks a name")
+
+
+def check_file(path):
+    """Returns the list of violations in `path` (empty = valid)."""
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        return [f"unreadable: {e}"]
+    if not text.strip():
+        return ["empty file"]
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        return [f"invalid JSON: {e}"]
+    if not isinstance(doc, dict):
+        return ["top level is not an object"]
+    if doc.get("schema") == "rtsmooth-bench-v1":
+        check_rtsmooth(errors, doc)
+    elif doc.get("schema") == "rtsmooth-incident-v1":
+        check_incident(errors, doc)
+    elif "benchmarks" in doc and "context" in doc:
+        check_google_benchmark(errors, doc)
+    else:
+        errors.append("unrecognised schema (not rtsmooth-bench-v1, "
+                      "rtsmooth-incident-v1, or google-benchmark output)")
+    return errors
 
 
 def main(argv):
     if len(argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
+    failed = False
     for path in argv[1:]:
-        try:
-            with open(path, encoding="utf-8") as f:
-                text = f.read()
-        except OSError as e:
-            fail(path, f"unreadable: {e}")
-        if not text.strip():
-            fail(path, "empty file")
-        try:
-            doc = json.loads(text)
-        except json.JSONDecodeError as e:
-            fail(path, f"invalid JSON: {e}")
-        if not isinstance(doc, dict):
-            fail(path, "top level is not an object")
-        if doc.get("schema") == "rtsmooth-bench-v1":
-            check_rtsmooth(path, doc)
-        elif "benchmarks" in doc and "context" in doc:
-            check_google_benchmark(path, doc)
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for reason in errors:
+                print(f"FAIL {path}: {reason}", file=sys.stderr)
         else:
-            fail(path, "unrecognised schema (neither rtsmooth-bench-v1 nor "
-                       "google-benchmark output)")
-        print(f"OK   {path}")
-    return 0
+            print(f"OK   {path}")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
