@@ -66,7 +66,7 @@ BENCHMARK_CAPTURE(BM_PolicyShed, greedy, "greedy");
 BENCHMARK_CAPTURE(BM_PolicyShed, head_drop, "head-drop");
 BENCHMARK_CAPTURE(BM_PolicyShed, random, "random");
 
-void BM_EndToEndSimulation(benchmark::State& state, const char* policy_name) {
+void BM_Simulate(benchmark::State& state, const char* policy_name) {
   const Stream& s = clip_stream();
   const Bytes rate = sim::relative_rate(s, 0.9);
   const Plan plan = Planner::from_buffer_rate(2 * s.max_frame_bytes(), rate);
@@ -77,8 +77,8 @@ void BM_EndToEndSimulation(benchmark::State& state, const char* policy_name) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           s.total_bytes());
 }
-BENCHMARK_CAPTURE(BM_EndToEndSimulation, tail_drop, "tail-drop");
-BENCHMARK_CAPTURE(BM_EndToEndSimulation, greedy, "greedy");
+BENCHMARK_CAPTURE(BM_Simulate, tail_drop, "tail-drop");
+BENCHMARK_CAPTURE(BM_Simulate, greedy, "greedy");
 
 }  // namespace
 

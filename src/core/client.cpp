@@ -26,6 +26,10 @@ Client::Client(const Stream& stream, Bytes capacity, Time playout_offset,
   RTS_EXPECTS(playout_offset >= 0);
   RTS_EXPECTS(mode == PlayoutMode::ArrivalPlusOffset || smoothing_delay >= 0);
   RTS_EXPECTS(max_stall >= 0);
+  // Steady-state allocation freedom: the per-step arrival scratch grows at
+  // most to the largest number of pieces delivered in one step, which the
+  // first few steps establish; reserving a handful avoids even that.
+  arrived_this_step_.reserve(8);
 }
 
 void Client::set_telemetry(obs::Telemetry telemetry) {
@@ -42,14 +46,6 @@ void Client::set_telemetry(obs::Telemetry telemetry) {
   stall_run_hist_ = &reg.histogram("client.stall_run_length",
                                    obs::HistogramSpec::exponential(1, 16));
   max_occupancy_ = &reg.gauge("client.max_occupancy");
-}
-
-Time Client::playout_step(Time arrival) const {
-  if (mode_ == PlayoutMode::ArrivalPlusOffset) {
-    return arrival + offset_ + stall_shift_;
-  }
-  if (timer_base_ == kNever) return kNever;  // timer not armed yet
-  return timer_base_ + stall_shift_ + (arrival - timer_frame_);
 }
 
 void Client::deliver(Time t, std::span<const SentPiece> pieces,
@@ -104,7 +100,21 @@ void Client::play_frame(Time t, SimReport& report, ScheduleRecorder* rec) {
     frame_time = timer_frame_ + (t - timer_base_ - stall_shift_);
   }
   if (frame_time < 0) return;
-  const auto due = stream_->arrivals_at(frame_time);
+  // Monotone due-span scan: frame_time never decreases across calls, so the
+  // cursor replaces arrivals_at()'s per-step binary search. The cursor only
+  // skips runs already strictly in the past — a stalled frame re-derives the
+  // same span on the next call.
+  const auto all = stream_->runs();
+  while (play_cursor_ < all.size() &&
+         all[play_cursor_].arrival < frame_time) {
+    ++play_cursor_;
+  }
+  std::size_t due_end = play_cursor_;
+  while (due_end < all.size() && all[due_end].arrival == frame_time) {
+    ++due_end;
+  }
+  const std::span<const SliceRun> due =
+      all.subspan(play_cursor_, due_end - play_cursor_);
   if (underflow_ == UnderflowPolicy::Stall && !due.empty() &&
       current_frame_stall_ < max_stall_) {
     // A partially-arrived slice signals bytes still in flight (delayed or

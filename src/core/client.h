@@ -133,8 +133,15 @@ class Client {
   void play_frame(Time t, SimReport& report, ScheduleRecorder* rec);
   void settle_capacity(ScheduleRecorder* rec);
   /// Playout step for the frame arriving at `arrival`, or kNever if it is
-  /// not yet determined (timer mode before the first delivery).
-  Time playout_step(Time arrival) const;
+  /// not yet determined (timer mode before the first delivery). Inline:
+  /// deliver() calls this once per piece on the hot path.
+  Time playout_step(Time arrival) const {
+    if (mode_ == PlayoutMode::ArrivalPlusOffset) {
+      return arrival + offset_ + stall_shift_;
+    }
+    if (timer_base_ == kNever) return kNever;  // timer not armed yet
+    return timer_base_ + stall_shift_ + (arrival - timer_frame_);
+  }
 
   const Stream* stream_;
   Bytes capacity_;
@@ -152,6 +159,12 @@ class Client {
   Bytes total_overflow_ = 0;
   Bytes total_leftover_ = 0;
   Bytes occupancy_ = 0;
+  /// First run not yet scanned for playout. Frame times are non-decreasing
+  /// across play_frame() calls (stalls repeat a frame, never rewind), so the
+  /// due span is found by a monotone scan instead of a per-step binary
+  /// search. Advanced lazily; runs are only skipped once their arrival step
+  /// is strictly before the frame being played.
+  std::size_t play_cursor_ = 0;
   std::vector<RunState> runs_;
   /// Pieces stored this step, newest last — the overflow eviction order.
   std::vector<std::pair<std::size_t, Bytes>> arrived_this_step_;

@@ -21,6 +21,18 @@ SmoothingServer::SmoothingServer(ServerConfig config,
                                    std::int64_t slices) {
     account_drop(run, run_index, slices, now_);
   });
+  // Capacity formulas (DESIGN.md Sect. 12). Chunks hold >= 1 byte each and
+  // same-run pushes merge, so B + one frame's worth of pre-shed overshoot
+  // bounds the resident chunk count only loosely — in practice the count
+  // tracks resident *runs*; 64 covers every committed workload and the ring
+  // doubles transparently if a stream proves wilder. The retransmission
+  // queue holds at most the pieces NACKed within one feedback round-trip,
+  // each retried at most max_retries times.
+  buffer_.reserve_chunks(64);
+  if (config_.recovery.enabled) {
+    retx_queue_.reserve(
+        static_cast<std::size_t>(config_.recovery.max_retries + 1) * 16);
+  }
 }
 
 void SmoothingServer::account_drop(const SliceRun& run, std::size_t run_index,
@@ -78,37 +90,37 @@ void SmoothingServer::handle_nack(const Nack& nack, Time t) {
 Bytes SmoothingServer::send_retransmissions(Time t, Bytes budget,
                                             std::vector<SentPiece>& out) {
   Bytes sent = 0;
-  auto it = retx_queue_.begin();
-  while (it != retx_queue_.end()) {
+  std::size_t i = 0;
+  while (i < retx_queue_.size()) {
+    const RetxEntry& entry = retx_queue_[i];
     // A queued piece whose deadline has passed can no longer help: write it
     // off regardless of budget so the queue (and the simulation) drains.
-    if (t > it->piece.run->arrival + config_.recovery.smoothing_delay) {
-      write_off(it->piece);
-      it = retx_queue_.erase(it);
+    if (t > entry.piece.run->arrival + config_.recovery.smoothing_delay) {
+      write_off(entry.piece);
+      retx_queue_.erase(i);
       continue;
     }
-    if (it->ready_at > t) {
-      ++it;
+    if (entry.ready_at > t) {
+      ++i;
       continue;
     }
     // Pieces are the atomic loss/retransmit unit; send head-of-line whole or
     // not at all (no reordering past it).
-    if (it->piece.bytes > budget - sent) break;
-    sent += it->piece.bytes;
-    out.push_back(it->piece);
+    if (entry.piece.bytes > budget - sent) break;
+    sent += entry.piece.bytes;
+    out.push_back(entry.piece);
     if (current_report_ != nullptr) {
-      current_report_->retransmitted_bytes += it->piece.bytes;
+      current_report_->retransmitted_bytes += entry.piece.bytes;
     }
-    it = retx_queue_.erase(it);
+    retx_queue_.erase(i);
   }
   return sent;
 }
 
-std::vector<SentPiece> SmoothingServer::step(Time t,
-                                             const ArrivalBatch& arrivals,
-                                             std::span<const Nack> nacks,
-                                             SimReport& report,
-                                             ScheduleRecorder* rec) {
+void SmoothingServer::step_into(Time t, const ArrivalBatch& arrivals,
+                                std::span<const Nack> nacks, SimReport& report,
+                                ScheduleRecorder* rec,
+                                std::vector<SentPiece>& out) {
   now_ = t;
   current_report_ = &report;
   current_rec_ = rec;
@@ -132,8 +144,11 @@ std::vector<SentPiece> SmoothingServer::step(Time t,
   // Retransmissions go out first: their deadlines are the closest, and
   // giving them priority within the same rate R keeps Eq. (2)'s link
   // constraint intact — recovery costs fresh throughput, never extra rate.
-  std::vector<SentPiece> pieces;
-  const Bytes retx_sent = send_retransmissions(t, config_.rate, pieces);
+  // The queue is empty on every step of a lossless run; skip the call
+  // outright rather than let it discover emptiness itself.
+  const std::size_t out_start = out.size();
+  const Bytes retx_sent =
+      retx_queue_.empty() ? 0 : send_retransmissions(t, config_.rate, out);
 
   // Eq. (2): the send size is fixed from the pre-drop occupancy and the
   // rate left after retransmissions.
@@ -150,15 +165,15 @@ std::vector<SentPiece> SmoothingServer::step(Time t,
   }
 
   // Transmit in FIFO order at the maximal possible rate.
-  const Bytes sent = buffer_.send(planned_send, pieces);
+  const Bytes sent = buffer_.send(planned_send, out);
   RTS_ASSERT(sent == planned_send);
   report.max_link_bytes_per_step =
       std::max(report.max_link_bytes_per_step, retx_sent + sent);
   report.max_server_occupancy =
       std::max(report.max_server_occupancy, buffer_.occupancy());
   if (rec != nullptr) {
-    for (const SentPiece& piece : pieces) {
-      rec->note_send(piece.run_index, t, piece.bytes);
+    for (std::size_t i = out_start; i < out.size(); ++i) {
+      rec->note_send(out[i].run_index, t, out[i].bytes);
     }
     rec->step().server_occupancy = buffer_.occupancy();
   }
@@ -175,7 +190,6 @@ std::vector<SentPiece> SmoothingServer::step(Time t,
 
   current_report_ = nullptr;
   current_rec_ = nullptr;
-  return pieces;
 }
 
 void SmoothingServer::account_residual(SimReport& report) const {
@@ -185,7 +199,8 @@ void SmoothingServer::account_residual(SimReport& report) const {
                         c.run->weight * static_cast<Weight>(c.slices),
                         c.slices);
   }
-  for (const RetxEntry& entry : retx_queue_) {
+  for (std::size_t i = 0; i < retx_queue_.size(); ++i) {
+    const RetxEntry& entry = retx_queue_[i];
     const SliceRun& run = *entry.piece.run;
     const std::int64_t whole = entry.piece.bytes / run.slice_size;
     report.residual.add(entry.piece.bytes,

@@ -22,10 +22,10 @@
 
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "core/drop_policy.h"
 #include "core/link.h"
@@ -35,6 +35,7 @@
 #include "core/slice.h"
 #include "core/types.h"
 #include "obs/telemetry.h"
+#include "util/ring_buffer.h"
 
 namespace rtsmooth {
 
@@ -68,10 +69,21 @@ class SmoothingServer {
   /// Executes one step: NACK triage, (early drops,) arrivals, retransmit
   /// due pieces, Eq. (3) drops, Eq. (2) send with the remaining rate. Drop
   /// and arrival tallies are accumulated into `report`; per-run outcomes
-  /// into `rec` if given. Returns the pieces submitted to the link.
+  /// into `rec` if given. The pieces submitted to the link are appended to
+  /// `out` — the allocation-free entry point: callers that recycle `out`'s
+  /// storage across steps (the simulator does) pay no heap traffic here.
+  void step_into(Time t, const ArrivalBatch& arrivals,
+                 std::span<const Nack> nacks, SimReport& report,
+                 ScheduleRecorder* rec, std::vector<SentPiece>& out);
+
+  /// Convenience wrapper returning a fresh vector per call.
   std::vector<SentPiece> step(Time t, const ArrivalBatch& arrivals,
                               std::span<const Nack> nacks, SimReport& report,
-                              ScheduleRecorder* rec);
+                              ScheduleRecorder* rec) {
+    std::vector<SentPiece> out;
+    step_into(t, arrivals, nacks, report, rec, out);
+    return out;
+  }
 
   /// Lossless-link convenience: step with no NACKs.
   std::vector<SentPiece> step(Time t, const ArrivalBatch& arrivals,
@@ -124,7 +136,9 @@ class SmoothingServer {
   ServerConfig config_;
   std::unique_ptr<DropPolicy> policy_;
   ServerBuffer buffer_;
-  std::deque<RetxEntry> retx_queue_;
+  /// Ring sized from the retry budget at construction (DESIGN.md Sect. 12);
+  /// grows only if a run exceeds the estimate, never in steady state.
+  RingBuffer<RetxEntry> retx_queue_;
   LinkLossSink loss_sink_;
   obs::Telemetry telemetry_;
   // Instruments resolved by set_telemetry(); null while telemetry is off.

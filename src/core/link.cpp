@@ -8,6 +8,9 @@ namespace rtsmooth {
 
 FixedDelayLink::FixedDelayLink(Time propagation_delay) : p_(propagation_delay) {
   RTS_EXPECTS(propagation_delay >= 0);
+  // One submission per step, delivered exactly P steps later; +2 covers the
+  // same-step submit-before-deliver overlap. Sized once, never grows.
+  in_flight_.reserve(static_cast<std::size_t>(p_) + 2);
 }
 
 void FixedDelayLink::submit(Time t, std::vector<SentPiece> pieces) {
@@ -20,9 +23,14 @@ std::vector<SentPiece> FixedDelayLink::deliver(Time t) {
   std::vector<SentPiece> out;
   while (!in_flight_.empty() && in_flight_.front().deliver_at <= t) {
     RTS_ASSERT(in_flight_.front().deliver_at == t);  // polled every step
-    auto& pieces = in_flight_.front().pieces;
-    out.insert(out.end(), pieces.begin(), pieces.end());
-    in_flight_.pop_front();
+    Batch batch = in_flight_.pop_front();
+    if (out.empty()) {
+      // The common (and for a constant delay, only) case: hand the stored
+      // vector straight back so the caller can recycle its storage.
+      out = std::move(batch.pieces);
+    } else {
+      out.insert(out.end(), batch.pieces.begin(), batch.pieces.end());
+    }
   }
   return out;
 }
@@ -32,6 +40,7 @@ BoundedJitterLink::BoundedJitterLink(Time propagation_delay, Time max_jitter,
     : p_(propagation_delay), j_(max_jitter), rng_(rng) {
   RTS_EXPECTS(propagation_delay >= 0);
   RTS_EXPECTS(max_jitter >= 0);
+  in_flight_.reserve(static_cast<std::size_t>(p_ + j_) + 2);
 }
 
 void BoundedJitterLink::submit(Time t, std::vector<SentPiece> pieces) {
@@ -47,9 +56,14 @@ void BoundedJitterLink::submit(Time t, std::vector<SentPiece> pieces) {
 std::vector<SentPiece> BoundedJitterLink::deliver(Time t) {
   std::vector<SentPiece> out;
   while (!in_flight_.empty() && in_flight_.front().deliver_at <= t) {
-    auto& pieces = in_flight_.front().pieces;
-    out.insert(out.end(), pieces.begin(), pieces.end());
-    in_flight_.pop_front();
+    Batch batch = in_flight_.pop_front();
+    if (out.empty()) {
+      out = std::move(batch.pieces);
+    } else {
+      // Clamped submissions can share a delivery step; concatenate in FIFO
+      // order, exactly as the deque implementation did.
+      out.insert(out.end(), batch.pieces.begin(), batch.pieces.end());
+    }
   }
   return out;
 }

@@ -16,13 +16,13 @@
 
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "core/server_buffer.h"
 #include "core/types.h"
 #include "obs/telemetry.h"
+#include "util/ring_buffer.h"
 #include "util/rng.h"
 
 namespace rtsmooth {
@@ -77,6 +77,12 @@ class Link {
 
 /// Constant-delay link: the paper's model. Link delay of every byte is
 /// exactly P, so R(t) = S(t - P).
+///
+/// In-flight batches sit in a ring sized P + 2 up front: at most one batch
+/// is submitted per step and each lives exactly P steps, so the ring never
+/// grows and submit/deliver never allocate. deliver() moves the stored
+/// piece vector back out, which lets the simulator recycle one vector
+/// through server -> link -> client indefinitely (DESIGN.md Sect. 12).
 class FixedDelayLink final : public Link {
  public:
   explicit FixedDelayLink(Time propagation_delay);
@@ -88,11 +94,11 @@ class FixedDelayLink final : public Link {
 
  private:
   struct Batch {
-    Time deliver_at;
+    Time deliver_at = 0;
     std::vector<SentPiece> pieces;
   };
   Time p_;
-  std::deque<Batch> in_flight_;
+  RingBuffer<Batch> in_flight_;
 };
 
 /// Link with bounded random extra delay: each step's batch is delayed
@@ -110,14 +116,16 @@ class BoundedJitterLink final : public Link {
 
  private:
   struct Batch {
-    Time deliver_at;
+    Time deliver_at = 0;
     std::vector<SentPiece> pieces;
   };
   Time p_;
   Time j_;
   Rng rng_;
   Time last_delivery_ = -1;
-  std::deque<Batch> in_flight_;
+  /// Ring sized P + J + 2: one submission per step, each in flight for at
+  /// most P + J steps (plus the same-step submit-before-deliver overlap).
+  RingBuffer<Batch> in_flight_;
 };
 
 }  // namespace rtsmooth

@@ -13,13 +13,15 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
-#include <deque>
 #include <functional>
 #include <vector>
 
 #include "core/slice.h"
 #include "core/types.h"
+#include "util/assert.h"
+#include "util/ring_buffer.h"
 
 namespace rtsmooth {
 
@@ -67,29 +69,101 @@ class ServerBuffer {
   bool empty() const { return occupancy_ == 0; }
   std::size_t chunk_count() const { return chunks_.size(); }
 
+  /// Pre-sizes the chunk ring so steady-state operation never reallocates.
+  /// The server sizes it from its configuration (DESIGN.md Sect. 12): the
+  /// buffer holds at most B + A(t) bytes before a shed, every chunk holds at
+  /// least one byte, and chunks of the same run merge, so the count of
+  /// arrival runs resident at once is a safe upper bound in practice.
+  void reserve_chunks(std::size_t n) { chunks_.reserve(n); }
+
   /// Chunk at FIFO position i (0 = head / oldest).
-  const Chunk& chunk(std::size_t i) const;
+  const Chunk& chunk(std::size_t i) const {
+    RTS_EXPECTS(i < chunks_.size());
+    return chunks_[i];
+  }
 
   /// Number of slices of chunk i that may legally be dropped: all of them,
   /// except a head slice that has started transmission.
-  std::int64_t droppable_slices(std::size_t i) const;
+  std::int64_t droppable_slices(std::size_t i) const {
+    const Chunk& c = chunk(i);
+    if (i == 0 && c.head_sent > 0) return c.slices - 1;
+    return c.slices;
+  }
 
   // -- mutation ------------------------------------------------------------
 
   /// Appends `count` slices of `run` at the tail (a frame arriving).
   /// Merges with the tail chunk when it is the same run.
-  void push(const SliceRun& run, std::size_t run_index, std::int64_t count);
+  void push(const SliceRun& run, std::size_t run_index, std::int64_t count) {
+    RTS_EXPECTS(count >= 1);
+    occupancy_ += run.slice_size * count;
+    if (!chunks_.empty() && chunks_.back().run == &run) {
+      chunks_.back().slices += count;
+      return;
+    }
+    chunks_.push_back(Chunk{.run = &run, .run_index = run_index,
+                            .slices = count, .head_sent = 0});
+  }
 
   /// Drops `k` slices from chunk i. Requires 1 <= k <= droppable_slices(i).
   /// Returns the freed bytes/weight. Chunk indices of later chunks shift
   /// down if the chunk empties; callers iterating while dropping must
   /// re-read chunk_count().
-  DropResult drop_slices(std::size_t i, std::int64_t k);
+  DropResult drop_slices(std::size_t i, std::int64_t k) {
+    RTS_EXPECTS(i < chunks_.size());
+    RTS_EXPECTS(k >= 1 && k <= droppable_slices(i));
+    Chunk& c = chunks_[i];
+    c.slices -= k;
+    const DropResult freed{.bytes = c.run->slice_size * k,
+                           .weight = c.run->weight * static_cast<Weight>(k),
+                           .slices = k};
+    occupancy_ -= freed.bytes;
+    RTS_ASSERT(occupancy_ >= 0);
+    if (on_drop_) on_drop_(*c.run, c.run_index, k);
+    if (c.slices == 0) {
+      RTS_ASSERT(c.head_sent == 0);  // droppable_slices() protects the head
+      chunks_.erase(i);
+    }
+    return freed;
+  }
 
   /// Transmits up to `budget` bytes from the head in FIFO order, splitting
   /// chunks and slices as needed. Appends the sent pieces to `out` and
   /// returns the number of bytes actually sent (min(budget, occupancy)).
-  Bytes send(Bytes budget, std::vector<SentPiece>& out);
+  /// Defined inline: this is the innermost statement of every simulation
+  /// step and inlining it into the server lets the compiler keep the head
+  /// chunk's fields in registers across the budget loop.
+  Bytes send(Bytes budget, std::vector<SentPiece>& out) {
+    RTS_EXPECTS(budget >= 0);
+    Bytes remaining = std::min(budget, occupancy_);
+    const Bytes sent = remaining;
+    while (remaining > 0) {
+      RTS_ASSERT(!chunks_.empty());
+      Chunk& head = chunks_.front();
+      const Bytes take = std::min(remaining, head.bytes());
+      const Bytes progress = head.head_sent + take;
+      const Bytes slice_size = head.run->slice_size;
+      // Unit slices ("every byte is a slice", Sect. 5.1) are the dominant
+      // experimental shape; skipping the two integer divisions for them
+      // keeps this loop off the top of the end-to-end profile.
+      const std::int64_t completed =
+          slice_size == 1 ? progress : progress / slice_size;
+      out.push_back(SentPiece{.run = head.run,
+                              .run_index = head.run_index,
+                              .bytes = take,
+                              .completed_slices = completed});
+      head.slices -= completed;
+      head.head_sent = slice_size == 1 ? 0 : progress % slice_size;
+      occupancy_ -= take;
+      remaining -= take;
+      if (head.slices == 0) {
+        RTS_ASSERT(head.head_sent == 0);
+        chunks_.pop_front();
+      }
+    }
+    RTS_ENSURES(occupancy_ >= 0);
+    return sent;
+  }
 
   /// True if the head slice is partially transmitted.
   bool head_in_transmission() const {
@@ -107,7 +181,11 @@ class ServerBuffer {
   }
 
  private:
-  std::deque<Chunk> chunks_;
+  /// Chunk records live in a ring-buffer arena indexed by FIFO position:
+  /// each entry is a (run, slice count, head offset) descriptor into the
+  /// Stream's immutable SliceRun table, never a materialized per-slice
+  /// object. See DESIGN.md Sect. 12 for the layout and capacity formula.
+  RingBuffer<Chunk> chunks_;
   Bytes occupancy_ = 0;
   DropObserver on_drop_;
 };

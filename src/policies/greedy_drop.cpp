@@ -1,38 +1,12 @@
 #include "policies/greedy_drop.h"
 
+#include "policies/shed_algorithms.h"
 #include "util/assert.h"
 
 namespace rtsmooth {
 
 DropResult greedy_shed(ServerBuffer& buf, Bytes target, double max_value) {
-  DropResult total;
-  while (buf.occupancy() > target) {
-    // Linear scan for the cheapest droppable chunk. Buffers hold at most a
-    // few hundred chunks (runs, not slices), so this is not a hot spot; the
-    // microbench micro_policies tracks it.
-    std::size_t victim = buf.chunk_count();
-    double victim_value = max_value;
-    for (std::size_t i = 0; i < buf.chunk_count(); ++i) {
-      if (buf.droppable_slices(i) <= 0) continue;
-      const double v = buf.chunk(i).run->byte_value();
-      // '<=' prefers later (newer) chunks on ties.
-      if (v <= victim_value) {
-        victim = i;
-        victim_value = v;
-      }
-    }
-    if (victim == buf.chunk_count()) break;  // nothing below max_value
-    const Bytes excess = buf.occupancy() - target;
-    const Bytes slice = buf.chunk(victim).run->slice_size;
-    const std::int64_t need = (excess + slice - 1) / slice;
-    const std::int64_t n = std::min(need, buf.droppable_slices(victim));
-    RTS_ASSERT(n > 0);
-    const DropResult freed = buf.drop_slices(victim, n);
-    total.bytes += freed.bytes;
-    total.weight += freed.weight;
-    total.slices += freed.slices;
-  }
-  return total;
+  return shed::greedy_shed(buf, target, max_value);
 }
 
 DropResult GreedyDropPolicy::shed(ServerBuffer& buf, Bytes target) {

@@ -1,28 +1,11 @@
 #include "policies/head_drop.h"
 
-#include "util/assert.h"
+#include "policies/shed_algorithms.h"
 
 namespace rtsmooth {
 
 DropResult HeadDropPolicy::shed(ServerBuffer& buf, Bytes target) {
-  DropResult total;
-  while (buf.occupancy() > target) {
-    bool dropped = false;
-    for (std::size_t i = 0; i < buf.chunk_count() && !dropped; ++i) {
-      const std::int64_t can = buf.droppable_slices(i);
-      if (can <= 0) continue;  // head slice in transmission
-      const Bytes excess = buf.occupancy() - target;
-      const Bytes slice = buf.chunk(i).run->slice_size;
-      const std::int64_t need = (excess + slice - 1) / slice;
-      const DropResult freed = drop_clamped(buf, i, std::min(need, can));
-      total.bytes += freed.bytes;
-      total.weight += freed.weight;
-      total.slices += freed.slices;
-      dropped = freed.slices > 0;
-    }
-    RTS_ASSERT(dropped);
-  }
-  return total;
+  return shed::head_shed(buf, target);
 }
 
 std::unique_ptr<DropPolicy> HeadDropPolicy::clone() const {

@@ -1,6 +1,6 @@
 #include "policies/random_drop.h"
 
-#include "util/assert.h"
+#include "policies/shed_algorithms.h"
 
 namespace rtsmooth {
 
@@ -8,25 +8,7 @@ RandomDropPolicy::RandomDropPolicy(std::uint64_t seed)
     : seed_(seed), rng_(seed) {}
 
 DropResult RandomDropPolicy::shed(ServerBuffer& buf, Bytes target) {
-  DropResult total;
-  while (buf.occupancy() > target) {
-    RTS_ASSERT(buf.chunk_count() > 0);
-    // Pick a uniformly random chunk; retry if its slices are protected.
-    // Victim granularity is a chunk-sized lump (dropping truly one slice at
-    // a time would make unit-slice overflows quadratic).
-    const auto i = static_cast<std::size_t>(rng_.uniform_int(
-        0, static_cast<std::int64_t>(buf.chunk_count()) - 1));
-    const std::int64_t can = buf.droppable_slices(i);
-    if (can <= 0) continue;
-    const Bytes excess = buf.occupancy() - target;
-    const Bytes slice = buf.chunk(i).run->slice_size;
-    const std::int64_t need = (excess + slice - 1) / slice;
-    const DropResult freed = drop_clamped(buf, i, std::min(need, can));
-    total.bytes += freed.bytes;
-    total.weight += freed.weight;
-    total.slices += freed.slices;
-  }
-  return total;
+  return shed::random_shed(buf, target, rng_);
 }
 
 std::unique_ptr<DropPolicy> RandomDropPolicy::clone() const {

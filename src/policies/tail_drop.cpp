@@ -1,31 +1,11 @@
 #include "policies/tail_drop.h"
 
-#include "util/assert.h"
+#include "policies/shed_algorithms.h"
 
 namespace rtsmooth {
 
 DropResult TailDropPolicy::shed(ServerBuffer& buf, Bytes target) {
-  DropResult total;
-  // Newest chunks first. Dropping can erase a chunk, so re-derive the index
-  // from chunk_count() each round.
-  while (buf.occupancy() > target) {
-    RTS_ASSERT(buf.chunk_count() > 0);
-    bool dropped = false;
-    for (std::size_t i = buf.chunk_count(); i-- > 0 && !dropped;) {
-      const std::int64_t can = buf.droppable_slices(i);
-      if (can <= 0) continue;
-      const Bytes excess = buf.occupancy() - target;
-      const Bytes slice = buf.chunk(i).run->slice_size;
-      const std::int64_t need = (excess + slice - 1) / slice;
-      const DropResult freed = drop_clamped(buf, i, std::min(need, can));
-      total.bytes += freed.bytes;
-      total.weight += freed.weight;
-      total.slices += freed.slices;
-      dropped = freed.slices > 0;
-    }
-    RTS_ASSERT(dropped);  // the caller guarantees shedding is possible
-  }
-  return total;
+  return shed::tail_shed(buf, target);
 }
 
 std::unique_ptr<DropPolicy> TailDropPolicy::clone() const {

@@ -49,6 +49,15 @@ ServerConfig server_config(const SimConfig& config) {
 }  // namespace
 
 std::string SimConfig::validate(const Stream& stream) const {
+  // Happy-path exit before any ostringstream is constructed: validate runs
+  // once per simulation, and sweeps construct simulators by the thousand.
+  if (server_buffer >= 1 && client_buffer >= 1 && rate >= 1 &&
+      smoothing_delay >= 0 && link_delay >= 0 &&
+      server_buffer >= stream.max_slice_size() && max_stall >= 0 &&
+      recovery.max_retries >= 0 && recovery.backoff_base >= 1 &&
+      recovery.max_retries <= 62) {
+    return {};
+  }
   std::ostringstream msg;
   if (server_buffer < 1) {
     msg << "server_buffer must be >= 1, got " << server_buffer;
@@ -166,6 +175,13 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
   const Time limit = horizon + playout_offset +
                      stream_->total_bytes() / config_.rate + 16 +
                      8 * (link_->min_delay() + 1) + 256;
+  // One piece vector cycles through server -> link -> client: step_into
+  // fills it, submit moves it into the link's ring, deliver hands a
+  // previously submitted vector back, and the loop re-adopts that storage
+  // for the next step. After the pipeline fills (P steps), the steady-state
+  // loop performs no heap allocation at all — the zero-allocation guard
+  // test pins this (DESIGN.md Sect. 12).
+  std::vector<SentPiece> pieces;
   Time t = 0;
   for (; t <= last_playout || !server_.idle() || !link_->idle() ||
          client_.occupancy() > 0;  // timer-mode playout can trail the offset
@@ -173,25 +189,30 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
     RTS_ASSERT(t <= limit + client_.stall_steps());
     if (rec != nullptr) rec->begin_step(t);
     // Pre-step snapshots for the per-step deltas the tracer and flight
-    // recorder report.
-    const Bytes drops_before = report.dropped_server.bytes;
-    const Bytes played_before = report.played.bytes;
-    const Bytes client_dropped_before = client_dropped_so_far(client_);
-    const Bytes retx_before = report.retransmitted_bytes;
-    const Time stalls_before = client_.stall_steps();
+    // recorder report. All zero (and unread) when nothing is observing, so
+    // the un-instrumented loop does not pay for them.
+    const bool observing = tracer != nullptr || recorder != nullptr;
+    const Bytes drops_before = (observing || sojourn_hist != nullptr)
+                                   ? report.dropped_server.bytes
+                                   : 0;
+    const Bytes played_before = observing ? report.played.bytes : 0;
+    const Bytes client_dropped_before =
+        observing ? client_dropped_so_far(client_) : 0;
+    const Bytes retx_before = observing ? report.retransmitted_bytes : 0;
+    const Time stalls_before = observing ? client_.stall_steps() : 0;
 
     const auto nacks = link_->collect_nacks(t);
     const ArrivalBatch batch = cursor.step(t);
     Bytes arrived = 0;
-    if (tracer != nullptr || recorder != nullptr) {
+    if (observing) {
       for (const SliceRun& run : batch.runs) arrived += run.total_bytes();
     }
-    std::vector<SentPiece> pieces;
+    pieces.clear();
     {
       const obs::Span step_span(config_.telemetry, "server.step");
-      pieces = server_.step(t, batch, nacks, report, rec);
+      server_.step_into(t, batch, nacks, report, rec, pieces);
     }
-    const Bytes sent = piece_bytes(pieces);
+    const Bytes sent = observing ? piece_bytes(pieces) : 0;
     if (sojourn_hist != nullptr) {
       for (const SentPiece& piece : pieces) {
         sojourn_hist->record(t - piece.run->arrival, piece.bytes);
@@ -204,8 +225,10 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
         drop_burst = 0;
       }
     }
-    link_->submit(t, std::move(pieces));
-    const auto delivered = link_->deliver(t);
+    // An empty send is not submitted: moving an empty vector into the link
+    // would surrender (and free) the storage being recycled.
+    if (!pieces.empty()) link_->submit(t, std::move(pieces));
+    auto delivered = link_->deliver(t);
     client_.deliver(t, delivered, report, rec);
     client_.play(t, report, rec);
     if (recorder != nullptr) {
@@ -251,6 +274,9 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
       event["stalled"] = client_.stall_steps() > stalls_before;
       tracer->write(event);
     }
+    // Close the recycling loop: the delivered batch rode in on the vector
+    // submitted P steps ago; take its storage back for the next send.
+    if (pieces.capacity() < delivered.capacity()) pieces = std::move(delivered);
   }
   if (burst_hist != nullptr && drop_burst > 0) {
     burst_hist->record(drop_burst);  // a burst running into the drain tail

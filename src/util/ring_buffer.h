@@ -1,0 +1,121 @@
+// Fixed-capacity circular buffer for the simulator's steady-state hot path.
+//
+// The simulate loop used to keep its FIFO state (server chunks, in-flight
+// link batches, the retransmission queue) in std::deque, whose block
+// allocator churns the heap a couple of times per dozen steps — enough to
+// dominate the per-step cost once everything else is arithmetic. RingBuffer
+// replaces those deques with one contiguous power-of-two slab that is sized
+// once from the run's configuration (DESIGN.md Sect. 12 gives the capacity
+// formulas) and then never reallocates: push/pop are an index mask away,
+// and the zero-allocation guard test pins that the whole simulate loop
+// performs no heap allocation after warm-up.
+//
+// Semantics mirror the std::deque subset the core used: indexable FIFO with
+// push_back / pop_front / erase-at-index preserving element order. Growth
+// is still supported (doubling) as a safety valve for misestimated
+// capacities — it can only happen during warm-up or on pathological inputs,
+// both outside the steady-state contract.
+
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace rtsmooth {
+
+/// Indexable FIFO over a power-of-two slab. T must be default-constructible
+/// and move-assignable; popped slots are left moved-from (never destroyed
+/// until the buffer itself dies), so a T that owns storage — e.g. a
+/// std::vector — keeps nothing after being moved out and the slab never
+/// frees behind the caller's back.
+template <class T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  /// Ensures room for at least `n` elements without reallocation.
+  void reserve(std::size_t n) {
+    if (n > capacity()) grow(n);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  T& operator[](std::size_t i) {
+    RTS_EXPECTS(i < size_);
+    return slots_[(head_ + i) & mask_];
+  }
+  const T& operator[](std::size_t i) const {
+    RTS_EXPECTS(i < size_);
+    return slots_[(head_ + i) & mask_];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(T value) {
+    if (size_ == capacity()) grow(size_ + 1);
+    slots_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+
+  /// Removes and returns the head element (slot left moved-from).
+  T pop_front() {
+    RTS_EXPECTS(size_ > 0);
+    T out = std::move(slots_[head_]);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    return out;
+  }
+
+  /// Removes element i, preserving the order of the rest (deque::erase
+  /// semantics). Shifts whichever side is shorter.
+  void erase(std::size_t i) {
+    RTS_EXPECTS(i < size_);
+    if (i < size_ - i - 1) {
+      for (std::size_t j = i; j > 0; --j) {
+        (*this)[j] = std::move((*this)[j - 1]);
+      }
+      head_ = (head_ + 1) & mask_;
+    } else {
+      for (std::size_t j = i; j + 1 < size_; ++j) {
+        (*this)[j] = std::move((*this)[j + 1]);
+      }
+    }
+    --size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t c = 1;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  void grow(std::size_t need) {
+    const std::size_t new_cap = round_up_pow2(need < 4 ? 4 : need);
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) next[i] = std::move((*this)[i]);
+    slots_ = std::move(next);
+    mask_ = new_cap - 1;
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;  ///< capacity - 1 (capacity is a power of two)
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rtsmooth

@@ -1,0 +1,233 @@
+// Differential equivalence suite: the optimized simulation core (ring
+// buffers, recycled piece vectors, monotone playout cursor — DESIGN.md
+// Sect. 12) against the deque-based reference oracle in reference_core.h.
+//
+// Every comparison checks two artifacts byte-for-byte:
+//   - the SimReport (operator==, covering all tallies, per-type breakdowns,
+//     maxima, invariant-violation counts and double-precision weights), and
+//   - the JSONL trace (config / violation / step / run events), which pins
+//     the *per-step* dynamics, not just the totals.
+//
+// Failures print a self-contained reproducer (seed, expanded SliceRuns,
+// SimConfig) via testgen::describe_instance.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "faults/fault_links.h"
+#include "obs/trace_writer.h"
+#include "policies/policy_factory.h"
+#include "random_instances.h"
+#include "reference_core.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "trace/slicer.h"
+#include "trace/stock_clips.h"
+#include "util/rng.h"
+
+namespace rtsmooth {
+namespace {
+
+struct RunResult {
+  SimReport report;
+  std::string trace;
+};
+
+RunResult run_production(const Stream& stream, const sim::SimConfig& config,
+                         std::string_view policy,
+                         std::unique_ptr<Link> link = nullptr) {
+  std::ostringstream trace;
+  obs::TraceWriter writer(trace);
+  sim::SimConfig cfg = config;
+  cfg.telemetry.tracer = &writer;
+  sim::SmoothingSimulator simulator(stream, cfg, make_policy(policy),
+                                    std::move(link));
+  SimReport report = simulator.run();
+  return {std::move(report), std::move(trace).str()};
+}
+
+RunResult run_reference(const Stream& stream, const sim::SimConfig& config,
+                        std::string_view policy,
+                        std::unique_ptr<Link> link = nullptr) {
+  std::ostringstream trace;
+  obs::TraceWriter writer(trace);
+  refcore::ReferenceSimulator simulator(stream, config, policy,
+                                        std::move(link));
+  SimReport report = simulator.run(&writer);
+  return {std::move(report), std::move(trace).str()};
+}
+
+/// Line-by-line trace diff: a full-trace EXPECT_EQ would dump thousands of
+/// lines; the first divergent event is what identifies the bug.
+void expect_same_trace(const std::string& reference,
+                       const std::string& optimized,
+                       const std::string& reproducer) {
+  if (reference == optimized) return;
+  std::istringstream ref_in(reference);
+  std::istringstream opt_in(optimized);
+  std::string ref_line;
+  std::string opt_line;
+  std::size_t line = 0;
+  while (true) {
+    const bool ref_ok = static_cast<bool>(std::getline(ref_in, ref_line));
+    const bool opt_ok = static_cast<bool>(std::getline(opt_in, opt_line));
+    ++line;
+    if (!ref_ok && !opt_ok) break;
+    if (ref_ok != opt_ok || ref_line != opt_line) {
+      ADD_FAILURE() << "trace divergence at line " << line
+                    << "\n  reference: "
+                    << (ref_ok ? ref_line : std::string("<end of trace>"))
+                    << "\n  optimized: "
+                    << (opt_ok ? opt_line : std::string("<end of trace>"))
+                    << "\n" << reproducer;
+      return;
+    }
+  }
+}
+
+void expect_equivalent(const Stream& stream, const sim::SimConfig& config,
+                       std::string_view policy, std::uint64_t seed,
+                       std::unique_ptr<Link> production_link = nullptr,
+                       std::unique_ptr<Link> reference_link = nullptr) {
+  const RunResult optimized =
+      run_production(stream, config, policy, std::move(production_link));
+  const RunResult reference =
+      run_reference(stream, config, policy, std::move(reference_link));
+  const std::string reproducer =
+      "policy=" + std::string(policy) + "\n" +
+      testgen::describe_instance(seed, stream, config);
+  EXPECT_TRUE(reference.report == optimized.report)
+      << "SimReport mismatch\n" << reproducer;
+  expect_same_trace(reference.trace, optimized.trace, reproducer);
+}
+
+constexpr std::uint64_t kSeedBase = 0x5eedc0de;
+constexpr int kRandomRounds = 8;
+
+// ---------------------------------------------------------------------------
+// Lossless fixed-delay link, random instances × every registered policy.
+// ---------------------------------------------------------------------------
+
+class EquivalencePolicy : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EquivalencePolicy, RandomStreamsLossless) {
+  for (int round = 0; round < kRandomRounds; ++round) {
+    const std::uint64_t seed = kSeedBase + static_cast<std::uint64_t>(round);
+    Rng rng(seed);
+    const Stream stream = testgen::random_stream(rng);
+    const sim::SimConfig config = testgen::random_config(rng, stream);
+    expect_equivalent(stream, config, GetParam(), seed);
+    if (HasFailure()) return;  // one reproducer is enough
+  }
+}
+
+TEST_P(EquivalencePolicy, RandomStreamsBoundedJitter) {
+  for (int round = 0; round < kRandomRounds; ++round) {
+    const std::uint64_t seed =
+        kSeedBase + 1000 + static_cast<std::uint64_t>(round);
+    Rng rng(seed);
+    const Stream stream = testgen::random_stream(rng);
+    sim::SimConfig config = testgen::random_config(rng, stream);
+    const Time jitter = rng.uniform_int(1, 3);
+    const std::uint64_t link_seed = seed ^ 0x9e3779b97f4a7c15ULL;
+    expect_equivalent(
+        stream, config, GetParam(), seed,
+        std::make_unique<BoundedJitterLink>(config.link_delay, jitter,
+                                            Rng(link_seed)),
+        std::make_unique<refcore::ReferenceBoundedJitterLink>(
+            config.link_delay, jitter, Rng(link_seed)));
+    if (HasFailure()) return;
+  }
+}
+
+TEST_P(EquivalencePolicy, RandomStreamsErasureWithRecovery) {
+  for (int round = 0; round < kRandomRounds; ++round) {
+    const std::uint64_t seed =
+        kSeedBase + 2000 + static_cast<std::uint64_t>(round);
+    Rng rng(seed);
+    const Stream stream = testgen::random_stream(rng);
+    sim::SimConfig config = testgen::random_config(rng, stream);
+    // Force the recovery path on so the retransmission queue — one of the
+    // replaced deques — actually carries traffic.
+    config.recovery.enabled = true;
+    if (config.recovery.max_retries == 0) config.recovery.max_retries = 2;
+    const double loss = 0.05 + 0.1 * rng.uniform01();
+    const std::uint64_t link_seed = seed ^ 0xdeadbeefcafef00dULL;
+    expect_equivalent(
+        stream, config, GetParam(), seed,
+        std::make_unique<faults::ErasureLink>(
+            std::make_unique<FixedDelayLink>(config.link_delay), loss,
+            Rng(link_seed)),
+        std::make_unique<faults::ErasureLink>(
+            std::make_unique<refcore::ReferenceFixedDelayLink>(
+                config.link_delay),
+            loss, Rng(link_seed)));
+    if (HasFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, EquivalencePolicy,
+                         ::testing::ValuesIn(known_policies()),
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Deterministic anchor: the benchmark workload (stock clip, balanced plan)
+// across every policy — the exact configuration whose hot path the
+// optimization targets.
+// ---------------------------------------------------------------------------
+
+TEST(Equivalence, StockClipBalancedPlanAllPolicies) {
+  const Stream stream = trace::slice_frames(
+      trace::stock_clip("cnn-news", 120), trace::ValueModel::mpeg_default(),
+      trace::Slicing::ByteSlices);
+  const Bytes rate = sim::relative_rate(stream, 0.9);
+  const Plan plan = Planner::from_buffer_rate(2 * stream.max_frame_bytes(), rate);
+  const sim::SimConfig config = sim::SimConfig::balanced(plan);
+  for (const std::string& policy : known_policies()) {
+    expect_equivalent(stream, config, policy, /*seed=*/0);
+  }
+}
+
+// The Gilbert-Elliott chain exercises bursty loss: long NACK trains land in
+// the retransmission queue in one step, which is where a ring-capacity bug
+// would hide.
+TEST(Equivalence, StockClipGilbertElliottBurstLoss) {
+  const Stream stream = trace::slice_frames(
+      trace::stock_clip("cnn-news", 80), trace::ValueModel::mpeg_default(),
+      trace::Slicing::ByteSlices);
+  const Bytes rate = sim::relative_rate(stream, 0.9);
+  const Plan plan = Planner::from_buffer_rate(2 * stream.max_frame_bytes(), rate);
+  sim::SimConfig config = sim::SimConfig::balanced(plan);
+  config.recovery.enabled = true;
+  config.recovery.max_retries = 3;
+  config.underflow = UnderflowPolicy::Stall;
+  config.max_stall = 4;
+  const faults::GilbertElliottConfig ge{.p_good_to_bad = 0.05,
+                                        .p_bad_to_good = 0.4,
+                                        .loss_good = 0.0,
+                                        .loss_bad = 0.9};
+  const std::uint64_t link_seed = 1234;
+  expect_equivalent(
+      stream, config, "tail-drop", /*seed=*/0,
+      std::make_unique<faults::GilbertElliottLink>(
+          std::make_unique<FixedDelayLink>(config.link_delay), ge,
+          Rng(link_seed)),
+      std::make_unique<faults::GilbertElliottLink>(
+          std::make_unique<refcore::ReferenceFixedDelayLink>(
+              config.link_delay),
+          ge, Rng(link_seed)));
+}
+
+}  // namespace
+}  // namespace rtsmooth

@@ -2,17 +2,30 @@
 // resource configurations, asserting the paper's invariants hold on every
 // combination (gtest TEST_P as the property-based harness; seeds make each
 // instance reproducible).
+//
+// The PropertyFuzz suite at the bottom runs open-ended randomized rounds
+// (default 50; RTSMOOTH_PROP_ITERS overrides — the nightly CI job runs 2000
+// under ASan/UBSan). Every failing round prints a self-contained reproducer
+// (seed, expanded SliceRuns, SimConfig) to stderr, and also writes it to
+// $RTSMOOTH_REPRO_DIR/<label>_<seed>.txt when that variable is set, so CI
+// can upload the dumps as artifacts.
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "analysis/competitive.h"
 #include "core/planner.h"
+#include "offline/brute_force.h"
 #include "offline/pareto_dp.h"
 #include "offline/unit_optimal.h"
 #include "policies/policy_factory.h"
+#include "random_instances.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -177,6 +190,218 @@ TEST_P(OfflineSolverProperties, GreedyDpAndFeasibilityAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OfflineSolverProperties,
                          ::testing::Range(1, 25));
+
+// ------------------------------------------------------------ fuzz rounds
+
+/// Round count: default 50, overridden by RTSMOOTH_PROP_ITERS (the nightly
+/// CI job runs 2000 under sanitizers).
+int prop_iters() {
+  if (const char* env = std::getenv("RTSMOOTH_PROP_ITERS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return 50;
+}
+
+/// Emits the reproducer to stderr and, when RTSMOOTH_REPRO_DIR is set, to a
+/// dump file CI can collect as an artifact.
+void dump_reproducer(const std::string& label, std::uint64_t seed,
+                     const Stream& stream, const sim::SimConfig& config) {
+  const std::string repro = testgen::describe_instance(seed, stream, config);
+  std::cerr << "[reproducer] " << label << "\n" << repro;
+  if (const char* dir = std::getenv("RTSMOOTH_REPRO_DIR")) {
+    std::ofstream out(std::string(dir) + "/" + label + "_" +
+                      std::to_string(seed) + ".txt");
+    out << "label=" << label << "\n" << repro;
+  }
+}
+
+/// SimConfig carrier for offline-solver reproducers (only buffer and rate
+/// are meaningful; the rest are the defaults describe_instance prints).
+sim::SimConfig offline_config(Bytes buffer, Bytes rate) {
+  sim::SimConfig config;
+  config.server_buffer = buffer;
+  config.client_buffer = buffer;
+  config.rate = rate;
+  return config;
+}
+
+/// Tiny random instance for the exponential oracle: total slice count kept
+/// small enough that 2^slices subsets stay cheap even under sanitizers.
+Stream small_stream(Rng& rng, bool unit_only) {
+  std::vector<SliceRun> runs;
+  std::int64_t total_slices = 0;
+  Time arrival = rng.uniform_int(0, 1);
+  const std::int64_t steps = rng.uniform_int(2, 6);
+  for (std::int64_t step = 0; step < steps && total_slices < 12; ++step) {
+    SliceRun run;
+    run.arrival = arrival;
+    run.slice_size =
+        (unit_only || rng.bernoulli(0.5)) ? 1 : rng.uniform_int(2, 4);
+    run.count = std::min<std::int64_t>(rng.uniform_int(1, 3),
+                                       12 - total_slices);
+    run.weight = rng.bernoulli(0.2)
+                     ? 0.0
+                     : static_cast<Weight>(rng.uniform_int(1, 9));
+    run.frame_type = static_cast<FrameType>(rng.uniform_int(0, 3));
+    run.frame_index = step;
+    total_slices += run.count;
+    runs.push_back(run);
+    arrival += rng.uniform_int(1, 2);
+  }
+  return Stream::from_runs(std::move(runs));
+}
+
+/// Runs with arrival <= cutoff, i.e. the instance induced by a stream
+/// prefix (used for the prefix-dominance property).
+Stream prefix_stream(const Stream& stream, Time cutoff) {
+  std::vector<SliceRun> runs;
+  for (const SliceRun& run : stream.runs()) {
+    if (run.arrival <= cutoff) runs.push_back(run);
+  }
+  return Stream::from_runs(std::move(runs));
+}
+
+/// System invariants (conservation, resource bounds) on fully random
+/// instances — arbitrary slice sizes, buffers, playout modes, recovery —
+/// across every registered policy.
+TEST(PropertyFuzz, SimulatorInvariantsOnRandomInstances) {
+  const int rounds = prop_iters();
+  for (int round = 0; round < rounds; ++round) {
+    const std::uint64_t seed = 0xf022ed00 + static_cast<std::uint64_t>(round);
+    Rng rng(seed);
+    const Stream stream = testgen::random_stream(rng);
+    const sim::SimConfig config = testgen::random_config(rng, stream);
+    for (const std::string& policy : known_policies()) {
+      sim::SmoothingSimulator simulator(stream, config, make_policy(policy));
+      const SimReport report = simulator.run();
+      const bool ok = report.conserves() && report.residual.bytes == 0 &&
+                      report.max_server_occupancy <= config.server_buffer &&
+                      report.max_client_occupancy <= config.client_buffer &&
+                      report.max_link_bytes_per_step <= config.rate;
+      EXPECT_TRUE(ok) << "policy=" << policy;
+      if (!ok) {
+        dump_reproducer("invariants_" + sanitize(policy), seed, stream,
+                        config);
+        return;
+      }
+    }
+  }
+}
+
+/// Theorem 3.5, strengthened to prefixes: with unit slices, every
+/// work-conserving policy plays exactly the off-line optimal byte count —
+/// on the full stream and on every arrival prefix (each prefix is itself an
+/// instance; dominance on all of them pins the greedy exchange argument,
+/// not just the endpoint). Weighted benefit stays below the weighted
+/// optimum throughout.
+TEST(PropertyFuzz, UnitPrefixDominanceMatchesOfflineOptimal) {
+  const int rounds = prop_iters();
+  for (int round = 0; round < rounds; ++round) {
+    const std::uint64_t seed = 0xd0a11a00 + static_cast<std::uint64_t>(round);
+    Rng rng(seed);
+    const Stream stream =
+        analysis::random_unit_stream(rng, rng.uniform_int(8, 30),
+                                     rng.uniform_int(2, 10), 9.0, 0.8);
+    if (stream.run_count() == 0) continue;
+    const Bytes rate = rng.uniform_int(1, 4);
+    const Time delay = rng.uniform_int(1, 5);
+    const Plan plan = Planner::from_delay_rate(delay, rate);
+    const Time last = stream.runs().back().arrival;
+    const Time cutoffs[] = {last / 3, (2 * last) / 3, last};
+    for (const std::string& policy : known_policies()) {
+      if (policy == "proactive") continue;  // early-drops by design
+      for (const Time cutoff : cutoffs) {
+        const Stream prefix = prefix_stream(stream, cutoff);
+        if (prefix.run_count() == 0) continue;
+        sim::SmoothingSimulator simulator(
+            prefix, sim::SimConfig::balanced(plan), make_policy(policy));
+        const SimReport report = simulator.run();
+        const auto optimal =
+            offline::unit_optimal(prefix, plan.buffer, plan.rate);
+        const bool ok =
+            report.played.bytes == optimal.accepted_bytes &&
+            report.played.weight <= optimal.benefit + 1e-6;
+        EXPECT_TRUE(ok) << "policy=" << policy << " cutoff=" << cutoff
+                        << " played=" << report.played.bytes
+                        << " optimal=" << optimal.accepted_bytes;
+        if (!ok) {
+          dump_reproducer("prefix_dominance_" + sanitize(policy), seed,
+                          prefix,
+                          sim::SimConfig::balanced(plan));
+          return;
+        }
+      }
+    }
+  }
+}
+
+/// Lemma 3.6: benefit is monotone in the buffer — growing B (at fixed R)
+/// never reduces the off-line optimum, nor the bytes a work-conserving
+/// policy plays online.
+TEST(PropertyFuzz, BufferMonotonicity) {
+  const int rounds = prop_iters();
+  for (int round = 0; round < rounds; ++round) {
+    const std::uint64_t seed = 0xb0ffe200 + static_cast<std::uint64_t>(round);
+    Rng rng(seed);
+    const Stream stream =
+        analysis::random_unit_stream(rng, rng.uniform_int(8, 25),
+                                     rng.uniform_int(2, 8), 7.0, 0.75);
+    if (stream.run_count() == 0) continue;
+    const Bytes rate = rng.uniform_int(1, 3);
+    Weight prev_benefit = -1.0;
+    Bytes prev_played = -1;
+    for (Bytes buffer = rate; buffer <= rate * 5; buffer += rate) {
+      const auto optimal = offline::unit_optimal(stream, buffer, rate);
+      sim::SmoothingSimulator simulator(
+          stream,
+          sim::SimConfig::balanced(Planner::from_buffer_rate(buffer, rate)),
+          make_policy("tail-drop"));
+      const SimReport report = simulator.run();
+      const bool ok = optimal.benefit >= prev_benefit - 1e-9 &&
+                      report.played.bytes >= prev_played;
+      EXPECT_TRUE(ok) << "buffer=" << buffer << " rate=" << rate;
+      if (!ok) {
+        dump_reproducer("buffer_monotonicity", seed, stream,
+                        offline_config(buffer, rate));
+        return;
+      }
+      prev_benefit = optimal.benefit;
+      prev_played = report.played.bytes;
+    }
+  }
+}
+
+/// The polynomial solvers against the exponential oracle on small
+/// instances: pareto_dp_optimal must match brute_force_optimal exactly for
+/// arbitrary slice sizes, and unit_optimal must match on unit instances.
+TEST(PropertyFuzz, SolversMatchBruteForceOnSmallInstances) {
+  const int rounds = prop_iters();
+  for (int round = 0; round < rounds; ++round) {
+    const std::uint64_t seed = 0xb20cef00 + static_cast<std::uint64_t>(round);
+    Rng rng(seed);
+    const bool unit_only = rng.bernoulli(0.5);
+    const Stream stream = small_stream(rng, unit_only);
+    if (stream.run_count() == 0) continue;
+    const Bytes buffer =
+        std::max<Bytes>(stream.max_slice_size(), rng.uniform_int(1, 8));
+    const Bytes rate = rng.uniform_int(1, 3);
+    const Weight exact = offline::brute_force_optimal(stream, buffer, rate);
+    const auto dp = offline::pareto_dp_optimal(stream, buffer, rate);
+    ASSERT_TRUE(dp.exact);
+    bool ok = std::abs(dp.benefit - exact) <= 1e-9;
+    if (ok && unit_only) {
+      const auto greedy = offline::unit_optimal(stream, buffer, rate);
+      ok = std::abs(greedy.benefit - exact) <= 1e-9;
+    }
+    EXPECT_TRUE(ok) << "brute=" << exact << " dp=" << dp.benefit;
+    if (!ok) {
+      dump_reproducer("solver_mismatch", seed, stream,
+                      offline_config(buffer, rate));
+      return;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace rtsmooth
