@@ -18,12 +18,16 @@
 #include "sim/sweep.h"
 #include "trace/slicer.h"
 #include "trace/stock_clips.h"
+#include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 namespace {
 
 using namespace rtsmooth;
+
+constexpr const char* kUsage =
+    "usage: capacity_planner (two of) --buffer B --delay D --rate R";
 
 SimReport run_config(const Stream& stream, Bytes buffer, Bytes client_buffer,
                      Bytes rate, Time delay) {
@@ -44,14 +48,14 @@ int main(int argc, char** argv) {
   std::optional<Bytes> rate;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--buffer" && i + 1 < argc) buffer = std::stoll(argv[++i]);
-    else if (arg == "--delay" && i + 1 < argc) delay = std::stoll(argv[++i]);
-    else if (arg == "--rate" && i + 1 < argc) rate = std::stoll(argv[++i]);
-    else {
-      std::cerr << "usage: capacity_planner (two of) --buffer B --delay D "
-                   "--rate R\n";
-      return 2;
-    }
+    if (arg == "--buffer" && i + 1 < argc)
+      buffer = cli::require_int(argv[++i], "--buffer", kUsage, 1);
+    else if (arg == "--delay" && i + 1 < argc)
+      delay = cli::require_int(argv[++i], "--delay", kUsage, 1);
+    else if (arg == "--rate" && i + 1 < argc)
+      rate = cli::require_int(argv[++i], "--rate", kUsage, 1);
+    else
+      cli::usage_exit(kUsage);
   }
   const int given = (buffer ? 1 : 0) + (delay ? 1 : 0) + (rate ? 1 : 0);
   if (given != 2) {

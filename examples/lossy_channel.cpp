@@ -33,7 +33,14 @@
 #include "sim/sweep.h"
 #include "trace/slicer.h"
 #include "trace/stock_clips.h"
+#include "util/cli.h"
 #include "util/stats.h"
+
+namespace {
+constexpr const char* kUsage =
+    "usage: lossy_channel [loss-probability (0..1)]\n"
+    "                     [--incident PATH] [--chrome-trace PATH]";
+}
 
 int main(int argc, char** argv) {
   using namespace rtsmooth;
@@ -47,7 +54,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
       chrome_path = argv[++i];
     } else {
-      loss = std::atof(argv[i]);
+      loss = cli::require_double(argv[i], "loss-probability", kUsage, 0.0, 1.0);
     }
   }
 

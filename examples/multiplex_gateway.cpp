@@ -15,16 +15,27 @@
 #include "sim/sweep.h"
 #include "trace/mpeg_model.h"
 #include "trace/slicer.h"
+#include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
+
+namespace {
+constexpr const char* kUsage =
+    "usage: multiplex_gateway [channels (1..64)] [frames (1..100000)]";
+}
 
 int main(int argc, char** argv) {
   using namespace rtsmooth;
 
+  if (argc > 3) cli::usage_exit(kUsage);
   const std::size_t channels =
-      argc > 1 ? static_cast<std::size_t>(std::stoull(argv[1])) : 6;
+      argc > 1 ? static_cast<std::size_t>(
+                     cli::require_int(argv[1], "channels", kUsage, 1, 64))
+               : 6;
   const std::size_t frames =
-      argc > 2 ? static_cast<std::size_t>(std::stoull(argv[2])) : 750;
+      argc > 2 ? static_cast<std::size_t>(
+                     cli::require_int(argv[2], "frames", kUsage, 1, 100000))
+               : 750;
   const Time delay = 25;  // one second at 25 fps
   const double budget = 0.01;
 

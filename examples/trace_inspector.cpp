@@ -24,10 +24,15 @@
 #include "obs/json.h"
 #include "trace/stock_clips.h"
 #include "trace/trace_io.h"
+#include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 namespace {
+
+constexpr const char* kUsage =
+    "usage: trace_inspector [trace-file-or-clip-name] [frames]\n"
+    "       trace_inspector --incident FILE [--chrome-out PATH]";
 
 int inspect_incident(const std::string& path, const std::string& chrome_out) {
   using namespace rtsmooth;
@@ -100,11 +105,7 @@ int main(int argc, char** argv) {
   using namespace rtsmooth;
 
   if (argc > 1 && std::strcmp(argv[1], "--incident") == 0) {
-    if (argc < 3) {
-      std::cerr << "usage: trace_inspector --incident FILE "
-                   "[--chrome-out PATH]\n";
-      return 1;
-    }
+    if (argc < 3) cli::usage_exit(kUsage);
     std::string chrome_out;
     if (argc > 4 && std::strcmp(argv[3], "--chrome-out") == 0) {
       chrome_out = argv[4];
@@ -112,9 +113,12 @@ int main(int argc, char** argv) {
     return inspect_incident(argv[2], chrome_out);
   }
 
+  if (argc > 3) cli::usage_exit(kUsage);
   const std::string source = argc > 1 ? argv[1] : "cnn-news";
   const std::size_t max_frames =
-      argc > 2 ? static_cast<std::size_t>(std::stoull(argv[2])) : 3000;
+      argc > 2 ? static_cast<std::size_t>(
+                     cli::require_int(argv[2], "frames", kUsage, 1, 10000000))
+               : 3000;
 
   trace::FrameSequence frames;
   try {

@@ -14,14 +14,23 @@
 #include "trace/slicer.h"
 #include "trace/stock_clips.h"
 #include "trace/trace_io.h"
+#include "util/cli.h"
 #include "util/table.h"
+
+namespace {
+constexpr const char* kUsage =
+    "usage: vod_policy_comparison [trace-file-or-clip-name] [frames]";
+}
 
 int main(int argc, char** argv) {
   using namespace rtsmooth;
 
+  if (argc > 3) cli::usage_exit(kUsage);
   const std::string source = argc > 1 ? argv[1] : "cnn-news";
   const std::size_t frames =
-      argc > 2 ? static_cast<std::size_t>(std::stoull(argv[2])) : 1500;
+      argc > 2 ? static_cast<std::size_t>(
+                     cli::require_int(argv[2], "frames", kUsage, 1, 10000000))
+               : 1500;
 
   trace::FrameSequence sequence;
   try {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+// Header-only shed templates; no link-time dependency on rtsmooth_policies.
+#include "policies/shed_algorithms.h"
 #include "util/assert.h"
 
 namespace rtsmooth {
@@ -45,6 +47,7 @@ void SmoothingServer::account_drop(const SliceRun& run, std::size_t run_index,
     current_rec_->run(run_index).dropped_server += slices;
     current_rec_->step().dropped_server += bytes;
   }
+  if (drop_sink_) drop_sink_(run, run_index, slices);
 }
 
 void SmoothingServer::set_telemetry(obs::Telemetry telemetry) {
@@ -117,29 +120,37 @@ Bytes SmoothingServer::send_retransmissions(Time t, Bytes budget,
   return sent;
 }
 
-void SmoothingServer::step_into(Time t, const ArrivalBatch& arrivals,
-                                std::span<const Nack> nacks, SimReport& report,
-                                ScheduleRecorder* rec,
-                                std::vector<SentPiece>& out) {
+void SmoothingServer::begin_step(Time t, std::span<const Nack> nacks,
+                                 SimReport& report, ScheduleRecorder* rec) {
+  RTS_EXPECTS(current_report_ == nullptr);
   now_ = t;
   current_report_ = &report;
   current_rec_ = rec;
+  step_nacks_ = static_cast<std::int64_t>(nacks.size());
 
   // Loss feedback arriving this step: retry or write off.
   for (const Nack& nack : nacks) handle_nack(nack, t);
 
   // Pro-active (early) drops act on the state before this step's arrivals.
   policy_->early_drop(buffer_, config_.buffer, t);
+}
 
-  // A(t) arrives.
-  for (std::size_t i = 0; i < arrivals.runs.size(); ++i) {
-    const SliceRun& run = arrivals.runs[i];
-    buffer_.push(run, arrivals.first_index + i, run.count);
-    report.offered.add(run.total_bytes(), run.total_weight(), run.count);
-    report.offered_by_type[type_index(run.frame_type)].add(
-        run.total_bytes(), run.total_weight(), run.count);
-    if (rec != nullptr) rec->step().arrived += run.total_bytes();
+void SmoothingServer::admit(const SliceRun& run, std::size_t run_index) {
+  RTS_EXPECTS(current_report_ != nullptr);
+  buffer_.push(run, run_index, run.count);
+  current_report_->offered.add(run.total_bytes(), run.total_weight(),
+                               run.count);
+  current_report_->offered_by_type[type_index(run.frame_type)].add(
+      run.total_bytes(), run.total_weight(), run.count);
+  if (current_rec_ != nullptr) {
+    current_rec_->step().arrived += run.total_bytes();
   }
+}
+
+void SmoothingServer::finish_step(std::vector<SentPiece>& out) {
+  RTS_EXPECTS(current_report_ != nullptr);
+  SimReport& report = *current_report_;
+  const Time t = now_;
 
   // Retransmissions go out first: their deadlines are the closest, and
   // giving them priority within the same rate R keeps Eq. (2)'s link
@@ -171,17 +182,17 @@ void SmoothingServer::step_into(Time t, const ArrivalBatch& arrivals,
       std::max(report.max_link_bytes_per_step, retx_sent + sent);
   report.max_server_occupancy =
       std::max(report.max_server_occupancy, buffer_.occupancy());
-  if (rec != nullptr) {
+  if (current_rec_ != nullptr) {
     for (std::size_t i = out_start; i < out.size(); ++i) {
-      rec->note_send(out[i].run_index, t, out[i].bytes);
+      current_rec_->note_send(out[i].run_index, t, out[i].bytes);
     }
-    rec->step().server_occupancy = buffer_.occupancy();
+    current_rec_->step().server_occupancy = buffer_.occupancy();
   }
   RTS_ENSURES(buffer_.occupancy() <= config_.buffer);
   if (occupancy_hist_ != nullptr) {
     sent_bytes_->add(sent);
     retx_bytes_->add(retx_sent);
-    nacks_seen_->add(static_cast<std::int64_t>(nacks.size()));
+    nacks_seen_->add(step_nacks_);
     // Post-step occupancy distribution, one sample per step; Eq. (3)'s
     // |Bs(t)| <= B shows up as max() <= B.
     occupancy_hist_->record(buffer_.occupancy());
@@ -190,6 +201,31 @@ void SmoothingServer::step_into(Time t, const ArrivalBatch& arrivals,
 
   current_report_ = nullptr;
   current_rec_ = nullptr;
+}
+
+void SmoothingServer::step_into(Time t, const ArrivalBatch& arrivals,
+                                std::span<const Nack> nacks, SimReport& report,
+                                ScheduleRecorder* rec,
+                                std::vector<SentPiece>& out) {
+  begin_step(t, nacks, report, rec);
+  for (std::size_t i = 0; i < arrivals.runs.size(); ++i) {
+    admit(arrivals.runs[i], arrivals.first_index + i);
+  }
+  finish_step(out);
+}
+
+DropResult SmoothingServer::shed_below_value(double floor,
+                                             SimReport& report) {
+  RTS_EXPECTS(floor >= 0.0);
+  // Drops route through the buffer's drop observer, which accounts into
+  // current_report_ — bind it for the duration when called between steps.
+  const bool in_step = current_report_ != nullptr;
+  RTS_EXPECTS(!in_step || current_report_ == &report);
+  if (!in_step) current_report_ = &report;
+  const DropResult dropped =
+      buffer_.empty() ? DropResult{} : shed::greedy_shed(buffer_, 0, floor);
+  if (!in_step) current_report_ = nullptr;
+  return dropped;
 }
 
 void SmoothingServer::account_residual(SimReport& report) const {

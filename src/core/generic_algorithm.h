@@ -91,6 +91,32 @@ class SmoothingServer {
     return step(t, arrivals, {}, report, rec);
   }
 
+  /// Phase-split step interface, for live callers (src/daemon/) whose
+  /// arrivals are not a contiguous ArrivalBatch span: a serving loop admits
+  /// runs out of a recycling slot arena, so run identities are arbitrary
+  /// per-step indices, not `first_index + i`. Per step, call begin_step()
+  /// once, admit() zero or more times, then finish_step() once —
+  /// step_into() is exactly that composition, so the phases share every
+  /// invariant (event order, accounting, allocation-freedom) with the batch
+  /// entry point.
+  void begin_step(Time t, std::span<const Nack> nacks, SimReport& report,
+                  ScheduleRecorder* rec);
+  /// Pushes `run.count` slices of `run` into the buffer under identity
+  /// `run_index` and tallies them as offered. Only valid between
+  /// begin_step() and finish_step().
+  void admit(const SliceRun& run, std::size_t run_index);
+  /// Retransmits due pieces, sheds per Eq. (3), and sends per Eq. (2);
+  /// submitted pieces are appended to `out`.
+  void finish_step(std::vector<SentPiece>& out);
+
+  /// Degradation hook (the daemon's overload ladder, DESIGN.md Sect. 13):
+  /// drops every droppable slice whose byte value is <= `floor`, using the
+  /// same greedy-shed template the value-aware policies use, and accounts
+  /// the drops into `report`. Callable between begin_step() and
+  /// finish_step() (then `report` must be the step's bound report) or
+  /// between whole steps. Returns what was dropped.
+  DropResult shed_below_value(double floor, SimReport& report);
+
   const ServerBuffer& buffer() const { return buffer_; }
   const ServerConfig& config() const { return config_; }
   const DropPolicy& policy() const { return *policy_; }
@@ -105,6 +131,14 @@ class SmoothingServer {
   using LinkLossSink = std::function<void(const SliceRun& run,
                                           std::size_t run_index, Bytes bytes)>;
   void set_link_loss_sink(LinkLossSink sink) { loss_sink_ = std::move(sink); }
+
+  /// Invoked with every server-side drop (Eq. (3) sheds, early drops, value-
+  /// floor sheds) after it has been tallied. Live callers use this for
+  /// per-run ledgers the batch SimReport cannot carry; null by default.
+  using DropSink = std::function<void(const SliceRun& run,
+                                      std::size_t run_index,
+                                      std::int64_t slices)>;
+  void set_drop_sink(DropSink sink) { drop_sink_ = std::move(sink); }
 
   /// Installs the telemetry handle (null by default: no cost). The server
   /// records per-step occupancy, send/retransmit/write-off counters, and a
@@ -140,6 +174,7 @@ class SmoothingServer {
   /// grows only if a run exceeds the estimate, never in steady state.
   RingBuffer<RetxEntry> retx_queue_;
   LinkLossSink loss_sink_;
+  DropSink drop_sink_;
   obs::Telemetry telemetry_;
   // Instruments resolved by set_telemetry(); null while telemetry is off.
   obs::Counter* sent_bytes_ = nullptr;
@@ -152,6 +187,7 @@ class SmoothingServer {
   SimReport* current_report_ = nullptr;
   ScheduleRecorder* current_rec_ = nullptr;
   Time now_ = 0;
+  std::int64_t step_nacks_ = 0;  ///< NACKs seen this step, for telemetry
 };
 
 }  // namespace rtsmooth

@@ -1,0 +1,71 @@
+#include "daemon/degradation.h"
+
+#include "util/assert.h"
+
+namespace rtsmooth::daemon {
+
+const char* to_string(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::Normal: return "normal";
+    case DegradationLevel::AdmissionControl: return "admission_control";
+    case DegradationLevel::ValueFloor: return "value_floor";
+    case DegradationLevel::StreamShed: return "stream_shed";
+  }
+  return "unknown";
+}
+
+DegradationLadder::DegradationLadder(LadderConfig config) : config_(config) {
+  RTS_EXPECTS(config_.escalate_after >= 1);
+  RTS_EXPECTS(config_.deescalate_after >= 1);
+  RTS_EXPECTS(config_.floor_start > 0.0);
+  RTS_EXPECTS(config_.floor_max >= config_.floor_start);
+  RTS_EXPECTS(config_.max_shed_channels >= 0);
+  floor_rungs_ = 1;
+  for (double f = config_.floor_start; f * 2.0 <= config_.floor_max;
+       f *= 2.0) {
+    ++floor_rungs_;
+  }
+}
+
+void DegradationLadder::update(bool pressured) {
+  if (!config_.enabled) return;
+  if (pressured) {
+    healthy_streak_ = 0;
+    if (++pressured_streak_ >= config_.escalate_after && rung_ < max_rung()) {
+      ++rung_;
+      ++escalations_;
+      pressured_streak_ = 0;
+    }
+  } else {
+    pressured_streak_ = 0;
+    if (++healthy_streak_ >= config_.deescalate_after && rung_ > 0) {
+      --rung_;
+      ++deescalations_;
+      healthy_streak_ = 0;
+    }
+  }
+}
+
+DegradationLevel DegradationLadder::level() const {
+  if (rung_ == 0) return DegradationLevel::Normal;
+  if (rung_ == 1) return DegradationLevel::AdmissionControl;
+  if (rung_ <= 1 + floor_rungs_) return DegradationLevel::ValueFloor;
+  return DegradationLevel::StreamShed;
+}
+
+double DegradationLadder::value_floor() const {
+  if (rung_ < 2) return 0.0;
+  const std::int32_t steps =
+      rung_ - 2 < floor_rungs_ - 1 ? rung_ - 2 : floor_rungs_ - 1;
+  double floor = config_.floor_start;
+  for (std::int32_t i = 0; i < steps; ++i) floor *= 2.0;
+  return floor < config_.floor_max ? floor : config_.floor_max;
+}
+
+std::int32_t DegradationLadder::shed_channels() const {
+  const std::int32_t over = rung_ - (1 + floor_rungs_);
+  if (over <= 0) return 0;
+  return over < config_.max_shed_channels ? over : config_.max_shed_channels;
+}
+
+}  // namespace rtsmooth::daemon

@@ -1,0 +1,83 @@
+// Overload-degradation ladder (DESIGN.md Sect. 13): a monotone sequence of
+// increasingly aggressive responses to sustained SLO pressure.
+//
+//   Normal -> AdmissionControl -> ValueFloor(f, 2f, ... f_max) -> StreamShed
+//
+// Each rung maps to a concrete mechanism applied by the daemon:
+//   * AdmissionControl — per-step admissions are budgeted against the
+//     engine's admission headroom (B + R - occupancy), most valuable bytes
+//     first, so Eq. (3) never has to shed blind.
+//   * ValueFloor — the engine sheds every buffered slice at or below the
+//     floor (SmoothingServer::shed_below_value, the greedy-shed template);
+//     the floor doubles per escalation from `floor_start` to `floor_max`.
+//   * StreamShed — whole channels are dropped at ingest, lowest mean byte
+//     value first, one more channel per escalation.
+//
+// Escalation fires after `escalate_after` consecutive pressured steps;
+// de-escalation descends one rung after `deescalate_after` consecutive
+// healthy steps. Both streaks reset on any opposite step, so the ladder
+// never flaps on mixed signals.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace rtsmooth::daemon {
+
+enum class DegradationLevel : std::int32_t {
+  Normal = 0,
+  AdmissionControl = 1,
+  ValueFloor = 2,
+  StreamShed = 3,
+};
+
+const char* to_string(DegradationLevel level);
+
+struct LadderConfig {
+  bool enabled = true;
+  Time escalate_after = 256;
+  Time deescalate_after = 2048;
+  double floor_start = 1.0;
+  double floor_max = 8.0;
+  /// Channels StreamShed may drop (keep at least one serving); the daemon
+  /// caps this at channels - 1.
+  std::int32_t max_shed_channels = 1;
+};
+
+class DegradationLadder {
+ public:
+  explicit DegradationLadder(LadderConfig config);
+
+  /// Feed one step's pressure verdict (Watchdog::Pressure::any()).
+  void update(bool pressured);
+
+  DegradationLevel level() const;
+  /// Value floor for the current rung; 0 below the ValueFloor rungs.
+  double value_floor() const;
+  /// Channels to shed at ingest; 0 below the StreamShed rungs.
+  std::int32_t shed_channels() const;
+  bool admission_control() const {
+    return rung_ >= 1;
+  }
+
+  std::int32_t rung() const { return rung_; }
+  std::int64_t escalations() const { return escalations_; }
+  std::int64_t deescalations() const { return deescalations_; }
+
+ private:
+  std::int32_t max_rung() const {
+    return 1 + floor_rungs_ + config_.max_shed_channels;
+  }
+
+  LadderConfig config_;
+  std::int32_t floor_rungs_ = 1;  ///< ValueFloor rungs: floor_start..floor_max
+  std::int32_t rung_ = 0;
+  Time pressured_streak_ = 0;
+  Time healthy_streak_ = 0;
+  std::int64_t escalations_ = 0;
+  std::int64_t deescalations_ = 0;
+};
+
+}  // namespace rtsmooth::daemon

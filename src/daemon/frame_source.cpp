@@ -1,0 +1,219 @@
+#include "daemon/frame_source.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "util/assert.h"
+
+namespace rtsmooth::daemon {
+
+// ---------------------------------------------------------------------------
+// GeneratorSource
+
+GeneratorSource::GeneratorSource(GeneratorConfig config)
+    : config_(std::move(config)) {
+  RTS_EXPECTS(config_.channels >= 1);
+  RTS_EXPECTS(!config_.gop_pattern.empty());
+  RTS_EXPECTS(config_.min_frame_bytes >= 1);
+  RTS_EXPECTS(config_.min_frame_bytes <= config_.mean_frame_bytes);
+  RTS_EXPECTS(config_.mean_frame_bytes <= config_.max_frame_bytes);
+
+  // Per-type relative sizes follow the classic MPEG shape (I frames largest,
+  // B frames smallest); scale them so the pattern-weighted mean equals
+  // mean_frame_bytes.
+  constexpr double kRel[4] = {4.0, 2.2, 1.0, 1.0};  // I, P, B, Other
+  double rel_sum = 0.0;
+  for (const char c : config_.gop_pattern) {
+    rel_sum += kRel[static_cast<std::size_t>(frame_type_from_char(c))];
+  }
+  const double base = static_cast<double>(config_.mean_frame_bytes) *
+                      static_cast<double>(config_.gop_pattern.size()) /
+                      rel_sum;
+  for (std::size_t k = 0; k < 4; ++k) type_mean_[k] = base * kRel[k];
+
+  Rng root(config_.seed);
+  state_.reserve(static_cast<std::size_t>(config_.channels));
+  for (std::int32_t c = 0; c < config_.channels; ++c) {
+    state_.push_back(
+        ChannelState{root.split(static_cast<std::uint64_t>(c)), 0});
+  }
+}
+
+PollStatus GeneratorSource::poll(Time /*t*/, std::vector<IngestFrame>& out) {
+  bool all_done = true;
+  const double sigma = config_.size_sigma;
+  // E[lognormal(-sigma^2/2, sigma)] == 1, so the multiplier is mean-neutral.
+  const double mu = -0.5 * sigma * sigma;
+  for (std::int32_t c = 0; c < config_.channels; ++c) {
+    ChannelState& ch = state_[static_cast<std::size_t>(c)];
+    if (config_.frames_per_channel > 0 &&
+        ch.emitted >= config_.frames_per_channel) {
+      continue;
+    }
+    all_done = false;
+    const std::size_t pos = static_cast<std::size_t>(ch.emitted) %
+                            config_.gop_pattern.size();
+    const FrameType type = frame_type_from_char(config_.gop_pattern[pos]);
+    const double mean = type_mean_[static_cast<std::size_t>(type)];
+    const double raw = mean * ch.rng.lognormal(mu, sigma);
+    const Bytes size =
+        std::clamp(static_cast<Bytes>(std::llround(raw)),
+                   config_.min_frame_bytes, config_.max_frame_bytes);
+    out.push_back(IngestFrame{c, type, size});
+    ++ch.emitted;
+  }
+  return all_done ? PollStatus::End : PollStatus::Ready;
+}
+
+// ---------------------------------------------------------------------------
+// ReplaySource
+
+ReplaySource::ReplaySource(trace::FrameSequence frames, ReplayConfig config)
+    : frames_(std::move(frames)), config_(config) {
+  RTS_EXPECTS(!frames_.empty());
+  RTS_EXPECTS(config_.channel >= 0);
+}
+
+PollStatus ReplaySource::poll(Time /*t*/, std::vector<IngestFrame>& out) {
+  if (pos_ >= frames_.size()) {
+    if (!config_.loop) return PollStatus::End;
+    pos_ = 0;
+  }
+  const trace::Frame& f = frames_[pos_++];
+  out.push_back(IngestFrame{config_.channel, f.type, f.size});
+  return PollStatus::Ready;
+}
+
+// ---------------------------------------------------------------------------
+// PipeSource
+
+namespace {
+
+void put_u32(unsigned char* p, std::uint32_t v) {
+  p[0] = static_cast<unsigned char>(v & 0xFF);
+  p[1] = static_cast<unsigned char>((v >> 8) & 0xFF);
+  p[2] = static_cast<unsigned char>((v >> 16) & 0xFF);
+  p[3] = static_cast<unsigned char>((v >> 24) & 0xFF);
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void put_u64(unsigned char* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+void WireFrame::encode(const IngestFrame& frame, unsigned char* buf) {
+  put_u32(buf, kMagic);
+  buf[4] = static_cast<unsigned char>(frame.type);
+  buf[5] = 0;
+  buf[6] = static_cast<unsigned char>(frame.channel & 0xFF);
+  buf[7] = static_cast<unsigned char>((frame.channel >> 8) & 0xFF);
+  put_u64(buf + 8, static_cast<std::uint64_t>(frame.size));
+}
+
+bool WireFrame::decode(const unsigned char* buf, IngestFrame& frame) {
+  if (get_u32(buf) != kMagic) return false;
+  if (buf[4] > static_cast<unsigned char>(FrameType::Other)) return false;
+  frame.type = static_cast<FrameType>(buf[4]);
+  frame.channel = static_cast<std::int32_t>(buf[6]) |
+                  (static_cast<std::int32_t>(buf[7]) << 8);
+  const std::uint64_t size = get_u64(buf + 8);
+  if (size == 0 || size > static_cast<std::uint64_t>(1) << 40) return false;
+  frame.size = static_cast<Bytes>(size);
+  return true;
+}
+
+PipeSource::PipeSource(int fd, std::int32_t channels, PipeConfig config)
+    : fd_(fd), channels_(channels), config_(config) {
+  RTS_EXPECTS(fd_ >= 0);
+  RTS_EXPECTS(channels_ >= 1);
+  RTS_EXPECTS(config_.ring_frames >= 1);
+  RTS_EXPECTS(config_.max_frames_per_poll >= 1);
+  ring_.resize(config_.ring_frames * WireFrame::kWireSize);
+}
+
+PipeSource::~PipeSource() {
+  if (config_.own_fd && fd_ >= 0) ::close(fd_);
+}
+
+PollStatus PipeSource::poll(Time /*t*/, std::vector<IngestFrame>& out) {
+  // Top the ring up from the fd (non-blocking; EAGAIN means "nothing yet").
+  if (!eof_) {
+    while (fill_ < ring_.size()) {
+      const ssize_t n = ::read(fd_, ring_.data() + fill_, ring_.size() - fill_);
+      if (n > 0) {
+        fill_ += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n == 0) {
+        eof_ = true;
+      } else if (errno == EINTR) {
+        continue;
+      }
+      // EAGAIN/EWOULDBLOCK (or a real error, treated as a stall and retried
+      // by the daemon's backoff machinery) — stop reading this poll.
+      break;
+    }
+  }
+
+  // Consume complete records from the front.
+  std::size_t consumed = 0;
+  std::size_t emitted = 0;
+  while (emitted < config_.max_frames_per_poll &&
+         fill_ - consumed >= WireFrame::kWireSize) {
+    IngestFrame frame;
+    if (WireFrame::decode(ring_.data() + consumed, frame)) {
+      out.push_back(frame);
+      ++emitted;
+    } else {
+      ++rejected_;
+    }
+    consumed += WireFrame::kWireSize;
+  }
+  if (consumed > 0) {
+    std::memmove(ring_.data(), ring_.data() + consumed, fill_ - consumed);
+    fill_ -= consumed;
+  }
+
+  if (emitted > 0) return PollStatus::Ready;
+  if (eof_) {
+    truncated_tail_ = fill_;
+    return PollStatus::End;
+  }
+  return PollStatus::Stalled;
+}
+
+bool PipeSource::write_frame(int fd, const IngestFrame& frame) {
+  unsigned char buf[WireFrame::kWireSize];
+  WireFrame::encode(frame, buf);
+  std::size_t off = 0;
+  while (off < sizeof(buf)) {
+    const ssize_t n = ::write(fd, buf + off, sizeof(buf) - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rtsmooth::daemon

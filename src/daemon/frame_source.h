@@ -1,0 +1,174 @@
+// Frame ingestion for the live serving loop (rtsmoothd, DESIGN.md Sect. 13).
+//
+// A FrameSource is polled once per serving step and appends the frames that
+// arrive in that slot. Three implementations cover the serving modes the
+// daemon supports:
+//
+//  * GeneratorSource — in-process synthetic MPEG-style traffic (GOP pattern
+//    plus lognormal sizes), one frame per channel per step, endless or
+//    bounded. Deterministic from its seed and allocation-free per poll.
+//  * ReplaySource — replays a trace::FrameSequence (e.g. a stock clip or a
+//    trace file), one frame per step, optionally looping.
+//  * PipeSource — reads fixed-size binary WireFrame records from a
+//    non-blocking pipe/socket fd into a bounded byte ring. A slot with no
+//    complete record is reported as Stalled (the daemon's retry/backoff
+//    machinery decides what to do with that); EOF is End.
+//
+// poll() never blocks. The retry/timeout/backoff policy for stalled ingest
+// lives in the daemon (IngestConfig), not in the sources, so it is applied
+// uniformly and tested in one place.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "trace/frame.h"
+#include "util/rng.h"
+
+namespace rtsmooth::daemon {
+
+/// One ingested frame: which stream (channel) it belongs to, its type, and
+/// its encoded size. The engine slices it into unit slices on admission.
+struct IngestFrame {
+  std::int32_t channel = 0;
+  FrameType type = FrameType::Other;
+  Bytes size = 0;
+
+  bool operator==(const IngestFrame&) const = default;
+};
+
+enum class PollStatus {
+  Ready,    ///< zero or more frames appended; source healthy
+  Stalled,  ///< no data available this slot (transient; caller may retry)
+  End,      ///< source exhausted; no further frames will ever arrive
+};
+
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+
+  /// Appends the frames arriving at step `t` to `out` (which the caller
+  /// recycles across steps). Must not block.
+  virtual PollStatus poll(Time t, std::vector<IngestFrame>& out) = 0;
+
+  /// Number of distinct channels this source emits on (>= 1).
+  virtual std::int32_t channels() const = 0;
+};
+
+/// Synthetic per-channel MPEG-style traffic: a fixed GOP pattern cycled per
+/// channel with lognormally distributed sizes around per-type means chosen
+/// so the aggregate mean is `mean_frame_bytes`. Channel c's generator is
+/// seeded with split(seed, c), so adding channels never perturbs existing
+/// ones.
+struct GeneratorConfig {
+  std::int32_t channels = 4;
+  std::string gop_pattern = "IBBPBBPBB";
+  Bytes mean_frame_bytes = 2048;
+  Bytes max_frame_bytes = 8192;
+  Bytes min_frame_bytes = 64;
+  double size_sigma = 0.3;  ///< lognormal sigma of the size multiplier
+  std::uint64_t seed = 1;
+  /// Frames each channel emits before the source reports End; 0 = endless.
+  std::int64_t frames_per_channel = 0;
+};
+
+class GeneratorSource final : public FrameSource {
+ public:
+  explicit GeneratorSource(GeneratorConfig config);
+
+  PollStatus poll(Time t, std::vector<IngestFrame>& out) override;
+  std::int32_t channels() const override { return config_.channels; }
+
+ private:
+  struct ChannelState {
+    Rng rng;
+    std::int64_t emitted = 0;
+  };
+
+  GeneratorConfig config_;
+  std::vector<ChannelState> state_;
+  /// Per-type mean sizes derived from the GOP pattern's type mix.
+  double type_mean_[4] = {0.0, 0.0, 0.0, 0.0};
+};
+
+/// Replays a recorded frame sequence, one frame per step on one channel.
+struct ReplayConfig {
+  std::int32_t channel = 0;
+  bool loop = false;
+};
+
+class ReplaySource final : public FrameSource {
+ public:
+  explicit ReplaySource(trace::FrameSequence frames, ReplayConfig config = {});
+
+  PollStatus poll(Time t, std::vector<IngestFrame>& out) override;
+  std::int32_t channels() const override { return config_.channel + 1; }
+
+  std::size_t position() const { return pos_; }
+
+ private:
+  trace::FrameSequence frames_;
+  ReplayConfig config_;
+  std::size_t pos_ = 0;
+};
+
+/// Fixed 16-byte little-endian wire record for PipeSource. Producers write
+/// these back-to-back; the reader tolerates arbitrary fragmentation.
+struct WireFrame {
+  static constexpr std::uint32_t kMagic = 0x52545346u;  // "RTSF"
+  static constexpr std::size_t kWireSize = 16;
+
+  /// Serializes `frame` into `buf[0..kWireSize)`.
+  static void encode(const IngestFrame& frame, unsigned char* buf);
+  /// Decodes `buf[0..kWireSize)`; returns false on bad magic or bad type.
+  static bool decode(const unsigned char* buf, IngestFrame& frame);
+};
+
+/// Reads WireFrame records from a non-blocking fd into a bounded ring.
+/// Stalled = a read round produced no complete record and the fd is still
+/// open (EAGAIN, or a partial record is buffered). End = EOF with no
+/// complete record left (a partial tail at EOF is counted as truncated).
+struct PipeConfig {
+  /// Ring capacity in whole records; reads never buffer more than this.
+  std::size_t ring_frames = 256;
+  /// Frames consumed per poll (backpressure toward the producer).
+  std::size_t max_frames_per_poll = 64;
+  bool own_fd = true;  ///< close(fd) on destruction
+};
+
+class PipeSource final : public FrameSource {
+ public:
+  PipeSource(int fd, std::int32_t channels, PipeConfig config = {});
+  ~PipeSource() override;
+
+  PipeSource(const PipeSource&) = delete;
+  PipeSource& operator=(const PipeSource&) = delete;
+
+  PollStatus poll(Time t, std::vector<IngestFrame>& out) override;
+  std::int32_t channels() const override { return channels_; }
+
+  /// Bytes of a trailing partial record discarded at EOF (0 on clean ends).
+  std::size_t truncated_tail() const { return truncated_tail_; }
+  /// Records rejected for bad magic/type (producer bug or desync).
+  std::int64_t rejected_records() const { return rejected_; }
+
+  /// Test/producer helper: blocking best-effort write of one record to `fd`.
+  /// Returns false on a write error (e.g. closed pipe).
+  static bool write_frame(int fd, const IngestFrame& frame);
+
+ private:
+  int fd_;
+  std::int32_t channels_;
+  PipeConfig config_;
+  std::vector<unsigned char> ring_;
+  std::size_t fill_ = 0;  ///< valid bytes at the front of ring_
+  bool eof_ = false;
+  std::size_t truncated_tail_ = 0;
+  std::int64_t rejected_ = 0;
+};
+
+}  // namespace rtsmooth::daemon

@@ -1,0 +1,196 @@
+// LiveEngine: the simulator pipeline (server -> link -> client) repackaged
+// for endless serving (DESIGN.md Sect. 13).
+//
+// The batch SmoothingSimulator is stream-indexed: the Stream is immutable,
+// the Client holds one RunState per run, and the run loop ends at a known
+// horizon. A daemon has none of that — frames keep coming, so run state
+// must be *recycled*. The engine keeps a fixed arena of RunSlots; an
+// admitted frame becomes a unit-slice SliceRun pinned in its slot (the
+// server buffer and link hold pointers into it), identified by a monotone
+// sequence number, and the slot is reused only once every byte of the run
+// is in a terminal accounting state (played, dropped, lost, or written
+// off). A full target slot means the pipeline still owes bytes from
+// max_live_runs frames ago — admission is refused, which is the engine's
+// built-in backpressure and keeps memory bounded forever.
+//
+// The client side mirrors core/client.h semantics exactly (Skip underflow
+// policy, ArrivalPlusOffset playout) but retires runs incrementally with
+// the same per-run ledger math Client::finalize() applies at end of run —
+// so a drained engine's SimReport is byte-identical to a batch run over the
+// same arrivals, which tests/test_reconfig.cpp pins differentially against
+// the reference oracle.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/generic_algorithm.h"
+#include "core/link.h"
+#include "core/metrics.h"
+#include "core/slice.h"
+#include "core/types.h"
+#include "daemon/frame_source.h"
+#include "obs/telemetry.h"
+#include "trace/value_model.h"
+#include "util/assert.h"
+
+namespace rtsmooth::daemon {
+
+struct EngineConfig {
+  Bytes server_buffer = 1;  ///< B
+  Bytes client_buffer = 1;  ///< Bc
+  Bytes rate = 1;           ///< R
+  Time smoothing_delay = 1;  ///< D
+  Time link_delay = 1;       ///< P
+  std::string policy = "greedy";
+  std::uint64_t policy_seed = 7;
+  trace::ValueModel values = trace::ValueModel::mpeg_default();
+  RecoveryConfig recovery{};
+  /// Run-slot arena size == max frames simultaneously in flight anywhere in
+  /// the pipeline. Admission refuses (backpressure) when the target slot is
+  /// still owed bytes.
+  std::size_t max_live_runs = 4096;
+
+  Time playout_offset() const { return link_delay + smoothing_delay; }
+  /// Empty when well-formed, else a human-readable problem description.
+  std::string validate() const;
+};
+
+/// What one engine step did — the watchdog's sample and the daemon's ledger.
+struct StepStats {
+  Bytes arrived = 0;            ///< admitted bytes
+  std::int64_t admitted = 0;    ///< admitted frames
+  Bytes refused = 0;            ///< bytes refused for slot exhaustion
+  std::int64_t refused_frames = 0;
+  double refused_weight = 0.0;
+  Bytes floor_shed = 0;     ///< bytes shed by the value floor this step
+  Bytes sent = 0;
+  Bytes delivered = 0;
+  Bytes played = 0;
+  Bytes dropped_server = 0;
+  Bytes dropped_client = 0;  ///< late + overflow bytes
+  Bytes retransmitted = 0;
+  double offered_weight = 0.0;  ///< weight admitted this step
+  double lost_weight = 0.0;     ///< weight newly in a loss category
+  std::int64_t playouts = 0;    ///< frames whose playout step this was
+  std::int64_t degraded = 0;    ///< playouts with bytes missing
+  Bytes server_occupancy = 0;   ///< post-step
+  Bytes client_occupancy = 0;   ///< post-step
+  bool link_idle = false;
+};
+
+class LiveEngine {
+ public:
+  /// `link` overrides the default lossless FixedDelayLink(link_delay) —
+  /// the daemon injects fault links here. Aborts on invalid config; call
+  /// config.validate() first for a recoverable error path.
+  LiveEngine(EngineConfig config, obs::Telemetry telemetry = {},
+             std::unique_ptr<Link> link = nullptr);
+
+  /// Runs one step at the engine-local time now(): NACK triage, admissions,
+  /// value-floor shed (when `value_floor` > 0), Eq. (2)/(3) server step,
+  /// link transfer, delivery, playout, capacity settling, incremental run
+  /// retirement. Frames refused for slot exhaustion are counted in the
+  /// returned stats and are NOT part of the engine's offered ledger.
+  StepStats step(std::span<const IngestFrame> frames, double value_floor = 0.0);
+
+  /// Admission headroom in bytes: what this step can take without Eq. (3)
+  /// shedding (B + R minus current occupancy). The daemon's admission-
+  /// control rung budgets against this.
+  Bytes admission_budget() const {
+    const Bytes room = config_.server_buffer + config_.rate -
+                       server_.buffer().occupancy();
+    return room > 0 ? room : 0;
+  }
+
+  /// True when nothing is owed anywhere: server buffer and retransmission
+  /// queue empty, link empty, no client-stored bytes, no live runs.
+  bool quiescent() const {
+    return aborted_ || (server_.idle() && link_->idle() && occupancy_ == 0 &&
+                        active_runs_ == 0);
+  }
+
+  /// Moves everything still owed by live runs (server-buffered, in flight,
+  /// client-stored) into report().residual and deactivates the engine, for
+  /// drains that hit their ceiling (e.g. a permanent link outage). After
+  /// this the engine is quiescent and must not be stepped.
+  void abort_residual();
+
+  /// Offset added to engine-local time in FlightRecorder step records, so a
+  /// daemon's incident windows keep strictly rising timestamps across
+  /// engine rebuilds. Semantic time (arrivals, deadlines) stays local.
+  void set_record_base(Time base) { record_base_ = base; }
+
+  Time now() const { return now_; }
+  std::int64_t active_runs() const { return active_runs_; }
+  const EngineConfig& config() const { return config_; }
+  /// Cumulative report over everything admitted so far. conserves() holds
+  /// exactly when no runs are live (drained or aborted).
+  const SimReport& report() const { return report_; }
+  Bytes server_occupancy() const { return server_.buffer().occupancy(); }
+  Bytes client_occupancy() const { return occupancy_; }
+
+ private:
+  struct RunSlot {
+    SliceRun run{};  ///< pinned: server chunks and link pieces point here
+    std::uint64_t seq = 0;
+    bool active = false;
+    bool played_out = false;
+    Bytes stored = 0;          ///< client-buffered, not yet played
+    Bytes played = 0;
+    Bytes overflow_lost = 0;
+    Bytes late_lost = 0;
+    Bytes link_lost = 0;
+    Bytes dropped_server = 0;
+    /// Bytes already in a terminal accounting category.
+    Bytes accounted() const {
+      return played + overflow_lost + late_lost + link_lost + dropped_server;
+    }
+  };
+
+  RunSlot& slot_of(std::size_t run_index) {
+    RunSlot& s = slots_[run_index % slots_.size()];
+    RTS_ASSERT(s.active && s.seq == run_index);
+    return s;
+  }
+  void admit_frame(const IngestFrame& frame, StepStats& st);
+  void deliver(Time t, std::span<const SentPiece> pieces, StepStats& st);
+  void play(Time t, StepStats& st);
+  void settle_capacity(StepStats& st);
+  /// Retires `s` if every byte is terminal and playout has passed: applies
+  /// Client::finalize()'s per-run ledger math to report_ and frees the slot.
+  void maybe_retire(RunSlot& s);
+
+  EngineConfig config_;
+  obs::Telemetry telemetry_;
+  SmoothingServer server_;
+  std::unique_ptr<Link> link_;
+  std::vector<RunSlot> slots_;
+  /// due_ring_[t % size] = seqs whose playout step is t; entry vectors are
+  /// cleared after playout and their capacity reused.
+  std::vector<std::vector<std::uint64_t>> due_ring_;
+  std::vector<std::pair<std::uint64_t, Bytes>> arrived_this_step_;
+  std::vector<SentPiece> pieces_;
+  SimReport report_;
+  Time now_ = 0;
+  Time record_base_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::int64_t active_runs_ = 0;
+  Bytes occupancy_ = 0;  ///< client buffer occupancy
+  bool aborted_ = false;
+  Bytes total_late_ = 0;
+  Bytes total_overflow_ = 0;
+  // Instruments resolved once at construction; null when telemetry is off.
+  obs::Counter* played_bytes_ = nullptr;
+  obs::Counter* late_bytes_ = nullptr;
+  obs::Counter* overflow_bytes_ = nullptr;
+  obs::Counter* refused_frames_ = nullptr;
+  obs::Counter* retired_runs_ = nullptr;
+  obs::Gauge* max_client_occupancy_ = nullptr;
+};
+
+}  // namespace rtsmooth::daemon

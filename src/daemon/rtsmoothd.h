@@ -1,0 +1,269 @@
+// rtsmoothd: the long-running serving daemon (DESIGN.md Sect. 13).
+//
+// One Daemon owns a FrameSource, a LiveEngine, a Watchdog, a
+// DegradationLadder, a Registry and a FlightRecorder, and runs the serving
+// loop: poll (with retry/backoff on ingest stalls) -> ladder-filter ->
+// engine step -> watchdog -> ladder update. It supports:
+//
+//   * graceful reconfiguration — schedule_reconfig(at, plan) drains the
+//     current engine to quiescence (bounded by a drain ceiling), validates
+//     the new plan, logs which Sect. 3.3 resource-waste case a mismatched
+//     B != R*D plan lands in, and rebuilds the engine. Frames polled while
+//     draining are deferred in ingest order and replayed into the new
+//     engine at up to two groups per step, so a reconfig never reorders or
+//     drops ingest and the deferral backlog decays right after the drain.
+//   * overload degradation — the ladder's rungs map to admission control,
+//     value-floor shedding, and whole-channel shedding at ingest.
+//   * clean shutdown — request_stop() (the installed SIGTERM/SIGINT
+//     handlers call it) finishes the current step, drains in-flight pieces,
+//     folds everything into the final report, writes the rtsmooth-soak-v1
+//     snapshot plus every captured incident, and serve() returns 0.
+//
+// The daemon-level ledger extends the engine's conservation invariant to
+// ingest: polled == admitted + budget_refused + slot_refused +
+// channel_shed + unserved (deferred frames a shutdown never admitted).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "daemon/degradation.h"
+#include "daemon/frame_source.h"
+#include "daemon/live_engine.h"
+#include "daemon/watchdog.h"
+#include "obs/flight_recorder.h"
+#include "obs/json.h"
+#include "obs/telemetry.h"
+#include "util/ring_buffer.h"
+
+namespace rtsmooth::daemon {
+
+/// Sect. 3.3's case analysis of a provisioning (B_s, B_c, R, D) against the
+/// balanced point B = R*D, reported when a reconfiguration lands off it.
+enum class PlanCase {
+  Balanced,             ///< B_s == B_c == R*D: client-transparent (Thm. 3.5)
+  ServerBufferDeficit,  ///< B_s < R*D: forced server drops under full load
+  ServerBufferExcess,   ///< B_s > R*D: buffer the delay budget cannot use
+  ClientBufferDeficit,  ///< B_c < R*D: client evictions under full load
+  ClientBufferExcess,   ///< B_c > R*D: client buffer that never fills
+  BufferMismatch,       ///< B_s != B_c: the smaller bound dominates
+};
+
+const char* to_string(PlanCase c);
+
+/// Appends every applicable case (Balanced alone when the plan is balanced).
+void classify_plan(const EngineConfig& config, std::vector<PlanCase>& out);
+
+/// A reconfiguration target: the full new provisioning. An empty policy
+/// keeps the current one.
+struct EnginePlan {
+  Bytes server_buffer = 1;
+  Bytes client_buffer = 1;
+  Bytes rate = 1;
+  Time smoothing_delay = 1;
+  Time link_delay = 1;
+  std::string policy;
+};
+
+/// Retry/backoff policy for ingest stalls (PollStatus::Stalled). Within one
+/// serving step the source is re-polled up to `max_retries` times with
+/// exponentially growing sleeps; a step that stays empty is served anyway
+/// (the stream pauses, the pipeline keeps draining). `stall_timeout_steps`
+/// consecutive fully-stalled steps declare the source dead (treated as
+/// End); 0 waits forever.
+struct IngestConfig {
+  std::int32_t max_retries = 3;
+  std::int64_t retry_sleep_us = 100;
+  std::int64_t retry_sleep_max_us = 10000;
+  Time stall_timeout_steps = 0;
+};
+
+struct DaemonOptions {
+  EngineConfig engine;
+  IngestConfig ingest;
+  SloConfig slo;
+  LadderConfig ladder;
+  obs::FlightRecorderConfig recorder{};
+  /// Serving steps before a natural stop; 0 = until the source ends or
+  /// request_stop().
+  Time max_steps = 0;
+  /// Drain ceiling per reconfiguration or shutdown; steps beyond it move
+  /// what is still owed to residual (LiveEngine::abort_residual). 0 derives
+  /// a generous default from the provisioning.
+  Time max_drain_steps = 0;
+  /// Write the snapshot every N steps (atomically, tmp+rename); 0 = only at
+  /// shutdown.
+  Time snapshot_every = 0;
+  std::string snapshot_path;  ///< empty = no snapshot file
+  std::string incident_dir;   ///< empty = keep incidents in memory only
+  std::ostream* log = nullptr;  ///< reconfig/SLO event log; null = silent
+};
+
+class Daemon {
+ public:
+  using LinkFactory =
+      std::function<std::unique_ptr<Link>(const EngineConfig&)>;
+
+  /// `link_factory` builds the link for every engine (initial and after
+  /// each reconfiguration); null uses the lossless default. Throws
+  /// std::invalid_argument on an invalid initial engine config.
+  Daemon(DaemonOptions options, std::unique_ptr<FrameSource> source,
+         LinkFactory link_factory = {});
+
+  /// Runs the serving loop until max_steps, source end, or request_stop();
+  /// then drains, writes outputs, and returns 0. Returns 1 only if the
+  /// final ledger fails to conserve (an accounting bug, never load).
+  int serve();
+
+  /// Async-signal-safe stop request; the loop notices at the next step
+  /// boundary. install_signal_handlers() routes SIGTERM/SIGINT here.
+  void request_stop(int signum) {
+    stop_signal_.store(signum, std::memory_order_relaxed);
+  }
+  int stop_signal() const {
+    return stop_signal_.load(std::memory_order_relaxed);
+  }
+
+  /// Schedules a drain-and-replan at global step `at_step` (requests are
+  /// served in time order; one at a time — a request due while another
+  /// drain is in progress waits for it).
+  void schedule_reconfig(Time at_step, EnginePlan plan);
+
+  /// Cycles through `plans` forever, one drain-and-replan every `every`
+  /// serving steps — the endless-soak counterpart of schedule_reconfig,
+  /// which needs a horizon to enumerate against. The next cycle fires
+  /// `every` steps after the previous one *began* (drains do not compress
+  /// the period). Throws std::invalid_argument on every < 1 / empty plans.
+  void schedule_reconfig_cycle(Time every, std::vector<EnginePlan> plans);
+
+  // -- observers (valid during and after serve()) --------------------------
+  Time steps() const { return steps_; }
+  const LiveEngine& engine() const { return *engine_; }
+  const obs::Registry& registry() const { return registry_; }
+  const obs::FlightRecorder& recorder() const { return recorder_; }
+  const Watchdog& watchdog() const { return watchdog_; }
+  const DegradationLadder& ladder() const { return ladder_; }
+  /// Cumulative report over every engine epoch plus the live one.
+  SimReport total_report() const;
+  /// The rtsmooth-soak-v1 document (also what snapshot_path receives).
+  obs::Json snapshot() const;
+
+  std::int64_t reconfigs_applied() const { return reconfigs_applied_; }
+  std::int64_t reconfigs_rejected() const { return reconfigs_rejected_; }
+  std::int64_t incidents_written() const { return incidents_written_; }
+  std::int64_t polled_frames() const { return polled_frames_; }
+  Bytes polled_bytes() const { return polled_bytes_; }
+
+  /// polled == admitted + budget_refused + slot_refused + channel_shed +
+  /// unserved, in bytes.
+  bool ingest_ledger_conserves() const;
+
+ private:
+  struct Group {
+    Time orig = 0;  ///< global step the frames were polled at
+    std::vector<IngestFrame> frames;
+  };
+  struct ReconfigRequest {
+    Time at_step = 0;
+    EnginePlan plan;
+  };
+  struct ChannelStats {
+    Bytes offered_bytes = 0;
+    double offered_weight = 0.0;
+    std::int64_t frames = 0;
+  };
+
+  std::unique_ptr<LiveEngine> make_engine(const EngineConfig& config);
+  Time drain_ceiling() const;
+  void poll_frames();
+  void serve_step();
+  void drain_step();
+  void begin_reconfig();
+  void finish_reconfig();
+  void apply_ladder(Group& group);
+  void apply_admission_budget();
+  void observe(const StepStats& stats);
+  void shutdown_drain();
+  void write_outputs();
+  void write_snapshot() const;
+  std::vector<IngestFrame> take_group_buffer();
+  void recycle_group_buffer(std::vector<IngestFrame> buf);
+  EngineConfig plan_config(const EnginePlan& plan) const;
+
+  DaemonOptions options_;
+  std::unique_ptr<FrameSource> source_;
+  LinkFactory link_factory_;
+  obs::Registry registry_;
+  obs::FlightRecorder recorder_;
+  std::unique_ptr<LiveEngine> engine_;
+  Watchdog watchdog_;
+  DegradationLadder ladder_;
+  std::atomic<int> stop_signal_{0};
+
+  Time steps_ = 0;       ///< global serving steps completed
+  Time epoch_base_ = 0;  ///< global step mapped to the engine's local 0
+  bool served_ = false;
+  bool source_ended_ = false;
+  bool ingest_timed_out_ = false;
+  bool draining_ = false;
+  bool forced_residual_ = false;
+  EnginePlan pending_plan_;
+  Time current_drain_steps_ = 0;
+  std::deque<ReconfigRequest> reconfig_queue_;
+  Time cycle_every_ = 0;  ///< 0 = no cycling program installed
+  Time cycle_next_ = 0;
+  std::size_t cycle_index_ = 0;
+  std::vector<EnginePlan> cycle_plans_;
+  /// Deferred ingest groups (ring, not deque: a deque's block allocator
+  /// churns the heap every few steps of steady-state push/pop, which the
+  /// soak alloc guard forbids).
+  RingBuffer<Group> pending_;
+  std::vector<std::vector<IngestFrame>> group_pool_;
+  std::vector<IngestFrame> admit_buf_;
+  std::vector<PlanCase> cases_buf_;
+  std::vector<ChannelStats> channel_stats_;
+  std::vector<std::int32_t> shed_rank_;  ///< channels by ascending mean value
+  std::int32_t shed_count_ = 0;
+
+  // Ingest + ladder ledger (bytes / frames / weight).
+  std::int64_t polled_frames_ = 0;
+  Bytes polled_bytes_ = 0;
+  std::int64_t stalled_polls_ = 0;
+  std::int64_t ingest_retries_ = 0;
+  Time consecutive_stalled_ = 0;
+  Bytes admitted_bytes_ = 0;
+  std::int64_t admitted_frames_ = 0;
+  Bytes budget_refused_bytes_ = 0;
+  std::int64_t budget_refused_frames_ = 0;
+  Bytes slot_refused_bytes_ = 0;
+  std::int64_t slot_refused_frames_ = 0;
+  Bytes channel_shed_bytes_ = 0;
+  std::int64_t channel_shed_frames_ = 0;
+  Bytes unserved_bytes_ = 0;
+  std::int64_t unserved_frames_ = 0;
+  Bytes floor_shed_bytes_ = 0;
+  std::int64_t playouts_ = 0;
+  std::int64_t degraded_playouts_ = 0;
+
+  SimReport total_report_;  ///< folded reports of completed engine epochs
+  std::int64_t reconfigs_applied_ = 0;
+  std::int64_t reconfigs_rejected_ = 0;
+  Time reconfig_drain_steps_ = 0;
+  Time max_reconfig_lag_ = 0;
+  std::int64_t incidents_written_ = 0;
+};
+
+/// Installs SIGTERM/SIGINT handlers that call daemon.request_stop(). The
+/// handler only stores into an atomic (async-signal-safe); at most one
+/// daemon can be installed at a time (re-install for a new one).
+void install_signal_handlers(Daemon& daemon);
+
+}  // namespace rtsmooth::daemon

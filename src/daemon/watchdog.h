@@ -1,0 +1,118 @@
+// SLO watchdog for the serving loop (DESIGN.md Sect. 13): turns sustained
+// service-level breaches into FlightRecorder incidents and feeds the
+// degradation ladder a per-step pressure signal.
+//
+// Three SLOs, each evaluated over a sliding window of engine StepStats with
+// O(1) running sums:
+//
+//   * stall rate       — degraded playouts / playouts
+//   * weighted loss    — lost weight / offered weight
+//   * occupancy        — fraction of window steps with the server buffer
+//                        above `max_occupancy_frac` of B
+//
+// A breach (window full, rate above its limit) increments a counter and —
+// rate-limited by `cooldown` per SLO kind — captures an incident through
+// FlightRecorder::on_violation with kind "slo.stall_rate" / "slo.loss_rate"
+// / "slo.occupancy" and the rate in parts-per-million as the magnitude.
+// The returned Pressure reflects the instantaneous window rates every step
+// regardless of cooldown, so the ladder sees overload continuously.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "daemon/live_engine.h"
+#include "obs/telemetry.h"
+
+namespace rtsmooth::obs {
+class FlightRecorder;
+}
+
+namespace rtsmooth::daemon {
+
+struct SloConfig {
+  bool enabled = true;
+  double max_stall_rate = 0.05;
+  double max_weighted_loss_rate = 0.10;
+  /// Occupancy line as a fraction of the server buffer B.
+  double max_occupancy_frac = 0.95;
+  /// Breach when more than this fraction of window steps sit above the line.
+  double max_occupancy_step_frac = 0.50;
+  Time window = 512;
+  /// Minimum steps between captured incidents per SLO kind; breaches during
+  /// the cooldown are still counted and still produce pressure.
+  Time cooldown = 2048;
+};
+
+struct SloBreaches {
+  std::int64_t stall = 0;
+  std::int64_t loss = 0;
+  std::int64_t occupancy = 0;
+  std::int64_t total() const { return stall + loss + occupancy; }
+};
+
+class Watchdog {
+ public:
+  struct Pressure {
+    bool stall = false;
+    bool loss = false;
+    bool occupancy = false;
+    bool any() const { return stall || loss || occupancy; }
+  };
+
+  Watchdog(SloConfig config, Bytes server_buffer,
+           obs::FlightRecorder* recorder, obs::Registry* registry);
+
+  /// Feeds one step's stats; `t` is the daemon's global step (used for
+  /// incident timestamps and cooldowns).
+  Pressure observe(Time t, const StepStats& stats);
+
+  /// Reconfiguration moved the occupancy line.
+  void set_server_buffer(Bytes server_buffer);
+
+  const SloBreaches& breaches() const { return breaches_; }
+  /// Current window rates (0 while the window is filling).
+  double stall_rate() const;
+  double loss_rate() const;
+  double occupancy_step_frac() const;
+
+ private:
+  struct Sample {
+    std::int64_t playouts = 0;
+    std::int64_t degraded = 0;
+    double offered_weight = 0.0;
+    double lost_weight = 0.0;
+    std::int64_t occupancy_high = 0;  ///< 0/1: post-step occupancy over line
+  };
+
+  bool window_full() const {
+    return seen_ >= static_cast<std::int64_t>(ring_.size());
+  }
+  void breach(Time t, const char* kind, double rate, double limit,
+              std::int64_t* counter, Time* last_capture,
+              obs::Counter* breach_counter);
+
+  SloConfig config_;
+  Bytes server_buffer_;
+  Bytes occupancy_line_;
+  obs::FlightRecorder* recorder_;
+  std::vector<Sample> ring_;
+  std::int64_t seen_ = 0;
+  // Running window sums, O(1) per observe.
+  std::int64_t playouts_ = 0;
+  std::int64_t degraded_ = 0;
+  double offered_weight_ = 0.0;
+  double lost_weight_ = 0.0;
+  std::int64_t occupancy_high_ = 0;
+  SloBreaches breaches_;
+  Time last_stall_capture_ = -1;
+  Time last_loss_capture_ = -1;
+  Time last_occupancy_capture_ = -1;
+  obs::Counter* stall_breaches_ = nullptr;
+  obs::Counter* loss_breaches_ = nullptr;
+  obs::Counter* occupancy_breaches_ = nullptr;
+};
+
+}  // namespace rtsmooth::daemon

@@ -1,0 +1,167 @@
+#include "faults/fault_schedule.h"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace rtsmooth::faults {
+
+ScheduledFaultLink::ScheduledFaultLink(std::unique_ptr<Link> inner,
+                                       std::vector<FaultPhase> phases,
+                                       Rng rng, Time feedback_delay,
+                                       Time period)
+    : inner_(std::move(inner)),
+      phases_(std::move(phases)),
+      rng_(rng),
+      feedback_delay_(feedback_delay >= 0 ? feedback_delay
+                                          : inner_->min_delay()),
+      period_(period) {
+  RTS_EXPECTS(inner_ != nullptr);
+  RTS_EXPECTS(!phases_.empty());
+  RTS_EXPECTS(phases_.front().from == 0);
+  RTS_EXPECTS(period_ >= 0);
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const FaultPhase& p = phases_[i];
+    RTS_EXPECTS(p.loss_probability >= 0.0 && p.loss_probability <= 1.0);
+    RTS_EXPECTS(p.rate_cap >= -1);
+    if (i > 0) RTS_EXPECTS(p.from > phases_[i - 1].from);
+    if (period_ > 0) RTS_EXPECTS(p.from < period_);
+  }
+}
+
+const FaultPhase& ScheduledFaultLink::phase_at(Time t) const {
+  const Time tm = period_ > 0 ? t % period_ : t;
+  // Schedules hold a handful of phases; a reverse linear scan beats keeping
+  // a cursor that a cyclic program would have to rewind anyway.
+  for (std::size_t i = phases_.size(); i-- > 0;) {
+    if (phases_[i].from <= tm) return phases_[i];
+  }
+  return phases_.front();
+}
+
+void ScheduledFaultLink::set_telemetry(obs::Telemetry telemetry) {
+  inner_->set_telemetry(telemetry);
+  if (telemetry.registry == nullptr) return;
+  obs::Registry& reg = *telemetry.registry;
+  erased_pieces_ = &reg.counter("link.erased_pieces");
+  erased_bytes_ = &reg.counter("link.erased_bytes");
+  split_pieces_ = &reg.counter("link.split_pieces");
+  max_backlog_ = &reg.gauge("link.max_backlog");
+}
+
+void ScheduledFaultLink::submit(Time t, std::vector<SentPiece> pieces) {
+  const double loss = phase_at(t).loss_probability;
+  for (SentPiece& piece : pieces) {
+    if (loss > 0.0 && rng_.bernoulli(loss)) {
+      pending_nacks_.push_back(PendingNack{
+          .at = t + inner_->min_delay() + feedback_delay_,
+          .nack = Nack{.piece = piece, .sent_at = t}});
+      if (erased_pieces_ != nullptr) {
+        erased_pieces_->add(1);
+        erased_bytes_->add(piece.bytes);
+      }
+      continue;
+    }
+    queued_ += piece.bytes;
+    pending_.push_back(std::move(piece));
+  }
+  if (max_backlog_ != nullptr) max_backlog_->update(queued_);
+}
+
+std::vector<SentPiece> ScheduledFaultLink::deliver(Time t) {
+  const Bytes cap = phase_at(t).rate_cap;
+  Bytes budget = cap < 0 ? queued_ : std::min(cap, queued_);
+  std::vector<SentPiece> admitted;
+  while (budget > 0) {
+    RTS_ASSERT(!pending_.empty());
+    SentPiece& head = pending_.front();
+    if (head.bytes <= budget) {
+      budget -= head.bytes;
+      queued_ -= head.bytes;
+      admitted.push_back(std::move(head));
+      pending_.pop_front();
+      continue;
+    }
+    // Split at the cap; completions ride with the tail fragment (same
+    // rationale as ThrottledLink::deliver).
+    SentPiece fragment = head;
+    fragment.bytes = budget;
+    fragment.completed_slices = 0;
+    if (split_pieces_ != nullptr) split_pieces_->add(1);
+    head.bytes -= budget;
+    queued_ -= budget;
+    budget = 0;
+    admitted.push_back(fragment);
+  }
+  inner_->submit(t, std::move(admitted));
+  return inner_->deliver(t);
+}
+
+std::vector<Nack> ScheduledFaultLink::collect_nacks(Time t) {
+  // NACK feedback times are non-decreasing in submission order (constant
+  // feedback delay), so the front of the queue is always the earliest due.
+  std::vector<Nack> out;
+  while (!pending_nacks_.empty() && pending_nacks_.front().at <= t) {
+    out.push_back(std::move(pending_nacks_.front().nack));
+    pending_nacks_.pop_front();
+  }
+  return out;
+}
+
+std::vector<FaultPhase> parse_fault_schedule(std::string_view text) {
+  const auto fail = [](std::string_view token, const char* why) {
+    throw std::invalid_argument("fault schedule: " + std::string(why) +
+                                " in '" + std::string(token) + "'");
+  };
+  std::vector<FaultPhase> phases;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    const std::string_view token = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) fail(text, "empty phase");
+    const std::size_t c1 = token.find(':');
+    const std::size_t c2 =
+        c1 == std::string_view::npos ? c1 : token.find(':', c1 + 1);
+    if (c1 == std::string_view::npos || c2 == std::string_view::npos) {
+      fail(token, "expected from:loss:cap");
+    }
+    FaultPhase phase;
+    const std::string_view from_s = token.substr(0, c1);
+    const std::string_view loss_s = token.substr(c1 + 1, c2 - c1 - 1);
+    const std::string_view cap_s = token.substr(c2 + 1);
+    auto r1 = std::from_chars(from_s.data(), from_s.data() + from_s.size(),
+                              phase.from);
+    if (r1.ec != std::errc{} || r1.ptr != from_s.data() + from_s.size() ||
+        phase.from < 0) {
+      fail(token, "bad phase start");
+    }
+    auto r2 = std::from_chars(loss_s.data(), loss_s.data() + loss_s.size(),
+                              phase.loss_probability);
+    if (r2.ec != std::errc{} || r2.ptr != loss_s.data() + loss_s.size() ||
+        phase.loss_probability < 0.0 || phase.loss_probability > 1.0) {
+      fail(token, "loss probability must be in [0, 1]");
+    }
+    auto r3 = std::from_chars(cap_s.data(), cap_s.data() + cap_s.size(),
+                              phase.rate_cap);
+    if (r3.ec != std::errc{} || r3.ptr != cap_s.data() + cap_s.size() ||
+        phase.rate_cap < -1) {
+      fail(token, "bad rate cap");
+    }
+    if (!phases.empty() && phase.from <= phases.back().from) {
+      fail(token, "phase starts must be strictly increasing");
+    }
+    phases.push_back(phase);
+    if (comma == text.size()) break;
+  }
+  if (phases.empty() || phases.front().from != 0) {
+    throw std::invalid_argument(
+        "fault schedule: first phase must start at step 0");
+  }
+  return phases;
+}
+
+}  // namespace rtsmooth::faults

@@ -1,0 +1,81 @@
+// Scheduled mid-run fault flips (DESIGN.md Sect. 13): a piecewise-constant
+// fault program for long-running serving, composing the erasure and
+// throttling impairments of fault_links.h under one time-indexed schedule.
+//
+// A schedule is a sorted list of phases; from `phase.from` onward, pieces
+// are erased i.i.d. with `loss_probability` (NACKed back to the server like
+// ErasureLink) and at most `rate_cap` bytes per step enter the inner link
+// (the excess queues FIFO like ThrottledLink; -1 = uncapped). An optional
+// `period` makes the program cyclic — phase lookup uses t mod period — so a
+// soak of unbounded length keeps flipping between calm and impaired
+// regimes. At loss 0 / cap -1 a phase is byte-identical to the inner link.
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/link.h"
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace rtsmooth::faults {
+
+struct FaultPhase {
+  Time from = 0;                ///< first step this phase applies to
+  double loss_probability = 0.0;
+  Bytes rate_cap = -1;          ///< bytes/step admitted; -1 = uncapped
+};
+
+class ScheduledFaultLink final : public Link {
+ public:
+  /// `phases` must be non-empty with strictly increasing `from`, starting
+  /// at 0. `period` > 0 repeats the program every `period` steps (every
+  /// phase.from must then be < period); 0 = one-shot.
+  ScheduledFaultLink(std::unique_ptr<Link> inner,
+                     std::vector<FaultPhase> phases, Rng rng,
+                     Time feedback_delay = -1, Time period = 0);
+
+  void submit(Time t, std::vector<SentPiece> pieces) override;
+  std::vector<SentPiece> deliver(Time t) override;
+  std::vector<Nack> collect_nacks(Time t) override;
+  bool idle() const override {
+    return inner_->idle() && queued_ == 0 && pending_nacks_.empty();
+  }
+  Time min_delay() const override { return inner_->min_delay(); }
+  /// Counts erased pieces/bytes ("link.erased_pieces"/"link.erased_bytes"),
+  /// piece splits at the cap, and the throttle-backlog high-watermark.
+  /// Forwards to the inner link.
+  void set_telemetry(obs::Telemetry telemetry) override;
+
+  const FaultPhase& phase_at(Time t) const;
+
+ private:
+  std::unique_ptr<Link> inner_;
+  std::vector<FaultPhase> phases_;
+  Rng rng_;
+  Time feedback_delay_;
+  Time period_;
+  struct PendingNack {
+    Time at;
+    Nack nack;
+  };
+  std::deque<PendingNack> pending_nacks_;
+  std::deque<SentPiece> pending_;
+  Bytes queued_ = 0;
+  obs::Counter* erased_pieces_ = nullptr;
+  obs::Counter* erased_bytes_ = nullptr;
+  obs::Counter* split_pieces_ = nullptr;
+  obs::Gauge* max_backlog_ = nullptr;
+};
+
+/// Parses "from:loss:cap[,from:loss:cap...]" (e.g. "0:0:-1,5000:0.3:-1,
+/// 8000:0:256") into a phase list; throws std::invalid_argument naming the
+/// offending token on malformed input, non-ascending times, or loss outside
+/// [0, 1].
+std::vector<FaultPhase> parse_fault_schedule(std::string_view text);
+
+}  // namespace rtsmooth::faults

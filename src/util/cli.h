@@ -1,0 +1,66 @@
+// Validated argv parsing for the example and tool binaries. std::stoull and
+// friends accept trailing junk, silently wrap on overflow (or throw an
+// exception that surfaces as std::terminate), and turn "-1" into 2^64-1;
+// these helpers reject all of that with a usage message and exit code 2,
+// which is what every binary in this repo means by "bad invocation".
+
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace rtsmooth::cli {
+
+[[noreturn]] inline void usage_exit(const char* usage) {
+  std::fputs(usage, stderr);
+  std::fputc('\n', stderr);
+  std::exit(2);
+}
+
+/// Parses `text` as a decimal integer in [min, max]; on any failure prints
+/// what was wrong with which argument, then the usage string, and exits 2.
+inline std::int64_t require_int(std::string_view text, const char* what,
+                                const char* usage,
+                                std::int64_t min = INT64_MIN,
+                                std::int64_t max = INT64_MAX) {
+  std::int64_t value = 0;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (result.ec != std::errc{} || result.ptr != text.data() + text.size()) {
+    std::fprintf(stderr, "%s: not a valid integer: '%.*s'\n", what,
+                 static_cast<int>(text.size()), text.data());
+    usage_exit(usage);
+  }
+  if (value < min || value > max) {
+    std::fprintf(stderr, "%s: %lld out of range [%lld, %lld]\n", what,
+                 static_cast<long long>(value), static_cast<long long>(min),
+                 static_cast<long long>(max));
+    usage_exit(usage);
+  }
+  return value;
+}
+
+/// Parses `text` as a floating-point number in [min, max]; same failure
+/// contract as require_int.
+inline double require_double(std::string_view text, const char* what,
+                             const char* usage, double min, double max) {
+  double value = 0.0;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (result.ec != std::errc{} || result.ptr != text.data() + text.size()) {
+    std::fprintf(stderr, "%s: not a valid number: '%.*s'\n", what,
+                 static_cast<int>(text.size()), text.data());
+    usage_exit(usage);
+  }
+  if (value < min || value > max) {
+    std::fprintf(stderr, "%s: %g out of range [%g, %g]\n", what, value, min,
+                 max);
+    usage_exit(usage);
+  }
+  return value;
+}
+
+}  // namespace rtsmooth::cli

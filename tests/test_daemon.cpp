@@ -1,0 +1,474 @@
+// Daemon subsystem tests (DESIGN.md Sect. 13): frame sources and the wire
+// format, ingest stall/retry/timeout handling, the SLO watchdog and
+// degradation ladder, the Sect. 3.3 plan classifier, the fault schedule
+// parser, and the Daemon's serving loop end to end — clean completion,
+// overload escalation with valid incident documents, and signal-driven
+// shutdown. The drain-and-replan differential suite lives in
+// test_reconfig.cpp.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/rtsmoothd.h"
+#include "faults/fault_schedule.h"
+#include "obs/json.h"
+
+namespace rtsmooth::daemon {
+namespace {
+
+// ------------------------------------------------------------ frame sources
+
+TEST(GeneratorSource, DeterministicFromSeedAndBounded) {
+  GeneratorConfig cfg;
+  cfg.channels = 3;
+  cfg.mean_frame_bytes = 512;
+  cfg.max_frame_bytes = 2048;
+  cfg.min_frame_bytes = 32;
+  cfg.seed = 42;
+  cfg.frames_per_channel = 20;
+  GeneratorSource a(cfg);
+  GeneratorSource b(cfg);
+  std::vector<IngestFrame> fa;
+  std::vector<IngestFrame> fb;
+  for (Time t = 0; t < 20; ++t) {
+    EXPECT_EQ(a.poll(t, fa), PollStatus::Ready);
+    EXPECT_EQ(b.poll(t, fb), PollStatus::Ready);
+  }
+  EXPECT_EQ(fa, fb);
+  EXPECT_EQ(fa.size(), 60u);  // 3 channels x 20 frames
+  for (const IngestFrame& f : fa) {
+    EXPECT_GE(f.size, cfg.min_frame_bytes);
+    EXPECT_LE(f.size, cfg.max_frame_bytes);
+  }
+  EXPECT_EQ(a.poll(20, fa), PollStatus::End);
+  EXPECT_EQ(fa.size(), 60u);
+}
+
+TEST(GeneratorSource, AddingChannelsKeepsExistingStreams) {
+  GeneratorConfig small;
+  small.channels = 2;
+  small.seed = 9;
+  GeneratorConfig big = small;
+  big.channels = 4;
+  GeneratorSource a(small);
+  GeneratorSource b(big);
+  std::vector<IngestFrame> fa;
+  std::vector<IngestFrame> fb;
+  for (Time t = 0; t < 10; ++t) {
+    a.poll(t, fa);
+    b.poll(t, fb);
+  }
+  // Channel c's generator is seeded with split(seed, c): the frames on
+  // channels 0 and 1 must be identical in both sources.
+  std::vector<IngestFrame> b01;
+  for (const IngestFrame& f : fb) {
+    if (f.channel < 2) b01.push_back(f);
+  }
+  EXPECT_EQ(fa, b01);
+}
+
+TEST(ReplaySource, EmitsSequentiallyThenEnds) {
+  trace::FrameSequence frames = {{FrameType::I, 10},
+                                 {FrameType::P, 5},
+                                 {FrameType::B, 3}};
+  ReplaySource src(frames, ReplayConfig{.channel = 2, .loop = false});
+  std::vector<IngestFrame> out;
+  for (Time t = 0; t < 3; ++t) EXPECT_EQ(src.poll(t, out), PollStatus::Ready);
+  EXPECT_EQ(src.poll(3, out), PollStatus::End);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], (IngestFrame{2, FrameType::I, 10}));
+  EXPECT_EQ(out[2], (IngestFrame{2, FrameType::B, 3}));
+  EXPECT_EQ(src.channels(), 3);  // channel index 2 implies 3 channels
+}
+
+TEST(ReplaySource, LoopWrapsAround) {
+  trace::FrameSequence frames = {{FrameType::I, 7}, {FrameType::B, 2}};
+  ReplaySource src(frames, ReplayConfig{.channel = 0, .loop = true});
+  std::vector<IngestFrame> out;
+  for (Time t = 0; t < 5; ++t) EXPECT_EQ(src.poll(t, out), PollStatus::Ready);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[2].size, 7);  // wrapped back to the first frame
+  EXPECT_EQ(out[3].size, 2);
+}
+
+TEST(WireFrame, RoundTripAndRejection) {
+  const IngestFrame frame{300, FrameType::P, 123456};
+  unsigned char buf[WireFrame::kWireSize];
+  WireFrame::encode(frame, buf);
+  IngestFrame back;
+  ASSERT_TRUE(WireFrame::decode(buf, back));
+  EXPECT_EQ(back, frame);
+
+  unsigned char bad[WireFrame::kWireSize];
+  WireFrame::encode(frame, bad);
+  bad[0] ^= 0xFF;  // corrupt the magic
+  EXPECT_FALSE(WireFrame::decode(bad, back));
+  WireFrame::encode(frame, bad);
+  bad[4] = 200;  // invalid frame type
+  EXPECT_FALSE(WireFrame::decode(bad, back));
+}
+
+TEST(PipeSource, StallThenDataThenEof) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_NE(::fcntl(fds[0], F_SETFL, O_NONBLOCK), -1);
+  PipeSource src(fds[0], 4);
+
+  std::vector<IngestFrame> out;
+  EXPECT_EQ(src.poll(0, out), PollStatus::Stalled);
+  EXPECT_TRUE(out.empty());
+
+  const IngestFrame a{1, FrameType::I, 900};
+  const IngestFrame b{3, FrameType::B, 40};
+  ASSERT_TRUE(PipeSource::write_frame(fds[1], a));
+  ASSERT_TRUE(PipeSource::write_frame(fds[1], b));
+  EXPECT_EQ(src.poll(1, out), PollStatus::Ready);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], a);
+  EXPECT_EQ(out[1], b);
+
+  // A partial record is buffered, not emitted.
+  unsigned char partial[WireFrame::kWireSize];
+  WireFrame::encode(a, partial);
+  ASSERT_EQ(::write(fds[1], partial, 7), 7);
+  EXPECT_EQ(src.poll(2, out), PollStatus::Stalled);
+  ::close(fds[1]);
+  EXPECT_EQ(src.poll(3, out), PollStatus::End);
+  EXPECT_EQ(src.truncated_tail(), 7u);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+// ------------------------------------------------------------ fault program
+
+TEST(FaultSchedule, ParsesPhasesAndCycles) {
+  const auto phases =
+      faults::parse_fault_schedule("0:0:-1,2000:0.25:-1,3500:0:128");
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].from, 0);
+  EXPECT_EQ(phases[1].from, 2000);
+  EXPECT_DOUBLE_EQ(phases[1].loss_probability, 0.25);
+  EXPECT_EQ(phases[2].rate_cap, 128);
+}
+
+TEST(FaultSchedule, RejectsMalformedPrograms) {
+  EXPECT_THROW(faults::parse_fault_schedule(""), std::invalid_argument);
+  EXPECT_THROW(faults::parse_fault_schedule("0:0"), std::invalid_argument);
+  EXPECT_THROW(faults::parse_fault_schedule("0:1.5:-1"),
+               std::invalid_argument);
+  EXPECT_THROW(faults::parse_fault_schedule("5:0:-1,2:0:-1"),
+               std::invalid_argument);
+  EXPECT_THROW(faults::parse_fault_schedule("0:zero:-1"),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- ladder + SLOs
+
+TEST(DegradationLadder, EscalatesThroughRungsAndRelaxes) {
+  LadderConfig cfg;
+  cfg.escalate_after = 4;
+  cfg.deescalate_after = 6;
+  cfg.floor_start = 1.0;
+  cfg.floor_max = 4.0;  // floor rungs: 1.0, 2.0, 4.0
+  cfg.max_shed_channels = 2;
+  DegradationLadder ladder(cfg);
+  EXPECT_EQ(ladder.level(), DegradationLevel::Normal);
+  EXPECT_EQ(ladder.value_floor(), 0.0);
+
+  auto push = [&ladder](bool pressured, int n) {
+    for (int i = 0; i < n; ++i) ladder.update(pressured);
+  };
+  push(true, 4);
+  EXPECT_EQ(ladder.level(), DegradationLevel::AdmissionControl);
+  EXPECT_TRUE(ladder.admission_control());
+  push(true, 4);
+  EXPECT_EQ(ladder.level(), DegradationLevel::ValueFloor);
+  EXPECT_DOUBLE_EQ(ladder.value_floor(), 1.0);
+  push(true, 8);
+  EXPECT_DOUBLE_EQ(ladder.value_floor(), 4.0);
+  push(true, 4);
+  EXPECT_EQ(ladder.level(), DegradationLevel::StreamShed);
+  EXPECT_EQ(ladder.shed_channels(), 1);
+  push(true, 4);
+  EXPECT_EQ(ladder.shed_channels(), 2);
+  push(true, 40);  // saturates at the top rung
+  EXPECT_EQ(ladder.shed_channels(), 2);
+  EXPECT_EQ(ladder.rung(), 6);
+
+  // Mixed signals reset both streaks: no flapping.
+  push(false, 5);
+  push(true, 1);
+  push(false, 5);
+  EXPECT_EQ(ladder.rung(), 6);
+  push(false, 6);
+  EXPECT_EQ(ladder.rung(), 5);
+  push(false, 6 * 5);
+  EXPECT_EQ(ladder.level(), DegradationLevel::Normal);
+  EXPECT_GE(ladder.deescalations(), 6);
+}
+
+TEST(Watchdog, StallBreachCapturesIncidentWithCooldown) {
+  obs::Registry registry;
+  obs::FlightRecorderConfig rc;
+  rc.window = 16;
+  rc.max_incidents = 4;
+  rc.trigger_on_violation = true;
+  obs::FlightRecorder recorder(rc);
+  SloConfig slo;
+  slo.max_stall_rate = 0.05;
+  slo.window = 8;
+  slo.cooldown = 100;
+  Watchdog wd(slo, /*server_buffer=*/100, &recorder, &registry);
+
+  StepStats stalled;
+  stalled.playouts = 1;
+  stalled.degraded = 1;  // 100% stall rate
+  Watchdog::Pressure last;
+  for (Time t = 0; t < 20; ++t) last = wd.observe(t, stalled);
+  EXPECT_TRUE(last.stall);
+  EXPECT_GT(wd.breaches().stall, 0);
+  EXPECT_DOUBLE_EQ(wd.stall_rate(), 1.0);
+  // The cooldown rate-limits captures but not breach counting.
+  ASSERT_EQ(recorder.incidents().size(), 1u);
+  const obs::Json& incident = recorder.incidents()[0];
+  EXPECT_EQ(incident.at("schema").as_string(), "rtsmooth-incident-v1");
+  EXPECT_EQ(incident.at("trigger").at("kind").as_string(), "slo.stall_rate");
+}
+
+TEST(Watchdog, HealthyTrafficNeverBreaches) {
+  obs::Registry registry;
+  SloConfig slo;
+  slo.window = 8;
+  Watchdog wd(slo, 100, nullptr, &registry);
+  StepStats healthy;
+  healthy.playouts = 1;
+  healthy.offered_weight = 10.0;
+  healthy.server_occupancy = 10;
+  for (Time t = 0; t < 50; ++t) {
+    EXPECT_FALSE(wd.observe(t, healthy).any());
+  }
+  EXPECT_EQ(wd.breaches().total(), 0);
+}
+
+// ------------------------------------------------------------ plan classes
+
+TEST(ClassifyPlan, CoversTheSection33Cases) {
+  auto cases = [](Bytes bs, Bytes bc, Bytes r, Time d) {
+    EngineConfig cfg;
+    cfg.server_buffer = bs;
+    cfg.client_buffer = bc;
+    cfg.rate = r;
+    cfg.smoothing_delay = d;
+    std::vector<PlanCase> out;
+    classify_plan(cfg, out);
+    return out;
+  };
+  using PC = PlanCase;
+  EXPECT_EQ(cases(32, 32, 8, 4), (std::vector<PC>{PC::Balanced}));
+  EXPECT_EQ(cases(16, 32, 8, 4),
+            (std::vector<PC>{PC::ServerBufferDeficit, PC::BufferMismatch}));
+  EXPECT_EQ(cases(64, 32, 8, 4),
+            (std::vector<PC>{PC::ServerBufferExcess, PC::BufferMismatch}));
+  EXPECT_EQ(cases(32, 16, 8, 4),
+            (std::vector<PC>{PC::ClientBufferDeficit, PC::BufferMismatch}));
+  EXPECT_EQ(cases(32, 64, 8, 4),
+            (std::vector<PC>{PC::ClientBufferExcess, PC::BufferMismatch}));
+  EXPECT_EQ(cases(16, 64, 8, 4),
+            (std::vector<PC>{PC::ServerBufferDeficit, PC::ClientBufferExcess,
+                             PC::BufferMismatch}));
+  EXPECT_STREQ(to_string(PC::Balanced), "balanced");
+  EXPECT_STREQ(to_string(PC::BufferMismatch), "buffer_mismatch");
+}
+
+// -------------------------------------------------------------- the daemon
+
+DaemonOptions balanced_options(Bytes rate, Time delay) {
+  DaemonOptions opts;
+  opts.engine.rate = rate;
+  opts.engine.smoothing_delay = delay;
+  opts.engine.server_buffer = rate * delay;
+  opts.engine.client_buffer = rate * delay;
+  opts.engine.link_delay = 1;
+  opts.slo.enabled = false;
+  opts.ladder.enabled = false;
+  return opts;
+}
+
+TEST(Daemon, ServesBoundedGeneratorCleanly) {
+  GeneratorConfig gen;
+  gen.channels = 2;
+  gen.mean_frame_bytes = 64;
+  gen.max_frame_bytes = 256;
+  gen.min_frame_bytes = 8;
+  gen.seed = 5;
+  gen.frames_per_channel = 500;
+  DaemonOptions opts = balanced_options(/*rate=*/256, /*delay=*/4);
+  Daemon daemon(opts, std::make_unique<GeneratorSource>(gen));
+
+  EXPECT_EQ(daemon.serve(), 0);
+  EXPECT_EQ(daemon.polled_frames(), 1000);
+  EXPECT_TRUE(daemon.total_report().conserves());
+  EXPECT_TRUE(daemon.ingest_ledger_conserves());
+  const SimReport report = daemon.total_report();
+  // A generously provisioned balanced plan plays every byte.
+  EXPECT_EQ(report.played.bytes, daemon.polled_bytes());
+  EXPECT_EQ(report.offered.bytes, daemon.polled_bytes());
+
+  const obs::Json snap = daemon.snapshot();
+  EXPECT_EQ(snap.at("schema").as_string(), "rtsmooth-soak-v1");
+  EXPECT_TRUE(snap.at("daemon").at("balanced").as_bool());
+  EXPECT_EQ(snap.at("ingest").at("polled_frames").as_int(), 1000);
+  EXPECT_TRUE(snap.at("ingest").at("source_ended").as_bool());
+  EXPECT_TRUE(snap.at("admission").at("ledger_conserves").as_bool());
+  EXPECT_TRUE(snap.at("report").at("conserves").as_bool());
+  EXPECT_EQ(snap.at("stop_signal").as_int(), 0);
+}
+
+TEST(Daemon, OverloadEscalatesAndWritesValidIncidents) {
+  const std::string dir = ::testing::TempDir() + "rtsmoothd_overload";
+  const std::string snap_path = dir + "/snapshot.json";
+  const std::string incident_dir = dir + "/incidents";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  GeneratorConfig gen;
+  gen.channels = 2;
+  gen.mean_frame_bytes = 256;
+  gen.max_frame_bytes = 512;
+  gen.min_frame_bytes = 64;
+  gen.seed = 11;
+  DaemonOptions opts = balanced_options(/*rate=*/64, /*delay=*/4);
+  opts.slo.enabled = true;
+  opts.slo.window = 64;
+  opts.slo.cooldown = 256;
+  opts.ladder.enabled = true;
+  opts.ladder.escalate_after = 32;
+  opts.ladder.deescalate_after = 100000;
+  opts.recorder.window = 64;
+  opts.recorder.max_incidents = 4;
+  opts.max_steps = 3000;
+  opts.snapshot_path = snap_path;
+  opts.incident_dir = incident_dir;
+  Daemon daemon(opts, std::make_unique<GeneratorSource>(gen));
+
+  EXPECT_EQ(daemon.serve(), 0);
+  EXPECT_TRUE(daemon.total_report().conserves());
+  EXPECT_TRUE(daemon.ingest_ledger_conserves());
+  // ~512 offered bytes/step against a 64-byte link is sustained overload:
+  // the watchdog must breach and the ladder must leave Normal.
+  EXPECT_GT(daemon.watchdog().breaches().total(), 0);
+  EXPECT_GE(daemon.ladder().rung(), 1);
+  EXPECT_GE(daemon.ladder().escalations(), 1);
+
+  ASSERT_GT(daemon.incidents_written(), 0);
+  for (std::int64_t i = 0; i < daemon.incidents_written(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof name, "incident_%04d.json",
+                  static_cast<int>(i));
+    std::ifstream in(incident_dir + "/" + name);
+    ASSERT_TRUE(in.good()) << name;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const obs::Json incident = obs::Json::parse(text.str());
+    EXPECT_EQ(incident.at("schema").as_string(), "rtsmooth-incident-v1");
+    EXPECT_TRUE(incident.at("trigger").at("kind").as_string().rfind("slo.",
+                                                                    0) == 0);
+    EXPECT_GT(incident.at("window").size(), 0u);
+  }
+
+  std::ifstream snap_in(snap_path);
+  ASSERT_TRUE(snap_in.good());
+  std::ostringstream snap_text;
+  snap_text << snap_in.rdbuf();
+  const obs::Json snap = obs::Json::parse(snap_text.str());
+  EXPECT_EQ(snap.at("schema").as_string(), "rtsmooth-soak-v1");
+  EXPECT_TRUE(snap.at("admission").at("ledger_conserves").as_bool());
+  EXPECT_EQ(snap.at("slo").at("incidents_written").as_int(),
+            daemon.incidents_written());
+  EXPECT_GE(snap.at("degradation").at("rung").as_int(), 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Daemon, PipeStallTimeoutDeclaresSourceDead) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_NE(::fcntl(fds[0], F_SETFL, O_NONBLOCK), -1);
+
+  DaemonOptions opts = balanced_options(/*rate=*/64, /*delay=*/2);
+  opts.ingest.max_retries = 1;
+  opts.ingest.retry_sleep_us = 0;
+  opts.ingest.stall_timeout_steps = 5;
+  Daemon daemon(opts, std::make_unique<PipeSource>(fds[0], 1));
+
+  // Nobody ever writes: the daemon must give up after the stall timeout
+  // instead of spinning forever.
+  EXPECT_EQ(daemon.serve(), 0);
+  const obs::Json snap = daemon.snapshot();
+  EXPECT_TRUE(snap.at("ingest").at("timed_out").as_bool());
+  EXPECT_TRUE(snap.at("ingest").at("source_ended").as_bool());
+  EXPECT_GE(snap.at("ingest").at("stalled_polls").as_int(), 5);
+  EXPECT_EQ(daemon.polled_frames(), 0);
+  ::close(fds[1]);
+}
+
+TEST(Daemon, SignalHandlerRoutesToDaemon) {
+  GeneratorConfig gen;
+  gen.channels = 1;
+  gen.mean_frame_bytes = 32;
+  gen.max_frame_bytes = 64;
+  gen.min_frame_bytes = 8;
+  Daemon daemon(balanced_options(64, 2),
+                std::make_unique<GeneratorSource>(gen));
+  install_signal_handlers(daemon);
+  std::raise(SIGTERM);
+  EXPECT_EQ(daemon.stop_signal(), SIGTERM);
+  EXPECT_EQ(daemon.serve(), 0);  // stops at the first step boundary
+  EXPECT_EQ(daemon.snapshot().at("stop_signal").as_int(), SIGTERM);
+}
+
+TEST(Daemon, RequestStopMidRunDrainsCleanly) {
+  GeneratorConfig gen;
+  gen.channels = 2;
+  gen.mean_frame_bytes = 64;
+  gen.max_frame_bytes = 128;
+  gen.min_frame_bytes = 16;
+  gen.seed = 3;
+  // Endless source: only the stop request ends this run.
+  Daemon daemon(balanced_options(512, 4),
+                std::make_unique<GeneratorSource>(gen));
+  std::thread stopper([&daemon] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    daemon.request_stop(SIGTERM);
+  });
+  const int rc = daemon.serve();
+  stopper.join();
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(daemon.stop_signal(), SIGTERM);
+  EXPECT_GT(daemon.steps(), 0);
+  EXPECT_TRUE(daemon.total_report().conserves());
+  EXPECT_TRUE(daemon.ingest_ledger_conserves());
+  EXPECT_EQ(daemon.total_report().residual.bytes, 0);
+}
+
+TEST(Daemon, RejectsInvalidInitialConfig) {
+  GeneratorConfig gen;
+  DaemonOptions opts;
+  opts.engine.rate = 0;  // invalid
+  EXPECT_THROW(Daemon(opts, std::make_unique<GeneratorSource>(gen)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtsmooth::daemon

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -204,12 +205,21 @@ int prop_iters() {
 }
 
 /// Emits the reproducer to stderr and, when RTSMOOTH_REPRO_DIR is set, to a
-/// dump file CI can collect as an artifact.
+/// dump file CI can collect as an artifact. The directory is created if it
+/// does not exist, and a single dump is capped at 1 MB so a pathological
+/// instance cannot fill the artifact store.
 void dump_reproducer(const std::string& label, std::uint64_t seed,
                      const Stream& stream, const sim::SimConfig& config) {
-  const std::string repro = testgen::describe_instance(seed, stream, config);
+  std::string repro = testgen::describe_instance(seed, stream, config);
+  constexpr std::size_t kMaxDumpBytes = 1 << 20;
+  if (repro.size() > kMaxDumpBytes) {
+    repro.resize(kMaxDumpBytes);
+    repro += "\n[reproducer truncated at 1 MB]\n";
+  }
   std::cerr << "[reproducer] " << label << "\n" << repro;
   if (const char* dir = std::getenv("RTSMOOTH_REPRO_DIR")) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
     std::ofstream out(std::string(dir) + "/" + label + "_" +
                       std::to_string(seed) + ".txt");
     out << "label=" << label << "\n" << repro;

@@ -48,6 +48,50 @@ def incident_doc():
     }
 
 
+def soak_doc():
+    return {
+        "schema": "rtsmooth-soak-v1",
+        "daemon": {"channels": 4, "policy": "greedy", "server_buffer": 1024,
+                   "client_buffer": 1024, "rate": 256, "smoothing_delay": 4,
+                   "link_delay": 1, "max_live_runs": 4096, "balanced": True},
+        "steps": 60000,
+        "engine_steps": 60013,
+        "stop_signal": 15,
+        "reconfigs": {"applied": 119, "rejected": 1, "drain_steps": 5,
+                      "max_lag": 5, "queued": 0, "forced_residual": False},
+        "degradation": {"level": "normal", "rung": 0, "escalations": 3,
+                        "deescalations": 3, "value_floor": 1,
+                        "shed_channels": 0},
+        "slo": {"breaches": {"stall": 2, "loss": 0, "occupancy": 0},
+                "incidents_captured": 2, "incidents_written": 2,
+                "triggers": 2, "stall_rate": 0.01, "loss_rate": 0.0,
+                "occupancy_step_frac": 0.4},
+        "ingest": {"polled_frames": 120000, "polled_bytes": 1500000,
+                   "stalled_polls": 0, "retries": 0, "source_ended": True,
+                   "timed_out": False, "pending_depth": 0},
+        "admission": {"admitted_bytes": 1400000, "admitted_frames": 110000,
+                      "budget_refused_bytes": 50000,
+                      "budget_refused_frames": 5000,
+                      "channel_shed_bytes": 30000,
+                      "channel_shed_frames": 3000,
+                      "slot_refused_bytes": 10000,
+                      "slot_refused_frames": 1000,
+                      "unserved_bytes": 10000, "unserved_frames": 1000,
+                      "floor_shed_bytes": 0, "ledger_conserves": True},
+        "report": {"offered_bytes": 1400000, "offered_weight": 2800000,
+                   "played_bytes": 1350000, "dropped_server_bytes": 40000,
+                   "dropped_client_overflow_bytes": 0,
+                   "dropped_client_late_bytes": 10000,
+                   "lost_link_bytes": 0, "residual_bytes": 0,
+                   "retransmitted_bytes": 0, "stall_steps": 12,
+                   "max_server_occupancy": 1024,
+                   "max_client_occupancy": 1024,
+                   "weighted_loss": 0.03, "conserves": True},
+        "registry": {"counters": {"daemon.steps": 60000}, "gauges": {},
+                     "histograms": {}},
+    }
+
+
 class CheckFileTest(unittest.TestCase):
     def check(self, doc):
         with tempfile.NamedTemporaryFile(
@@ -104,6 +148,41 @@ class CheckFileTest(unittest.TestCase):
         del doc["window"][1]["stalled"]
         errors = self.check(doc)
         self.assertTrue(any("window[1] lacks" in e for e in errors))
+
+    def test_valid_soak_doc(self):
+        self.assertEqual(self.check(soak_doc()), [])
+
+    def test_soak_missing_section_and_key(self):
+        doc = soak_doc()
+        del doc["ingest"]
+        del doc["reconfigs"]["max_lag"]
+        errors = self.check(doc)
+        self.assertTrue(any("['ingest']" in e for e in errors))
+        self.assertTrue(any("reconfigs lacks ['max_lag']" in e
+                            for e in errors))
+
+    def test_soak_flags_broken_invariants(self):
+        doc = soak_doc()
+        doc["admission"]["ledger_conserves"] = False
+        doc["report"]["conserves"] = False
+        errors = self.check(doc)
+        self.assertTrue(any("ledger" in e for e in errors))
+        self.assertTrue(any("report does not conserve" in e for e in errors))
+
+    def test_soak_rates_bounded(self):
+        doc = soak_doc()
+        doc["slo"]["stall_rate"] = 1.5
+        doc["report"]["weighted_loss"] = -0.1
+        errors = self.check(doc)
+        self.assertTrue(any("stall_rate" in e for e in errors))
+        self.assertTrue(any("weighted_loss" in e for e in errors))
+
+    def test_soak_negative_steps(self):
+        doc = soak_doc()
+        doc["steps"] = -1
+        errors = self.check(doc)
+        self.assertTrue(any("steps must be a non-negative int" in e
+                            for e in errors))
 
     def test_unrecognised_schema(self):
         errors = self.check({"schema": "nope"})

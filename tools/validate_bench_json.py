@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validates the repo's machine-readable JSON artifacts.
 
-Three document kinds are accepted:
+Four document kinds are accepted:
 
 * the repo's own `rtsmooth-bench-v1` schema (figure/table benches):
     {
@@ -29,6 +29,18 @@ Three document kinds are accepted:
       "truncated": bool,                # ring wrapped before capture
       "window": [{step record}, ...],   # chronological, t strictly rising
     }
+
+* the serving daemon's `rtsmooth-soak-v1` snapshot (daemon/rtsmoothd.h):
+    {
+      "schema": "rtsmooth-soak-v1",
+      "daemon": {...},                  # effective engine configuration
+      "steps": int, "engine_steps": int, "stop_signal": int,
+      "reconfigs": {...}, "degradation": {...}, "slo": {...},
+      "ingest": {...}, "admission": {...}, "report": {...},
+      "registry": {...},                # same shape as the bench registry
+    }
+  with every section carrying its full key set, the ingest ledger and the
+  byte-conservation invariant both holding, and rates inside [0, 1];
 
 * google-benchmark's native JSON (micro benches), recognised by its
   "context"/"benchmarks" top-level keys, with at least one benchmark entry.
@@ -157,6 +169,85 @@ def check_incident(errors, doc):
             prev_t = t
 
 
+SOAK_SECTION_KEYS = {
+    "daemon": ("channels", "policy", "server_buffer", "client_buffer",
+               "rate", "smoothing_delay", "link_delay", "max_live_runs",
+               "balanced"),
+    "reconfigs": ("applied", "rejected", "drain_steps", "max_lag",
+                  "queued", "forced_residual"),
+    "degradation": ("level", "rung", "escalations", "deescalations",
+                    "value_floor", "shed_channels"),
+    "slo": ("breaches", "incidents_captured", "incidents_written",
+            "triggers", "stall_rate", "loss_rate", "occupancy_step_frac"),
+    "ingest": ("polled_frames", "polled_bytes", "stalled_polls", "retries",
+               "source_ended", "timed_out", "pending_depth"),
+    "admission": ("admitted_bytes", "admitted_frames",
+                  "budget_refused_bytes", "budget_refused_frames",
+                  "channel_shed_bytes", "channel_shed_frames",
+                  "slot_refused_bytes", "slot_refused_frames",
+                  "unserved_bytes", "unserved_frames", "floor_shed_bytes",
+                  "ledger_conserves"),
+    "report": ("offered_bytes", "offered_weight", "played_bytes",
+               "dropped_server_bytes", "dropped_client_overflow_bytes",
+               "dropped_client_late_bytes", "lost_link_bytes",
+               "residual_bytes", "retransmitted_bytes", "stall_steps",
+               "max_server_occupancy", "max_client_occupancy",
+               "weighted_loss", "conserves"),
+}
+
+
+def check_soak(errors, doc):
+    missing = [k for k in ("daemon", "steps", "engine_steps", "stop_signal",
+                           "reconfigs", "degradation", "slo", "ingest",
+                           "admission", "report", "registry")
+               if k not in doc]
+    if missing:
+        errors.append(f"missing top-level keys {missing}")
+    for key in ("steps", "engine_steps", "stop_signal"):
+        value = doc.get(key)
+        if key in doc and (not isinstance(value, int) or value < 0):
+            errors.append(f"{key} must be a non-negative int, got {value!r}")
+    for section, keys in SOAK_SECTION_KEYS.items():
+        body = doc.get(section)
+        if section not in doc:
+            continue
+        if not isinstance(body, dict):
+            errors.append(f"{section} is not an object")
+            continue
+        lacks = [k for k in keys if k not in body]
+        if lacks:
+            errors.append(f"{section} lacks {lacks}")
+    slo = doc.get("slo", {})
+    if isinstance(slo, dict):
+        breaches = slo.get("breaches")
+        if breaches is not None:
+            if not isinstance(breaches, dict):
+                errors.append("slo breaches is not an object")
+            else:
+                lacks = [k for k in ("stall", "loss", "occupancy")
+                         if k not in breaches]
+                if lacks:
+                    errors.append(f"slo breaches lacks {lacks}")
+        for key in ("stall_rate", "loss_rate", "occupancy_step_frac"):
+            rate = slo.get(key)
+            if isinstance(rate, (int, float)) and not 0 <= rate <= 1:
+                errors.append(f"slo {key} {rate!r} outside [0, 1]")
+    admission = doc.get("admission", {})
+    if isinstance(admission, dict) \
+            and admission.get("ledger_conserves") is False:
+        errors.append("ingest ledger does not conserve "
+                      "(frames were lost outside the admission accounts)")
+    report = doc.get("report", {})
+    if isinstance(report, dict):
+        if report.get("conserves") is False:
+            errors.append("report does not conserve "
+                          "(offered bytes != played + dropped + residual)")
+        loss = report.get("weighted_loss")
+        if isinstance(loss, (int, float)) and not 0 <= loss <= 1:
+            errors.append(f"report weighted_loss {loss!r} outside [0, 1]")
+    check_registry(errors, doc.get("registry", {}))
+
+
 def check_google_benchmark(errors, doc):
     if not doc.get("benchmarks"):
         errors.append("google-benchmark document has no benchmark entries")
@@ -186,11 +277,14 @@ def check_file(path):
         check_rtsmooth(errors, doc)
     elif doc.get("schema") == "rtsmooth-incident-v1":
         check_incident(errors, doc)
+    elif doc.get("schema") == "rtsmooth-soak-v1":
+        check_soak(errors, doc)
     elif "benchmarks" in doc and "context" in doc:
         check_google_benchmark(errors, doc)
     else:
         errors.append("unrecognised schema (not rtsmooth-bench-v1, "
-                      "rtsmooth-incident-v1, or google-benchmark output)")
+                      "rtsmooth-incident-v1, rtsmooth-soak-v1, or "
+                      "google-benchmark output)")
     return errors
 
 
