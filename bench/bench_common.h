@@ -153,6 +153,16 @@ class JsonReport {
     doc_["series"].push_back(std::move(entry));
   }
 
+  /// Attaches a custom top-level section. tools/bench_diff.py compares only
+  /// the schema's own keys (bench/options/series/registry), so extra
+  /// sections are quarantined by construction — the place for wall-clock
+  /// measurements like the gateway's stream-steps/sec that must not gate
+  /// the determinism diff.
+  void add_section(std::string_view name, obs::Json value) {
+    if (!path_) return;
+    doc_[std::string(name)] = std::move(value);
+  }
+
   /// Serializes and writes the document. `registry` may be empty (benches
   /// that fan out nothing still emit the `registry`/`timers` keys so every
   /// document has the same shape).

@@ -1,0 +1,229 @@
+// Gateway bench: the sharded statistical-multiplexing gateway under its
+// three sharing policies, plus the BM_GatewayStep throughput measurement.
+//
+// Three sections:
+//
+//   1. `gateway_policies` — a gateway::sweep over stream counts x sharing
+//      policies at fixed per-stream provisioning: the weighted-loss /
+//      byte-loss table showing what weighted sharing buys over static
+//      partitioning as N grows. Deterministic; part of the regression
+//      baseline.
+//   2. `gateway_churn` — one gateway run in segments with a churn wave
+//      between each: the ledger columns must balance through every segment.
+//      Deterministic; part of the regression baseline.
+//   3. BM_GatewayStep — wall-clock stream-steps/sec of the hot step loop at
+//      bench scale. NOT deterministic, so it lives in the quarantined
+//      top-level `gateway` JSON section that tools/bench_diff.py never
+//      compares (the CI regression gate reads only series + registry).
+//
+// The registry snapshot merges the sweep's cells (submission order) and the
+// churn gateway's counters, so the document is byte-identical at any
+// --threads, which is what the gateway thread-invariance ctest pins.
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "gateway/gateway.h"
+#include "gateway/gateway_sweep.h"
+
+namespace {
+
+using namespace rtsmooth;
+using gateway::ArrivalModel;
+using gateway::Gateway;
+using gateway::GatewayConfig;
+using gateway::GatewayReport;
+using gateway::SharePolicy;
+using gateway::StreamId;
+using gateway::StreamSpec;
+
+/// The example's gold/silver/bronze population, pure in `i` so every sweep
+/// cell at a given stream count sees the identical streams.
+StreamSpec demo_stream(std::size_t i) {
+  switch (i % 3) {
+    case 0:
+      return StreamSpec{.rate = 96,
+                        .deadline = 8,
+                        .weight_class = 0,
+                        .arrivals = ArrivalModel::vbr(64, 0x9000 + i)};
+    case 1:
+      return StreamSpec{.rate = 48,
+                        .deadline = 16,
+                        .weight_class = 1,
+                        .arrivals = ArrivalModel::vbr(32, 0x5000 + i)};
+    default:
+      return StreamSpec{.rate = 24,
+                        .deadline = 32,
+                        .weight_class = 2,
+                        .arrivals = ArrivalModel::on_off(64, 2, 6, 0xB000 + i)};
+  }
+}
+
+/// Mean subscribed rate of the demo population is 56 bytes/step/stream;
+/// provision the link at ~70% of that for visible multiplexing pressure.
+constexpr Bytes kRatePerStream = 40;
+
+std::string pct(double fraction) {
+  return Table::num(100.0 * fraction, 3);
+}
+
+void policies_section(const bench::BenchOptions& opts, Time steps,
+                      sim::RunStats* stats, bench::JsonReport* json,
+                      obs::Registry* reg) {
+  gateway::GatewaySweepSpec spec;
+  spec.stream_counts =
+      opts.quick ? std::vector<std::size_t>{64, 256}
+                 : std::vector<std::size_t>{256, 1024, 4096};
+  spec.policies = {SharePolicy::Static, SharePolicy::WeightedShare,
+                   SharePolicy::Priority};
+  spec.steps = steps;
+  spec.stream_factory = demo_stream;
+  spec.base = GatewayConfig{.class_weights = {12.0, 8.0, 1.0}, .shards = 8};
+  spec.rate_per_stream = kRatePerStream;
+  spec.threads = opts.threads;
+  spec.registry = reg;
+
+  std::cout << "sharing policies at " << kRatePerStream
+            << " B/step/stream provisioning (" << steps << " steps)\n";
+  const gateway::GatewaySweepResult result = gateway::sweep(spec);
+  *stats += result.stats;
+
+  bench::Series series{.header = {"streams", "rate", "policy", "served",
+                                  "dropped", "wLoss%", "loss%", "ok"}};
+  for (const gateway::GatewaySweepPoint& point : result.points) {
+    for (const gateway::GatewayPolicyOutcome& outcome : point.policies) {
+      const GatewayReport& r = outcome.report;
+      const bool ok = r.conserves() && r.violations == 0;
+      series.add({std::to_string(point.streams), std::to_string(point.rate),
+                  std::string(gateway::to_string(outcome.policy)),
+                  std::to_string(r.served), std::to_string(r.dropped),
+                  pct(r.weighted_loss(spec.base.class_weights)),
+                  pct(r.byte_loss()), ok ? "yes" : "NO"});
+    }
+  }
+  series.emit(opts);
+  json->add_series("gateway_policies", series);
+}
+
+void churn_section(const bench::BenchOptions& opts, Time steps,
+                   sim::RunStats* stats, bench::JsonReport* json,
+                   obs::Registry* reg) {
+  const std::size_t streams = opts.quick ? 120 : 600;
+  Bytes subscribed = 0;
+  for (std::size_t i = 0; i < streams; ++i) subscribed += demo_stream(i).rate;
+
+  Gateway gw(GatewayConfig{
+      .rate = std::max<Bytes>(1, subscribed * 7 / 10),
+      .class_weights = {12.0, 8.0, 1.0},
+      .sharing = SharePolicy::WeightedShare,
+      .shards = 8,
+      .threads = opts.threads,
+      .telemetry = {.registry = reg}});
+  std::vector<StreamId> ids;
+  ids.reserve(streams);
+  for (std::size_t i = 0; i < streams; ++i) {
+    ids.push_back(*gw.add_stream(demo_stream(i)));
+  }
+
+  std::cout << "\nchurn ledger: " << streams
+            << " streams, a churn wave between segments\n";
+  bench::Series series{.header = {"segment", "live", "joins", "leaves",
+                                  "admitted", "served", "dropped", "unserved",
+                                  "backlog", "ok"}};
+  constexpr int kSegments = 4;
+  std::size_t next_spec = streams;
+  for (int seg = 0; seg < kSegments; ++seg) {
+    gw.run(std::max<Time>(1, steps / kSegments));
+    if (seg + 1 < kSegments) {
+      // Churn wave: every (seg+3)rd stream leaves, a fresh one joins.
+      const auto stride = static_cast<std::size_t>(seg) + 3;
+      for (std::size_t i = static_cast<std::size_t>(seg); i < ids.size();
+           i += stride) {
+        if (gw.remove_stream(ids[i])) {
+          ids[i] = *gw.add_stream(demo_stream(next_spec++));
+        }
+      }
+    }
+    const GatewayReport r = gw.report();
+    series.add({std::to_string(seg), std::to_string(gw.stream_count()),
+                std::to_string(r.joins), std::to_string(r.leaves),
+                std::to_string(r.admitted), std::to_string(r.served),
+                std::to_string(r.dropped), std::to_string(r.unserved),
+                std::to_string(r.backlog),
+                r.conserves() && r.violations == 0 ? "yes" : "NO"});
+  }
+  series.emit(opts);
+  json->add_series("gateway_churn", series);
+  *stats += gw.run_stats();
+}
+
+/// BM_GatewayStep: wall-clock throughput of the contended weighted-share
+/// step loop, reported as stream-steps/sec.
+void throughput_section(const bench::BenchOptions& opts, Time steps,
+                        bench::JsonReport* json) {
+  const std::size_t streams = opts.quick ? 8192 : 65536;
+  Bytes subscribed = 0;
+  for (std::size_t i = 0; i < streams; ++i) subscribed += demo_stream(i).rate;
+
+  Gateway gw(GatewayConfig{.rate = std::max<Bytes>(1, subscribed * 7 / 10),
+                           .class_weights = {12.0, 8.0, 1.0},
+                           .sharing = SharePolicy::WeightedShare,
+                           .shards = 8,
+                           .threads = opts.threads});
+  for (std::size_t i = 0; i < streams; ++i) gw.add_stream(demo_stream(i));
+  gw.run(4);  // warm the columns before the timed window
+
+  const auto start = std::chrono::steady_clock::now();
+  gw.run(steps);
+  const auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+
+  const auto stream_steps =
+      static_cast<std::int64_t>(streams) * static_cast<std::int64_t>(steps);
+  const double per_sec =
+      wall_us > 0 ? 1e6 * static_cast<double>(stream_steps) /
+                        static_cast<double>(wall_us)
+                  : 0.0;
+  std::cout << "\nBM_GatewayStep: " << streams << " streams x " << steps
+            << " steps = " << stream_steps << " stream-steps in "
+            << Table::num(static_cast<double>(wall_us) / 1000.0, 1)
+            << " ms -> " << Table::num(per_sec / 1e6, 2)
+            << "M stream-steps/sec\n";
+
+  obs::Json section = obs::Json::object();
+  section["streams"] = static_cast<std::int64_t>(streams);
+  section["steps"] = static_cast<std::int64_t>(steps);
+  section["stream_steps"] = stream_steps;
+  section["wall_us"] = static_cast<std::int64_t>(wall_us);
+  section["stream_steps_per_sec"] = per_sec;
+  json->add_section("gateway", std::move(section));
+}
+
+int run(const bench::BenchOptions& opts) {
+  // --frames doubles as the step count here (the gateway has no clip).
+  const Time steps =
+      opts.frames > 0 ? static_cast<Time>(opts.frames) : (opts.quick ? 96 : 192);
+
+  obs::Registry reg;
+  sim::RunStats stats;
+  bench::JsonReport json("gateway", opts);
+
+  policies_section(opts, steps, &stats, &json, &reg);
+  churn_section(opts, steps, &stats, &json, &reg);
+  throughput_section(opts, steps, &json);
+
+  json.write(stats, reg);
+  bench::print_run_stats(stats);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run(rtsmooth::bench::parse_options(argc, argv));
+}

@@ -2,8 +2,13 @@
 # the same bench serially and 4-wide, then require bench_diff to find zero
 # differences outside the quarantined wall-clock fields.
 
-set(serial "${WORK_DIR}/invariance_t1.json")
-set(wide "${WORK_DIR}/invariance_t4.json")
+# OUT_PREFIX keeps the JSON artifacts of different benches' gates apart
+# (invariance_t1.json vs invariance_gateway_t1.json, ...).
+if(NOT DEFINED OUT_PREFIX)
+  set(OUT_PREFIX "invariance")
+endif()
+set(serial "${WORK_DIR}/${OUT_PREFIX}_t1.json")
+set(wide "${WORK_DIR}/${OUT_PREFIX}_t4.json")
 
 execute_process(
   COMMAND "${BENCH}" --quick --frames 120 --threads 1 --json "${serial}"

@@ -1,90 +1,150 @@
-// Multiplexing gateway: an aggregation point (e.g. a cable head-end)
-// carries several live channels over one uplink. The paper's introduction
-// lists statistical multiplexing and smoothing as alternatives — this
-// example shows they compose: smooth the *aggregate*, and the uplink needs
-// far less than the sum of individually-provisioned channels.
+// Multiplexing gateway: one shared uplink of rate R serves many concurrent
+// streams, each its own paper-style smoothing configuration (per-stream
+// buffer B_i = r_i * D_i) under a weighted link-sharing policy. This is a
+// thin driver over src/gateway/ — it builds a GatewayConfig, joins a mixed
+// population of gold/silver/bronze streams, churns a slice of them mid-run,
+// and prints the ledger.
 //
-// Run:  ./examples/multiplex_gateway [channels] [frames]
+// Run:  ./examples/multiplex_gateway [streams] [steps] [policy]
+//       policy: static | weighted-share | priority
+//
+// The link is provisioned at 70% of the population's summed nominal rate,
+// so `static` (no redistribution) visibly loses bytes that `weighted-share`
+// (work-conserving) saves — the statistical-multiplexing gain the paper's
+// introduction points at.
 
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "alternatives/strategies.h"
-#include "sim/simulator.h"
-#include "sim/sweep.h"
-#include "trace/mpeg_model.h"
-#include "trace/slicer.h"
+#include "gateway/gateway.h"
+#include "obs/telemetry.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 namespace {
 constexpr const char* kUsage =
-    "usage: multiplex_gateway [channels (1..64)] [frames (1..100000)]";
+    "usage: multiplex_gateway [streams (1..1000000)] [steps (1..10000000)] "
+    "[static|weighted-share|priority]";
+
+/// Stream i of the demo population: three service tiers with different
+/// nominal rates, deadlines, and arrival shapes.
+rtsmooth::gateway::StreamSpec demo_stream(std::size_t i) {
+  using rtsmooth::gateway::ArrivalModel;
+  using rtsmooth::gateway::StreamSpec;
+  const std::size_t tier = i % 3;
+  switch (tier) {
+    case 0:  // gold: high-rate VBR video, tight deadline
+      return StreamSpec{.rate = 96,
+                        .deadline = 8,
+                        .weight_class = 0,
+                        .arrivals = ArrivalModel::vbr(64, 0x9000 + i)};
+    case 1:  // silver: mid-rate VBR, roomier deadline
+      return StreamSpec{.rate = 48,
+                        .deadline = 16,
+                        .weight_class = 1,
+                        .arrivals = ArrivalModel::vbr(32, 0x5000 + i)};
+    default:  // bronze: bursty on/off background traffic
+      return StreamSpec{.rate = 24,
+                        .deadline = 32,
+                        .weight_class = 2,
+                        .arrivals =
+                            ArrivalModel::on_off(64, 2, 6, 0xB000 + i)};
+  }
 }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace rtsmooth;
 
-  if (argc > 3) cli::usage_exit(kUsage);
-  const std::size_t channels =
+  if (argc > 4) cli::usage_exit(kUsage);
+  const std::size_t streams =
       argc > 1 ? static_cast<std::size_t>(
-                     cli::require_int(argv[1], "channels", kUsage, 1, 64))
-               : 6;
-  const std::size_t frames =
-      argc > 2 ? static_cast<std::size_t>(
-                     cli::require_int(argv[2], "frames", kUsage, 1, 100000))
-               : 750;
-  const Time delay = 25;  // one second at 25 fps
-  const double budget = 0.01;
+                     cli::require_int(argv[1], "streams", kUsage, 1, 1000000))
+               : 96;
+  const Time steps =
+      argc > 2 ? cli::require_int(argv[2], "steps", kUsage, 1, 10000000)
+               : 600;
+  gateway::SharePolicy policy = gateway::SharePolicy::WeightedShare;
+  if (argc > 3) {
+    const auto parsed = gateway::parse_share_policy(argv[3]);
+    if (!parsed) {
+      std::cerr << "unknown sharing policy: " << argv[3] << "\n";
+      cli::usage_exit(kUsage);
+    }
+    policy = *parsed;
+  }
 
-  std::cout << "gateway with " << channels << " live channels, " << frames
-            << " frames each, 1s smoothing delay, loss budget 1%\n\n";
+  // Size the uplink below the summed nominal rates: multiplexing gain is
+  // the whole point of sharing the link.
+  Bytes subscribed = 0;
+  for (std::size_t i = 0; i < streams; ++i) subscribed += demo_stream(i).rate;
+  const Bytes rate = std::max<Bytes>(1, subscribed * 7 / 10);
 
-  // Each channel is an independent MPEG source (different seed).
-  std::vector<Stream> streams;
-  Bytes sum_alone = 0;
-  Table table({"channel", "avgKB/slot", "peakKB", "aloneNeedsKB"});
-  for (std::uint64_t k = 0; k < channels; ++k) {
-    trace::MpegTraceModel model(trace::MpegModelConfig{}, 7000 + 13 * k);
-    streams.push_back(trace::slice_frames(model.generate(frames),
-                                          trace::ValueModel::mpeg_default(),
-                                          trace::Slicing::ByteSlices));
-    const Bytes alone =
-        alternatives::min_rate_for_loss(streams.back(), delay, budget);
-    sum_alone += alone;
-    table.add_row({std::to_string(k),
-                   Table::num(streams.back().average_rate() / 1024, 1),
-                   Table::num(static_cast<double>(
-                                  streams.back().max_frame_bytes()) / 1024, 1),
-                   Table::num(static_cast<double>(alone) / 1024, 1)});
+  obs::Registry registry;
+  gateway::Gateway gw(gateway::GatewayConfig{
+      .rate = rate,
+      .class_weights = {12.0, 8.0, 1.0},  // the paper's I:P:B values as tiers
+      .sharing = policy,
+      .admission = gateway::AdmissionPolicy::AcceptAll,
+      .telemetry = obs::Telemetry{.registry = &registry}});
+
+  std::vector<gateway::StreamId> ids;
+  ids.reserve(streams);
+  for (std::size_t i = 0; i < streams; ++i) {
+    ids.push_back(*gw.add_stream(demo_stream(i)));
+  }
+
+  std::cout << "gateway: " << streams << " streams over one "
+            << format_bytes(static_cast<double>(rate)) << "/step uplink ("
+            << Table::num(100.0 * static_cast<double>(subscribed) /
+                              static_cast<double>(rate),
+                          0)
+            << "% subscribed), policy " << gateway::to_string(policy) << ", "
+            << steps << " steps\n\n";
+
+  // First half steady, then churn: every 7th stream leaves and a
+  // replacement joins, mid-run — the ledger must balance through it.
+  gw.run(steps / 2);
+  std::size_t churned = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 7) {
+    if (gw.remove_stream(ids[i])) {
+      gw.add_stream(demo_stream(streams + i));
+      ++churned;
+    }
+  }
+  gw.run(steps - steps / 2);
+
+  const gateway::GatewayReport report = gw.report();
+  Table table({"class", "admitted", "served", "dropped", "unserved"});
+  const char* names[] = {"gold", "silver", "bronze"};
+  for (std::size_t k = 0; k < report.by_class.size(); ++k) {
+    const gateway::ClassTotals& c = report.by_class[k];
+    table.add_row({names[k],
+                   format_bytes(static_cast<double>(c.admitted)),
+                   format_bytes(static_cast<double>(c.served)),
+                   format_bytes(static_cast<double>(c.dropped)),
+                   format_bytes(static_cast<double>(c.unserved))});
   }
   table.print(std::cout);
 
-  const Stream aggregate =
-      alternatives::merge_streams(streams);
-  const Bytes together =
-      alternatives::min_rate_for_loss(aggregate, delay, budget);
-
-  std::cout << "\nper-channel provisioning: "
-            << format_bytes(static_cast<double>(sum_alone))
-            << "/slot total\n"
-            << "shared uplink (smoothed aggregate): "
-            << format_bytes(static_cast<double>(together)) << "/slot  ("
-            << Table::num(100.0 * (1.0 - static_cast<double>(together) /
-                                             static_cast<double>(sum_alone)),
-                          1)
-            << "% saved)\n\n";
-
-  // Sanity: run the aggregate at the shared rate and show the report.
-  const Plan plan = Planner::from_delay_rate(delay, together);
-  const SimReport report = sim::simulate(aggregate, plan, "greedy");
-  std::cout << "aggregate run at the shared rate: weighted loss "
-            << Table::num(100.0 * report.weighted_loss(), 2)
-            << "%, server buffer high-water "
-            << format_bytes(static_cast<double>(report.max_server_occupancy))
-            << " of " << format_bytes(static_cast<double>(plan.buffer))
-            << "\n";
-  return 0;
+  std::cout << "\nchurned " << churned << " streams mid-run ("
+            << report.joins << " joins, " << report.leaves << " leaves)\n"
+            << "weighted loss "
+            << Table::num(100.0 * report.weighted_loss(
+                              gw.config().class_weights),
+                          2)
+            << "%, byte loss "
+            << Table::num(100.0 * report.byte_loss(), 2)
+            << "%, peak backlog "
+            << format_bytes(static_cast<double>(report.max_backlog))
+            << ", peak link use "
+            << format_bytes(static_cast<double>(report.max_step_served))
+            << "/step of " << format_bytes(static_cast<double>(rate))
+            << "\nledger conserves: "
+            << (report.conserves() ? "yes" : "NO — BUG") << ", violations "
+            << report.violations << "\n";
+  return report.conserves() && report.violations == 0 ? 0 : 1;
 }

@@ -1,0 +1,200 @@
+// The statistical-multiplexing gateway: one shared link of rate R stepped
+// over N concurrent streams, each its own paper-style smoothing
+// configuration (buffer B_i = r_i * D_i, Theorem 3.5) riding the common
+// link under a weighted sharing policy.
+//
+// Per step t, mirroring the generic server algorithm (Eqs. (2), (3))
+// per stream:
+//
+//   1. arrivals:  backlog_i += A_i(t)          (stateless arrival models)
+//   2. allocate:  the SharePolicy divides R across classes and streams
+//                 against demand_i = backlog_i
+//   3. serve:     backlog_i -= alloc_i                        (Eq. (2))
+//   4. drop:      shed max(0, backlog_i - B_i) per stream     (Eq. (3))
+//
+// Phases 1 and 3–4 run shard-parallel on a ParallelRunner; phase 2 is a
+// serial reduce over per-shard class demands. Shard count is a config
+// parameter independent of thread count, per-shard results fold in shard
+// order, so output is byte-identical for any pool width (DESIGN.md
+// Sect. 9/14).
+//
+// Churn is first-class: streams join and leave mid-run, and the ledger
+// invariant `admitted == served + dropped + unserved + backlog` holds per
+// stream and in aggregate at every step — like the daemon's ingest ledger.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gateway/sharing.h"
+#include "gateway/stream_pool.h"
+#include "obs/telemetry.h"
+#include "sim/runner.h"
+
+namespace rtsmooth::gateway {
+
+/// Whether a join request is admitted.
+enum class AdmissionPolicy {
+  AcceptAll,      ///< every valid spec joins
+  CapacityCheck,  ///< join only while sum(r_i) + r <= overbook * R
+};
+
+struct GatewayConfig {
+  Bytes rate = 1;  ///< R: shared link bytes per step
+  /// One weight per service class, all > 0 (e.g. {12, 8, 1} mirroring the
+  /// paper's I:P:B values). Streams name a class by index.
+  std::vector<double> class_weights = {1.0};
+  SharePolicy sharing = SharePolicy::WeightedShare;
+  AdmissionPolicy admission = AdmissionPolicy::AcceptAll;
+  /// CapacityCheck headroom: admit while sum(r_i) <= overbook * R.
+  /// Statistical multiplexing is the whole point, so > 1 is the norm.
+  double overbook = 1.0;
+  /// Fixed shard count — the unit of parallel work AND of deterministic
+  /// fold order. Never derived from the thread count.
+  std::size_t shards = 8;
+  /// ParallelRunner width: 0 = RTSMOOTH_THREADS / hardware, 1 = serial.
+  unsigned threads = 0;
+  /// Null by default (free). With a registry the gateway keeps gateway.*
+  /// counters/gauges/histograms; with a flight recorder every step lands in
+  /// the ring and conservation/oversend violations freeze incidents.
+  obs::Telemetry telemetry{};
+
+  /// First problem with the config, or empty when runnable.
+  std::string validate() const;
+};
+
+/// Per-class slice of the gateway ledger.
+struct ClassTotals {
+  Bytes admitted = 0;
+  Bytes served = 0;
+  Bytes dropped = 0;
+  Bytes unserved = 0;
+
+  ClassTotals& operator+=(const ClassTotals& o) {
+    admitted += o.admitted;
+    served += o.served;
+    dropped += o.dropped;
+    unserved += o.unserved;
+    return *this;
+  }
+  bool operator==(const ClassTotals&) const = default;
+};
+
+/// Aggregate report of a gateway run (live + departed streams).
+struct GatewayReport {
+  Bytes admitted = 0;
+  Bytes served = 0;
+  Bytes dropped = 0;
+  Bytes unserved = 0;  ///< written off at stream departure
+  Bytes backlog = 0;   ///< still buffered across live streams
+  std::vector<ClassTotals> by_class;
+
+  Time steps = 0;
+  std::int64_t joins = 0;
+  std::int64_t leaves = 0;
+  std::int64_t rejected_joins = 0;
+  Bytes max_backlog = 0;      ///< peak total backlog after any step
+  Bytes max_step_served = 0;  ///< peak link usage in one step (<= R)
+  std::int64_t violations = 0;  ///< conservation / oversend check failures
+
+  /// admitted == served + dropped + unserved + backlog, here and per class.
+  bool conserves() const;
+  /// Weight-scaled loss fraction: lost = dropped + unserved, weighted by
+  /// the class weights the report was built with.
+  double weighted_loss(const std::vector<double>& class_weights) const;
+  /// Unweighted byte loss fraction.
+  double byte_loss() const;
+
+  bool operator==(const GatewayReport&) const = default;
+};
+
+class Gateway {
+ public:
+  /// Throws std::invalid_argument with the validate() message on a bad
+  /// config.
+  explicit Gateway(GatewayConfig config);
+
+  /// Admission-checked join. Throws std::invalid_argument on a malformed
+  /// spec; returns nullopt (and counts a rejected join) when the admission
+  /// policy refuses. The stream starts arriving on the NEXT step.
+  std::optional<StreamId> add_stream(const StreamSpec& spec);
+
+  /// Removes a live stream, writing its backlog off as unserved in the
+  /// ledger, and returns its final row. nullopt for unknown ids.
+  std::optional<StreamStats> remove_stream(StreamId id);
+
+  /// Advances the shared link one step over all live streams.
+  void step();
+  /// step() `n` times.
+  void run(Time n);
+
+  Time now() const { return now_; }
+  std::size_t stream_count() const { return pool_.size(); }
+  Bytes subscribed_rate() const { return pool_.subscribed_rate(); }
+  /// Live ledger row for one stream / all live streams in deterministic
+  /// (shard, slot) order.
+  std::optional<StreamStats> stream_stats(StreamId id) const {
+    return pool_.stats(id);
+  }
+  std::vector<StreamStats> all_stream_stats() const {
+    return pool_.all_stats();
+  }
+
+  /// Aggregate ledger: departed streams' totals plus everything live.
+  GatewayReport report() const;
+
+  const GatewayConfig& config() const { return config_; }
+  /// Batch timing accumulated over the parallel phases.
+  const sim::RunStats& run_stats() const { return run_stats_; }
+
+ private:
+  /// Per-shard per-step scratch each shard task owns exclusively.
+  struct ShardScratch {
+    std::vector<Bytes> class_demand;  ///< per class, this shard
+    std::vector<Bytes> class_budget;  ///< per class, granted to this shard
+    std::vector<Bytes> class_used;    ///< per class, floors granted so far
+    Bytes step_admitted = 0;
+    Bytes step_served = 0;
+    Bytes step_dropped = 0;
+    Bytes backlog_total = 0;
+  };
+
+  void arrive_and_demand(std::size_t s);
+  void allocate_budgets();
+  void serve_and_drop(std::size_t s);
+  template <typename Fn>
+  void for_each_shard(Fn&& fn);
+  void fold_step();
+
+  GatewayConfig config_;
+  StreamPool pool_;
+  sim::ParallelRunner runner_;
+  sim::RunStats run_stats_;
+  std::vector<ShardScratch> scratch_;
+  // Serial-phase scratch (class water-fill + shard apportionment).
+  std::vector<Bytes> class_demand_;
+  std::vector<Bytes> class_budget_;
+  std::vector<Bytes> shard_demand_;
+  std::vector<Bytes> shard_budget_;
+  std::vector<std::size_t> class_order_;  ///< priority order (weight desc)
+
+  Time now_ = 0;
+  GatewayReport totals_;  ///< departed + cumulative step tallies
+
+  // Cached telemetry instruments (resolved once; null registry = all null).
+  obs::Counter* ctr_admitted_ = nullptr;
+  obs::Counter* ctr_served_ = nullptr;
+  obs::Counter* ctr_dropped_ = nullptr;
+  obs::Counter* ctr_unserved_ = nullptr;
+  obs::Counter* ctr_joins_ = nullptr;
+  obs::Counter* ctr_leaves_ = nullptr;
+  obs::Counter* ctr_rejected_ = nullptr;
+  obs::Counter* ctr_violations_ = nullptr;
+  obs::Gauge* gauge_backlog_ = nullptr;
+  obs::Histogram* hist_step_served_ = nullptr;
+};
+
+}  // namespace rtsmooth::gateway

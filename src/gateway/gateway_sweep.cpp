@@ -1,0 +1,106 @@
+#include "gateway/gateway_sweep.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rtsmooth::gateway {
+namespace {
+
+/// Per-cell registries, folded into the spec's registry in submission
+/// order after the batch — the CellTelemetry pattern of sim/sweep.cpp.
+class CellRegistries {
+ public:
+  CellRegistries(const GatewaySweepSpec& spec, std::size_t cells)
+      : spec_(&spec) {
+    if (spec.registry != nullptr) registries_.resize(cells);
+  }
+
+  obs::Telemetry at(std::size_t k) {
+    obs::Telemetry telemetry;
+    if (!registries_.empty()) telemetry.registry = &registries_[k];
+    return telemetry;
+  }
+
+  void fold() {
+    if (spec_->registry == nullptr) return;
+    for (const obs::Registry& cell : registries_) {
+      spec_->registry->merge(cell);
+    }
+  }
+
+ private:
+  const GatewaySweepSpec* spec_;
+  std::vector<obs::Registry> registries_;
+};
+
+GatewayReport run_cell(const GatewaySweepSpec& spec, std::size_t streams,
+                       Bytes rate, SharePolicy policy,
+                       obs::Telemetry telemetry) {
+  GatewayConfig config = spec.base;
+  config.rate = rate;
+  config.sharing = policy;
+  config.threads = 1;  // the grid is the unit of parallelism
+  config.telemetry = telemetry;
+  Gateway gateway(std::move(config));
+  for (std::size_t i = 0; i < streams; ++i) {
+    gateway.add_stream(spec.stream_factory(i));
+  }
+  gateway.run(spec.steps);
+  return gateway.report();
+}
+
+}  // namespace
+
+GatewaySweepResult sweep(const GatewaySweepSpec& spec) {
+  if (spec.stream_counts.empty()) {
+    throw std::invalid_argument("gateway sweep: no stream counts to run");
+  }
+  if (spec.policies.empty()) {
+    throw std::invalid_argument("gateway sweep: no sharing policies to run");
+  }
+  if (!spec.stream_factory) {
+    throw std::invalid_argument("gateway sweep: stream_factory is required");
+  }
+  if (spec.steps < 1) {
+    throw std::invalid_argument("gateway sweep: steps must be >= 1");
+  }
+  if (const std::string problem = spec.base.validate(); !problem.empty()) {
+    throw std::invalid_argument("gateway sweep: base config: " + problem);
+  }
+
+  GatewaySweepResult result;
+  result.points.resize(spec.stream_counts.size());
+  const std::size_t cells =
+      spec.stream_counts.size() * spec.policies.size();
+  CellRegistries registries(spec, cells);
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(cells);
+  for (std::size_t p = 0; p < spec.stream_counts.size(); ++p) {
+    GatewaySweepPoint* point = &result.points[p];
+    point->streams = spec.stream_counts[p];
+    point->rate =
+        spec.rate_per_stream > 0
+            ? spec.rate_per_stream * static_cast<Bytes>(point->streams)
+            : spec.base.rate;
+    point->policies.resize(spec.policies.size());
+    for (std::size_t q = 0; q < spec.policies.size(); ++q) {
+      const std::size_t k = tasks.size();
+      GatewayPolicyOutcome* outcome = &point->policies[q];
+      outcome->policy = spec.policies[q];
+      tasks.push_back([&spec, &registries, point, outcome, k] {
+        const obs::Telemetry tel = registries.at(k);
+        const obs::Span cell_span(tel, "gateway.sweep.cell");
+        outcome->report = run_cell(spec, point->streams, point->rate,
+                                   outcome->policy, tel);
+      });
+    }
+  }
+
+  sim::ParallelRunner runner(spec.threads);
+  result.stats = runner.run(std::move(tasks), spec.progress);
+  registries.fold();
+  return result;
+}
+
+}  // namespace rtsmooth::gateway

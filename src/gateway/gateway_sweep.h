@@ -1,0 +1,86 @@
+// Declarative gateway grids: the gateway-side twin of sim/sweep.h. A
+// GatewaySweepSpec names a StreamCount axis and a set of sharing policies;
+// sweep() runs one independent Gateway per (stream count, policy) cell,
+// fans the cells out over a ParallelRunner, and folds per-cell telemetry
+// back in submission order — the same declarative entry point, parallel
+// execution, and merged-registry semantics simulator sweeps get.
+//
+// Inside a cell the gateway always runs serial (threads = 1): the grid is
+// the unit of parallelism, and nesting pools would oversubscribe without
+// changing any result (cells are byte-identical at any width by the
+// Sect. 9 contract).
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gateway/gateway.h"
+#include "obs/telemetry.h"
+#include "sim/runner.h"
+
+namespace rtsmooth::gateway {
+
+/// One sharing policy's outcome at one stream count.
+struct GatewayPolicyOutcome {
+  SharePolicy policy = SharePolicy::Static;
+  GatewayReport report;
+
+  bool operator==(const GatewayPolicyOutcome&) const = default;
+};
+
+/// One stream-count grid point: every requested policy run on the identical
+/// stream population.
+struct GatewaySweepPoint {
+  std::size_t streams = 0;
+  Bytes rate = 0;  ///< the link rate this point actually ran
+  std::vector<GatewayPolicyOutcome> policies;
+
+  bool operator==(const GatewaySweepPoint&) const = default;
+};
+
+struct GatewaySweepSpec {
+  /// The swept axis: one grid point per stream count, in this order.
+  std::vector<std::size_t> stream_counts;
+  /// Sharing policies run at every point.
+  std::vector<SharePolicy> policies = {SharePolicy::Static,
+                                       SharePolicy::WeightedShare};
+  /// Steps each cell advances.
+  Time steps = 256;
+  /// Builds stream i's spec (i in [0, streams)); must be pure — cells may
+  /// invoke it concurrently, and every cell at a given stream count must
+  /// see the identical population.
+  std::function<StreamSpec(std::size_t)> stream_factory;
+
+  /// Cell gateway template: rate/class_weights/admission/overbook/shards
+  /// are taken from here; sharing comes from `policies`, threads is forced
+  /// to 1 per cell, telemetry is replaced by the per-cell registry.
+  GatewayConfig base;
+  /// When > 0, each point runs at rate = rate_per_stream * streams instead
+  /// of base.rate — the axis that holds per-stream provisioning fixed while
+  /// N grows (the statistical-multiplexing question).
+  Bytes rate_per_stream = 0;
+
+  /// Grid pool width: 0 = RTSMOOTH_THREADS / hardware, 1 = serial.
+  unsigned threads = 0;
+  /// Merged telemetry for the whole grid, same isolation pattern as
+  /// SweepSpec::registry: each cell steps against its own private registry
+  /// and the cells fold in submission order. Null: no telemetry, no cost.
+  obs::Registry* registry = nullptr;
+  /// Per-cell completion callback, forwarded to the ParallelRunner.
+  sim::ParallelRunner::Progress progress;
+};
+
+struct GatewaySweepResult {
+  std::vector<GatewaySweepPoint> points;
+  sim::RunStats stats;
+};
+
+/// Runs the gateway grid. Throws std::invalid_argument on an unrunnable
+/// spec (no stream counts, no policies, missing stream_factory, steps < 1,
+/// or a base config that fails validate()).
+GatewaySweepResult sweep(const GatewaySweepSpec& spec);
+
+}  // namespace rtsmooth::gateway

@@ -1,0 +1,62 @@
+// Link-sharing arithmetic for the multiplex gateway: how one shared link of
+// rate R is divided among weight classes and streams each step.
+//
+// Everything here is pure integer arithmetic over byte counts — no floats in
+// the allocation path beyond the class weights themselves, no sorting of
+// runtime-sized arrays, no iteration order that depends on container
+// internals — because these functions sit inside the shard fan-out and must
+// produce byte-identical allocations for any thread count (DESIGN.md
+// Sect. 9/14). Ties are always broken in ascending index order.
+
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "core/types.h"
+
+namespace rtsmooth::gateway {
+
+/// How the link rate R is shared among streams each step.
+enum class SharePolicy {
+  /// Every stream is served at most its nominal rate r_i; leftover link
+  /// capacity is NOT redistributed. When the nominal demands themselves
+  /// exceed R (an oversubscribed link), the shortfall is split in
+  /// proportion to demand, class-blind — the link never carries more than
+  /// R. Uncontended (sum r_i <= R) this is N independent paper
+  /// configurations riding one link — the regime the small-N differential
+  /// test checks against per-stream ReferenceSimulator runs.
+  Static,
+  /// Work-conserving weighted sharing: R is water-filled across weight
+  /// classes by class weight, then apportioned within each class in
+  /// proportion to per-stream demand. No byte idles while any stream has
+  /// backlog.
+  WeightedShare,
+  /// Strict priority: classes in descending weight order take what they
+  /// demand; lighter classes get the remainder. Starvation is the point.
+  Priority,
+};
+
+/// "static", "weighted-share", "priority".
+std::string_view to_string(SharePolicy policy);
+std::optional<SharePolicy> parse_share_policy(std::string_view name);
+
+/// Water-fills `budget` bytes across classes: class k asks for demand[k] and
+/// carries weight weights[k] (> 0). Classes whose weighted share exceeds
+/// their demand are granted exactly their demand and the surplus
+/// redistributes among the still-hungry classes by weight; fractional-byte
+/// remainders go one byte at a time in ascending class index. Postcondition:
+/// sum(out) == min(budget, sum(demand)) and out[k] <= demand[k].
+void water_fill(Bytes budget, std::span<const double> weights,
+                std::span<const Bytes> demand, std::span<Bytes> out);
+
+/// Largest-remainder apportionment of `budget` bytes proportional to
+/// `demand`: grant floor(budget * demand[i] / total_demand) each, then hand
+/// out the remainder bytes in ascending index order, never exceeding
+/// demand[i]. Postcondition: sum(out) == min(budget, sum(demand)) and
+/// out[i] <= demand[i]. O(n), no sort, deterministic.
+void apportion(Bytes budget, std::span<const Bytes> demand,
+               std::span<Bytes> out);
+
+}  // namespace rtsmooth::gateway

@@ -100,11 +100,26 @@ TEST(JsonReport, EmptyRegistryStillEmitsAllSections) {
   }
 }
 
+TEST(JsonReport, AddSectionAttachesQuarantinedTopLevelKey) {
+  const TempJson tmp;
+  JsonReport report("gateway", options_with_json(tmp.path));
+  obs::Json section = obs::Json::object();
+  section["streams"] = std::int64_t{8192};
+  section["wall_us"] = std::int64_t{1234};
+  report.add_section("gateway", std::move(section));
+  report.write(stats_fixture(), obs::Registry{});
+  const std::string text = slurp(tmp.path);
+  EXPECT_NE(text.find("\"gateway\":{\"streams\":8192,\"wall_us\":1234}"),
+            std::string::npos)
+      << text;
+}
+
 TEST(JsonReport, AddSeriesIsNoOpWhenDisabled) {
   JsonReport report("noop", BenchOptions{});
   Series series{.header = {"a"}};
   series.add({"1"});
   report.add_series("s", series);  // must not throw or write anything
+  report.add_section("g", obs::Json::object());
   report.write(sim::RunStats{}, obs::Registry{});
 }
 

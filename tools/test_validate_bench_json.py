@@ -27,6 +27,19 @@ def bench_doc():
     }
 
 
+def gateway_doc():
+    doc = bench_doc()
+    doc["bench"] = "gateway"
+    doc["registry"]["counters"] = {
+        "gateway.admitted_bytes": 1000, "gateway.served_bytes": 900,
+        "gateway.dropped_bytes": 50, "gateway.unserved_bytes": 25,
+    }
+    doc["gateway"] = {"streams": 8192, "steps": 120,
+                      "stream_steps": 8192 * 120, "wall_us": 16000,
+                      "stream_steps_per_sec": 6.1e7}
+    return doc
+
+
 def step(t):
     return {"t": t, "arrived": 1, "sent": 1, "delivered": 1, "played": 0,
             "dropped_server": 0, "dropped_client": 0, "retransmitted": 0,
@@ -104,6 +117,41 @@ class CheckFileTest(unittest.TestCase):
             os.unlink(path)
 
     def test_valid_bench_doc(self):
+        self.assertEqual(self.check(bench_doc()), [])
+
+    def test_valid_gateway_doc(self):
+        self.assertEqual(self.check(gateway_doc()), [])
+
+    def test_gateway_section_missing_key(self):
+        doc = gateway_doc()
+        del doc["gateway"]["wall_us"]
+        errors = self.check(doc)
+        self.assertTrue(any("gateway section lacks ['wall_us']" in e
+                            for e in errors))
+
+    def test_gateway_section_inconsistent_stream_steps(self):
+        doc = gateway_doc()
+        doc["gateway"]["stream_steps"] = 7
+        errors = self.check(doc)
+        self.assertTrue(any("stream_steps 7 !=" in e for e in errors))
+
+    def test_gateway_section_nonpositive_counts(self):
+        doc = gateway_doc()
+        doc["gateway"]["streams"] = 0
+        doc["gateway"]["stream_steps_per_sec"] = 0
+        errors = self.check(doc)
+        self.assertTrue(any("streams must be a positive int" in e
+                            for e in errors))
+        self.assertTrue(any("stream_steps_per_sec" in e for e in errors))
+
+    def test_gateway_section_requires_ledger_counters(self):
+        doc = gateway_doc()
+        del doc["registry"]["counters"]["gateway.served_bytes"]
+        errors = self.check(doc)
+        self.assertTrue(any("ledger counters" in e and "served_bytes" in e
+                            for e in errors))
+
+    def test_bench_doc_without_gateway_section_still_valid(self):
         self.assertEqual(self.check(bench_doc()), [])
 
     def test_valid_incident_doc(self):

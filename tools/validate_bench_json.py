@@ -15,7 +15,12 @@ Four document kinds are accepted:
                    "histograms": {...}, "timers": {...}},
     }
   with at least one series, every series non-empty, and every row the same
-  width as its header;
+  width as its header. The gateway bench attaches an optional quarantined
+  top-level `gateway` section (wall-clock throughput, never diffed):
+    {"streams": int, "steps": int, "stream_steps": int, "wall_us": int,
+     "stream_steps_per_sec": number}
+  which, when present, must carry its full key set with positive counts and
+  be accompanied by the gateway.* ledger counters in the registry;
 
 * the flight recorder's `rtsmooth-incident-v1` schema
   (obs/flight_recorder.h):
@@ -86,6 +91,44 @@ def check_registry(errors, registry):
         check_histogram(errors, name, hist)
 
 
+GATEWAY_SECTION_KEYS = ("streams", "steps", "stream_steps", "wall_us",
+                        "stream_steps_per_sec")
+
+GATEWAY_LEDGER_COUNTERS = ("gateway.admitted_bytes", "gateway.served_bytes",
+                           "gateway.dropped_bytes", "gateway.unserved_bytes")
+
+
+def check_gateway_section(errors, doc):
+    """The gateway bench's quarantined wall-clock section, when present."""
+    section = doc["gateway"]
+    if not isinstance(section, dict):
+        errors.append("gateway section is not an object")
+        return
+    missing = [k for k in GATEWAY_SECTION_KEYS if k not in section]
+    if missing:
+        errors.append(f"gateway section lacks {missing}")
+    for key in ("streams", "steps", "stream_steps", "wall_us"):
+        value = section.get(key)
+        if key in section and (not isinstance(value, int) or value < 1):
+            errors.append(f"gateway {key} must be a positive int, "
+                          f"got {value!r}")
+    streams, steps = section.get("streams"), section.get("steps")
+    total = section.get("stream_steps")
+    if all(isinstance(v, int) for v in (streams, steps, total)) \
+            and total != streams * steps:
+        errors.append(f"gateway stream_steps {total} != "
+                      f"streams * steps ({streams} * {steps})")
+    rate = section.get("stream_steps_per_sec")
+    if "stream_steps_per_sec" in section \
+            and (not isinstance(rate, (int, float)) or rate <= 0):
+        errors.append(f"gateway stream_steps_per_sec must be a positive "
+                      f"number, got {rate!r}")
+    counters = doc.get("registry", {}).get("counters", {})
+    lacks = [k for k in GATEWAY_LEDGER_COUNTERS if k not in counters]
+    if lacks:
+        errors.append(f"gateway document lacks ledger counters {lacks}")
+
+
 def check_rtsmooth(errors, doc):
     missing = [k for k in ("bench", "options", "series", "runner", "registry")
                if k not in doc]
@@ -114,6 +157,8 @@ def check_rtsmooth(errors, doc):
     if missing:
         errors.append(f"runner lacks {missing}")
     check_registry(errors, doc.get("registry", {}))
+    if "gateway" in doc:
+        check_gateway_section(errors, doc)
 
 
 def check_incident(errors, doc):
