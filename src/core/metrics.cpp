@@ -61,6 +61,7 @@ SimReport& SimReport::operator+=(const SimReport& o) {
   steps += o.steps;
   retransmitted_bytes += o.retransmitted_bytes;
   stall_steps += o.stall_steps;
+  max_lateness = std::max(max_lateness, o.max_lateness);
   invariants += o.invariants;
   return *this;
 }
@@ -75,6 +76,7 @@ std::ostream& operator<<(std::ostream& os, const SimReport& r) {
   if (r.lost_link.bytes > 0) os << ", link-lost " << r.lost_link.bytes << "B";
   if (r.retransmitted_bytes > 0) os << ", retx " << r.retransmitted_bytes << "B";
   if (r.stall_steps > 0) os << ", stalled " << r.stall_steps;
+  if (r.max_lateness > 0) os << ", max-late " << r.max_lateness;
   if (r.invariants.any()) {
     os << ", invariant violations " << r.invariants.total() << " (first at t="
        << r.invariants.first << ")";

@@ -82,6 +82,10 @@ struct SimReport {
   /// Fault/recovery observables (all zero on a lossless link).
   Bytes retransmitted_bytes = 0;  ///< bytes re-sent by the recovery path
   Time stall_steps = 0;           ///< steps the client spent rebuffering
+  /// Peak deadline miss in steps: how far past its playout slot the latest
+  /// byte written off as dropped_client_late arrived. 0 when the schedule
+  /// met every deadline (the paper's lossless-link guarantee).
+  Time max_lateness = 0;
   InvariantViolations invariants; ///< recorded by the InvariantMonitor
 
   /// The paper's weighted loss (Sect. 5): lost weight / offered weight.

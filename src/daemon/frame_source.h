@@ -57,6 +57,13 @@ class FrameSource {
 
   /// Number of distinct channels this source emits on (>= 1).
   virtual std::int32_t channels() const = 0;
+
+  /// Bytes of a trailing partial record discarded at end of stream. Only
+  /// wire-format sources (PipeSource) can see one; 0 elsewhere.
+  virtual std::size_t truncated_tail() const { return 0; }
+  /// Records rejected as undecodable (bad magic/type). Only wire-format
+  /// sources can see one; 0 elsewhere.
+  virtual std::int64_t rejected_records() const { return 0; }
 };
 
 /// Synthetic per-channel MPEG-style traffic: a fixed GOP pattern cycled per
@@ -152,9 +159,9 @@ class PipeSource final : public FrameSource {
   std::int32_t channels() const override { return channels_; }
 
   /// Bytes of a trailing partial record discarded at EOF (0 on clean ends).
-  std::size_t truncated_tail() const { return truncated_tail_; }
+  std::size_t truncated_tail() const override { return truncated_tail_; }
   /// Records rejected for bad magic/type (producer bug or desync).
-  std::int64_t rejected_records() const { return rejected_; }
+  std::int64_t rejected_records() const override { return rejected_; }
 
   /// Test/producer helper: blocking best-effort write of one record to `fd`.
   /// Returns false on a write error (e.g. closed pipe).

@@ -84,6 +84,10 @@ LiveEngine::LiveEngine(EngineConfig config, obs::Telemetry telemetry,
     refused_frames_ = &reg.counter("daemon.admission.slot_refused_frames");
     retired_runs_ = &reg.counter("daemon.retired_runs");
     max_client_occupancy_ = &reg.gauge("client.max_occupancy");
+    max_lateness_ = &reg.gauge("client.max_lateness_steps");
+    const obs::HistogramSpec steps_spec = obs::HistogramSpec::exponential(1, 16);
+    hist_slack_ = &reg.histogram("client.slack_steps", steps_spec);
+    hist_lateness_ = &reg.histogram("client.lateness_steps", steps_spec);
   }
 }
 
@@ -193,11 +197,22 @@ void LiveEngine::deliver(Time t, std::span<const SentPiece> pieces,
     RunSlot& s = slot_of(piece.run_index);
     const Time playout_at = s.run.arrival + config_.playout_offset();
     if (s.played_out || playout_at < t) {
+      // deliver() runs before play() each step, so a missed deadline always
+      // means playout_at < t: the byte is (t - playout_at) steps late.
+      const Time lateness = t - playout_at;
+      report_.max_lateness = std::max(report_.max_lateness, lateness);
       s.late_lost += piece.bytes;
       total_late_ += piece.bytes;
       if (late_bytes_ != nullptr) late_bytes_->add(piece.bytes);
+      if (hist_lateness_ != nullptr) {
+        hist_lateness_->record(lateness, piece.bytes);
+        max_lateness_->update(report_.max_lateness);
+      }
       maybe_retire(s);
       continue;
+    }
+    if (hist_slack_ != nullptr) {
+      hist_slack_->record(playout_at - t, piece.bytes);
     }
     s.stored += piece.bytes;
     occupancy_ += piece.bytes;

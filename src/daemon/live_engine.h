@@ -191,6 +191,9 @@ class LiveEngine {
   obs::Counter* refused_frames_ = nullptr;
   obs::Counter* retired_runs_ = nullptr;
   obs::Gauge* max_client_occupancy_ = nullptr;
+  obs::Gauge* max_lateness_ = nullptr;
+  obs::Histogram* hist_slack_ = nullptr;     ///< playout_at - t, stored bytes
+  obs::Histogram* hist_lateness_ = nullptr;  ///< t - playout_at, late bytes
 };
 
 }  // namespace rtsmooth::daemon

@@ -12,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/prometheus.h"
 #include "util/assert.h"
 
 namespace rtsmooth::daemon {
@@ -66,6 +67,19 @@ Daemon::Daemon(DaemonOptions options, std::unique_ptr<FrameSource> source,
   engine_ = make_engine(options_.engine);
   channel_stats_.resize(static_cast<std::size_t>(source_->channels()));
 
+  if (!options_.stats_socket_path.empty()) {
+    obs::StatsServerConfig scfg;
+    scfg.socket_path = options_.stats_socket_path;
+    stats_ = std::make_unique<obs::StatsServer>(std::move(scfg));
+  }
+  ctr_stalled_polls_ = &registry_.counter("daemon.ingest.stalled_polls");
+  ctr_ingest_retries_ = &registry_.counter("daemon.ingest.retries");
+  ctr_sighup_ = &registry_.counter("daemon.snapshot.sighup");
+  gauge_truncated_tail_ =
+      &registry_.gauge("daemon.ingest.truncated_tail_bytes");
+  gauge_rejected_records_ =
+      &registry_.gauge("daemon.ingest.rejected_records");
+
   obs::Json ctx = obs::Json::object();
   ctx["mode"] = "daemon";
   ctx["policy"] = options_.engine.policy;
@@ -113,6 +127,14 @@ int Daemon::serve() {
   RTS_EXPECTS(!served_);
   served_ = true;
   std::ostream* log = options_.log;
+  if (stats_ != nullptr) {
+    stats_->start();
+    publish_stats();
+    if (log != nullptr) {
+      *log << "rtsmoothd: stats endpoint on " << stats_->socket_path()
+           << '\n';
+    }
+  }
   if (log != nullptr) {
     const EngineConfig& cfg = engine_->config();
     *log << "rtsmoothd: serving " << source_->channels()
@@ -143,9 +165,26 @@ int Daemon::serve() {
       serve_step();
     }
     ++steps_;
-    if (options_.snapshot_every > 0 && !options_.snapshot_path.empty() &&
-        steps_ % options_.snapshot_every == 0) {
-      write_snapshot();
+    if (hup_requested_.exchange(false, std::memory_order_relaxed)) {
+      // Count first so the forced snapshot already shows its own trigger.
+      ctr_sighup_->add(1);
+      const std::string text = snapshot_text();
+      if (!options_.snapshot_path.empty()) write_snapshot(text);
+      if (stats_ != nullptr) {
+        stats_->publish(text, obs::to_prometheus(registry_));
+      }
+      if (log != nullptr) {
+        *log << "rtsmoothd: SIGHUP snapshot at step " << steps_ << '\n';
+      }
+    } else {
+      if (options_.snapshot_every > 0 && !options_.snapshot_path.empty() &&
+          steps_ % options_.snapshot_every == 0) {
+        write_snapshot();
+      }
+      if (stats_ != nullptr && options_.stats_publish_every > 0 &&
+          steps_ % options_.stats_publish_every == 0) {
+        publish_stats();
+      }
     }
     if (source_ended_ && pending_.empty() && !draining_ &&
         engine_->quiescent()) {
@@ -172,6 +211,7 @@ void Daemon::poll_frames() {
   PollStatus status = source_->poll(steps_, buf);
   if (status == PollStatus::Stalled && buf.empty()) {
     ++stalled_polls_;
+    ctr_stalled_polls_->add(1);
     std::int64_t sleep_us = options_.ingest.retry_sleep_us;
     for (std::int32_t attempt = 0; attempt < options_.ingest.max_retries &&
                                    status == PollStatus::Stalled;
@@ -181,9 +221,15 @@ void Daemon::poll_frames() {
       }
       sleep_us = std::min(sleep_us * 2, options_.ingest.retry_sleep_max_us);
       ++ingest_retries_;
+      ctr_ingest_retries_->add(1);
       status = source_->poll(steps_, buf);
     }
   }
+  // Monotone source-side tallies mirrored as max-gauges; for wire sources
+  // a non-zero value flags producer desync or a chopped tail.
+  gauge_truncated_tail_->update(
+      static_cast<std::int64_t>(source_->truncated_tail()));
+  gauge_rejected_records_->update(source_->rejected_records());
   if (status == PollStatus::End) {
     source_ended_ = true;
     if (options_.log != nullptr) {
@@ -549,6 +595,9 @@ obs::Json Daemon::snapshot() const {
   ingest["source_ended"] = source_ended_;
   ingest["timed_out"] = ingest_timed_out_;
   ingest["pending_depth"] = static_cast<std::int64_t>(pending_.size());
+  ingest["truncated_tail_bytes"] =
+      static_cast<std::int64_t>(source_->truncated_tail());
+  ingest["rejected_records"] = source_->rejected_records();
   doc["ingest"] = std::move(ingest);
 
   obs::Json adm = obs::Json::object();
@@ -580,15 +629,45 @@ obs::Json Daemon::snapshot() const {
   rep["stall_steps"] = total.stall_steps;
   rep["max_server_occupancy"] = total.max_server_occupancy;
   rep["max_client_occupancy"] = total.max_client_occupancy;
+  rep["max_lateness"] = total.max_lateness;
   rep["weighted_loss"] = total.weighted_loss();
   rep["conserves"] = total.conserves();
   doc["report"] = std::move(rep);
+
+  if (stats_ != nullptr) {
+    // Endpoint-side tallies (rtsmooth-stats-v1). These describe scraper
+    // traffic, not the stream, and keep moving after a payload is frozen —
+    // the published document reports the counts as of its own build.
+    const obs::StatsServer::Stats ss = stats_->stats();
+    obs::Json st = obs::Json::object();
+    st["schema"] = "rtsmooth-stats-v1";
+    st["socket_path"] = stats_->socket_path();
+    st["running"] = stats_->running();
+    st["accepted"] = ss.accepted;
+    st["served_json"] = ss.served_json;
+    st["served_metrics"] = ss.served_metrics;
+    st["served_health"] = ss.served_health;
+    st["unavailable"] = ss.unavailable;
+    st["bad_requests"] = ss.bad_requests;
+    st["not_found"] = ss.not_found;
+    st["io_errors"] = ss.io_errors;
+    doc["stats"] = std::move(st);
+  }
 
   doc["registry"] = registry_.to_json(false);
   return doc;
 }
 
-void Daemon::write_snapshot() const {
+std::string Daemon::snapshot_text() const { return snapshot().dump() + "\n"; }
+
+void Daemon::publish_stats() {
+  if (stats_ == nullptr) return;
+  stats_->publish(snapshot_text(), obs::to_prometheus(registry_));
+}
+
+void Daemon::write_snapshot() const { write_snapshot(snapshot_text()); }
+
+void Daemon::write_snapshot(const std::string& text) const {
   // tmp + rename so a reader (or a crash mid-write) never sees a torn
   // snapshot file.
   const std::string tmp = options_.snapshot_path + ".tmp";
@@ -607,7 +686,7 @@ void Daemon::write_snapshot() const {
       }
       return;
     }
-    out << snapshot().dump() << '\n';
+    out << text;
     if (!out) {
       if (options_.log != nullptr) {
         *options_.log << "rtsmoothd: snapshot write failed: " << tmp << '\n';
@@ -650,7 +729,16 @@ void Daemon::write_outputs() {
       }
     }
   }
-  if (!options_.snapshot_path.empty()) write_snapshot();
+  if (!options_.snapshot_path.empty() || stats_ != nullptr) {
+    // One document, built after the incident files so incidents_written_
+    // is final, serves both sinks: the shutdown snapshot file and the
+    // endpoint payload are byte-identical (pinned in test_stats_server).
+    const std::string text = snapshot_text();
+    if (!options_.snapshot_path.empty()) write_snapshot(text);
+    if (stats_ != nullptr) {
+      stats_->publish(text, obs::to_prometheus(registry_));
+    }
+  }
 }
 
 std::vector<IngestFrame> Daemon::take_group_buffer() {
@@ -687,12 +775,20 @@ void handle_stop_signal(int signum) {
   if (daemon != nullptr) daemon->request_stop(signum);
 }
 
+void handle_hup_signal(int) {
+  Daemon* daemon = g_signal_daemon.load(std::memory_order_relaxed);
+  if (daemon != nullptr) daemon->request_snapshot();
+}
+
 }  // namespace
 
 void install_signal_handlers(Daemon& daemon) {
   g_signal_daemon.store(&daemon, std::memory_order_relaxed);
   std::signal(SIGTERM, handle_stop_signal);
   std::signal(SIGINT, handle_stop_signal);
+#ifdef SIGHUP
+  std::signal(SIGHUP, handle_hup_signal);
+#endif
 }
 
 }  // namespace rtsmooth::daemon

@@ -18,6 +18,15 @@
 //     handlers call it) finishes the current step, drains in-flight pieces,
 //     folds everything into the final report, writes the rtsmooth-soak-v1
 //     snapshot plus every captured incident, and serve() returns 0.
+//   * live introspection — with stats_socket_path set, the daemon runs an
+//     obs::StatsServer on a unix socket serving the same rtsmooth-soak-v1
+//     document as /json and the registry as Prometheus text on /metrics.
+//     The payload is rebuilt at publish cadence (startup, every
+//     stats_publish_every steps, SIGHUP, shutdown) and swapped in with one
+//     atomic pointer store, so scrapers never touch the serving loop. The
+//     shutdown publish and the shutdown snapshot file are the *same*
+//     string, byte for byte. SIGHUP (request_snapshot()) forces a snapshot
+//     write plus a publish at the next step boundary without stopping.
 //
 // The daemon-level ledger extends the engine's conservation invariant to
 // ingest: polled == admitted + budget_refused + slot_refused +
@@ -41,6 +50,7 @@
 #include "daemon/watchdog.h"
 #include "obs/flight_recorder.h"
 #include "obs/json.h"
+#include "obs/stats_server.h"
 #include "obs/telemetry.h"
 #include "util/ring_buffer.h"
 
@@ -104,6 +114,14 @@ struct DaemonOptions {
   Time snapshot_every = 0;
   std::string snapshot_path;  ///< empty = no snapshot file
   std::string incident_dir;   ///< empty = keep incidents in memory only
+  /// Unix-socket live stats endpoint (DESIGN.md Sect. 15); empty = none.
+  /// The Daemon ctor validates the path (throws std::invalid_argument);
+  /// serve() binds it and the endpoint stays up — serving the final,
+  /// file-identical snapshot — until the Daemon is destroyed.
+  std::string stats_socket_path;
+  /// Republish the endpoint payload every N serving steps; 0 publishes
+  /// only at startup, on SIGHUP, and at shutdown.
+  Time stats_publish_every = 0;
   std::ostream* log = nullptr;  ///< reconfig/SLO event log; null = silent
 };
 
@@ -132,6 +150,13 @@ class Daemon {
     return stop_signal_.load(std::memory_order_relaxed);
   }
 
+  /// Async-signal-safe "snapshot now" request (the installed SIGHUP
+  /// handler calls it): at the next step boundary the loop writes the
+  /// snapshot file and republishes the stats endpoint, then keeps serving.
+  void request_snapshot() {
+    hup_requested_.store(true, std::memory_order_relaxed);
+  }
+
   /// Schedules a drain-and-replan at global step `at_step` (requests are
   /// served in time order; one at a time — a request due while another
   /// drain is in progress waits for it).
@@ -155,6 +180,9 @@ class Daemon {
   SimReport total_report() const;
   /// The rtsmooth-soak-v1 document (also what snapshot_path receives).
   obs::Json snapshot() const;
+  /// The stats endpoint, or null when stats_socket_path is empty. Running
+  /// from serve() until the Daemon is destroyed.
+  const obs::StatsServer* stats_server() const { return stats_.get(); }
 
   std::int64_t reconfigs_applied() const { return reconfigs_applied_; }
   std::int64_t reconfigs_rejected() const { return reconfigs_rejected_; }
@@ -193,7 +221,14 @@ class Daemon {
   void observe(const StepStats& stats);
   void shutdown_drain();
   void write_outputs();
+  /// snapshot().dump() + '\n' — the exact bytes the snapshot file and the
+  /// endpoint's /json route serve.
+  std::string snapshot_text() const;
   void write_snapshot() const;
+  void write_snapshot(const std::string& text) const;
+  /// Rebuilds {JSON, Prometheus} and swaps them into the endpoint. No-op
+  /// without a stats server.
+  void publish_stats();
   std::vector<IngestFrame> take_group_buffer();
   void recycle_group_buffer(std::vector<IngestFrame> buf);
   EngineConfig plan_config(const EnginePlan& plan) const;
@@ -206,7 +241,9 @@ class Daemon {
   std::unique_ptr<LiveEngine> engine_;
   Watchdog watchdog_;
   DegradationLadder ladder_;
+  std::unique_ptr<obs::StatsServer> stats_;
   std::atomic<int> stop_signal_{0};
+  std::atomic<bool> hup_requested_{false};
 
   Time steps_ = 0;       ///< global serving steps completed
   Time epoch_base_ = 0;  ///< global step mapped to the engine's local 0
@@ -253,6 +290,15 @@ class Daemon {
   std::int64_t playouts_ = 0;
   std::int64_t degraded_playouts_ = 0;
 
+  // Ingest-health instruments resolved once at construction, so they exist
+  // (at zero) in every registry snapshot and the serving loop never does a
+  // name lookup.
+  obs::Counter* ctr_stalled_polls_ = nullptr;
+  obs::Counter* ctr_ingest_retries_ = nullptr;
+  obs::Counter* ctr_sighup_ = nullptr;
+  obs::Gauge* gauge_truncated_tail_ = nullptr;  ///< wire-source partial tail
+  obs::Gauge* gauge_rejected_records_ = nullptr;
+
   SimReport total_report_;  ///< folded reports of completed engine epochs
   std::int64_t reconfigs_applied_ = 0;
   std::int64_t reconfigs_rejected_ = 0;
@@ -261,9 +307,11 @@ class Daemon {
   std::int64_t incidents_written_ = 0;
 };
 
-/// Installs SIGTERM/SIGINT handlers that call daemon.request_stop(). The
-/// handler only stores into an atomic (async-signal-safe); at most one
-/// daemon can be installed at a time (re-install for a new one).
+/// Installs SIGTERM/SIGINT handlers that call daemon.request_stop() and a
+/// SIGHUP handler that calls daemon.request_snapshot() (write + republish
+/// without stopping). The handlers only store into atomics
+/// (async-signal-safe); at most one daemon can be installed at a time
+/// (re-install for a new one).
 void install_signal_handlers(Daemon& daemon);
 
 }  // namespace rtsmooth::daemon

@@ -39,10 +39,15 @@ std::string GatewayConfig::validate() const {
 
 bool GatewayReport::conserves() const {
   if (admitted != served + dropped + unserved + backlog) return false;
+  if (served != served_on_time + served_late) return false;
   ClassTotals sum;
-  for (const ClassTotals& c : by_class) sum += c;
+  for (const ClassTotals& c : by_class) {
+    if (c.served != c.on_time + c.late) return false;
+    sum += c;
+  }
   return sum.admitted == admitted && sum.served == served &&
-         sum.dropped == dropped && sum.unserved == unserved;
+         sum.dropped == dropped && sum.unserved == unserved &&
+         sum.on_time == served_on_time && sum.late == served_late;
 }
 
 double GatewayReport::weighted_loss(
@@ -101,9 +106,20 @@ Gateway::Gateway(GatewayConfig config)
     ctr_leaves_ = &reg->counter("gateway.leaves");
     ctr_rejected_ = &reg->counter("gateway.rejected_joins");
     ctr_violations_ = &reg->counter("gateway.violations");
+    ctr_on_time_ = &reg->counter("gateway.on_time_bytes");
+    ctr_late_ = &reg->counter("gateway.late_bytes");
     gauge_backlog_ = &reg->gauge("gateway.max_backlog_bytes");
+    gauge_max_lateness_ = &reg->gauge("gateway.max_lateness_steps");
     hist_step_served_ = &reg->histogram("gateway.step_served_bytes",
                                         obs::HistogramSpec::exponential(64, 16));
+    const obs::HistogramSpec steps_spec = obs::HistogramSpec::exponential(1, 16);
+    hist_slack_ = &reg->histogram("gateway.slack_steps", steps_spec);
+    hist_lateness_ = &reg->histogram("gateway.lateness_steps", steps_spec);
+    hist_class_lateness_.reserve(classes);
+    for (std::size_t k = 0; k < classes; ++k) {
+      hist_class_lateness_.push_back(&reg->histogram(
+          "gateway.c" + std::to_string(k) + ".lateness_steps", steps_spec));
+    }
   }
   if (obs::FlightRecorder* rec = config_.telemetry.recorder) {
     obs::Json context = obs::Json::object();
@@ -149,6 +165,9 @@ std::optional<StreamStats> Gateway::remove_stream(StreamId id) {
   cls.served += stats->served;
   cls.dropped += stats->dropped;
   cls.unserved += stats->unserved;
+  cls.on_time += stats->served_on_time;
+  cls.late += stats->served_late;
+  cls.max_lateness = std::max(cls.max_lateness, stats->max_lateness);
   if (ctr_leaves_ != nullptr) ctr_leaves_->add();
   if (ctr_unserved_ != nullptr) ctr_unserved_->add(stats->unserved);
   return stats;
@@ -186,11 +205,58 @@ void Gateway::arrive_and_demand(std::size_t s) {
     sh.backlog[i] += a;
     sh.admitted[i] += a;
     sc.step_admitted += a;
+    if (a > 0) sh.cohorts[i].push_back(now_, a);
     // Static streams never ask for more than their nominal rate; the other
     // policies bid their whole backlog and let the budget split decide.
     sh.demand[i] = cap_at_nominal ? std::min(sh.backlog[i], sh.rate[i])
                                   : sh.backlog[i];
     sc.class_demand[sh.klass[i]] += sh.demand[i];
+  }
+}
+
+void Gateway::settle_cohorts(Shard& sh, ShardScratch& sc, std::size_t i,
+                             Bytes send, Bytes drop) {
+  CohortRing& ring = sh.cohorts[i];
+  const Time deadline = sh.deadline[i];
+  const bool sampling = ctr_on_time_ != nullptr;
+  // Serve from the head: oldest bytes leave first, so each consumed span
+  // has an exact wait = now - arrival. On time iff wait <= D_i.
+  Bytes remaining = send;
+  while (remaining > 0) {
+    CohortRing::Cohort& c = ring.front();
+    const Bytes take = std::min(c.bytes, remaining);
+    const Time wait = now_ - c.arrival;
+    if (wait <= deadline) {
+      sh.on_time[i] += take;
+      sc.step_on_time += take;
+      if (sampling) {
+        sc.samples.push_back(
+            LatenessSample{sh.klass[i], deadline - wait, take, false});
+      }
+    } else {
+      const Time lateness = wait - deadline;
+      sh.late[i] += take;
+      sc.step_late += take;
+      sh.max_late[i] = std::max(sh.max_late[i], lateness);
+      sc.step_max_late = std::max(sc.step_max_late, lateness);
+      if (sampling) {
+        sc.samples.push_back(
+            LatenessSample{sh.klass[i], lateness, take, true});
+      }
+    }
+    c.bytes -= take;
+    remaining -= take;
+    if (c.bytes == 0) ring.pop_front();
+  }
+  // Shed from the tail: Eq. (3) drops the newest bytes (the ones that
+  // overflowed B_i); dropped bytes are in the drop ledger, not lateness.
+  Bytes shed = drop;
+  while (shed > 0) {
+    CohortRing::Cohort& c = ring.back();
+    const Bytes take = std::min(c.bytes, shed);
+    c.bytes -= take;
+    shed -= take;
+    if (c.bytes == 0) ring.pop_back();
   }
 }
 
@@ -242,6 +308,10 @@ void Gateway::serve_and_drop(std::size_t s) {
   ShardScratch& sc = scratch_[s];
   sc.step_served = 0;
   sc.step_dropped = 0;
+  sc.step_on_time = 0;
+  sc.step_late = 0;
+  sc.step_max_late = 0;
+  sc.samples.clear();
   sc.backlog_total = 0;
   const std::size_t n = sh.size();
 
@@ -279,6 +349,7 @@ void Gateway::serve_and_drop(std::size_t s) {
     sh.dropped[i] += drop;
     sc.step_dropped += drop;
     sc.backlog_total += sh.backlog[i];
+    settle_cohorts(sh, sc, i, send, drop);
   }
 }
 
@@ -297,6 +368,10 @@ void Gateway::step() {
       sc.step_admitted = 0;
       sc.step_served = 0;
       sc.step_dropped = 0;
+      sc.step_on_time = 0;
+      sc.step_late = 0;
+      sc.step_max_late = 0;
+      sc.samples.clear();
       sc.backlog_total = 0;
       const std::vector<Bytes>* scripts = pool_.scripts().data();
       const std::size_t n = sh.size();
@@ -305,6 +380,7 @@ void Gateway::step() {
         sh.backlog[i] += a;
         sh.admitted[i] += a;
         sc.step_admitted += a;
+        if (a > 0) sh.cohorts[i].push_back(now_, a);
         const Bytes send = std::min(sh.backlog[i], sh.rate[i]);
         sh.backlog[i] -= send;
         sh.served[i] += send;
@@ -314,6 +390,7 @@ void Gateway::step() {
         sh.dropped[i] += drop;
         sc.step_dropped += drop;
         sc.backlog_total += sh.backlog[i];
+        settle_cohorts(sh, sc, i, send, drop);
       }
     });
   } else {
@@ -329,16 +406,26 @@ void Gateway::fold_step() {
   Bytes served = 0;
   Bytes dropped = 0;
   Bytes backlog = 0;
+  Bytes on_time = 0;
+  Bytes late = 0;
+  Time step_max_late = 0;
   for (const ShardScratch& sc : scratch_) {  // fixed shard order
     admitted += sc.step_admitted;
     served += sc.step_served;
     dropped += sc.step_dropped;
     backlog += sc.backlog_total;
+    on_time += sc.step_on_time;
+    late += sc.step_late;
+    step_max_late = std::max(step_max_late, sc.step_max_late);
   }
 
   totals_.admitted += admitted;
   totals_.served += served;
   totals_.dropped += dropped;
+  totals_.served_on_time += on_time;
+  totals_.served_late += late;
+  const Time prev_max_lateness = totals_.max_lateness;
+  totals_.max_lateness = std::max(totals_.max_lateness, step_max_late);
   const Bytes prev_backlog = totals_.backlog;
   totals_.backlog = backlog;
   totals_.max_backlog = std::max(totals_.max_backlog, backlog);
@@ -371,8 +458,30 @@ void Gateway::fold_step() {
     ctr_admitted_->add(admitted);
     ctr_served_->add(served);
     ctr_dropped_->add(dropped);
+    ctr_on_time_->add(on_time);
+    ctr_late_->add(late);
     gauge_backlog_->update(backlog);
+    gauge_max_lateness_->update(totals_.max_lateness);
     hist_step_served_->record(served);
+    // Drain the shard-local lateness observations serially, in fixed
+    // shard order — same determinism discipline as the tallies above.
+    for (ShardScratch& sc : scratch_) {
+      for (const LatenessSample& sample : sc.samples) {
+        if (sample.late) {
+          hist_lateness_->record(sample.steps, sample.bytes);
+          hist_class_lateness_[sample.klass]->record(sample.steps,
+                                                     sample.bytes);
+        } else {
+          hist_slack_->record(sample.steps, sample.bytes);
+        }
+      }
+      sc.samples.clear();
+    }
+  }
+  if (rec != nullptr && totals_.max_lateness > prev_max_lateness) {
+    // A fresh lateness high-water mark lands in the incident context, so a
+    // frozen window names how far past its deadline the worst byte was.
+    rec->annotate("max_lateness_steps", obs::Json(totals_.max_lateness));
   }
   if (rec != nullptr) {
     rec->record(obs::StepRecord{.t = now_,
@@ -404,6 +513,9 @@ GatewayReport Gateway::report() const {
       cls.admitted += sh.admitted[i];
       cls.served += sh.served[i];
       cls.dropped += sh.dropped[i];
+      cls.on_time += sh.on_time[i];
+      cls.late += sh.late[i];
+      cls.max_lateness = std::max(cls.max_lateness, sh.max_late[i]);
     }
   }
   return r;

@@ -24,6 +24,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -72,12 +73,18 @@ struct ClassTotals {
   Bytes served = 0;
   Bytes dropped = 0;
   Bytes unserved = 0;
+  Bytes on_time = 0;      ///< served within the stream's deadline D_i
+  Bytes late = 0;         ///< served after D_i expired
+  Time max_lateness = 0;  ///< peak (wait - D_i) over the class's late bytes
 
   ClassTotals& operator+=(const ClassTotals& o) {
     admitted += o.admitted;
     served += o.served;
     dropped += o.dropped;
     unserved += o.unserved;
+    on_time += o.on_time;
+    late += o.late;
+    max_lateness = std::max(max_lateness, o.max_lateness);
     return *this;
   }
   bool operator==(const ClassTotals&) const = default;
@@ -90,6 +97,9 @@ struct GatewayReport {
   Bytes dropped = 0;
   Bytes unserved = 0;  ///< written off at stream departure
   Bytes backlog = 0;   ///< still buffered across live streams
+  Bytes served_on_time = 0;  ///< served bytes that waited <= their D_i
+  Bytes served_late = 0;     ///< served bytes that missed their deadline
+  Time max_lateness = 0;     ///< peak (wait - D_i) over all late bytes
   std::vector<ClassTotals> by_class;
 
   Time steps = 0;
@@ -100,7 +110,8 @@ struct GatewayReport {
   Bytes max_step_served = 0;  ///< peak link usage in one step (<= R)
   std::int64_t violations = 0;  ///< conservation / oversend check failures
 
-  /// admitted == served + dropped + unserved + backlog, here and per class.
+  /// admitted == served + dropped + unserved + backlog AND
+  /// served == served_on_time + served_late, here and per class.
   bool conserves() const;
   /// Weight-scaled loss fraction: lost = dropped + unserved, weighted by
   /// the class weights the report was built with.
@@ -151,6 +162,18 @@ class Gateway {
   const sim::RunStats& run_stats() const { return run_stats_; }
 
  private:
+  /// One lateness observation collected shard-locally during the parallel
+  /// phase and drained into the registry histograms serially in
+  /// fold_step() (fixed shard order — merged snapshots stay byte-identical
+  /// for any thread count). `steps` is slack for on-time bytes and
+  /// lateness for late ones.
+  struct LatenessSample {
+    std::uint32_t klass = 0;
+    Time steps = 0;
+    Bytes bytes = 0;
+    bool late = false;
+  };
+
   /// Per-shard per-step scratch each shard task owns exclusively.
   struct ShardScratch {
     std::vector<Bytes> class_demand;  ///< per class, this shard
@@ -159,12 +182,18 @@ class Gateway {
     Bytes step_admitted = 0;
     Bytes step_served = 0;
     Bytes step_dropped = 0;
+    Bytes step_on_time = 0;
+    Bytes step_late = 0;
+    Time step_max_late = 0;
     Bytes backlog_total = 0;
+    std::vector<LatenessSample> samples;  ///< registry-enabled runs only
   };
 
   void arrive_and_demand(std::size_t s);
   void allocate_budgets();
   void serve_and_drop(std::size_t s);
+  void settle_cohorts(Shard& sh, ShardScratch& sc, std::size_t i, Bytes send,
+                      Bytes drop);
   template <typename Fn>
   void for_each_shard(Fn&& fn);
   void fold_step();
@@ -193,8 +222,14 @@ class Gateway {
   obs::Counter* ctr_leaves_ = nullptr;
   obs::Counter* ctr_rejected_ = nullptr;
   obs::Counter* ctr_violations_ = nullptr;
+  obs::Counter* ctr_on_time_ = nullptr;
+  obs::Counter* ctr_late_ = nullptr;
   obs::Gauge* gauge_backlog_ = nullptr;
+  obs::Gauge* gauge_max_lateness_ = nullptr;
   obs::Histogram* hist_step_served_ = nullptr;
+  obs::Histogram* hist_slack_ = nullptr;
+  obs::Histogram* hist_lateness_ = nullptr;
+  std::vector<obs::Histogram*> hist_class_lateness_;  ///< one per class
 };
 
 }  // namespace rtsmooth::gateway

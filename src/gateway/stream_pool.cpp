@@ -88,6 +88,15 @@ Bytes arrival_bytes(const Shard& shard, const std::vector<Bytes>* scripts,
   return 0;
 }
 
+void CohortRing::grow() {
+  std::vector<Cohort> bigger(std::max<std::size_t>(slots_.size() * 2, 4));
+  for (std::size_t i = 0; i < size_; ++i) {
+    bigger[i] = slots_[(head_ + i) % slots_.size()];
+  }
+  slots_ = std::move(bigger);
+  head_ = 0;
+}
+
 StreamPool::StreamPool(std::size_t shards) : shards_(std::max<std::size_t>(shards, 1)) {}
 
 StreamId StreamPool::add(const StreamSpec& spec, Time now) {
@@ -100,12 +109,17 @@ StreamId StreamPool::add(const StreamSpec& spec, Time now) {
   shard.klass.push_back(static_cast<std::uint32_t>(spec.weight_class));
   shard.rate.push_back(spec.rate);
   shard.buffer.push_back(spec.buffer());
+  shard.deadline.push_back(spec.deadline);
   shard.backlog.push_back(0);
   shard.demand.push_back(0);
   shard.alloc.push_back(0);
   shard.admitted.push_back(0);
   shard.served.push_back(0);
   shard.dropped.push_back(0);
+  shard.on_time.push_back(0);
+  shard.late.push_back(0);
+  shard.max_late.push_back(0);
+  shard.cohorts.emplace_back();
   shard.joined.push_back(now);
   shard.arr_kind.push_back(static_cast<std::uint8_t>(spec.arrivals.kind));
   shard.arr_bytes.push_back(spec.arrivals.bytes);
@@ -146,12 +160,17 @@ std::optional<StreamStats> StreamPool::remove(StreamId id, Time now) {
     shard.klass[slot] = shard.klass[last];
     shard.rate[slot] = shard.rate[last];
     shard.buffer[slot] = shard.buffer[last];
+    shard.deadline[slot] = shard.deadline[last];
     shard.backlog[slot] = shard.backlog[last];
     shard.demand[slot] = shard.demand[last];
     shard.alloc[slot] = shard.alloc[last];
     shard.admitted[slot] = shard.admitted[last];
     shard.served[slot] = shard.served[last];
     shard.dropped[slot] = shard.dropped[last];
+    shard.on_time[slot] = shard.on_time[last];
+    shard.late[slot] = shard.late[last];
+    shard.max_late[slot] = shard.max_late[last];
+    shard.cohorts[slot] = std::move(shard.cohorts[last]);
     shard.joined[slot] = shard.joined[last];
     shard.arr_kind[slot] = shard.arr_kind[last];
     shard.arr_bytes[slot] = shard.arr_bytes[last];
@@ -165,12 +184,17 @@ std::optional<StreamStats> StreamPool::remove(StreamId id, Time now) {
   shard.klass.pop_back();
   shard.rate.pop_back();
   shard.buffer.pop_back();
+  shard.deadline.pop_back();
   shard.backlog.pop_back();
   shard.demand.pop_back();
   shard.alloc.pop_back();
   shard.admitted.pop_back();
   shard.served.pop_back();
   shard.dropped.pop_back();
+  shard.on_time.pop_back();
+  shard.late.pop_back();
+  shard.max_late.pop_back();
+  shard.cohorts.pop_back();
   shard.joined.pop_back();
   shard.arr_kind.pop_back();
   shard.arr_bytes.pop_back();
@@ -189,6 +213,9 @@ StreamStats StreamPool::row(const Shard& shard, std::size_t i) const {
                      .dropped = shard.dropped[i],
                      .unserved = 0,
                      .backlog = shard.backlog[i],
+                     .served_on_time = shard.on_time[i],
+                     .served_late = shard.late[i],
+                     .max_lateness = shard.max_late[i],
                      .joined = shard.joined[i],
                      .left = kNever};
 }

@@ -83,7 +83,9 @@ struct StreamSpec {
 
 /// Ledger row for one stream, live or departed. The churn conservation
 /// contract: every admitted byte is served, dropped (buffer overflow,
-/// Eq. (3) per stream), written off as unserved at leave, or still backlogged.
+/// Eq. (3) per stream), written off as unserved at leave, or still
+/// backlogged — and every served byte is either on time (waited <= D_i)
+/// or late.
 struct StreamStats {
   StreamId id = 0;
   std::size_t weight_class = 0;
@@ -92,13 +94,55 @@ struct StreamStats {
   Bytes dropped = 0;
   Bytes unserved = 0;  ///< backlog written off when the stream left
   Bytes backlog = 0;   ///< still buffered (live streams only)
+  Bytes served_on_time = 0;  ///< served bytes that waited <= D_i steps
+  Bytes served_late = 0;     ///< served bytes that waited > D_i steps
+  Time max_lateness = 0;     ///< peak (wait - D_i) over late bytes; 0 if none
   Time joined = 0;
   Time left = kNever;
 
   bool conserves() const {
-    return admitted == served + dropped + unserved + backlog;
+    return admitted == served + dropped + unserved + backlog &&
+           served == served_on_time + served_late;
   }
   bool operator==(const StreamStats&) const = default;
+};
+
+/// FIFO ring of arrival cohorts backing one stream's backlog: which step
+/// each backlogged byte arrived at. Serving consumes the head (oldest
+/// bytes first, matching the per-stream FIFO buffer), the Eq. (3) shed
+/// consumes the tail (the newest bytes are the ones over B_i). The cohort
+/// bytes sum to the stream's backlog column at every step boundary, so
+/// wait = serve_step - arrival is exact per byte. Capacity grows
+/// amortized and is recycled across steps — no steady-state allocation.
+class CohortRing {
+ public:
+  struct Cohort {
+    Time arrival = 0;
+    Bytes bytes = 0;
+  };
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  Cohort& front() { return slots_[head_]; }
+  Cohort& back() { return slots_[(head_ + size_ - 1) % slots_.size()]; }
+
+  void push_back(Time arrival, Bytes bytes) {
+    if (size_ == slots_.size()) grow();
+    slots_[(head_ + size_) % slots_.size()] = Cohort{arrival, bytes};
+    ++size_;
+  }
+  void pop_front() {
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+  }
+  void pop_back() { --size_; }
+
+ private:
+  void grow();
+
+  std::vector<Cohort> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
 };
 
 /// One shard's SoA columns. Exposed publicly (rather than hidden behind
@@ -110,12 +154,17 @@ struct Shard {
   std::vector<std::uint32_t> klass;
   std::vector<Bytes> rate;
   std::vector<Bytes> buffer;
+  std::vector<Time> deadline;  ///< D_i: the stream's lateness budget
   std::vector<Bytes> backlog;
   std::vector<Bytes> demand;  ///< per-step scratch: backlog after arrivals
   std::vector<Bytes> alloc;   ///< per-step scratch: link bytes granted
   std::vector<Bytes> admitted;
   std::vector<Bytes> served;
   std::vector<Bytes> dropped;
+  std::vector<Bytes> on_time;   ///< served bytes that waited <= D_i
+  std::vector<Bytes> late;      ///< served bytes that waited > D_i
+  std::vector<Time> max_late;   ///< peak lateness (wait - D_i) so far
+  std::vector<CohortRing> cohorts;  ///< arrival-step FIFO behind backlog
   std::vector<Time> joined;
   // Arrival-model columns (see ArrivalModel).
   std::vector<std::uint8_t> arr_kind;

@@ -1,0 +1,88 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cstdint>
+
+namespace rtsmooth::obs {
+namespace {
+
+void append_i64(std::string& out, std::int64_t v) {
+  out += std::to_string(v);
+}
+
+void append_metric(std::string& out, std::string_view name,
+                   std::string_view type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void append_histogram(std::string& out, const std::string& name,
+                      const Histogram& hist) {
+  append_metric(out, name, "histogram");
+  // Registry buckets are per-bin; the exposition wants cumulative counts.
+  std::int64_t cumulative = 0;
+  const std::vector<std::int64_t>& bounds = hist.bounds();
+  const std::vector<std::int64_t>& counts = hist.counts();
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    cumulative += counts[i];
+    out += name;
+    out += "_bucket{le=\"";
+    append_i64(out, bounds[i]);
+    out += "\"} ";
+    append_i64(out, cumulative);
+    out += '\n';
+  }
+  out += name;
+  out += "_bucket{le=\"+Inf\"} ";
+  append_i64(out, hist.count());
+  out += '\n';
+  out += name;
+  out += "_sum ";
+  append_i64(out, hist.sum());
+  out += '\n';
+  out += name;
+  out += "_count ";
+  append_i64(out, hist.count());
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "rtsmooth_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const auto uc = static_cast<unsigned char>(c);
+    out += std::isalnum(uc) != 0 ? c : '_';
+  }
+  return out;
+}
+
+std::string to_prometheus(const Registry& registry) {
+  std::string out;
+  for (const auto& [name, counter] : registry.counters()) {
+    const std::string metric = prometheus_name(name);
+    append_metric(out, metric, "counter");
+    out += metric;
+    out += ' ';
+    append_i64(out, counter.value());
+    out += '\n';
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    const std::string metric = prometheus_name(name);
+    append_metric(out, metric, "gauge");
+    out += metric;
+    out += ' ';
+    append_i64(out, gauge.value());
+    out += '\n';
+  }
+  for (const auto& [name, hist] : registry.histograms()) {
+    append_histogram(out, prometheus_name(name), hist);
+  }
+  return out;
+}
+
+}  // namespace rtsmooth::obs

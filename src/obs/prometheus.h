@@ -1,0 +1,33 @@
+// Prometheus text-exposition rendering of a telemetry Registry snapshot.
+//
+// The mapping is mechanical so the exposition stays in lockstep with the
+// JSON snapshot (DESIGN.md Sect. 15):
+//
+//   * metric names are the registry's dotted names with every character
+//     outside [a-zA-Z0-9_] rewritten to '_' and an "rtsmooth_" prefix
+//     (e.g. "gateway.served_bytes" -> "rtsmooth_gateway_served_bytes");
+//   * Counters render as `counter`, max-keeping Gauges as `gauge`,
+//     Histograms as `histogram` with cumulative `_bucket{le="..."}`
+//     series (each fixed bound plus `+Inf`) and exact `_sum` / `_count`;
+//   * timers are excluded, mirroring `Registry::to_json(false)` — the
+//     exposition of a merged registry is deterministic for any thread
+//     count, the same unit of account as the JSON snapshot.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/telemetry.h"
+
+namespace rtsmooth::obs {
+
+/// The "rtsmooth_"-prefixed exposition name for a dotted registry name.
+std::string prometheus_name(std::string_view name);
+
+/// Renders the registry in Prometheus text exposition format (version
+/// 0.0.4): one `# TYPE` line per metric, lexicographic registry order,
+/// timers excluded. An empty registry renders to an empty string.
+std::string to_prometheus(const Registry& registry);
+
+}  // namespace rtsmooth::obs

@@ -462,6 +462,56 @@ TEST(Daemon, RequestStopMidRunDrainsCleanly) {
   EXPECT_EQ(daemon.total_report().residual.bytes, 0);
 }
 
+TEST(Daemon, RequestSnapshotWritesMidRunWithoutStopping) {
+  const std::string dir = ::testing::TempDir() + "rtsmoothd_sighup";
+  const std::string snap_path = dir + "/snapshot.json";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  GeneratorConfig gen;
+  gen.channels = 2;
+  gen.mean_frame_bytes = 64;
+  gen.max_frame_bytes = 128;
+  gen.min_frame_bytes = 16;
+  gen.seed = 8;
+  DaemonOptions opts = balanced_options(512, 4);
+  opts.snapshot_path = snap_path;  // snapshot_every stays 0: only on demand
+  // Endless source: only the stop request ends this run.
+  Daemon daemon(opts, std::make_unique<GeneratorSource>(gen));
+
+  std::thread hupper([&daemon, &snap_path] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    daemon.request_snapshot();  // what the SIGHUP handler calls
+    // The forced snapshot lands at the next step boundary; the daemon
+    // must keep serving long after it.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!std::filesystem::exists(snap_path) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(std::filesystem::exists(snap_path));
+    EXPECT_EQ(daemon.stop_signal(), 0);  // still running
+    daemon.request_stop(SIGTERM);
+  });
+  EXPECT_EQ(daemon.serve(), 0);
+  hupper.join();
+
+  // The shutdown snapshot overwrote the forced one; both came through the
+  // same path, and the final document records the SIGHUP trigger.
+  std::ifstream in(snap_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const obs::Json doc = obs::Json::parse(text.str());
+  EXPECT_EQ(doc.at("stop_signal").as_int(), SIGTERM);
+  EXPECT_EQ(doc.at("registry")
+                .at("counters")
+                .at("daemon.snapshot.sighup")
+                .as_int(),
+            1);
+}
+
 TEST(Daemon, RejectsInvalidInitialConfig) {
   GeneratorConfig gen;
   DaemonOptions opts;

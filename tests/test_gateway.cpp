@@ -312,7 +312,113 @@ TEST(GatewayDifferential, UncontendedStaticMatchesReferencePerStream) {
     EXPECT_EQ(stats->dropped, ref.dropped_server.bytes);
     EXPECT_EQ(stats->served, ref.played.bytes);
     EXPECT_EQ(stats->backlog, 0);
+    // Lemma 3.2 against the oracle: the reference drops nothing late
+    // client-side on a balanced lossless plan, so the gateway must have
+    // served every byte within its deadline — the lateness ledger is empty.
+    EXPECT_EQ(stats->served_late, 0);
+    EXPECT_EQ(stats->served_on_time, stats->served);
+    EXPECT_EQ(stats->max_lateness, 0);
   }
+}
+
+// ------------------------------------------------- deadline lateness ledger
+
+// Uncontended Static is N paper configurations, so Lemma 3.2's sojourn
+// bound holds per stream: the head byte is served within D_i steps of
+// arrival, every byte is on time, and the slack histogram never exceeds
+// the largest deadline in the population.
+TEST(GatewayLateness, UncontendedStaticIsAlwaysOnTime) {
+  obs::Registry registry;
+  Gateway gw(GatewayConfig{.rate = 96 + 48 + 24,
+                           .class_weights = {12.0, 8.0, 1.0},
+                           .sharing = SharePolicy::Static,
+                           .shards = 4,
+                           .threads = 1,
+                           .telemetry = {.registry = &registry}});
+  Time max_deadline = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const StreamSpec spec = mixed_spec(i);
+    max_deadline = std::max(max_deadline, spec.deadline);
+    ASSERT_TRUE(gw.add_stream(spec).has_value());
+  }
+  gw.run(200);
+
+  const GatewayReport report = gw.report();
+  EXPECT_TRUE(report.conserves());
+  EXPECT_EQ(report.served_late, 0);
+  EXPECT_EQ(report.served_on_time, report.served);
+  EXPECT_EQ(report.max_lateness, 0);
+  for (const StreamStats& row : gw.all_stream_stats()) {
+    EXPECT_EQ(row.served_late, 0) << "stream " << row.id;
+    EXPECT_EQ(row.max_lateness, 0) << "stream " << row.id;
+  }
+
+  const obs::Histogram& slack = registry.histograms().at("gateway.slack_steps");
+  const obs::Histogram& late =
+      registry.histograms().at("gateway.lateness_steps");
+  EXPECT_EQ(slack.count(), report.served_on_time);  // byte-weighted
+  EXPECT_EQ(late.count(), 0);
+  EXPECT_LE(slack.max(), max_deadline);  // slack = D_i - wait <= D_i
+}
+
+// Oversubscribed WeightedShare: backlogs outlive deadlines, so some bytes
+// are served late. The conservation identity served = on_time + late must
+// hold in aggregate and per class, and every instrument must agree with
+// the ledger it mirrors.
+TEST(GatewayLateness, ContendedLedgerConservesAndMatchesInstruments) {
+  obs::Registry registry;
+  Gateway gw(GatewayConfig{.rate = 600,  // ~25% of subscribed
+                           .class_weights = {12.0, 8.0, 1.0},
+                           .sharing = SharePolicy::WeightedShare,
+                           .shards = 8,
+                           .threads = 1,
+                           .telemetry = {.registry = &registry}});
+  for (std::size_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(gw.add_stream(mixed_spec(i)).has_value());
+  }
+  gw.run(120);
+
+  const GatewayReport report = gw.report();
+  EXPECT_TRUE(report.conserves());
+  EXPECT_GT(report.served_late, 0);
+  EXPECT_GT(report.max_lateness, 0);
+  EXPECT_EQ(report.served, report.served_on_time + report.served_late);
+
+  Bytes class_on_time = 0;
+  Bytes class_late = 0;
+  Time class_max = 0;
+  for (const gateway::ClassTotals& c : report.by_class) {
+    EXPECT_EQ(c.served, c.on_time + c.late);
+    class_on_time += c.on_time;
+    class_late += c.late;
+    class_max = std::max(class_max, c.max_lateness);
+  }
+  EXPECT_EQ(class_on_time, report.served_on_time);
+  EXPECT_EQ(class_late, report.served_late);
+  EXPECT_EQ(class_max, report.max_lateness);
+
+  const obs::Histogram& slack = registry.histograms().at("gateway.slack_steps");
+  const obs::Histogram& late =
+      registry.histograms().at("gateway.lateness_steps");
+  EXPECT_EQ(slack.count(), report.served_on_time);
+  EXPECT_EQ(late.count(), report.served_late);
+  EXPECT_EQ(late.max(), report.max_lateness);
+  EXPECT_EQ(registry.gauges().at("gateway.max_lateness_steps").value(),
+            report.max_lateness);
+  EXPECT_EQ(registry.counters().at("gateway.on_time_bytes").value(),
+            report.served_on_time);
+  EXPECT_EQ(registry.counters().at("gateway.late_bytes").value(),
+            report.served_late);
+
+  // The per-class lateness histograms partition the aggregate one.
+  std::int64_t per_class_weight = 0;
+  for (std::size_t k = 0; k < report.by_class.size(); ++k) {
+    const obs::Histogram& h = registry.histograms().at(
+        "gateway.c" + std::to_string(k) + ".lateness_steps");
+    EXPECT_EQ(h.count(), report.by_class[k].late) << "class " << k;
+    per_class_weight += h.count();
+  }
+  EXPECT_EQ(per_class_weight, late.count());
 }
 
 TEST(GatewaySharing, WeightedShareIsWorkConserving) {

@@ -1,0 +1,284 @@
+// rtsmooth_stat: scrape a running rtsmoothd/soak_driver stats endpoint
+// (DESIGN.md Sect. 15) over its unix socket.
+//
+// Default mode pretty-prints the load-bearing numbers of the
+// rtsmooth-soak-v1 document — steps, throughput, loss, lateness, ingest
+// health, degradation state — one block per scrape. --json and --metrics
+// emit the raw documents (the same bytes the daemon published) for piping
+// into files or other tools. --interval N repeats every N milliseconds,
+// --count bounds the repeats, so `rtsmooth_stat --socket S --interval 1000`
+// is a poor man's `watch` over a soak.
+//
+// Exit status: 0 on success, 1 when the endpoint answered but not with 200
+// (e.g. 503 before the first publish), 2 on bad invocation or a socket
+// error. One failed scrape in interval mode ends the run — a soak that
+// stops serving is a result, not something to silently retry.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include <chrono>
+
+#include "obs/json.h"
+#include "util/cli.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: rtsmooth_stat --socket PATH [options]
+  --socket PATH   unix socket of the stats endpoint (required)
+  --json          emit the raw rtsmooth-soak-v1 JSON document
+  --metrics       emit the raw Prometheus text exposition
+  --health        probe /healthz and print the answer
+  --interval N    repeat every N milliseconds (0 = scrape once) [0]
+  --count N       stop after N scrapes in interval mode (0 = forever) [0])";
+
+enum class Mode { Pretty, Json, Metrics, Health };
+
+struct ScrapeResult {
+  int status = 0;
+  std::string body;
+};
+
+/// One HTTP/1.0 exchange over the unix socket. Throws std::runtime_error on
+/// connect/read/write failures; HTTP-level errors come back in `status`.
+ScrapeResult scrape(const std::string& socket_path, const char* target) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("socket path too long: " + socket_path);
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("connect " + socket_path + ": " +
+                             std::strerror(err));
+  }
+  std::string request = std::string("GET ") + target + " HTTP/1.0\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error(std::string("send: ") + std::strerror(err));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error(std::string("recv: ") + std::strerror(err));
+    }
+    if (n == 0) break;  // Connection: close — EOF delimits the response.
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  ScrapeResult result;
+  const std::size_t line_end = response.find("\r\n");
+  if (line_end == std::string::npos || response.rfind("HTTP/", 0) != 0) {
+    throw std::runtime_error("malformed response from " + socket_path);
+  }
+  const std::size_t sp = response.find(' ');
+  if (sp == std::string::npos || sp + 4 > line_end) {
+    throw std::runtime_error("malformed status line from " + socket_path);
+  }
+  result.status = static_cast<int>(rtsmooth::cli::require_int(
+      std::string_view(response).substr(sp + 1, 3), "http status", kUsage,
+      100, 599));
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end != std::string::npos) {
+    result.body = response.substr(header_end + 4);
+  }
+  return result;
+}
+
+std::int64_t opt_int(const rtsmooth::obs::Json& obj, std::string_view key) {
+  const rtsmooth::obs::Json* v = obj.find(key);
+  return v != nullptr && v->is_int() ? v->as_int() : 0;
+}
+
+double opt_double(const rtsmooth::obs::Json& obj, std::string_view key) {
+  const rtsmooth::obs::Json* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+}
+
+void print_pretty(const std::string& body) {
+  namespace obs = rtsmooth::obs;
+  const obs::Json doc = obs::Json::parse(body);
+  const obs::Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    throw std::runtime_error("document has no schema field");
+  }
+  std::printf("schema    %s\n", schema->as_string().c_str());
+  std::printf("steps     %lld (engine %lld)\n",
+              static_cast<long long>(opt_int(doc, "steps")),
+              static_cast<long long>(opt_int(doc, "engine_steps")));
+  if (const obs::Json* d = doc.find("daemon")) {
+    std::printf("plan      policy=%s B_s=%lld B_c=%lld R=%lld D=%lld%s\n",
+                d->at("policy").as_string().c_str(),
+                static_cast<long long>(opt_int(*d, "server_buffer")),
+                static_cast<long long>(opt_int(*d, "client_buffer")),
+                static_cast<long long>(opt_int(*d, "rate")),
+                static_cast<long long>(opt_int(*d, "smoothing_delay")),
+                d->at("balanced").as_bool() ? " (balanced)" : "");
+  }
+  if (const obs::Json* rep = doc.find("report")) {
+    std::printf("report    offered=%lldB played=%lldB loss=%.4f "
+                "stalls=%lld max-late=%lld conserves=%s\n",
+                static_cast<long long>(opt_int(*rep, "offered_bytes")),
+                static_cast<long long>(opt_int(*rep, "played_bytes")),
+                opt_double(*rep, "weighted_loss"),
+                static_cast<long long>(opt_int(*rep, "stall_steps")),
+                static_cast<long long>(opt_int(*rep, "max_lateness")),
+                rep->at("conserves").as_bool() ? "yes" : "NO");
+  }
+  if (const obs::Json* ing = doc.find("ingest")) {
+    std::printf("ingest    polled=%lld frames/%lldB stalled=%lld retries=%lld "
+                "pending=%lld truncated=%lldB rejected=%lld\n",
+                static_cast<long long>(opt_int(*ing, "polled_frames")),
+                static_cast<long long>(opt_int(*ing, "polled_bytes")),
+                static_cast<long long>(opt_int(*ing, "stalled_polls")),
+                static_cast<long long>(opt_int(*ing, "retries")),
+                static_cast<long long>(opt_int(*ing, "pending_depth")),
+                static_cast<long long>(opt_int(*ing, "truncated_tail_bytes")),
+                static_cast<long long>(opt_int(*ing, "rejected_records")));
+  }
+  if (const obs::Json* deg = doc.find("degradation")) {
+    std::printf("degrade   level=%s rung=%lld floor=%.3f shed=%lld\n",
+                deg->at("level").as_string().c_str(),
+                static_cast<long long>(opt_int(*deg, "rung")),
+                opt_double(*deg, "value_floor"),
+                static_cast<long long>(opt_int(*deg, "shed_channels")));
+  }
+  if (const obs::Json* rc = doc.find("reconfigs")) {
+    std::printf("reconfig  applied=%lld rejected=%lld queued=%lld "
+                "max-lag=%lld\n",
+                static_cast<long long>(opt_int(*rc, "applied")),
+                static_cast<long long>(opt_int(*rc, "rejected")),
+                static_cast<long long>(opt_int(*rc, "queued")),
+                static_cast<long long>(opt_int(*rc, "max_lag")));
+  }
+  if (const obs::Json* slo = doc.find("slo")) {
+    const obs::Json* breaches = slo->find("breaches");
+    std::printf("slo       stall=%lld loss=%lld occupancy=%lld "
+                "incidents=%lld\n",
+                breaches != nullptr ? static_cast<long long>(
+                                          opt_int(*breaches, "stall"))
+                                    : 0LL,
+                breaches != nullptr ? static_cast<long long>(
+                                          opt_int(*breaches, "loss"))
+                                    : 0LL,
+                breaches != nullptr ? static_cast<long long>(
+                                          opt_int(*breaches, "occupancy"))
+                                    : 0LL,
+                static_cast<long long>(opt_int(*slo, "incidents_captured")));
+  }
+  if (const obs::Json* st = doc.find("stats")) {
+    std::printf("endpoint  accepted=%lld json=%lld metrics=%lld "
+                "bad=%lld io-errors=%lld\n",
+                static_cast<long long>(opt_int(*st, "accepted")),
+                static_cast<long long>(opt_int(*st, "served_json")),
+                static_cast<long long>(opt_int(*st, "served_metrics")),
+                static_cast<long long>(opt_int(*st, "bad_requests")),
+                static_cast<long long>(opt_int(*st, "io_errors")));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using rtsmooth::cli::require_int;
+  std::string socket_path;
+  Mode mode = Mode::Pretty;
+  std::int64_t interval_ms = 0;
+  std::int64_t count = 0;
+  const auto need = [&](int& i) -> std::string_view {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      rtsmooth::cli::usage_exit(kUsage);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--socket") {
+      socket_path = std::string(need(i));
+    } else if (arg == "--json") {
+      mode = Mode::Json;
+    } else if (arg == "--metrics") {
+      mode = Mode::Metrics;
+    } else if (arg == "--health") {
+      mode = Mode::Health;
+    } else if (arg == "--interval") {
+      interval_ms = require_int(need(i), "--interval", kUsage, 0, 86400000);
+    } else if (arg == "--count") {
+      count = require_int(need(i), "--count", kUsage, 0, INT64_MAX / 2);
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts(kUsage);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      rtsmooth::cli::usage_exit(kUsage);
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "--socket is required\n");
+    rtsmooth::cli::usage_exit(kUsage);
+  }
+  const char* target = mode == Mode::Metrics   ? "/metrics"
+                       : mode == Mode::Health ? "/healthz"
+                                              : "/json";
+  std::int64_t done = 0;
+  try {
+    for (;;) {
+      const ScrapeResult r = scrape(socket_path, target);
+      if (r.status != 200) {
+        std::fprintf(stderr, "rtsmooth_stat: %s answered %d\n",
+                     target, r.status);
+        return 1;
+      }
+      switch (mode) {
+        case Mode::Json:
+        case Mode::Metrics:
+        case Mode::Health:
+          std::fwrite(r.body.data(), 1, r.body.size(), stdout);
+          break;
+        case Mode::Pretty:
+          if (done > 0) std::printf("\n");
+          print_pretty(r.body);
+          break;
+      }
+      std::fflush(stdout);
+      ++done;
+      if (interval_ms <= 0) break;
+      if (count > 0 && done >= count) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rtsmooth_stat: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

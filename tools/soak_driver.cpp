@@ -158,6 +158,8 @@ constexpr const char* kUsage = R"(usage: soak_driver [options]
   --snapshot PATH         write the rtsmooth-soak-v1 snapshot here
   --snapshot-every N      also write the snapshot every N steps [0]
   --incident-dir DIR      write captured incidents here
+  --stats-socket PATH     serve live stats on this unix socket
+  --stats-publish-every N republish the endpoint payload every N steps [0]
   --alloc-guard           steady-state allocation-flatness check, then exit
   --quiet                 suppress the event log)";
 
@@ -179,6 +181,8 @@ struct DriverOptions {
   std::string snapshot_path;
   Time snapshot_every = 0;
   std::string incident_dir;
+  std::string stats_socket;
+  Time stats_publish_every = 0;
   Time stall_timeout = 0;
   Time max_drain = 0;
   rts::daemon::SloConfig slo;
@@ -236,6 +240,8 @@ rts::daemon::DaemonOptions daemon_options(const DriverOptions& opt) {
   d.snapshot_path = opt.snapshot_path;
   d.snapshot_every = opt.snapshot_every;
   d.incident_dir = opt.incident_dir;
+  d.stats_socket_path = opt.stats_socket;
+  d.stats_publish_every = opt.stats_publish_every;
   d.log = opt.quiet ? nullptr : &std::cerr;
   return d;
 }
@@ -315,6 +321,8 @@ int run_alloc_guard(const DriverOptions& opt) {
   guard.snapshot_path.clear();
   guard.snapshot_every = 0;
   guard.incident_dir.clear();
+  guard.stats_socket.clear();
+  guard.stats_publish_every = 0;
   guard.quiet = true;
   const Time t = opt.steps > 0 ? opt.steps : 50000;
   const auto measure = [&guard](Time steps) -> std::uint64_t {
@@ -434,6 +442,11 @@ int main(int argc, char** argv) {
                                        INT64_MAX / 4);
     } else if (arg == "--incident-dir") {
       opt.incident_dir = std::string(need(i));
+    } else if (arg == "--stats-socket") {
+      opt.stats_socket = std::string(need(i));
+    } else if (arg == "--stats-publish-every") {
+      opt.stats_publish_every = require_int(need(i), "--stats-publish-every",
+                                            kUsage, 0, INT64_MAX / 4);
     } else if (arg == "--alloc-guard") {
       opt.alloc_guard = true;
     } else if (arg == "--quiet") {

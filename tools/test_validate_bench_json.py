@@ -81,7 +81,8 @@ def soak_doc():
                 "occupancy_step_frac": 0.4},
         "ingest": {"polled_frames": 120000, "polled_bytes": 1500000,
                    "stalled_polls": 0, "retries": 0, "source_ended": True,
-                   "timed_out": False, "pending_depth": 0},
+                   "timed_out": False, "pending_depth": 0,
+                   "truncated_tail_bytes": 0, "rejected_records": 0},
         "admission": {"admitted_bytes": 1400000, "admitted_frames": 110000,
                       "budget_refused_bytes": 50000,
                       "budget_refused_frames": 5000,
@@ -98,11 +99,32 @@ def soak_doc():
                    "lost_link_bytes": 0, "residual_bytes": 0,
                    "retransmitted_bytes": 0, "stall_steps": 12,
                    "max_server_occupancy": 1024,
-                   "max_client_occupancy": 1024,
+                   "max_client_occupancy": 1024, "max_lateness": 0,
                    "weighted_loss": 0.03, "conserves": True},
         "registry": {"counters": {"daemon.steps": 60000}, "gauges": {},
                      "histograms": {}},
     }
+
+
+def stats_section():
+    return {"schema": "rtsmooth-stats-v1", "socket_path": "/tmp/rts.sock",
+            "running": True, "accepted": 12, "served_json": 5,
+            "served_metrics": 5, "served_health": 1, "unavailable": 0,
+            "bad_requests": 1, "not_found": 0, "io_errors": 0}
+
+
+PROM_TEXT = """\
+# TYPE rtsmooth_daemon_steps counter
+rtsmooth_daemon_steps 60000
+# TYPE rtsmooth_client_max_occupancy gauge
+rtsmooth_client_max_occupancy 1024
+# TYPE rtsmooth_gateway_slack_steps histogram
+rtsmooth_gateway_slack_steps_bucket{le="1"} 3
+rtsmooth_gateway_slack_steps_bucket{le="2"} 5
+rtsmooth_gateway_slack_steps_bucket{le="+Inf"} 7
+rtsmooth_gateway_slack_steps_sum 19
+rtsmooth_gateway_slack_steps_count 7
+"""
 
 
 class CheckFileTest(unittest.TestCase):
@@ -110,6 +132,16 @@ class CheckFileTest(unittest.TestCase):
         with tempfile.NamedTemporaryFile(
                 "w", suffix=".json", delete=False) as f:
             json.dump(doc, f)
+            path = f.name
+        try:
+            return v.check_file(path)
+        finally:
+            os.unlink(path)
+
+    def check_text(self, text, suffix=".prom"):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=suffix, delete=False) as f:
+            f.write(text)
             path = f.name
         try:
             return v.check_file(path)
@@ -231,6 +263,90 @@ class CheckFileTest(unittest.TestCase):
         errors = self.check(doc)
         self.assertTrue(any("steps must be a non-negative int" in e
                             for e in errors))
+
+    def test_soak_live_doc_may_not_conserve(self):
+        doc = soak_doc()
+        doc["stop_signal"] = 0          # mid-run scrape: bytes in flight
+        doc["report"]["conserves"] = False
+        self.assertEqual(self.check(doc), [])
+
+    def test_soak_doc_with_stats_section(self):
+        doc = soak_doc()
+        doc["stats"] = stats_section()
+        self.assertEqual(self.check(doc), [])
+
+    def test_soak_stats_section_wrong_schema(self):
+        doc = soak_doc()
+        doc["stats"] = stats_section()
+        doc["stats"]["schema"] = "rtsmooth-stats-v2"
+        errors = self.check(doc)
+        self.assertTrue(any("rtsmooth-stats-v1" in e for e in errors))
+
+    def test_soak_stats_section_missing_and_negative(self):
+        doc = soak_doc()
+        doc["stats"] = stats_section()
+        del doc["stats"]["io_errors"]
+        doc["stats"]["accepted"] = -1
+        errors = self.check(doc)
+        self.assertTrue(any("stats section lacks ['io_errors']" in e
+                            for e in errors))
+        self.assertTrue(any("accepted must be a non-negative int" in e
+                            for e in errors))
+
+    def test_soak_missing_new_ingest_and_report_keys(self):
+        doc = soak_doc()
+        del doc["ingest"]["truncated_tail_bytes"]
+        del doc["report"]["max_lateness"]
+        errors = self.check(doc)
+        self.assertTrue(any("ingest lacks ['truncated_tail_bytes']" in e
+                            for e in errors))
+        self.assertTrue(any("report lacks ['max_lateness']" in e
+                            for e in errors))
+
+    def test_soak_negative_max_lateness(self):
+        doc = soak_doc()
+        doc["report"]["max_lateness"] = -3
+        errors = self.check(doc)
+        self.assertTrue(any("max_lateness" in e for e in errors))
+
+    def test_valid_prometheus_exposition(self):
+        self.assertEqual(self.check_text(PROM_TEXT), [])
+
+    def test_prometheus_sample_without_type(self):
+        errors = self.check_text("rtsmooth_orphan 1\n")
+        self.assertTrue(any("precedes its # TYPE" in e for e in errors))
+
+    def test_prometheus_type_without_samples(self):
+        errors = self.check_text("# TYPE rtsmooth_ghost counter\n")
+        self.assertTrue(any("never sampled" in e for e in errors))
+
+    def test_prometheus_missing_prefix(self):
+        errors = self.check_text("# TYPE naked counter\nnaked 1\n")
+        self.assertTrue(any("rtsmooth_ prefix" in e for e in errors))
+
+    def test_prometheus_histogram_not_cumulative(self):
+        bad = PROM_TEXT.replace(
+            'rtsmooth_gateway_slack_steps_bucket{le="2"} 5',
+            'rtsmooth_gateway_slack_steps_bucket{le="2"} 2')
+        errors = self.check_text(bad)
+        self.assertTrue(any("not cumulative" in e for e in errors))
+
+    def test_prometheus_histogram_count_mismatch(self):
+        bad = PROM_TEXT.replace("rtsmooth_gateway_slack_steps_count 7",
+                                "rtsmooth_gateway_slack_steps_count 9")
+        errors = self.check_text(bad)
+        self.assertTrue(any("_count" in e for e in errors))
+
+    def test_prometheus_histogram_needs_inf_bucket(self):
+        bad = PROM_TEXT.replace(
+            'rtsmooth_gateway_slack_steps_bucket{le="+Inf"} 7\n', "")
+        errors = self.check_text(bad)
+        self.assertTrue(any('le="+Inf"' in e for e in errors))
+
+    def test_prometheus_malformed_sample(self):
+        errors = self.check_text(
+            "# TYPE rtsmooth_x counter\nrtsmooth_x one\n")
+        self.assertTrue(any("malformed sample" in e for e in errors))
 
     def test_unrecognised_schema(self):
         errors = self.check({"schema": "nope"})

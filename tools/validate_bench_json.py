@@ -42,13 +42,25 @@ Four document kinds are accepted:
       "steps": int, "engine_steps": int, "stop_signal": int,
       "reconfigs": {...}, "degradation": {...}, "slo": {...},
       "ingest": {...}, "admission": {...}, "report": {...},
+      "stats": {...},                   # optional: rtsmooth-stats-v1
       "registry": {...},                # same shape as the bench registry
     }
-  with every section carrying its full key set, the ingest ledger and the
-  byte-conservation invariant both holding, and rates inside [0, 1];
+  with every section carrying its full key set, the ingest ledger holding,
+  the byte-conservation invariant holding in terminal snapshots (a live
+  mid-run document has bytes in flight), and rates inside [0, 1]. The
+  optional `stats` section (present when the daemon served a live stats
+  endpoint) carries its own `rtsmooth-stats-v1` schema tag and the
+  endpoint-side tallies, all non-negative;
 
 * google-benchmark's native JSON (micro benches), recognised by its
   "context"/"benchmarks" top-level keys, with at least one benchmark entry.
+
+A file that is not JSON but whose first non-blank line is a `# TYPE`
+comment or a Prometheus sample line is linted as Prometheus text
+exposition (the stats endpoint's /metrics route): every sample must have a
+`# TYPE` of counter/gauge/histogram, every declared metric must have
+samples, names carry the rtsmooth_ prefix, and histogram series must be
+cumulative with a closing le="+Inf" bucket that equals _count.
 
 Usage: validate_bench_json.py FILE [FILE...]; checks every file, reports
 ALL violations found (not just the first), and exits non-zero when any
@@ -56,6 +68,7 @@ file is invalid.
 """
 
 import json
+import re
 import sys
 
 STEP_RECORD_KEYS = (
@@ -225,7 +238,8 @@ SOAK_SECTION_KEYS = {
     "slo": ("breaches", "incidents_captured", "incidents_written",
             "triggers", "stall_rate", "loss_rate", "occupancy_step_frac"),
     "ingest": ("polled_frames", "polled_bytes", "stalled_polls", "retries",
-               "source_ended", "timed_out", "pending_depth"),
+               "source_ended", "timed_out", "pending_depth",
+               "truncated_tail_bytes", "rejected_records"),
     "admission": ("admitted_bytes", "admitted_frames",
                   "budget_refused_bytes", "budget_refused_frames",
                   "channel_shed_bytes", "channel_shed_frames",
@@ -237,8 +251,33 @@ SOAK_SECTION_KEYS = {
                "dropped_client_late_bytes", "lost_link_bytes",
                "residual_bytes", "retransmitted_bytes", "stall_steps",
                "max_server_occupancy", "max_client_occupancy",
-               "weighted_loss", "conserves"),
+               "max_lateness", "weighted_loss", "conserves"),
 }
+
+STATS_COUNT_KEYS = ("accepted", "served_json", "served_metrics",
+                    "served_health", "unavailable", "bad_requests",
+                    "not_found", "io_errors")
+
+
+def check_stats_section(errors, section):
+    """The optional endpoint-tally section (rtsmooth-stats-v1)."""
+    if not isinstance(section, dict):
+        errors.append("stats section is not an object")
+        return
+    if section.get("schema") != "rtsmooth-stats-v1":
+        errors.append(f"stats schema must be 'rtsmooth-stats-v1', "
+                      f"got {section.get('schema')!r}")
+    missing = [k for k in ("socket_path", "running") + STATS_COUNT_KEYS
+               if k not in section]
+    if missing:
+        errors.append(f"stats section lacks {missing}")
+    if "socket_path" in section and not section["socket_path"]:
+        errors.append("stats socket_path is empty")
+    for key in STATS_COUNT_KEYS:
+        value = section.get(key)
+        if key in section and (not isinstance(value, int) or value < 0):
+            errors.append(f"stats {key} must be a non-negative int, "
+                          f"got {value!r}")
 
 
 def check_soak(errors, doc):
@@ -284,13 +323,134 @@ def check_soak(errors, doc):
                       "(frames were lost outside the admission accounts)")
     report = doc.get("report", {})
     if isinstance(report, dict):
-        if report.get("conserves") is False:
+        # Bytes in flight make a *live* document (periodic write or
+        # endpoint scrape) legitimately non-conserving; only a terminal
+        # snapshot — written after the shutdown drain — must balance.
+        if report.get("conserves") is False and doc.get("stop_signal") != 0:
             errors.append("report does not conserve "
                           "(offered bytes != played + dropped + residual)")
         loss = report.get("weighted_loss")
         if isinstance(loss, (int, float)) and not 0 <= loss <= 1:
             errors.append(f"report weighted_loss {loss!r} outside [0, 1]")
+        late = report.get("max_lateness")
+        if "max_lateness" in report \
+                and (not isinstance(late, int) or late < 0):
+            errors.append(f"report max_lateness must be a non-negative "
+                          f"int, got {late!r}")
+    if "stats" in doc:
+        check_stats_section(errors, doc["stats"])
     check_registry(errors, doc.get("registry", {}))
+
+
+PROM_TYPES = ("counter", "gauge", "histogram")
+
+PROM_SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'          # metric name
+    r'(\{[^{}]*\})?'                         # optional label set
+    r' (-?[0-9]+(?:\.[0-9]+)?(?:[eE][-+]?[0-9]+)?|[-+]?Inf|NaN)$')
+
+PROM_LE_RE = re.compile(r'le="([^"]*)"')
+
+
+def looks_like_prometheus(text):
+    """True when the first non-blank line is exposition-format."""
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        return line.startswith("# TYPE ") or bool(PROM_SAMPLE_RE.match(line))
+    return False
+
+
+def check_prometheus(errors, text):
+    """Lints Prometheus 0.0.4 text exposition as obs/prometheus.cpp emits
+    it: TYPE-before-samples, rtsmooth_-prefixed names, and internally
+    consistent cumulative histogram series."""
+    types = {}          # metric name -> declared type
+    sampled = set()     # metric names with at least one sample
+    buckets = {}        # histogram name -> [(le, cumulative count)]
+    counts = {}         # histogram name -> _count value
+    sums = set()        # histogram names with a _sum sample
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "TYPE":
+                errors.append(f"line {lineno}: unexpected comment {line!r} "
+                              "(only '# TYPE <name> <type>' is emitted)")
+                continue
+            name, kind = parts[2], parts[3]
+            if kind not in PROM_TYPES:
+                errors.append(f"line {lineno}: unknown type {kind!r} "
+                              f"for {name!r}")
+            if not name.startswith("rtsmooth_"):
+                errors.append(f"line {lineno}: metric {name!r} lacks the "
+                              "rtsmooth_ prefix")
+            if name in types:
+                errors.append(f"line {lineno}: duplicate # TYPE for "
+                              f"{name!r}")
+            types[name] = kind
+            continue
+        m = PROM_SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        name, labels, value = m.groups()
+        base, suffix = name, None
+        for sfx in ("_bucket", "_sum", "_count"):
+            if name.endswith(sfx) \
+                    and types.get(name[:-len(sfx)]) == "histogram":
+                base, suffix = name[:-len(sfx)], sfx
+                break
+        if base not in types:
+            errors.append(f"line {lineno}: sample {name!r} precedes its "
+                          "# TYPE declaration")
+            continue
+        kind = types[base]
+        if kind == "histogram" and suffix is None:
+            errors.append(f"line {lineno}: bare sample for histogram "
+                          f"{base!r} (expected _bucket/_sum/_count)")
+            continue
+        if kind != "histogram" and labels:
+            errors.append(f"line {lineno}: unexpected labels on {kind} "
+                          f"{name!r}")
+        sampled.add(base)
+        if suffix == "_bucket":
+            le = PROM_LE_RE.search(labels or "")
+            if le is None:
+                errors.append(f"line {lineno}: bucket of {base!r} without "
+                              "an le label")
+                continue
+            bound = float("inf") if le.group(1) == "+Inf" \
+                else float(le.group(1))
+            buckets.setdefault(base, []).append((bound, float(value)))
+        elif suffix == "_count":
+            counts[base] = float(value)
+        elif suffix == "_sum":
+            sums.add(base)
+    for name in types:
+        if name not in sampled:
+            errors.append(f"# TYPE {name} declared but never sampled")
+    for name, kind in types.items():
+        if kind != "histogram" or name not in sampled:
+            continue
+        series = buckets.get(name, [])
+        bounds = [b for b, _ in series]
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            errors.append(f"histogram {name}: le bounds not strictly "
+                          "increasing")
+        if not bounds or bounds[-1] != float("inf"):
+            errors.append(f'histogram {name}: missing le="+Inf" bucket')
+        cumulative = [c for _, c in series]
+        if any(a > b for a, b in zip(cumulative, cumulative[1:])):
+            errors.append(f"histogram {name}: bucket counts not cumulative")
+        if name not in counts:
+            errors.append(f"histogram {name}: missing _count sample")
+        elif cumulative and cumulative[-1] != counts[name]:
+            errors.append(f"histogram {name}: _count {counts[name]} != "
+                          f'le="+Inf" bucket {cumulative[-1]}')
+        if name not in sums:
+            errors.append(f"histogram {name}: missing _sum sample")
 
 
 def check_google_benchmark(errors, doc):
@@ -315,6 +475,9 @@ def check_file(path):
     try:
         doc = json.loads(text)
     except json.JSONDecodeError as e:
+        if looks_like_prometheus(text):
+            check_prometheus(errors, text)
+            return errors
         return [f"invalid JSON: {e}"]
     if not isinstance(doc, dict):
         return ["top level is not an object"]
