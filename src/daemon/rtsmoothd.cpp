@@ -50,6 +50,29 @@ void classify_plan(const EngineConfig& config, std::vector<PlanCase>& out) {
   if (out.size() == before) out.push_back(PlanCase::Balanced);
 }
 
+std::vector<obs::BurnBudget> default_slo_budgets() {
+  std::vector<obs::BurnBudget> budgets;
+  budgets.push_back(obs::BurnBudget{
+      .name = "stall",
+      .bad = {"daemon.degraded_playouts"},
+      .total = {"daemon.playouts"},
+      .budget = 0.05});
+  budgets.push_back(obs::BurnBudget{
+      .name = "deadline_miss",
+      .bad = {"client.late_bytes"},
+      .total = {"client.played_bytes", "client.late_bytes"},
+      .budget = 0.01});
+  budgets.push_back(obs::BurnBudget{
+      .name = "shed",
+      .bad = {"daemon.admission.budget_refused_bytes",
+              "daemon.admission.channel_shed_bytes",
+              "daemon.admission.floor_shed_bytes",
+              "daemon.admission.slot_refused_bytes"},
+      .total = {"daemon.ingest.polled_bytes"},
+      .budget = 0.05});
+  return budgets;
+}
+
 Daemon::Daemon(DaemonOptions options, std::unique_ptr<FrameSource> source,
                LinkFactory link_factory)
     : options_(std::move(options)),
@@ -72,9 +95,26 @@ Daemon::Daemon(DaemonOptions options, std::unique_ptr<FrameSource> source,
     scfg.socket_path = options_.stats_socket_path;
     stats_ = std::make_unique<obs::StatsServer>(std::move(scfg));
   }
+  if (options_.timeline.enabled()) {
+    timeline_ = std::make_unique<obs::Timeline>(options_.timeline);
+  } else if (const std::string terr = options_.timeline.validate();
+             !terr.empty()) {
+    throw std::invalid_argument("rtsmoothd: invalid timeline config: " + terr);
+  }
   ctr_stalled_polls_ = &registry_.counter("daemon.ingest.stalled_polls");
   ctr_ingest_retries_ = &registry_.counter("daemon.ingest.retries");
   ctr_sighup_ = &registry_.counter("daemon.snapshot.sighup");
+  ctr_polled_bytes_ = &registry_.counter("daemon.ingest.polled_bytes");
+  ctr_playouts_ = &registry_.counter("daemon.playouts");
+  ctr_degraded_playouts_ = &registry_.counter("daemon.degraded_playouts");
+  ctr_slot_refused_bytes_ =
+      &registry_.counter("daemon.admission.slot_refused_bytes");
+  ctr_floor_shed_bytes_ =
+      &registry_.counter("daemon.admission.floor_shed_bytes");
+  ctr_channel_shed_bytes_ =
+      &registry_.counter("daemon.admission.channel_shed_bytes");
+  ctr_budget_refused_bytes_ =
+      &registry_.counter("daemon.admission.budget_refused_bytes");
   gauge_truncated_tail_ =
       &registry_.gauge("daemon.ingest.truncated_tail_bytes");
   gauge_rejected_records_ =
@@ -165,13 +205,17 @@ int Daemon::serve() {
       serve_step();
     }
     ++steps_;
+    if (timeline_ != nullptr &&
+        steps_ % options_.timeline.slot_steps == 0) {
+      sample_timeline();
+    }
     if (hup_requested_.exchange(false, std::memory_order_relaxed)) {
       // Count first so the forced snapshot already shows its own trigger.
       ctr_sighup_->add(1);
       const std::string text = snapshot_text();
       if (!options_.snapshot_path.empty()) write_snapshot(text);
       if (stats_ != nullptr) {
-        stats_->publish(text, obs::to_prometheus(registry_));
+        stats_->publish(text, obs::to_prometheus(registry_), series_text());
       }
       if (log != nullptr) {
         *log << "rtsmoothd: SIGHUP snapshot at step " << steps_ << '\n';
@@ -258,6 +302,7 @@ void Daemon::poll_frames() {
     return;
   }
   const trace::ValueModel& values = engine_->config().values;
+  const Bytes polled_before = polled_bytes_;
   for (const IngestFrame& f : buf) {
     ++polled_frames_;
     polled_bytes_ += f.size;
@@ -269,6 +314,7 @@ void Daemon::poll_frames() {
       ++cs.frames;
     }
   }
+  ctr_polled_bytes_->add(polled_bytes_ - polled_before);
   pending_.push_back(Group{steps_, std::move(buf)});
 }
 
@@ -424,6 +470,7 @@ void Daemon::apply_ladder(Group& group) {
     if (is_shed) {
       channel_shed_bytes_ += f.size;
       ++channel_shed_frames_;
+      ctr_channel_shed_bytes_->add(f.size);
     } else {
       admit_buf_.push_back(f);
     }
@@ -454,6 +501,7 @@ void Daemon::apply_admission_budget() {
     } else {
       budget_refused_bytes_ += f.size;
       ++budget_refused_frames_;
+      ctr_budget_refused_bytes_->add(f.size);
     }
   }
   admit_buf_.resize(kept);
@@ -467,6 +515,10 @@ void Daemon::observe(const StepStats& stats) {
   floor_shed_bytes_ += stats.floor_shed;
   playouts_ += stats.playouts;
   degraded_playouts_ += stats.degraded;
+  ctr_slot_refused_bytes_->add(stats.refused);
+  ctr_floor_shed_bytes_->add(stats.floor_shed);
+  ctr_playouts_->add(stats.playouts);
+  ctr_degraded_playouts_->add(stats.degraded);
 }
 
 Time Daemon::drain_ceiling() const {
@@ -577,10 +629,12 @@ obs::Json Daemon::snapshot() const {
   breaches["stall"] = watchdog_.breaches().stall;
   breaches["loss"] = watchdog_.breaches().loss;
   breaches["occupancy"] = watchdog_.breaches().occupancy;
+  breaches["burn"] = watchdog_.breaches().burn;
   slo["breaches"] = std::move(breaches);
   slo["incidents_captured"] =
       static_cast<std::int64_t>(recorder_.incidents().size());
   slo["incidents_written"] = incidents_written_;
+  slo["cooldown_suppressed"] = watchdog_.cooldown_suppressed();
   slo["triggers"] = recorder_.triggers_total();
   slo["stall_rate"] = watchdog_.stall_rate();
   slo["loss_rate"] = watchdog_.loss_rate();
@@ -651,7 +705,16 @@ obs::Json Daemon::snapshot() const {
     st["bad_requests"] = ss.bad_requests;
     st["not_found"] = ss.not_found;
     st["io_errors"] = ss.io_errors;
+    st["served_series"] = ss.served_series;
     doc["stats"] = std::move(st);
+  }
+
+  if (timeline_ != nullptr) {
+    // The rolling timeline as of its last sample. In the terminal snapshot
+    // the shutdown sample runs right before this document is built, so
+    // every series total reconciles exactly against the registry section
+    // below (pinned in test_stats_server).
+    doc["series"] = timeline_->to_json();
   }
 
   doc["registry"] = registry_.to_json(false);
@@ -660,9 +723,23 @@ obs::Json Daemon::snapshot() const {
 
 std::string Daemon::snapshot_text() const { return snapshot().dump() + "\n"; }
 
+std::string Daemon::series_text() const {
+  return timeline_ != nullptr ? timeline_->to_json().dump() + "\n"
+                              : std::string{};
+}
+
+void Daemon::sample_timeline() {
+  const std::vector<obs::BurnStatus>& burn =
+      timeline_->sample(steps_, registry_);
+  for (const obs::BurnStatus& status : burn) {
+    watchdog_.observe_burn(steps_, status);
+  }
+}
+
 void Daemon::publish_stats() {
   if (stats_ == nullptr) return;
-  stats_->publish(snapshot_text(), obs::to_prometheus(registry_));
+  stats_->publish(snapshot_text(), obs::to_prometheus(registry_),
+                  series_text());
 }
 
 void Daemon::write_snapshot() const { write_snapshot(snapshot_text()); }
@@ -729,6 +806,13 @@ void Daemon::write_outputs() {
       }
     }
   }
+  if (timeline_ != nullptr) {
+    // Terminal sample, taken after the shutdown drain retired its last
+    // byte and deliberately *not* fed to the watchdog: a breach here
+    // would bump daemon.slo.* after the sample and break the
+    // series-vs-registry conservation the snapshot pins.
+    timeline_->sample(steps_, registry_);
+  }
   if (!options_.snapshot_path.empty() || stats_ != nullptr) {
     // One document, built after the incident files so incidents_written_
     // is final, serves both sinks: the shutdown snapshot file and the
@@ -736,7 +820,7 @@ void Daemon::write_outputs() {
     const std::string text = snapshot_text();
     if (!options_.snapshot_path.empty()) write_snapshot(text);
     if (stats_ != nullptr) {
-      stats_->publish(text, obs::to_prometheus(registry_));
+      stats_->publish(text, obs::to_prometheus(registry_), series_text());
     }
   }
 }

@@ -52,6 +52,7 @@
 #include "obs/json.h"
 #include "obs/stats_server.h"
 #include "obs/telemetry.h"
+#include "obs/timeline.h"
 #include "util/ring_buffer.h"
 
 namespace rtsmooth::daemon {
@@ -122,8 +123,22 @@ struct DaemonOptions {
   /// Republish the endpoint payload every N serving steps; 0 publishes
   /// only at startup, on SIGHUP, and at shutdown.
   Time stats_publish_every = 0;
+  /// Rolling registry timeline (DESIGN.md Sect. 16): with
+  /// timeline.slot_steps > 0 the daemon samples the registry every
+  /// slot_steps serving steps, feeds burn-rate verdicts to the watchdog,
+  /// serves the rtsmooth-series-v1 document on /series, and embeds the
+  /// final timeline in the terminal snapshot. Disabled (the default) the
+  /// serving loop pays one null check per step and nothing else.
+  obs::TimelineConfig timeline;
   std::ostream* log = nullptr;  ///< reconfig/SLO event log; null = silent
 };
+
+/// The stock burn budgets over the daemon's own counters: `stall`
+/// (degraded playouts / playouts, 5%), `deadline_miss` (late bytes /
+/// delivered bytes, 1%) and `shed` (refused + shed bytes / polled bytes,
+/// 5%). The defaults soak_driver installs with --series-every; callers can
+/// append or replace freely.
+std::vector<obs::BurnBudget> default_slo_budgets();
 
 class Daemon {
  public:
@@ -183,6 +198,8 @@ class Daemon {
   /// The stats endpoint, or null when stats_socket_path is empty. Running
   /// from serve() until the Daemon is destroyed.
   const obs::StatsServer* stats_server() const { return stats_.get(); }
+  /// The rolling timeline, or null when options.timeline is disabled.
+  const obs::Timeline* timeline() const { return timeline_.get(); }
 
   std::int64_t reconfigs_applied() const { return reconfigs_applied_; }
   std::int64_t reconfigs_rejected() const { return reconfigs_rejected_; }
@@ -224,6 +241,12 @@ class Daemon {
   /// snapshot().dump() + '\n' — the exact bytes the snapshot file and the
   /// endpoint's /json route serve.
   std::string snapshot_text() const;
+  /// timeline()->to_json().dump() + '\n', or empty without a timeline —
+  /// the exact bytes the endpoint's /series route serves.
+  std::string series_text() const;
+  /// Samples the timeline at step `steps_` and feeds each budget's burn
+  /// verdict to the watchdog. No-op without a timeline.
+  void sample_timeline();
   void write_snapshot() const;
   void write_snapshot(const std::string& text) const;
   /// Rebuilds {JSON, Prometheus} and swaps them into the endpoint. No-op
@@ -242,6 +265,7 @@ class Daemon {
   Watchdog watchdog_;
   DegradationLadder ladder_;
   std::unique_ptr<obs::StatsServer> stats_;
+  std::unique_ptr<obs::Timeline> timeline_;
   std::atomic<int> stop_signal_{0};
   std::atomic<bool> hup_requested_{false};
 
@@ -296,6 +320,16 @@ class Daemon {
   obs::Counter* ctr_stalled_polls_ = nullptr;
   obs::Counter* ctr_ingest_retries_ = nullptr;
   obs::Counter* ctr_sighup_ = nullptr;
+  // Ledger mirrors: the member tallies above, duplicated as registry
+  // counters so the timeline can delta-diff them (burn budgets reference
+  // counter names, and member fields are invisible to the registry).
+  obs::Counter* ctr_polled_bytes_ = nullptr;
+  obs::Counter* ctr_playouts_ = nullptr;
+  obs::Counter* ctr_degraded_playouts_ = nullptr;
+  obs::Counter* ctr_slot_refused_bytes_ = nullptr;
+  obs::Counter* ctr_floor_shed_bytes_ = nullptr;
+  obs::Counter* ctr_channel_shed_bytes_ = nullptr;
+  obs::Counter* ctr_budget_refused_bytes_ = nullptr;
   obs::Gauge* gauge_truncated_tail_ = nullptr;  ///< wire-source partial tail
   obs::Gauge* gauge_rejected_records_ = nullptr;
 

@@ -26,9 +26,12 @@ Watchdog::Watchdog(SloConfig config, Bytes server_buffer,
   RTS_EXPECTS(config_.cooldown >= 0);
   ring_.resize(static_cast<std::size_t>(config_.window));
   if (registry != nullptr) {
-    stall_breaches_ = &registry->counter("slo.stall_rate_breaches");
-    loss_breaches_ = &registry->counter("slo.loss_rate_breaches");
-    occupancy_breaches_ = &registry->counter("slo.occupancy_breaches");
+    stall_breaches_ = &registry->counter("daemon.slo.stall_rate_breaches");
+    loss_breaches_ = &registry->counter("daemon.slo.loss_rate_breaches");
+    occupancy_breaches_ = &registry->counter("daemon.slo.occupancy_breaches");
+    burn_breaches_ = &registry->counter("daemon.slo.burn_breaches");
+    incidents_counter_ = &registry->counter("daemon.slo.incidents");
+    suppressed_counter_ = &registry->counter("daemon.slo.cooldown_suppressed");
   }
 }
 
@@ -60,10 +63,39 @@ void Watchdog::breach(Time t, const char* kind, double rate, double limit,
   ++*counter;
   if (breach_counter != nullptr) breach_counter->add(1);
   if (recorder_ == nullptr) return;
-  if (*last_capture >= 0 && t - *last_capture < config_.cooldown) return;
+  if (*last_capture >= 0 && t - *last_capture < config_.cooldown) {
+    ++cooldown_suppressed_;
+    if (suppressed_counter_ != nullptr) suppressed_counter_->add(1);
+    return;
+  }
   *last_capture = t;
+  ++incidents_captured_;
+  if (incidents_counter_ != nullptr) incidents_counter_->add(1);
   recorder_->on_violation(t, kind,
                           static_cast<std::int64_t>(std::llround(rate * 1e6)));
+}
+
+void Watchdog::observe_burn(Time t, const obs::BurnStatus& status) {
+  if (!config_.enabled || !status.firing) return;
+  ++breaches_.burn;
+  if (burn_breaches_ != nullptr) burn_breaches_->add(1);
+  if (recorder_ == nullptr) return;
+  const std::string& name = status.budget->name;
+  const auto [it, inserted] = last_burn_capture_.try_emplace(name, Time{-1});
+  Time& last = it->second;
+  if (!inserted && last >= 0 && t - last < config_.cooldown) {
+    ++cooldown_suppressed_;
+    if (suppressed_counter_ != nullptr) suppressed_counter_->add(1);
+    return;
+  }
+  last = t;
+  ++incidents_captured_;
+  if (incidents_counter_ != nullptr) incidents_counter_->add(1);
+  // The short window is the fast-detection window — its burn is the
+  // magnitude a responder wants first.
+  recorder_->on_violation(
+      t, "slo.burn." + name,
+      static_cast<std::int64_t>(std::llround(status.short_burn * 1e6)));
 }
 
 Watchdog::Pressure Watchdog::observe(Time t, const StepStats& stats) {

@@ -16,15 +16,30 @@
 // / "slo.occupancy" and the rate in parts-per-million as the magnitude.
 // The returned Pressure reflects the instantaneous window rates every step
 // regardless of cooldown, so the ladder sees overload continuously.
+//
+// Since the timeline work (DESIGN.md Sect. 16) the watchdog also accepts
+// multi-window burn-rate verdicts via observe_burn(): when a timeline
+// budget fires (both windows burning at >= threshold), the breach is
+// tallied and — per-budget cooldown — captured with kind
+// "slo.burn.<budget>" and the short-window burn in ppm as the magnitude.
+// Breaches fire on budget exhaustion *rate*, not raw counts.
+//
+// Every tally is mirrored as a first-class `daemon.slo.*` registry counter
+// (stall/loss/occupancy/burn breaches, incidents captured, captures
+// suppressed by cooldown), so breach history survives in snapshots and
+// Prometheus scrapes, not only as flight-recorder incidents.
 
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/types.h"
 #include "daemon/live_engine.h"
 #include "obs/telemetry.h"
+#include "obs/timeline.h"
 
 namespace rtsmooth::obs {
 class FlightRecorder;
@@ -50,7 +65,8 @@ struct SloBreaches {
   std::int64_t stall = 0;
   std::int64_t loss = 0;
   std::int64_t occupancy = 0;
-  std::int64_t total() const { return stall + loss + occupancy; }
+  std::int64_t burn = 0;  ///< timeline budget-exhaustion breaches
+  std::int64_t total() const { return stall + loss + occupancy + burn; }
 };
 
 class Watchdog {
@@ -69,10 +85,17 @@ class Watchdog {
   /// incident timestamps and cooldowns).
   Pressure observe(Time t, const StepStats& stats);
 
+  /// Feeds one timeline budget's burn verdict (timeline-enabled daemons,
+  /// at slot cadence). A firing budget breaches; the incident kind is
+  /// "slo.burn.<budget>" with its own cooldown track.
+  void observe_burn(Time t, const obs::BurnStatus& status);
+
   /// Reconfiguration moved the occupancy line.
   void set_server_buffer(Bytes server_buffer);
 
   const SloBreaches& breaches() const { return breaches_; }
+  std::int64_t incidents_captured() const { return incidents_captured_; }
+  std::int64_t cooldown_suppressed() const { return cooldown_suppressed_; }
   /// Current window rates (0 while the window is filling).
   double stall_rate() const;
   double loss_rate() const;
@@ -107,12 +130,19 @@ class Watchdog {
   double lost_weight_ = 0.0;
   std::int64_t occupancy_high_ = 0;
   SloBreaches breaches_;
+  std::int64_t incidents_captured_ = 0;
+  std::int64_t cooldown_suppressed_ = 0;
   Time last_stall_capture_ = -1;
   Time last_loss_capture_ = -1;
   Time last_occupancy_capture_ = -1;
+  /// Per-budget capture cooldown tracks for observe_burn().
+  std::map<std::string, Time, std::less<>> last_burn_capture_;
   obs::Counter* stall_breaches_ = nullptr;
   obs::Counter* loss_breaches_ = nullptr;
   obs::Counter* occupancy_breaches_ = nullptr;
+  obs::Counter* burn_breaches_ = nullptr;
+  obs::Counter* incidents_counter_ = nullptr;
+  obs::Counter* suppressed_counter_ = nullptr;
 };
 
 }  // namespace rtsmooth::daemon

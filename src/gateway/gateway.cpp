@@ -84,6 +84,7 @@ Gateway::Gateway(GatewayConfig config)
     sc.class_demand.assign(classes, 0);
     sc.class_budget.assign(classes, 0);
     sc.class_used.assign(classes, 0);
+    sc.class_dropped.assign(classes, 0);
   }
   class_demand_.assign(classes, 0);
   class_budget_.assign(classes, 0);
@@ -116,9 +117,16 @@ Gateway::Gateway(GatewayConfig config)
     hist_slack_ = &reg->histogram("gateway.slack_steps", steps_spec);
     hist_lateness_ = &reg->histogram("gateway.lateness_steps", steps_spec);
     hist_class_lateness_.reserve(classes);
+    ctr_class_on_time_.reserve(classes);
+    ctr_class_late_.reserve(classes);
+    ctr_class_shed_.reserve(classes);
     for (std::size_t k = 0; k < classes; ++k) {
-      hist_class_lateness_.push_back(&reg->histogram(
-          "gateway.c" + std::to_string(k) + ".lateness_steps", steps_spec));
+      const std::string prefix = "gateway.c" + std::to_string(k);
+      hist_class_lateness_.push_back(
+          &reg->histogram(prefix + ".lateness_steps", steps_spec));
+      ctr_class_on_time_.push_back(&reg->counter(prefix + ".on_time_bytes"));
+      ctr_class_late_.push_back(&reg->counter(prefix + ".late_bytes"));
+      ctr_class_shed_.push_back(&reg->counter(prefix + ".shed_bytes"));
     }
   }
   if (obs::FlightRecorder* rec = config_.telemetry.recorder) {
@@ -313,6 +321,7 @@ void Gateway::serve_and_drop(std::size_t s) {
   sc.step_max_late = 0;
   sc.samples.clear();
   sc.backlog_total = 0;
+  std::fill(sc.class_dropped.begin(), sc.class_dropped.end(), Bytes{0});
   const std::size_t n = sh.size();
 
   // Largest-remainder apportionment of each class's shard budget across the
@@ -348,6 +357,7 @@ void Gateway::serve_and_drop(std::size_t s) {
     sh.backlog[i] -= drop;
     sh.dropped[i] += drop;
     sc.step_dropped += drop;
+    sc.class_dropped[k] += drop;
     sc.backlog_total += sh.backlog[i];
     settle_cohorts(sh, sc, i, send, drop);
   }
@@ -373,6 +383,7 @@ void Gateway::step() {
       sc.step_max_late = 0;
       sc.samples.clear();
       sc.backlog_total = 0;
+      std::fill(sc.class_dropped.begin(), sc.class_dropped.end(), Bytes{0});
       const std::vector<Bytes>* scripts = pool_.scripts().data();
       const std::size_t n = sh.size();
       for (std::size_t i = 0; i < n; ++i) {
@@ -389,6 +400,7 @@ void Gateway::step() {
         sh.backlog[i] -= drop;
         sh.dropped[i] += drop;
         sc.step_dropped += drop;
+        sc.class_dropped[sh.klass[i]] += drop;
         sc.backlog_total += sh.backlog[i];
         settle_cohorts(sh, sc, i, send, drop);
       }
@@ -471,11 +483,18 @@ void Gateway::fold_step() {
           hist_lateness_->record(sample.steps, sample.bytes);
           hist_class_lateness_[sample.klass]->record(sample.steps,
                                                      sample.bytes);
+          ctr_class_late_[sample.klass]->add(sample.bytes);
         } else {
           hist_slack_->record(sample.steps, sample.bytes);
+          ctr_class_on_time_[sample.klass]->add(sample.bytes);
         }
       }
       sc.samples.clear();
+      for (std::size_t k = 0; k < sc.class_dropped.size(); ++k) {
+        if (sc.class_dropped[k] != 0) {
+          ctr_class_shed_[k]->add(sc.class_dropped[k]);
+        }
+      }
     }
   }
   if (rec != nullptr && totals_.max_lateness > prev_max_lateness) {

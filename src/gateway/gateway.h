@@ -179,6 +179,7 @@ class Gateway {
     std::vector<Bytes> class_demand;  ///< per class, this shard
     std::vector<Bytes> class_budget;  ///< per class, granted to this shard
     std::vector<Bytes> class_used;    ///< per class, floors granted so far
+    std::vector<Bytes> class_dropped; ///< per class, this step's Eq. (3) shed
     Bytes step_admitted = 0;
     Bytes step_served = 0;
     Bytes step_dropped = 0;
@@ -230,6 +231,12 @@ class Gateway {
   obs::Histogram* hist_slack_ = nullptr;
   obs::Histogram* hist_lateness_ = nullptr;
   std::vector<obs::Histogram*> hist_class_lateness_;  ///< one per class
+  // Per-class byte counters ("gateway.cK.*"), folded serially in fixed
+  // shard order each step so the timeline can track per-class lateness
+  // and shed series deterministically.
+  std::vector<obs::Counter*> ctr_class_on_time_;
+  std::vector<obs::Counter*> ctr_class_late_;
+  std::vector<obs::Counter*> ctr_class_shed_;
 };
 
 }  // namespace rtsmooth::gateway

@@ -61,6 +61,27 @@ std::string prometheus_name(std::string_view name) {
   return out;
 }
 
+std::string prometheus_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 std::string to_prometheus(const Registry& registry) {
   std::string out;
   for (const auto& [name, counter] : registry.counters()) {

@@ -25,6 +25,13 @@ namespace rtsmooth::obs {
 /// The "rtsmooth_"-prefixed exposition name for a dotted registry name.
 std::string prometheus_name(std::string_view name);
 
+/// Escapes a string for use inside a double-quoted exposition label value:
+/// backslash -> \\, newline -> \n, double quote -> \" (text format 0.0.4).
+/// Every other byte — including multi-byte UTF-8 sequences — passes
+/// through untouched; label values, unlike metric names, are not
+/// restricted to [a-zA-Z0-9_].
+std::string prometheus_label_value(std::string_view value);
+
 /// Renders the registry in Prometheus text exposition format (version
 /// 0.0.4): one `# TYPE` line per metric, lexicographic registry order,
 /// timers excluded. An empty registry renders to an empty string.

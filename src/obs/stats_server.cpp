@@ -1,5 +1,7 @@
 #include "obs/stats_server.h"
 
+#include "obs/json.h"
+
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -110,9 +112,10 @@ void StatsServer::stop() {
   ::unlink(config_.socket_path.c_str());
 }
 
-void StatsServer::publish(std::string json, std::string prometheus) {
+void StatsServer::publish(std::string json, std::string prometheus,
+                          std::string series) {
   auto payload = std::make_shared<const Payload>(
-      Payload{std::move(json), std::move(prometheus)});
+      Payload{std::move(json), std::move(prometheus), std::move(series)});
   payload_.store(std::move(payload));
 }
 
@@ -121,6 +124,7 @@ StatsServer::Stats StatsServer::stats() const {
   s.accepted = accepted_.load();
   s.served_json = served_json_.load();
   s.served_metrics = served_metrics_.load();
+  s.served_series = served_series_.load();
   s.served_health = served_health_.load();
   s.unavailable = unavailable_.load();
   s.bad_requests = bad_requests_.load();
@@ -185,13 +189,18 @@ void StatsServer::handle_client(int fd) {
   }
   std::string_view path = line.substr(method_end + 1);
   path = path.substr(0, path.find_first_of(" \r"));
+  std::string_view query;
+  if (const std::size_t q = path.find('?'); q != std::string_view::npos) {
+    query = path.substr(q + 1);
+    path = path.substr(0, q);
+  }
 
   if (path == "/healthz") {
     served_health_.fetch_add(1);
     respond(fd, 200, "OK", "text/plain", "ok\n");
     return;
   }
-  if (path != "/json" && path != "/metrics") {
+  if (path != "/json" && path != "/metrics" && path != "/series") {
     not_found_.fetch_add(1);
     respond(fd, 404, "Not Found", "text/plain", "unknown path\n");
     return;
@@ -204,13 +213,66 @@ void StatsServer::handle_client(int fd) {
     return;
   }
   if (path == "/json") {
-    served_json_.fetch_add(1);
-    respond(fd, 200, "OK", "application/json", payload->json);
+    serve_json(fd, *payload, query);
+  } else if (path == "/series") {
+    if (payload->series.empty()) {
+      not_found_.fetch_add(1);
+      respond(fd, 404, "Not Found", "text/plain",
+              "timeline disabled in the publishing process\n");
+      return;
+    }
+    served_series_.fetch_add(1);
+    respond(fd, 200, "OK", "application/json", payload->series);
   } else {
     served_metrics_.fetch_add(1);
     respond(fd, 200, "OK", "text/plain; version=0.0.4; charset=utf-8",
             payload->prometheus);
   }
+}
+
+void StatsServer::serve_json(int fd, const Payload& payload,
+                             std::string_view query) {
+  if (query.empty()) {
+    served_json_.fetch_add(1);
+    respond(fd, 200, "OK", "application/json", payload.json);
+    return;
+  }
+  constexpr std::string_view kSectionKey = "section=";
+  if (query.substr(0, kSectionKey.size()) != kSectionKey) {
+    bad_requests_.fetch_add(1);
+    respond(fd, 400, "Bad Request", "text/plain",
+            "unsupported query; try /json?section=<name>\n");
+    return;
+  }
+  const std::string_view section = query.substr(kSectionKey.size());
+  // The published snapshot is a frozen string; parsing it here keeps the
+  // cost on the scraper's thread, never the publisher's.
+  Json doc;
+  try {
+    doc = Json::parse(payload.json);
+  } catch (const std::exception&) {
+    bad_requests_.fetch_add(1);
+    respond(fd, 400, "Bad Request", "text/plain",
+            "published snapshot is not JSON\n");
+    return;
+  }
+  if (const Json* sub = doc.find(section); sub != nullptr) {
+    served_json_.fetch_add(1);
+    respond(fd, 200, "OK", "application/json", sub->dump() + "\n");
+    return;
+  }
+  // Mirror the known_policies() error style: name what was asked for and
+  // list everything that would have worked.
+  std::string body = "unknown section '";
+  body += section;
+  body += "'; known sections:";
+  for (const std::string& key : doc.keys()) {
+    body += ' ';
+    body += key;
+  }
+  body += '\n';
+  bad_requests_.fetch_add(1);
+  respond(fd, 400, "Bad Request", "text/plain", body);
 }
 
 bool StatsServer::send_all(int fd, std::string_view text) {

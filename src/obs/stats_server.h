@@ -14,9 +14,13 @@
 //     socket and a self-pipe, connections handled one at a time with
 //     short socket timeouts (requests and responses are tiny).
 //   * Routes: GET /json (application/json), GET /metrics (Prometheus
-//     text exposition), GET /healthz. Before the first publish(), /json
-//     and /metrics answer 503. A request with no header terminator
-//     within max_request_bytes answers 400; unknown paths answer 404.
+//     text exposition), GET /series (the rtsmooth-series-v1 timeline
+//     document; 404 when the publisher runs with the timeline disabled),
+//     GET /healthz. `/json?section=<name>` serves one top-level section
+//     of the snapshot; an unknown section answers 400 listing the known
+//     sections. Before the first publish(), /json, /metrics and /series
+//     answer 503. A request with no header terminator within
+//     max_request_bytes answers 400; unknown paths answer 404.
 //     Responses use HTTP/1.0 + Connection: close, so `curl
 //     --unix-socket PATH http://rtsmooth/json` works as-is.
 //   * Stale socket takeover: if bind() finds the path in use, a probe
@@ -70,14 +74,17 @@ class StatsServer {
   const std::string& socket_path() const { return config_.socket_path; }
 
   /// Atomically replaces the served documents (see file comment). Safe to
-  /// call before start() and from any single publisher thread.
-  void publish(std::string json, std::string prometheus);
+  /// call before start() and from any single publisher thread. An empty
+  /// `series` means the publisher has no timeline; /series answers 404.
+  void publish(std::string json, std::string prometheus,
+               std::string series = {});
 
   /// Endpoint-side tallies, readable from any thread.
   struct Stats {
     std::int64_t accepted = 0;      ///< connections accepted
-    std::int64_t served_json = 0;   ///< 200s on /json
+    std::int64_t served_json = 0;   ///< 200s on /json (filtered or not)
     std::int64_t served_metrics = 0;///< 200s on /metrics
+    std::int64_t served_series = 0; ///< 200s on /series
     std::int64_t served_health = 0; ///< 200s on /healthz
     std::int64_t unavailable = 0;   ///< 503s before the first publish
     std::int64_t bad_requests = 0;  ///< 400s (oversized / unparsable)
@@ -90,10 +97,12 @@ class StatsServer {
   struct Payload {
     std::string json;
     std::string prometheus;
+    std::string series;  ///< empty when the publisher has no timeline
   };
 
   void serve_loop();
   void handle_client(int fd);
+  void serve_json(int fd, const Payload& payload, std::string_view query);
   bool send_all(int fd, std::string_view text);
   void respond(int fd, int status, std::string_view reason,
                std::string_view content_type, std::string_view body);
@@ -108,6 +117,7 @@ class StatsServer {
   std::atomic<std::int64_t> accepted_{0};
   std::atomic<std::int64_t> served_json_{0};
   std::atomic<std::int64_t> served_metrics_{0};
+  std::atomic<std::int64_t> served_series_{0};
   std::atomic<std::int64_t> served_health_{0};
   std::atomic<std::int64_t> unavailable_{0};
   std::atomic<std::int64_t> bad_requests_{0};

@@ -1,0 +1,277 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtsmooth::obs {
+
+std::string BurnBudget::validate() const {
+  if (name.empty()) return "budget name must be non-empty";
+  if (bad.empty()) return "budget '" + name + "': bad counter list is empty";
+  if (total.empty()) {
+    return "budget '" + name + "': total counter list is empty";
+  }
+  if (!(budget > 0.0) || budget > 1.0) {
+    return "budget '" + name + "': budget fraction must be in (0, 1]";
+  }
+  if (!(threshold > 0.0)) {
+    return "budget '" + name + "': threshold must be positive";
+  }
+  return {};
+}
+
+std::string TimelineConfig::validate() const {
+  if (slot_steps < 0) return "slot_steps must be >= 0";
+  if (!enabled()) return {};  // disabled: nothing else matters
+  if (capacity == 0) return "capacity must be >= 1";
+  if (short_slots == 0) return "short_slots must be >= 1";
+  if (long_slots < short_slots) return "long_slots must be >= short_slots";
+  if (capacity < long_slots) {
+    return "capacity must be >= long_slots (the long burn window must fit "
+           "in the ring)";
+  }
+  for (const BurnBudget& b : budgets) {
+    if (const std::string problem = b.validate(); !problem.empty()) {
+      return problem;
+    }
+  }
+  return {};
+}
+
+Timeline::Timeline(TimelineConfig config) : config_(std::move(config)) {
+  if (const std::string problem = config_.validate(); !problem.empty()) {
+    throw std::invalid_argument("TimelineConfig: " + problem);
+  }
+  burn_.reserve(config_.budgets.size());
+  for (const BurnBudget& b : config_.budgets) {
+    burn_.push_back(BurnStatus{.budget = &b});
+  }
+}
+
+void Timeline::evict_oldest() {
+  // The oldest slot's deltas fold into each metric's base, preserving
+  // base + sum(deltas) == total while the ring stays at capacity.
+  slot_end_steps_.erase(slot_end_steps_.begin());
+  for (auto& [name, s] : counters_) {
+    s.base += s.deltas.front();
+    s.deltas.erase(s.deltas.begin());
+  }
+  for (auto& [name, s] : gauges_) {
+    s.values.erase(s.values.begin());
+  }
+  for (auto& [name, s] : histograms_) {
+    const std::vector<std::int64_t>& front = s.bucket_deltas.front();
+    for (std::size_t i = 0; i < front.size(); ++i) s.base_counts[i] += front[i];
+    s.base_count += s.count_deltas.front();
+    s.base_sum += s.sum_deltas.front();
+    s.bucket_deltas.erase(s.bucket_deltas.begin());
+    s.count_deltas.erase(s.count_deltas.begin());
+    s.sum_deltas.erase(s.sum_deltas.begin());
+  }
+  ++evicted_;
+}
+
+const std::vector<BurnStatus>& Timeline::sample(std::int64_t t,
+                                                const Registry& registry) {
+  // A sample that does not advance past the last slot's end step (the
+  // daemon's terminal sample can land on the same step as the last cadence
+  // sample) merges into that slot, keeping slot_end_steps strictly rising.
+  const bool merge =
+      !slot_end_steps_.empty() && t <= slot_end_steps_.back();
+  if (!merge) {
+    if (slot_end_steps_.size() == config_.capacity) evict_oldest();
+    slot_end_steps_.push_back(t);
+  }
+  // Slots every metric column must already cover before this sample's slot.
+  const std::size_t held = slot_end_steps_.size() - 1;
+
+  for (const auto& [name, counter] : registry.counters()) {
+    CounterSeries& s = counters_[name];
+    if (s.deltas.size() < held) {
+      // Metric appeared mid-run: zero-fill the history it missed.
+      s.deltas.resize(held, 0);
+    }
+    const std::int64_t delta = counter.value() - s.prev;
+    if (s.deltas.size() == held) {
+      s.deltas.push_back(delta);
+    } else {
+      s.deltas.back() += delta;
+    }
+    s.prev = counter.value();
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    GaugeSeries& s = gauges_[name];
+    if (s.values.size() < held) {
+      // A high-watermark gauge that did not exist earlier backfills with
+      // its current value — monotone by construction either way.
+      s.values.resize(held, gauge.value());
+    }
+    if (s.values.size() == held) {
+      s.values.push_back(gauge.value());
+    } else {
+      s.values.back() = gauge.value();
+    }
+  }
+  for (const auto& [name, hist] : registry.histograms()) {
+    HistogramSeries& s = histograms_[name];
+    const std::vector<std::int64_t>& counts = hist.counts();
+    if (s.bounds.empty() && !hist.bounds().empty()) s.bounds = hist.bounds();
+    if (s.prev_counts.empty()) s.prev_counts.assign(counts.size(), 0);
+    if (s.base_counts.empty()) s.base_counts.assign(counts.size(), 0);
+    if (s.count_deltas.size() < held) {
+      s.bucket_deltas.resize(
+          held, std::vector<std::int64_t>(counts.size(), 0));
+      s.count_deltas.resize(held, 0);
+      s.sum_deltas.resize(held, 0);
+    }
+    if (s.count_deltas.size() == held) {
+      std::vector<std::int64_t> delta(counts.size());
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        delta[i] = counts[i] - s.prev_counts[i];
+      }
+      s.bucket_deltas.push_back(std::move(delta));
+      s.count_deltas.push_back(hist.count() - s.prev_count);
+      s.sum_deltas.push_back(hist.sum() - s.prev_sum);
+    } else {
+      std::vector<std::int64_t>& row = s.bucket_deltas.back();
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        row[i] += counts[i] - s.prev_counts[i];
+      }
+      s.count_deltas.back() += hist.count() - s.prev_count;
+      s.sum_deltas.back() += hist.sum() - s.prev_sum;
+    }
+    s.prev_counts = counts;
+    s.prev_count = hist.count();
+    s.prev_sum = hist.sum();
+  }
+
+  recompute_burn();
+  return burn_;
+}
+
+std::int64_t Timeline::window_sum(const std::vector<std::string>& names,
+                                  std::size_t window) const {
+  std::int64_t sum = 0;
+  for (const std::string& name : names) {
+    const auto it = counters_.find(name);
+    if (it == counters_.end()) continue;  // absent counters contribute 0
+    const std::vector<std::int64_t>& deltas = it->second.deltas;
+    const std::size_t n = std::min(window, deltas.size());
+    for (std::size_t i = deltas.size() - n; i < deltas.size(); ++i) {
+      sum += deltas[i];
+    }
+  }
+  return sum;
+}
+
+void Timeline::recompute_burn() {
+  for (BurnStatus& status : burn_) {
+    const BurnBudget& b = *status.budget;
+    const auto burn_over = [&](std::size_t window) {
+      const std::int64_t total = window_sum(b.total, window);
+      if (total <= 0) return 0.0;
+      const std::int64_t bad = window_sum(b.bad, window);
+      const double fraction =
+          static_cast<double>(bad) / static_cast<double>(total);
+      return fraction / b.budget;
+    };
+    status.short_burn = burn_over(config_.short_slots);
+    status.long_burn = burn_over(config_.long_slots);
+    status.firing = status.short_burn >= b.threshold &&
+                    status.long_burn >= b.threshold;
+    if (status.firing) ++status.alerts;
+  }
+}
+
+Json Timeline::to_json() const {
+  Json doc = Json::object();
+  doc["schema"] = "rtsmooth-series-v1";
+  doc["slot_steps"] = config_.slot_steps;
+  doc["capacity"] = static_cast<std::int64_t>(config_.capacity);
+  doc["slots"] = static_cast<std::int64_t>(slot_end_steps_.size());
+  doc["evicted"] = evicted_;
+  Json ends = Json::array();
+  for (const std::int64_t t : slot_end_steps_) ends.push_back(t);
+  doc["slot_end_steps"] = std::move(ends);
+
+  Json counters = Json::object();
+  for (const auto& [name, s] : counters_) {
+    Json c = Json::object();
+    c["base"] = s.base;
+    Json deltas = Json::array();
+    for (const std::int64_t d : s.deltas) deltas.push_back(d);
+    c["deltas"] = std::move(deltas);
+    c["total"] = s.prev;  // base + sum(deltas) == total, by construction
+    counters[name] = std::move(c);
+  }
+  doc["counters"] = std::move(counters);
+
+  Json gauges = Json::object();
+  for (const auto& [name, s] : gauges_) {
+    Json values = Json::array();
+    for (const std::int64_t v : s.values) values.push_back(v);
+    gauges[name] = std::move(values);
+  }
+  doc["gauges"] = std::move(gauges);
+
+  Json histograms = Json::object();
+  for (const auto& [name, s] : histograms_) {
+    Json h = Json::object();
+    Json bounds = Json::array();
+    for (const std::int64_t b : s.bounds) bounds.push_back(b);
+    h["bounds"] = std::move(bounds);
+    const auto series = [](std::int64_t base,
+                           const std::vector<std::int64_t>& deltas,
+                           std::int64_t total) {
+      Json j = Json::object();
+      j["base"] = base;
+      Json d = Json::array();
+      for (const std::int64_t v : deltas) d.push_back(v);
+      j["deltas"] = std::move(d);
+      j["total"] = total;
+      return j;
+    };
+    h["count"] = series(s.base_count, s.count_deltas, s.prev_count);
+    h["sum"] = series(s.base_sum, s.sum_deltas, s.prev_sum);
+    Json bucket_base = Json::array();
+    for (const std::int64_t v : s.base_counts) bucket_base.push_back(v);
+    h["bucket_base"] = std::move(bucket_base);
+    Json buckets = Json::array();
+    for (const std::vector<std::int64_t>& slot : s.bucket_deltas) {
+      Json row = Json::array();
+      for (const std::int64_t v : slot) row.push_back(v);
+      buckets.push_back(std::move(row));
+    }
+    h["buckets"] = std::move(buckets);
+    histograms[name] = std::move(h);
+  }
+  doc["histograms"] = std::move(histograms);
+
+  Json burn = Json::object();
+  burn["short_slots"] = static_cast<std::int64_t>(config_.short_slots);
+  burn["long_slots"] = static_cast<std::int64_t>(config_.long_slots);
+  Json budgets = Json::array();
+  for (const BurnStatus& status : burn_) {
+    const BurnBudget& b = *status.budget;
+    Json j = Json::object();
+    j["name"] = b.name;
+    j["budget"] = b.budget;
+    j["threshold"] = b.threshold;
+    Json bad = Json::array();
+    for (const std::string& n : b.bad) bad.push_back(n);
+    j["bad"] = std::move(bad);
+    Json total = Json::array();
+    for (const std::string& n : b.total) total.push_back(n);
+    j["total"] = std::move(total);
+    j["short_burn"] = status.short_burn;
+    j["long_burn"] = status.long_burn;
+    j["firing"] = status.firing;
+    j["alerts"] = status.alerts;
+    budgets.push_back(std::move(j));
+  }
+  burn["budgets"] = std::move(budgets);
+  doc["burn"] = std::move(burn);
+  return doc;
+}
+
+}  // namespace rtsmooth::obs

@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -127,6 +128,58 @@ TEST(StatsServer, UnavailableBeforePublishThenServesBothDocuments) {
 
   server.stop();
   EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(StatsServer, SeriesRouteUnavailableDisabledThenServes) {
+  const std::string path = socket_path("stats_series.sock");
+  StatsServer server(StatsServerConfig{.socket_path = path});
+  server.start();
+
+  EXPECT_EQ(get(path, "/series").status, 503);  // nothing published yet
+
+  // A publish without a series document means the timeline is off in the
+  // publishing process: distinguishable from "not ready yet".
+  server.publish("{}\n", "");
+  const Exchange disabled = get(path, "/series");
+  EXPECT_EQ(disabled.status, 404);
+  EXPECT_NE(disabled.body.find("timeline disabled"), std::string::npos);
+
+  const std::string series = "{\"schema\":\"rtsmooth-series-v1\"}\n";
+  server.publish("{}\n", "", series);
+  const Exchange ok = get(path, "/series");
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_EQ(ok.body, series);
+
+  const StatsServer::Stats s = server.stats();
+  EXPECT_EQ(s.served_series, 1);
+  EXPECT_EQ(s.unavailable, 1);
+  EXPECT_EQ(s.not_found, 1);
+}
+
+TEST(StatsServer, JsonSectionFilterServesSubtreesAndNamesKnownSections) {
+  const std::string path = socket_path("stats_section.sock");
+  StatsServer server(StatsServerConfig{.socket_path = path});
+  server.start();
+  server.publish("{\"report\":{\"played\":9},\"slo\":{\"ok\":true}}\n", "");
+
+  const Exchange report = get(path, "/json?section=report");
+  EXPECT_EQ(report.status, 200);
+  EXPECT_EQ(report.body, "{\"played\":9}\n");
+  EXPECT_EQ(get(path, "/json?section=slo").body, "{\"ok\":true}\n");
+  // The unfiltered document is unaffected by the query machinery.
+  EXPECT_EQ(get(path, "/json").status, 200);
+
+  // Unknown sections name the known ones, mirroring known_policies().
+  const Exchange unknown = get(path, "/json?section=nope");
+  EXPECT_EQ(unknown.status, 400);
+  EXPECT_NE(unknown.body.find("unknown section 'nope'"), std::string::npos);
+  EXPECT_NE(unknown.body.find("report slo"), std::string::npos);
+  // Any other query shape is a bad request, not a silent full document.
+  EXPECT_EQ(get(path, "/json?foo=1").status, 400);
+
+  const StatsServer::Stats s = server.stats();
+  EXPECT_EQ(s.served_json, 3);
+  EXPECT_EQ(s.bad_requests, 2);
 }
 
 TEST(StatsServer, RejectsUnknownPathsNonGetAndOversizedRequests) {
@@ -251,6 +304,38 @@ TEST(Prometheus, RendersRegistrySectionsInExpositionFormat) {
             "rtsmooth_gateway_c0_lateness_steps");
 }
 
+TEST(Prometheus, NameSanitizationRewritesEveryForbiddenByte) {
+  // Exposition names admit only [a-zA-Z0-9_] after the prefix; quotes,
+  // newlines, and backslashes must never leak into a # TYPE line.
+  EXPECT_EQ(obs::prometheus_name("a\"b"), "rtsmooth_a_b");
+  EXPECT_EQ(obs::prometheus_name("a\nb"), "rtsmooth_a_b");
+  EXPECT_EQ(obs::prometheus_name("a\\b"), "rtsmooth_a_b");
+  EXPECT_EQ(obs::prometheus_name("a{b}c d"), "rtsmooth_a_b_c_d");
+  // Multi-byte UTF-8 sanitizes per byte — never interpreted, never kept.
+  EXPECT_EQ(obs::prometheus_name("\xce\xbb"), "rtsmooth___");
+  EXPECT_EQ(obs::prometheus_name(""), "rtsmooth_");
+  // A registry name with a hostile metric name stays lintable end to end.
+  obs::Registry registry;
+  registry.counter("evil\"name\nwith\\bytes").add(1);
+  const std::string text = obs::to_prometheus(registry);
+  EXPECT_NE(text.find("# TYPE rtsmooth_evil_name_with_bytes counter\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find('"'), std::string::npos);
+}
+
+TEST(Prometheus, LabelValueEscapingHandlesMetacharsAndPassesUtf8) {
+  EXPECT_EQ(obs::prometheus_label_value("plain"), "plain");
+  EXPECT_EQ(obs::prometheus_label_value("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(obs::prometheus_label_value("new\nline"), "new\\nline");
+  EXPECT_EQ(obs::prometheus_label_value("quo\"te"), "quo\\\"te");
+  // All three metacharacters together, in order.
+  EXPECT_EQ(obs::prometheus_label_value("\\\n\""), "\\\\\\n\\\"");
+  // Label values, unlike names, carry UTF-8 through byte-for-byte.
+  EXPECT_EQ(obs::prometheus_label_value("\xce\xbb=\xcf\x80"),
+            "\xce\xbb=\xcf\x80");
+  EXPECT_EQ(obs::prometheus_label_value(""), "");
+}
+
 // ------------------------------------------------------ daemon integration
 
 daemon::DaemonOptions stats_daemon_options(const std::string& sock) {
@@ -315,6 +400,80 @@ TEST(DaemonStats, ShutdownEndpointEqualsSnapshotFileByteForByte) {
       std::string::npos);
   EXPECT_NE(metrics.body.find("rtsmooth_daemon_snapshot_sighup 0"),
             std::string::npos);
+}
+
+TEST(DaemonStats, SeriesEndpointConservesAgainstTerminalSnapshot) {
+  const std::string sock = socket_path("stats_series_cons.sock");
+  daemon::DaemonOptions opts = stats_daemon_options(sock);
+  opts.timeline.slot_steps = 64;
+  opts.timeline.capacity = 32;
+  opts.timeline.short_slots = 2;
+  opts.timeline.long_slots = 8;
+  opts.timeline.budgets = daemon::default_slo_budgets();
+  daemon::Daemon d(opts, std::make_unique<daemon::GeneratorSource>(
+                             small_generator(400)));
+  EXPECT_EQ(d.serve(), 0);
+
+  const Exchange series = get(sock, "/series");
+  ASSERT_EQ(series.status, 200);
+  const obs::Json doc = obs::Json::parse(series.body);
+  EXPECT_EQ(doc.at("schema").as_string(), "rtsmooth-series-v1");
+  EXPECT_GE(doc.at("slots").as_int(), 1);
+
+  // The terminal sample is the LAST registry mutation before the snapshot
+  // freezes, so every series counter must reconcile EXACTLY against the
+  // registry section of the same document: base + sum(deltas) == value.
+  const Exchange json = get(sock, "/json");
+  ASSERT_EQ(json.status, 200);
+  const obs::Json snapshot = obs::Json::parse(json.body);
+  const obs::Json& live = snapshot.at("registry").at("counters");
+  const obs::Json& counters = doc.at("counters");
+  ASSERT_GT(counters.size(), 0u);
+  for (std::size_t i = 0; i < counters.keys().size(); ++i) {
+    const std::string& name = counters.keys()[i];
+    const obs::Json& column = counters.items()[i];
+    std::int64_t sum = column.at("base").as_int();
+    for (const obs::Json& delta : column.at("deltas").items()) {
+      sum += delta.as_int();
+    }
+    EXPECT_EQ(sum, column.at("total").as_int()) << name;
+    EXPECT_EQ(column.at("total").as_int(), live.at(name).as_int()) << name;
+  }
+  // The same frozen document rides inside the snapshot as its `series`
+  // section, reachable through the section filter as well.
+  EXPECT_EQ(snapshot.at("series").dump() + "\n", series.body);
+  EXPECT_EQ(get(sock, "/json?section=series").body, series.body);
+
+  // Burn machinery surfaces as first-class registry counters and as the
+  // snapshot's slo tallies.
+  EXPECT_NE(live.find("daemon.slo.burn_breaches"), nullptr);
+  EXPECT_NE(snapshot.at("slo").at("breaches").find("burn"), nullptr);
+  EXPECT_NE(snapshot.at("slo").find("cooldown_suppressed"), nullptr);
+  EXPECT_GE(doc.at("burn").at("budgets").size(), 3u);
+}
+
+TEST(DaemonStats, SeriesByteIdenticalAcrossThreadCounts) {
+  const auto run = [](const char* threads, const char* name) {
+    ::setenv("RTSMOOTH_THREADS", threads, 1);
+    const std::string sock = socket_path(name);
+    daemon::DaemonOptions opts = stats_daemon_options(sock);
+    opts.timeline.slot_steps = 32;
+    opts.timeline.budgets = daemon::default_slo_budgets();
+    daemon::Daemon d(opts, std::make_unique<daemon::GeneratorSource>(
+                               small_generator(300)));
+    EXPECT_EQ(d.serve(), 0);
+    const Exchange series = get(sock, "/series");
+    EXPECT_EQ(series.status, 200);
+    return series.body;
+  };
+  const std::string serial = run("1", "stats_series_t1.sock");
+  const std::string wide = run("4", "stats_series_t4.sock");
+  ::unsetenv("RTSMOOTH_THREADS");
+  ASSERT_FALSE(serial.empty());
+  // The timeline samples the merged registry at fixed step cadence; like
+  // the /json payload, its dump is pinned byte-identical across pool
+  // widths (DESIGN.md Sect. 16).
+  EXPECT_EQ(serial, wide);
 }
 
 TEST(DaemonStats, ConcurrentScrapesDuringChurnAndReconfigStayClean) {

@@ -9,6 +9,12 @@
 // --count bounds the repeats, so `rtsmooth_stat --socket S --interval 1000`
 // is a poor man's `watch` over a soak.
 //
+// --series switches to the timeline view: it scrapes /series
+// (rtsmooth-series-v1) and renders per-interval deltas plus unicode
+// sparklines for a selectable set of metrics (--metric NAME, repeatable;
+// counters show per-slot deltas, gauges their sampled values), followed by
+// the burn-rate section. Composes with --interval/--count for watching.
+//
 // Exit status: 0 on success, 1 when the endpoint answered but not with 200
 // (e.g. 503 before the first publish), 2 on bad invocation or a socket
 // error. One failed scrape in interval mode ends the run — a soak that
@@ -18,6 +24,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +32,7 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 #include <chrono>
 
@@ -37,11 +45,14 @@ constexpr const char* kUsage = R"(usage: rtsmooth_stat --socket PATH [options]
   --socket PATH   unix socket of the stats endpoint (required)
   --json          emit the raw rtsmooth-soak-v1 JSON document
   --metrics       emit the raw Prometheus text exposition
+  --series        render the /series timeline: deltas + sparklines + burn
+  --metric NAME   metric to render in --series mode (repeatable; counters
+                  plot per-slot deltas, gauges their sampled values)
   --health        probe /healthz and print the answer
   --interval N    repeat every N milliseconds (0 = scrape once) [0]
   --count N       stop after N scrapes in interval mode (0 = forever) [0])";
 
-enum class Mode { Pretty, Json, Metrics, Health };
+enum class Mode { Pretty, Json, Metrics, Series, Health };
 
 struct ScrapeResult {
   int status = 0;
@@ -182,7 +193,7 @@ void print_pretty(const std::string& body) {
   }
   if (const obs::Json* slo = doc.find("slo")) {
     const obs::Json* breaches = slo->find("breaches");
-    std::printf("slo       stall=%lld loss=%lld occupancy=%lld "
+    std::printf("slo       stall=%lld loss=%lld occupancy=%lld burn=%lld "
                 "incidents=%lld\n",
                 breaches != nullptr ? static_cast<long long>(
                                           opt_int(*breaches, "stall"))
@@ -192,6 +203,9 @@ void print_pretty(const std::string& body) {
                                     : 0LL,
                 breaches != nullptr ? static_cast<long long>(
                                           opt_int(*breaches, "occupancy"))
+                                    : 0LL,
+                breaches != nullptr ? static_cast<long long>(
+                                          opt_int(*breaches, "burn"))
                                     : 0LL,
                 static_cast<long long>(opt_int(*slo, "incidents_captured")));
   }
@@ -206,6 +220,99 @@ void print_pretty(const std::string& body) {
   }
 }
 
+/// Unicode block sparkline over the last (up to) `width` values, scaled to
+/// the window's maximum; an all-zero window is a flat floor.
+std::string sparkline(const std::vector<std::int64_t>& values,
+                      std::size_t width = 48) {
+  static const char* const kBlocks[8] = {"▁", "▂", "▃", "▄",
+                                         "▅", "▆", "▇", "█"};
+  const std::size_t n = std::min(width, values.size());
+  const std::size_t start = values.size() - n;
+  std::int64_t max = 0;
+  for (std::size_t i = start; i < values.size(); ++i) {
+    max = std::max(max, values[i]);
+  }
+  std::string out;
+  for (std::size_t i = start; i < values.size(); ++i) {
+    const std::int64_t v = std::max<std::int64_t>(0, values[i]);
+    const std::size_t level =
+        max > 0 ? static_cast<std::size_t>((v * 7 + max - 1) / max) : 0;
+    out += kBlocks[std::min<std::size_t>(level, 7)];
+  }
+  return out;
+}
+
+std::vector<std::int64_t> int_array(const rtsmooth::obs::Json& arr) {
+  std::vector<std::int64_t> out;
+  out.reserve(arr.size());
+  for (const rtsmooth::obs::Json& v : arr.items()) {
+    out.push_back(v.is_int() ? v.as_int() : 0);
+  }
+  return out;
+}
+
+void print_series(const std::string& body,
+                  const std::vector<std::string>& metrics) {
+  namespace obs = rtsmooth::obs;
+  const obs::Json doc = obs::Json::parse(body);
+  const obs::Json* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "rtsmooth-series-v1") {
+    throw std::runtime_error("/series did not answer rtsmooth-series-v1");
+  }
+  const obs::Json& ends = doc.at("slot_end_steps");
+  const long long first =
+      ends.size() > 0 ? static_cast<long long>(ends.at(std::size_t{0}).as_int())
+                      : 0;
+  const long long last =
+      ends.size() > 0
+          ? static_cast<long long>(ends.at(ends.size() - 1).as_int())
+          : 0;
+  std::printf("series    slots=%lld x %lld steps, evicted=%lld, "
+              "covering steps %lld..%lld\n",
+              static_cast<long long>(opt_int(doc, "slots")),
+              static_cast<long long>(opt_int(doc, "slot_steps")),
+              static_cast<long long>(opt_int(doc, "evicted")), first, last);
+  const obs::Json* counters = doc.find("counters");
+  const obs::Json* gauges = doc.find("gauges");
+  for (const std::string& name : metrics) {
+    const obs::Json* c =
+        counters != nullptr ? counters->find(name) : nullptr;
+    if (c != nullptr) {
+      const std::vector<std::int64_t> deltas = int_array(c->at("deltas"));
+      const std::int64_t last_delta = deltas.empty() ? 0 : deltas.back();
+      std::printf("  %-40s %s Δ%lld total=%lld\n", name.c_str(),
+                  sparkline(deltas).c_str(),
+                  static_cast<long long>(last_delta),
+                  static_cast<long long>(opt_int(*c, "total")));
+      continue;
+    }
+    const obs::Json* g = gauges != nullptr ? gauges->find(name) : nullptr;
+    if (g != nullptr) {
+      const std::vector<std::int64_t> values = int_array(*g);
+      std::printf("  %-40s %s now=%lld\n", name.c_str(),
+                  sparkline(values).c_str(),
+                  static_cast<long long>(values.empty() ? 0 : values.back()));
+      continue;
+    }
+    std::printf("  %-40s (not in series)\n", name.c_str());
+  }
+  if (const obs::Json* burn = doc.find("burn")) {
+    const obs::Json* budgets = burn->find("budgets");
+    if (budgets != nullptr) {
+      for (const obs::Json& b : budgets->items()) {
+        std::printf("burn      %-14s budget=%.4f short=%.3f long=%.3f "
+                    "%s alerts=%lld\n",
+                    b.at("name").as_string().c_str(),
+                    opt_double(b, "budget"), opt_double(b, "short_burn"),
+                    opt_double(b, "long_burn"),
+                    b.at("firing").as_bool() ? "FIRING" : "ok",
+                    static_cast<long long>(opt_int(b, "alerts")));
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -214,6 +321,7 @@ int main(int argc, char** argv) {
   Mode mode = Mode::Pretty;
   std::int64_t interval_ms = 0;
   std::int64_t count = 0;
+  std::vector<std::string> series_metrics;
   const auto need = [&](int& i) -> std::string_view {
     if (i + 1 >= argc) {
       std::fprintf(stderr, "missing value for %s\n", argv[i]);
@@ -229,6 +337,10 @@ int main(int argc, char** argv) {
       mode = Mode::Json;
     } else if (arg == "--metrics") {
       mode = Mode::Metrics;
+    } else if (arg == "--series") {
+      mode = Mode::Series;
+    } else if (arg == "--metric") {
+      series_metrics.emplace_back(need(i));
     } else if (arg == "--health") {
       mode = Mode::Health;
     } else if (arg == "--interval") {
@@ -247,7 +359,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--socket is required\n");
     rtsmooth::cli::usage_exit(kUsage);
   }
+  if (series_metrics.empty()) {
+    // Default watch set: ingest pressure in, playback out, lateness and
+    // admission shed — the burn budgets' raw material.
+    series_metrics = {"daemon.ingest.polled_bytes", "client.played_bytes",
+                      "client.late_bytes",
+                      "daemon.admission.slot_refused_bytes"};
+  }
   const char* target = mode == Mode::Metrics   ? "/metrics"
+                       : mode == Mode::Series ? "/series"
                        : mode == Mode::Health ? "/healthz"
                                               : "/json";
   std::int64_t done = 0;
@@ -268,6 +388,10 @@ int main(int argc, char** argv) {
         case Mode::Pretty:
           if (done > 0) std::printf("\n");
           print_pretty(r.body);
+          break;
+        case Mode::Series:
+          if (done > 0) std::printf("\n");
+          print_series(r.body, series_metrics);
           break;
       }
       std::fflush(stdout);

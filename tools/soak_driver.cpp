@@ -160,6 +160,10 @@ constexpr const char* kUsage = R"(usage: soak_driver [options]
   --incident-dir DIR      write captured incidents here
   --stats-socket PATH     serve live stats on this unix socket
   --stats-publish-every N republish the endpoint payload every N steps [0]
+  --series-every N        sample the registry timeline every N steps (0 = off) [0]
+  --series-capacity N     timeline ring capacity, slots [256]
+  --burn-short N          short burn window, slots [6]
+  --burn-long N           long burn window, slots [36]
   --alloc-guard           steady-state allocation-flatness check, then exit
   --quiet                 suppress the event log)";
 
@@ -183,6 +187,10 @@ struct DriverOptions {
   std::string incident_dir;
   std::string stats_socket;
   Time stats_publish_every = 0;
+  Time series_every = 0;
+  std::int64_t series_capacity = 256;
+  std::int64_t burn_short = 6;
+  std::int64_t burn_long = 36;
   Time stall_timeout = 0;
   Time max_drain = 0;
   rts::daemon::SloConfig slo;
@@ -242,6 +250,13 @@ rts::daemon::DaemonOptions daemon_options(const DriverOptions& opt) {
   d.incident_dir = opt.incident_dir;
   d.stats_socket_path = opt.stats_socket;
   d.stats_publish_every = opt.stats_publish_every;
+  if (opt.series_every > 0) {
+    d.timeline.slot_steps = opt.series_every;
+    d.timeline.capacity = static_cast<std::size_t>(opt.series_capacity);
+    d.timeline.short_slots = static_cast<std::size_t>(opt.burn_short);
+    d.timeline.long_slots = static_cast<std::size_t>(opt.burn_long);
+    d.timeline.budgets = rts::daemon::default_slo_budgets();
+  }
   d.log = opt.quiet ? nullptr : &std::cerr;
   return d;
 }
@@ -323,6 +338,7 @@ int run_alloc_guard(const DriverOptions& opt) {
   guard.incident_dir.clear();
   guard.stats_socket.clear();
   guard.stats_publish_every = 0;
+  guard.series_every = 0;  // timeline sampling allocates ring slots
   guard.quiet = true;
   const Time t = opt.steps > 0 ? opt.steps : 50000;
   const auto measure = [&guard](Time steps) -> std::uint64_t {
@@ -447,6 +463,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--stats-publish-every") {
       opt.stats_publish_every = require_int(need(i), "--stats-publish-every",
                                             kUsage, 0, INT64_MAX / 4);
+    } else if (arg == "--series-every") {
+      opt.series_every = require_int(need(i), "--series-every", kUsage, 0,
+                                     INT64_MAX / 4);
+    } else if (arg == "--series-capacity") {
+      opt.series_capacity = require_int(need(i), "--series-capacity", kUsage,
+                                        1, 1 << 20);
+    } else if (arg == "--burn-short") {
+      opt.burn_short = require_int(need(i), "--burn-short", kUsage, 1,
+                                   1 << 20);
+    } else if (arg == "--burn-long") {
+      opt.burn_long = require_int(need(i), "--burn-long", kUsage, 1, 1 << 20);
     } else if (arg == "--alloc-guard") {
       opt.alloc_guard = true;
     } else if (arg == "--quiet") {

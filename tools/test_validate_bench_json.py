@@ -75,9 +75,11 @@ def soak_doc():
         "degradation": {"level": "normal", "rung": 0, "escalations": 3,
                         "deescalations": 3, "value_floor": 1,
                         "shed_channels": 0},
-        "slo": {"breaches": {"stall": 2, "loss": 0, "occupancy": 0},
+        "slo": {"breaches": {"stall": 2, "loss": 0, "occupancy": 0,
+                             "burn": 1},
                 "incidents_captured": 2, "incidents_written": 2,
-                "triggers": 2, "stall_rate": 0.01, "loss_rate": 0.0,
+                "cooldown_suppressed": 0, "triggers": 2,
+                "stall_rate": 0.01, "loss_rate": 0.0,
                 "occupancy_step_frac": 0.4},
         "ingest": {"polled_frames": 120000, "polled_bytes": 1500000,
                    "stalled_polls": 0, "retries": 0, "source_ended": True,
@@ -109,8 +111,51 @@ def soak_doc():
 def stats_section():
     return {"schema": "rtsmooth-stats-v1", "socket_path": "/tmp/rts.sock",
             "running": True, "accepted": 12, "served_json": 5,
-            "served_metrics": 5, "served_health": 1, "unavailable": 0,
-            "bad_requests": 1, "not_found": 0, "io_errors": 0}
+            "served_metrics": 5, "served_series": 2, "served_health": 1,
+            "unavailable": 0, "bad_requests": 1, "not_found": 0,
+            "io_errors": 0}
+
+
+def series_doc():
+    return {
+        "schema": "rtsmooth-series-v1",
+        "slot_steps": 100,
+        "capacity": 4,
+        "slots": 3,
+        "evicted": 2,
+        "slot_end_steps": [300, 400, 500],
+        "counters": {
+            "daemon.steps": {"base": 200, "deltas": [100, 100, 100],
+                             "total": 500},
+            "client.late_bytes": {"base": 0, "deltas": [0, 40, 10],
+                                  "total": 50},
+        },
+        "gauges": {"client.max_occupancy": [512, 512, 1024]},
+        "histograms": {
+            "daemon.poll_bytes": {
+                "bounds": [16, 64],
+                "count": {"base": 4, "deltas": [2, 0, 3], "total": 9},
+                "sum": {"base": 90, "deltas": [40, 0, 70], "total": 200},
+                "bucket_base": [1, 3, 0],
+                "buckets": [[1, 1, 0], [0, 0, 0], [0, 2, 1]],
+            },
+        },
+        "burn": {
+            "short_slots": 2,
+            "long_slots": 3,
+            "budgets": [{
+                "name": "deadline_miss",
+                "budget": 0.01,
+                "threshold": 1.0,
+                "bad": ["client.late_bytes"],
+                "total": ["client.played_bytes", "client.late_bytes"],
+                "short_burn": 2.5,
+                "long_burn": 1.7,
+                "firing": True,
+                "alerts": 2,
+            }],
+        },
+    }
 
 
 PROM_TEXT = """\
@@ -308,6 +353,113 @@ class CheckFileTest(unittest.TestCase):
         doc["report"]["max_lateness"] = -3
         errors = self.check(doc)
         self.assertTrue(any("max_lateness" in e for e in errors))
+
+    def test_valid_series_doc(self):
+        self.assertEqual(self.check(series_doc()), [])
+
+    def test_series_broken_counter_conservation(self):
+        doc = series_doc()
+        doc["counters"]["daemon.steps"]["total"] = 499
+        errors = self.check(doc)
+        self.assertTrue(any("base 200 + deltas 300 != total 499" in e
+                            for e in errors))
+
+    def test_series_negative_counter_delta(self):
+        doc = series_doc()
+        doc["counters"]["daemon.steps"]["deltas"] = [100, -100, 500]
+        errors = self.check(doc)
+        self.assertTrue(any("negative delta" in e for e in errors))
+
+    def test_series_slots_mismatch(self):
+        doc = series_doc()
+        doc["slots"] = 2
+        errors = self.check(doc)
+        self.assertTrue(any("slots 2 != len(slot_end_steps) 3" in e
+                            for e in errors))
+
+    def test_series_slot_ends_not_rising(self):
+        doc = series_doc()
+        doc["slot_end_steps"] = [300, 300, 500]
+        errors = self.check(doc)
+        self.assertTrue(any("not strictly rising" in e for e in errors))
+
+    def test_series_over_capacity(self):
+        doc = series_doc()
+        doc["capacity"] = 2
+        errors = self.check(doc)
+        self.assertTrue(any("over its capacity" in e for e in errors))
+
+    def test_series_wrong_delta_length(self):
+        doc = series_doc()
+        doc["counters"]["daemon.steps"]["deltas"] = [300]
+        doc["counters"]["daemon.steps"]["total"] = 500
+        errors = self.check(doc)
+        self.assertTrue(any("1 deltas for 3 slots" in e for e in errors))
+
+    def test_series_gauge_must_not_decrease(self):
+        doc = series_doc()
+        doc["gauges"]["client.max_occupancy"] = [1024, 512, 512]
+        errors = self.check(doc)
+        self.assertTrue(any("decreases" in e for e in errors))
+
+    def test_series_histogram_row_count_mismatch(self):
+        doc = series_doc()
+        doc["histograms"]["daemon.poll_bytes"]["buckets"][0] = [1, 0, 0]
+        errors = self.check(doc)
+        self.assertTrue(any("row 0 bucket deltas sum to 1" in e
+                            for e in errors))
+
+    def test_series_histogram_bucket_base_mismatch(self):
+        doc = series_doc()
+        doc["histograms"]["daemon.poll_bytes"]["bucket_base"] = [1, 1, 0]
+        errors = self.check(doc)
+        self.assertTrue(any("bucket_base sums to 2" in e for e in errors))
+
+    def test_series_burn_budget_fraction_bounds(self):
+        doc = series_doc()
+        doc["burn"]["budgets"][0]["budget"] = 1.5
+        errors = self.check(doc)
+        self.assertTrue(any("outside (0, 1]" in e for e in errors))
+
+    def test_series_burn_windows_ordered(self):
+        doc = series_doc()
+        doc["burn"]["long_slots"] = 1
+        errors = self.check(doc)
+        self.assertTrue(any("long_slots" in e and ">= short_slots" in e
+                            for e in errors))
+
+    def test_series_burn_empty_bad_list(self):
+        doc = series_doc()
+        doc["burn"]["budgets"][0]["bad"] = []
+        errors = self.check(doc)
+        self.assertTrue(any("non-empty list of counter names" in e
+                            for e in errors))
+
+    def test_soak_doc_with_embedded_series(self):
+        doc = soak_doc()
+        series = series_doc()
+        series["counters"] = {"daemon.steps": {
+            "base": 59000, "deltas": [400, 300, 300], "total": 60000}}
+        doc["series"] = series
+        self.assertEqual(self.check(doc), [])
+
+    def test_soak_embedded_series_exceeds_registry(self):
+        doc = soak_doc()
+        series = series_doc()
+        # The registry pins daemon.steps at 60000; a series total beyond
+        # the live value cannot happen (the series lags, never leads).
+        series["counters"] = {"daemon.steps": {
+            "base": 60000, "deltas": [1, 0, 0], "total": 60001}}
+        doc["series"] = series
+        errors = self.check(doc)
+        self.assertTrue(any("exceeds registry value 60000" in e
+                            for e in errors))
+
+    def test_soak_slo_missing_burn_breach(self):
+        doc = soak_doc()
+        del doc["slo"]["breaches"]["burn"]
+        errors = self.check(doc)
+        self.assertTrue(any("breaches lacks ['burn']" in e for e in errors))
 
     def test_valid_prometheus_exposition(self):
         self.assertEqual(self.check_text(PROM_TEXT), [])

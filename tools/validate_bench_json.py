@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validates the repo's machine-readable JSON artifacts.
 
-Four document kinds are accepted:
+Five document kinds are accepted:
 
 * the repo's own `rtsmooth-bench-v1` schema (figure/table benches):
     {
@@ -50,7 +50,26 @@ Four document kinds are accepted:
   mid-run document has bytes in flight), and rates inside [0, 1]. The
   optional `stats` section (present when the daemon served a live stats
   endpoint) carries its own `rtsmooth-stats-v1` schema tag and the
-  endpoint-side tallies, all non-negative;
+  endpoint-side tallies, all non-negative. The optional `series`
+  section embeds a timeline export (below) cross-checked against the
+  snapshot's registry;
+
+* the daemon timeline's `rtsmooth-series-v1` export (obs/timeline.h,
+  the stats endpoint's /series route), standalone or embedded:
+    {
+      "schema": "rtsmooth-series-v1",
+      "slot_steps": int, "capacity": int, "slots": int, "evicted": int,
+      "slot_end_steps": [int],          # strictly rising, <= capacity
+      "counters": {name: {"base": int, "deltas": [int], "total": int}},
+      "gauges": {name: [int]},          # non-decreasing high-watermarks
+      "histograms": {name: {"bounds": [...], "count": {...}, "sum": {...},
+                            "bucket_base": [...], "buckets": [[...]]}},
+      "burn": {"short_slots": int, "long_slots": int, "budgets": [...]},
+    }
+  where every delta column satisfies base + sum(deltas) == total, every
+  per-slot histogram bucket row sums to that slot's count delta, counter
+  deltas are non-negative, and burn budgets carry sane fractions,
+  thresholds, and window burns;
 
 * google-benchmark's native JSON (micro benches), recognised by its
   "context"/"benchmarks" top-level keys, with at least one benchmark entry.
@@ -236,7 +255,8 @@ SOAK_SECTION_KEYS = {
     "degradation": ("level", "rung", "escalations", "deescalations",
                     "value_floor", "shed_channels"),
     "slo": ("breaches", "incidents_captured", "incidents_written",
-            "triggers", "stall_rate", "loss_rate", "occupancy_step_frac"),
+            "cooldown_suppressed", "triggers", "stall_rate", "loss_rate",
+            "occupancy_step_frac"),
     "ingest": ("polled_frames", "polled_bytes", "stalled_polls", "retries",
                "source_ended", "timed_out", "pending_depth",
                "truncated_tail_bytes", "rejected_records"),
@@ -255,8 +275,8 @@ SOAK_SECTION_KEYS = {
 }
 
 STATS_COUNT_KEYS = ("accepted", "served_json", "served_metrics",
-                    "served_health", "unavailable", "bad_requests",
-                    "not_found", "io_errors")
+                    "served_series", "served_health", "unavailable",
+                    "bad_requests", "not_found", "io_errors")
 
 
 def check_stats_section(errors, section):
@@ -278,6 +298,240 @@ def check_stats_section(errors, section):
         if key in section and (not isinstance(value, int) or value < 0):
             errors.append(f"stats {key} must be a non-negative int, "
                           f"got {value!r}")
+
+
+def _int_list(value):
+    return isinstance(value, list) and all(isinstance(v, int) for v in value)
+
+
+def check_delta_series(errors, label, series, slots, monotone=True):
+    """One {base, deltas, total} column of a rtsmooth-series-v1 document.
+
+    The conservation invariant base + sum(deltas) == total is structural:
+    the timeline folds evicted slots into base, so any violation means the
+    exporter dropped or double-counted a delta."""
+    if not isinstance(series, dict):
+        errors.append(f"series {label} is not an object")
+        return
+    missing = [k for k in ("base", "deltas", "total") if k not in series]
+    if missing:
+        errors.append(f"series {label} lacks {missing}")
+        return
+    base, deltas, total = series["base"], series["deltas"], series["total"]
+    if not isinstance(base, int) or not isinstance(total, int) \
+            or not _int_list(deltas):
+        errors.append(f"series {label}: base/deltas/total must be ints")
+        return
+    if len(deltas) != slots:
+        errors.append(f"series {label}: {len(deltas)} deltas for "
+                      f"{slots} slots")
+    if monotone and any(d < 0 for d in deltas):
+        errors.append(f"series {label}: negative delta "
+                      "(the underlying metric is monotone)")
+    if base + sum(deltas) != total:
+        errors.append(f"series {label}: base {base} + deltas "
+                      f"{sum(deltas)} != total {total}")
+
+
+def check_series_histogram(errors, name, hist, slots):
+    if not isinstance(hist, dict):
+        errors.append(f"series histogram {name!r} is not an object")
+        return
+    missing = [k for k in ("bounds", "count", "sum", "bucket_base",
+                           "buckets") if k not in hist]
+    if missing:
+        errors.append(f"series histogram {name!r} lacks {missing}")
+        return
+    bounds = hist["bounds"]
+    if not _int_list(bounds) or list(bounds) != sorted(set(bounds)):
+        errors.append(f"series histogram {name!r}: bounds not strictly "
+                      "increasing ints")
+        return
+    width = len(bounds) + 1
+    check_delta_series(errors, f"histogram {name!r} count", hist["count"],
+                       slots)
+    # Sum deltas may be negative when samples are (weights are not).
+    check_delta_series(errors, f"histogram {name!r} sum", hist["sum"],
+                       slots, monotone=False)
+    base = hist["bucket_base"]
+    if not _int_list(base) or len(base) != width:
+        errors.append(f"series histogram {name!r}: bucket_base must hold "
+                      f"{width} ints")
+        base = None
+    rows = hist["buckets"]
+    if not isinstance(rows, list) or len(rows) != slots:
+        held = len(rows) if isinstance(rows, list) else "?"
+        errors.append(f"series histogram {name!r}: {held} bucket rows "
+                      f"for {slots} slots")
+        return
+    count = hist["count"] if isinstance(hist["count"], dict) else {}
+    count_deltas = count.get("deltas")
+    for i, row in enumerate(rows):
+        if not _int_list(row) or len(row) != width:
+            errors.append(f"series histogram {name!r}: bucket row {i} "
+                          f"must hold {width} ints")
+            return
+        if any(v < 0 for v in row):
+            errors.append(f"series histogram {name!r}: negative bucket "
+                          f"delta in row {i}")
+        # Every record lands its weight in exactly one bucket AND in
+        # count, so per slot the bucket deltas must sum to the count
+        # delta.
+        if _int_list(count_deltas) and i < len(count_deltas) \
+                and sum(row) != count_deltas[i]:
+            errors.append(f"series histogram {name!r}: row {i} bucket "
+                          f"deltas sum to {sum(row)}, count delta is "
+                          f"{count_deltas[i]}")
+    if base is not None and isinstance(count.get("base"), int) \
+            and sum(base) != count["base"]:
+        errors.append(f"series histogram {name!r}: bucket_base sums to "
+                      f"{sum(base)}, count base is {count['base']}")
+
+
+def check_series_burn(errors, burn):
+    if not isinstance(burn, dict):
+        errors.append("series burn is not an object")
+        return
+    missing = [k for k in ("short_slots", "long_slots", "budgets")
+               if k not in burn]
+    if missing:
+        errors.append(f"series burn lacks {missing}")
+        return
+    short, long_ = burn["short_slots"], burn["long_slots"]
+    if not isinstance(short, int) or short < 1:
+        errors.append(f"series burn short_slots must be a positive int, "
+                      f"got {short!r}")
+    if not isinstance(long_, int) \
+            or (isinstance(short, int) and long_ < short):
+        errors.append(f"series burn long_slots {long_!r} must be >= "
+                      f"short_slots {short!r}")
+    budgets = burn["budgets"]
+    if not isinstance(budgets, list):
+        errors.append("series burn budgets is not a list")
+        return
+    for i, budget in enumerate(budgets):
+        if not isinstance(budget, dict):
+            errors.append(f"series burn budget {i} is not an object")
+            continue
+        label = budget.get("name", i)
+        missing = [k for k in ("name", "budget", "threshold", "bad",
+                               "total", "short_burn", "long_burn",
+                               "firing", "alerts") if k not in budget]
+        if missing:
+            errors.append(f"series burn budget {label!r} lacks {missing}")
+            continue
+        fraction = budget["budget"]
+        if not isinstance(fraction, (int, float)) or not 0 < fraction <= 1:
+            errors.append(f"series burn budget {label!r}: budget fraction "
+                          f"{fraction!r} outside (0, 1]")
+        threshold = budget["threshold"]
+        if not isinstance(threshold, (int, float)) or threshold <= 0:
+            errors.append(f"series burn budget {label!r}: threshold "
+                          f"{threshold!r} must be positive")
+        for key in ("bad", "total"):
+            names = budget[key]
+            if not isinstance(names, list) or not names \
+                    or not all(isinstance(n, str) for n in names):
+                errors.append(f"series burn budget {label!r}: {key} must "
+                              "be a non-empty list of counter names")
+        for key in ("short_burn", "long_burn"):
+            value = budget[key]
+            if not isinstance(value, (int, float)) or value < 0:
+                errors.append(f"series burn budget {label!r}: {key} "
+                              f"{value!r} must be non-negative")
+        if not isinstance(budget["firing"], bool):
+            errors.append(f"series burn budget {label!r}: firing must be "
+                          "a bool")
+        if not isinstance(budget["alerts"], int) or budget["alerts"] < 0:
+            errors.append(f"series burn budget {label!r}: alerts must be "
+                          "a non-negative int")
+
+
+def check_series(errors, doc, registry=None):
+    """The in-daemon timeline export (rtsmooth-series-v1, obs/timeline.h):
+    delta-encoded counter/gauge/histogram history over a ring of
+    fixed-cadence slots, plus SLO burn-rate windows. When the enclosing
+    snapshot's registry is supplied, series totals may not exceed the
+    live registry values — equality is only guaranteed in a terminal
+    snapshot, where the daemon samples the timeline one last time right
+    before serialising (a live document's registry can be ahead of the
+    last sampling cadence)."""
+    if not isinstance(doc, dict):
+        errors.append("series section is not an object")
+        return
+    if doc.get("schema") != "rtsmooth-series-v1":
+        errors.append(f"series schema must be 'rtsmooth-series-v1', "
+                      f"got {doc.get('schema')!r}")
+    missing = [k for k in ("slot_steps", "capacity", "slots", "evicted",
+                           "slot_end_steps", "counters", "gauges",
+                           "histograms", "burn") if k not in doc]
+    if missing:
+        errors.append(f"series lacks {missing}")
+        return
+    for key in ("slot_steps", "capacity"):
+        value = doc.get(key)
+        if not isinstance(value, int) or value < 1:
+            errors.append(f"series {key} must be a positive int, "
+                          f"got {value!r}")
+    for key in ("slots", "evicted"):
+        value = doc.get(key)
+        if not isinstance(value, int) or value < 0:
+            errors.append(f"series {key} must be a non-negative int, "
+                          f"got {value!r}")
+    ends = doc.get("slot_end_steps")
+    if not _int_list(ends):
+        errors.append("series slot_end_steps must be a list of ints")
+        return
+    if isinstance(doc.get("slots"), int) and len(ends) != doc["slots"]:
+        errors.append(f"series slots {doc['slots']} != "
+                      f"len(slot_end_steps) {len(ends)}")
+    if isinstance(doc.get("capacity"), int) and len(ends) > doc["capacity"]:
+        errors.append(f"series holds {len(ends)} slots, over its "
+                      f"capacity {doc['capacity']}")
+    for a, b in zip(ends, ends[1:]):
+        if b <= a:
+            errors.append(f"series slot_end_steps not strictly rising "
+                          f"at {a} -> {b}")
+            break
+    nslots = len(ends)
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        errors.append("series counters is not an object")
+        counters = {}
+    for name, column in counters.items():
+        check_delta_series(errors, f"counter {name!r}", column, nslots)
+    gauges = doc.get("gauges")
+    if not isinstance(gauges, dict):
+        errors.append("series gauges is not an object")
+        gauges = {}
+    for name, values in gauges.items():
+        if not _int_list(values):
+            errors.append(f"series gauge {name!r} is not a list of ints")
+            continue
+        if len(values) != nslots:
+            errors.append(f"series gauge {name!r}: {len(values)} values "
+                          f"for {nslots} slots")
+        if any(b < a for a, b in zip(values, values[1:])):
+            errors.append(f"series gauge {name!r} decreases (gauges are "
+                          "high-watermarks)")
+    hists = doc.get("histograms")
+    if not isinstance(hists, dict):
+        errors.append("series histograms is not an object")
+        hists = {}
+    for name, hist in hists.items():
+        check_series_histogram(errors, name, hist, nslots)
+    check_series_burn(errors, doc.get("burn"))
+    if isinstance(registry, dict):
+        live = registry.get("counters", {})
+        if isinstance(live, dict):
+            for name, column in counters.items():
+                if not isinstance(column, dict):
+                    continue
+                total, value = column.get("total"), live.get(name)
+                if isinstance(total, int) and isinstance(value, int) \
+                        and total > value:
+                    errors.append(f"series counter {name!r} total {total} "
+                                  f"exceeds registry value {value}")
 
 
 def check_soak(errors, doc):
@@ -308,7 +562,7 @@ def check_soak(errors, doc):
             if not isinstance(breaches, dict):
                 errors.append("slo breaches is not an object")
             else:
-                lacks = [k for k in ("stall", "loss", "occupancy")
+                lacks = [k for k in ("stall", "loss", "occupancy", "burn")
                          if k not in breaches]
                 if lacks:
                     errors.append(f"slo breaches lacks {lacks}")
@@ -339,6 +593,8 @@ def check_soak(errors, doc):
                           f"int, got {late!r}")
     if "stats" in doc:
         check_stats_section(errors, doc["stats"])
+    if "series" in doc:
+        check_series(errors, doc["series"], doc.get("registry"))
     check_registry(errors, doc.get("registry", {}))
 
 
@@ -487,12 +743,14 @@ def check_file(path):
         check_incident(errors, doc)
     elif doc.get("schema") == "rtsmooth-soak-v1":
         check_soak(errors, doc)
+    elif doc.get("schema") == "rtsmooth-series-v1":
+        check_series(errors, doc)
     elif "benchmarks" in doc and "context" in doc:
         check_google_benchmark(errors, doc)
     else:
         errors.append("unrecognised schema (not rtsmooth-bench-v1, "
-                      "rtsmooth-incident-v1, rtsmooth-soak-v1, or "
-                      "google-benchmark output)")
+                      "rtsmooth-incident-v1, rtsmooth-soak-v1, "
+                      "rtsmooth-series-v1, or google-benchmark output)")
     return errors
 
 
