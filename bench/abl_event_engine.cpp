@@ -1,0 +1,171 @@
+// Ablation — event-driven vs slot-stepped main loop (DESIGN.md Sect. 17):
+// pins (i) that both engines produce byte-identical SimReports on every
+// scenario class (dense, sparse-burst, bursty-loss, throttled), and
+// (ii) the wall-clock payoff of skipping quiescent spans, which is the
+// event engine's whole reason to exist. The agreement series is fully
+// deterministic (derived from reports alone); the timings live in a
+// quarantined `speedup` section that tools/bench_diff.py ignores.
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/event_engine.h"
+#include "core/link.h"
+#include "faults/fault_links.h"
+#include "policies/policy_factory.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+
+namespace {
+
+using namespace rtsmooth;
+
+/// The reference clip re-timed into five-frame bursts separated by long
+/// quiescent gaps — the stream shape the event engine targets.
+Stream sparse_burst_stream(const Stream& base, Time gap) {
+  std::vector<SliceRun> runs(base.runs().begin(), base.runs().end());
+  Time arrival = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i > 0) arrival += (i % 5 == 0) ? gap : 1;
+    runs[i].arrival = arrival;
+  }
+  return Stream::from_runs(std::move(runs));
+}
+
+struct Scenario {
+  std::string name;
+  const Stream* stream = nullptr;
+  sim::SimConfig config;
+  std::string policy = "tail-drop";
+  std::function<std::unique_ptr<Link>()> link;  ///< fresh link per run
+};
+
+int run(const bench::BenchOptions& opts) {
+  const std::size_t frames =
+      opts.frames ? opts.frames : (opts.quick ? 120 : 400);
+  const Time gap = opts.quick ? 400 : 2000;
+  const Stream dense =
+      bench::reference_stream(trace::Slicing::ByteSlices, frames);
+  const Stream sparse = sparse_burst_stream(dense, gap);
+  const Bytes rate = sim::relative_rate(dense, 0.9);
+  const Plan plan = Planner::from_buffer_rate(2 * dense.max_frame_bytes(),
+                                              rate);
+
+  std::cout << "abl_event_engine — slot-stepped vs event-driven main loop "
+               "(buffer = 2 x max frame, R = 0.9 x dense average rate)\n"
+            << "clip: cnn-news, " << frames << " frames; sparse gap = "
+            << gap << " steps\n\n";
+
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s;
+    s.name = "dense";
+    s.stream = &dense;
+    s.config = sim::SimConfig::balanced(plan);
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "sparse-burst";
+    s.stream = &sparse;
+    s.config = sim::SimConfig::balanced(plan);
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "sparse-burst-ge";
+    s.stream = &sparse;
+    s.config = sim::SimConfig::balanced(plan);
+    s.config.recovery.enabled = true;
+    s.config.recovery.max_retries = 2;
+    s.link = [] {
+      const faults::GilbertElliottConfig ge{.p_good_to_bad = 0.02,
+                                            .p_bad_to_good = 0.2,
+                                            .loss_good = 0.0,
+                                            .loss_bad = 0.9};
+      return std::make_unique<faults::GilbertElliottLink>(
+          std::make_unique<FixedDelayLink>(1), ge, Rng(77));
+    };
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "throttled-dense";
+    s.stream = &dense;
+    s.config = sim::SimConfig::balanced(plan);
+    s.link = [rate] {
+      return std::make_unique<faults::ThrottledLink>(
+          std::make_unique<FixedDelayLink>(1),
+          std::vector<Bytes>{rate, 0, 0, 2 * rate});
+    };
+    scenarios.push_back(std::move(s));
+  }
+
+  const std::size_t cells = 2 * scenarios.size();  // × {slot, event}
+  sim::RunStats stats;
+  bench::JsonReport json("abl_event_engine", opts);
+  obs::Registry reg;
+  bench::TaskTelemetry telemetry(json.enabled(), cells);
+  std::vector<double> wall_us(cells, 0.0);
+  sim::ParallelRunner runner(opts.threads);
+  const auto reports = runner.map<SimReport>(
+      cells,
+      [&](std::size_t i) {
+        const Scenario& sc = scenarios[i / 2];
+        sim::SimConfig config = sc.config;
+        config.engine = (i % 2 == 0) ? sim::EngineKind::SlotStepped
+                                     : sim::EngineKind::EventDriven;
+        config.telemetry = telemetry.at(i);
+        sim::SmoothingSimulator simulator(
+            *sc.stream, config, make_policy(sc.policy),
+            sc.link ? sc.link() : nullptr);
+        const auto start = std::chrono::steady_clock::now();
+        const SimReport report = simulator.run();
+        const auto end = std::chrono::steady_clock::now();
+        wall_us[i] = std::chrono::duration<double, std::micro>(end - start)
+                         .count();
+        return report;
+      },
+      &stats);
+  telemetry.merge_into(reg);
+
+  bench::Series series{.header = {"scenario", "steps", "played(bytes)",
+                                  "weightedLoss", "slotVsEvent"}};
+  obs::Json speedup = obs::Json::object();
+  bool all_identical = true;
+  for (std::size_t k = 0; k < scenarios.size(); ++k) {
+    const SimReport& slot = reports[2 * k];
+    const SimReport& event = reports[2 * k + 1];
+    const bool identical = slot == event;
+    all_identical = all_identical && identical;
+    series.add({scenarios[k].name, std::to_string(slot.steps),
+                std::to_string(slot.played.bytes),
+                Table::pct(slot.weighted_loss()),
+                identical ? "identical" : "DIVERGED"});
+    obs::Json cell = obs::Json::object();
+    cell["slot_us"] = wall_us[2 * k];
+    cell["event_us"] = wall_us[2 * k + 1];
+    cell["speedup"] = wall_us[2 * k + 1] > 0.0
+                          ? wall_us[2 * k] / wall_us[2 * k + 1]
+                          : 0.0;
+    speedup[scenarios[k].name] = std::move(cell);
+  }
+  series.emit(opts);
+  json.add_series("engine_agreement", series);
+  json.add_section("speedup", std::move(speedup));
+  json.write(stats, reg);
+  bench::print_run_stats(stats);
+  if (!all_identical) {
+    std::cerr << "ERROR: slot and event engines diverged\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run(rtsmooth::bench::parse_options(argc, argv));
+}

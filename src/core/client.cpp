@@ -172,6 +172,36 @@ void Client::play_frame(Time t, SimReport& report, ScheduleRecorder* rec) {
   }
 }
 
+Time Client::next_playout_event(Time now) const {
+  Time frame_time;
+  if (mode_ == PlayoutMode::ArrivalPlusOffset) {
+    frame_time = now - offset_ - stall_shift_;
+  } else {
+    if (timer_base_ == kNever) return kNever;
+    frame_time = timer_frame_ + (now - timer_base_ - stall_shift_);
+  }
+  // Runs before the cursor are strictly in the past; the first run at or
+  // after frame_time is the next one play_frame() will find due.
+  const auto all = stream_->runs();
+  const auto it = std::lower_bound(
+      all.begin() + static_cast<std::ptrdiff_t>(play_cursor_), all.end(),
+      frame_time,
+      [](const SliceRun& run, Time ft) { return run.arrival < ft; });
+  if (it == all.end()) return kNever;
+  const Time playout =
+      mode_ == PlayoutMode::ArrivalPlusOffset
+          ? it->arrival + offset_ + stall_shift_
+          : timer_base_ + stall_shift_ + (it->arrival - timer_frame_);
+  return std::max(now, playout);
+}
+
+void Client::record_idle_steps(std::int64_t n) {
+  RTS_EXPECTS(occupancy_ == 0);
+  if (occupancy_hist_ == nullptr) return;
+  occupancy_hist_->record(0, n);
+  max_occupancy_->update(0);
+}
+
 void Client::settle_capacity(ScheduleRecorder* rec) {
   // Evict the newest delivered bytes until the post-playout occupancy fits.
   // Only this step's arrivals can be in excess: the previous step ended

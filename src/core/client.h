@@ -105,6 +105,19 @@ class Client {
   Bytes occupancy() const { return occupancy_; }
   Time playout_offset() const { return offset_; }
 
+  /// Earliest step >= now at which play() would do more than sample an
+  /// empty buffer: the playout step of the first run at or after the frame
+  /// cursor (zero-stored frames count — playing them marks played_out and
+  /// can stall). kNever when no such step exists, including timer mode
+  /// before the timer arms. The event engine bounds skippable spans with
+  /// this, so play() is never skipped on a step where it would act.
+  Time next_playout_event(Time now) const;
+
+  /// Registry back-fill for `n` quiescent steps the event engine skipped:
+  /// exactly the per-step occupancy samples play() records for an empty
+  /// buffer. No-op while telemetry is off.
+  void record_idle_steps(std::int64_t n);
+
   /// Installs the telemetry handle (null by default: no cost). The client
   /// records per-step occupancy, played/late/overflow byte counters, and the
   /// distribution of rebuffering run lengths ("client.stall_run_length").

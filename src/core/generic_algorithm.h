@@ -124,6 +124,16 @@ class SmoothingServer {
   /// True when both the buffer and the retransmission queue are empty.
   bool idle() const { return buffer_.empty() && retx_queue_.empty(); }
 
+  /// Registry back-fill for `n` quiescent steps the event engine skipped:
+  /// the zero-valued per-step samples finish_step() records for an idle
+  /// server (the byte counters add 0 on such steps, which is a no-op).
+  /// No-op while telemetry is off.
+  void record_idle_steps(std::int64_t n) {
+    if (occupancy_hist_ == nullptr) return;
+    occupancy_hist_->record(0, n);
+    max_occupancy_->update(0);
+  }
+
   /// Invoked with every piece written off as link loss (NACKed but not
   /// recoverable: retries exhausted, or the deadline cannot be met). The
   /// simulator wires this to Client::add_link_loss so lost bytes stay in the

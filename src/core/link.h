@@ -65,6 +65,25 @@ class Link {
   virtual bool idle() const = 0;
   virtual Time min_delay() const = 0;
 
+  /// Earliest step >= now at which this link could deliver pieces or
+  /// surface NACKs, assuming nothing further is submitted; kNever if it can
+  /// stay silent forever. Conservative (early) answers are allowed — the
+  /// event engine just takes a live step and asks again — but claiming
+  /// silence while activity is possible is not. The default assumes any
+  /// non-idle link may act on the very next step, which is always safe.
+  virtual Time next_activity(Time now) const {
+    return idle() ? kNever : now + 1;
+  }
+
+  /// Advances link-internal clocks to step t without transferring data,
+  /// with exactly the side effects polling deliver() once per step through
+  /// t would have on an idle span (RNG draws, telemetry records). Only
+  /// links whose state evolves with time rather than traffic — the
+  /// Gilbert-Elliott loss chain — do anything here; decorators must forward
+  /// to their inner link. The event engine calls this when absorbing a
+  /// skipped quiescent span.
+  virtual void advance_to(Time t) { (void)t; }
+
   /// Installs a telemetry handle. The base links record nothing (the
   /// simulator already traces deliveries); fault links override this to
   /// count erasures and loss runs. Decorators must forward to their inner
@@ -91,6 +110,11 @@ class FixedDelayLink final : public Link {
   std::vector<SentPiece> deliver(Time t) override;
   bool idle() const override { return in_flight_.empty(); }
   Time min_delay() const override { return p_; }
+  /// Exact: the head batch's delivery step (batches are FIFO in time).
+  Time next_activity(Time now) const override {
+    (void)now;
+    return in_flight_.empty() ? kNever : in_flight_.front().deliver_at;
+  }
 
  private:
   struct Batch {
@@ -112,6 +136,11 @@ class BoundedJitterLink final : public Link {
   std::vector<SentPiece> deliver(Time t) override;
   bool idle() const override { return in_flight_.empty(); }
   Time min_delay() const override { return p_; }
+  /// Exact: the FIFO clamp makes the head batch the earliest delivery.
+  Time next_activity(Time now) const override {
+    (void)now;
+    return in_flight_.empty() ? kNever : in_flight_.front().deliver_at;
+  }
   Time max_jitter() const { return j_; }
 
  private:

@@ -26,6 +26,8 @@ struct StepSets {
   Bytes dropped_client = 0;  ///< client-side drops (overflow + late)
   Bytes server_occupancy = 0;  ///< |Bs(t)| after the step
   Bytes client_occupancy = 0;  ///< |Bc(t)| after the step
+
+  bool operator==(const StepSets&) const = default;
 };
 
 /// Outcome of one slice run: how its `count` slices were dispositioned and
@@ -39,6 +41,8 @@ struct RunOutcome {
   Time first_receive = kNever;
   Time last_receive = kNever;
   Time play_time = kNever;    ///< PT; all slices of a run play together
+
+  bool operator==(const RunOutcome&) const = default;
 };
 
 /// Optional recorder attached to a simulation. Recording per-step sets is

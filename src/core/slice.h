@@ -111,6 +111,13 @@ class ArrivalCursor {
 
   bool exhausted() const { return next_ >= stream_->run_count(); }
 
+  /// Arrival step of the next unconsumed run, or kNever once exhausted.
+  /// Strictly later than the last step() argument, so the event engine can
+  /// use it directly as the next Arrival event.
+  Time next_arrival() const {
+    return exhausted() ? kNever : stream_->runs()[next_].arrival;
+  }
+
  private:
   const Stream* stream_;
   std::size_t next_ = 0;

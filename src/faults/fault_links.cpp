@@ -89,6 +89,12 @@ std::vector<Nack> ErasureLink::collect_nacks(Time t) {
   return drain_nacks(pending_nacks_, t);
 }
 
+Time ErasureLink::next_activity(Time now) const {
+  Time at = inner_->next_activity(now);
+  if (!pending_nacks_.empty()) at = std::min(at, pending_nacks_.front().at);
+  return at;
+}
+
 // --------------------------------------------------------- Gilbert-Elliott
 
 GilbertElliottLink::GilbertElliottLink(std::unique_ptr<Link> inner,
@@ -175,6 +181,12 @@ std::vector<Nack> GilbertElliottLink::collect_nacks(Time t) {
   return drain_nacks(pending_nacks_, t);
 }
 
+Time GilbertElliottLink::next_activity(Time now) const {
+  Time at = inner_->next_activity(now);
+  if (!pending_nacks_.empty()) at = std::min(at, pending_nacks_.front().at);
+  return at;
+}
+
 // -------------------------------------------------------------- Throttled
 
 ThrottledLink::ThrottledLink(std::unique_ptr<Link> inner,
@@ -203,6 +215,20 @@ void ThrottledLink::set_telemetry(obs::Telemetry telemetry) {
 
 Bytes ThrottledLink::cap_at(Time t) const {
   return pattern_[static_cast<std::size_t>(t) % pattern_.size()];
+}
+
+Time ThrottledLink::next_activity(Time now) const {
+  Time at = inner_->next_activity(now);
+  if (queued_ > 0) {
+    for (std::size_t i = 0; i < pattern_.size(); ++i) {
+      const Time step = now + static_cast<Time>(i);
+      if (cap_at(step) > 0) {
+        at = std::min(at, step);
+        break;
+      }
+    }
+  }
+  return at;
 }
 
 void ThrottledLink::submit(Time t, std::vector<SentPiece> pieces) {

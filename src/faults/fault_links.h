@@ -48,6 +48,9 @@ class ErasureLink final : public Link {
   std::vector<Nack> collect_nacks(Time t) override;
   bool idle() const override { return inner_->idle() && pending_nacks_.empty(); }
   Time min_delay() const override { return inner_->min_delay(); }
+  /// Inner deliveries plus the head pending NACK's feedback-due step.
+  Time next_activity(Time now) const override;
+  void advance_to(Time t) override { inner_->advance_to(t); }
   /// Counts erased pieces/bytes and the length of each consecutive-erasure
   /// run ("link.loss_run", flushed when a piece survives). Forwards to the
   /// inner link.
@@ -95,6 +98,18 @@ class GilbertElliottLink final : public Link {
   std::vector<Nack> collect_nacks(Time t) override;
   bool idle() const override { return inner_->idle() && pending_nacks_.empty(); }
   Time min_delay() const override { return inner_->min_delay(); }
+  /// Inner deliveries plus the head pending NACK. The loss chain itself
+  /// needs no bounding event: it only touches pieces at submit time, and
+  /// ensure_state() catches up lazily with identical RNG draws, so skipped
+  /// spans cannot change what it erases.
+  Time next_activity(Time now) const override;
+  /// Replays the chain through the skipped span — the per-step deliver()
+  /// polls the slot loop would have issued — so transition draws and burst-
+  /// length records land exactly as they would have, step by step.
+  void advance_to(Time t) override {
+    ensure_state(t);
+    inner_->advance_to(t);
+  }
   /// Counts erased pieces/bytes and each completed Bad-state burst length in
   /// steps ("link.loss_run"). Forwards to the inner link.
   void set_telemetry(obs::Telemetry telemetry) override;
@@ -137,6 +152,11 @@ class ThrottledLink final : public Link {
   std::vector<SentPiece> deliver(Time t) override;
   bool idle() const override { return inner_->idle() && queued_ == 0; }
   Time min_delay() const override { return inner_->min_delay(); }
+  /// Inner deliveries, plus — while bytes are queued at the throttle — the
+  /// next step whose cap admits them into the inner link (the pattern has a
+  /// positive entry, so the scan over one period always finds it).
+  Time next_activity(Time now) const override;
+  void advance_to(Time t) override { inner_->advance_to(t); }
   /// Tracks the throttle backlog high-watermark and piece splits at the cap.
   /// Forwards to the inner link.
   void set_telemetry(obs::Telemetry telemetry) override;

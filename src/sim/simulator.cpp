@@ -36,6 +36,24 @@ Bytes client_dropped_so_far(const Client& client) {
          client.leftover_bytes_so_far();
 }
 
+/// Binds the run loop's lambdas to the ops interface run_event_driven()
+/// expects (core/event_engine.h). Holds references: the lambdas capture the
+/// loop state by reference and live for the whole run.
+template <typename More, typename Quiescent, typename Collect, typename Absorb,
+          typename Live>
+struct EngineOps {
+  More& more_fn;
+  Quiescent& quiescent_fn;
+  Collect& collect_fn;
+  Absorb& absorb_fn;
+  Live& live_fn;
+  bool more(Time t) { return more_fn(t); }
+  bool quiescent(Time t) { return quiescent_fn(t); }
+  void collect_events(Time t, EventQueue& queue) { collect_fn(t, queue); }
+  void absorb_span(Time t0, Time t1) { absorb_fn(t0, t1); }
+  void live_step(Time t) { live_fn(t); }
+};
+
 ServerConfig server_config(const SimConfig& config) {
   ServerConfig sc{.buffer = config.server_buffer,
                   .rate = config.rate,
@@ -183,11 +201,15 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
   // test pins this (DESIGN.md Sect. 12).
   std::vector<SentPiece> pieces;
   Time t = 0;
-  for (; t <= last_playout || !server_.idle() || !link_->idle() ||
-         client_.occupancy() > 0;  // timer-mode playout can trail the offset
-       ++t) {
-    RTS_ASSERT(t <= limit + client_.stall_steps());
-    if (rec != nullptr) rec->begin_step(t);
+
+  const auto more = [&](Time now) {
+    return now <= last_playout || !server_.idle() || !link_->idle() ||
+           client_.occupancy() > 0;  // timer-mode playout can trail the offset
+  };
+
+  const auto live_step = [&](Time now) {
+    RTS_ASSERT(now <= limit + client_.stall_steps());
+    if (rec != nullptr) rec->begin_step(now);
     // Pre-step snapshots for the per-step deltas the tracer and flight
     // recorder report. All zero (and unread) when nothing is observing, so
     // the un-instrumented loop does not pay for them.
@@ -201,8 +223,8 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
     const Bytes retx_before = observing ? report.retransmitted_bytes : 0;
     const Time stalls_before = observing ? client_.stall_steps() : 0;
 
-    const auto nacks = link_->collect_nacks(t);
-    const ArrivalBatch batch = cursor.step(t);
+    const auto nacks = link_->collect_nacks(now);
+    const ArrivalBatch batch = cursor.step(now);
     Bytes arrived = 0;
     if (observing) {
       for (const SliceRun& run : batch.runs) arrived += run.total_bytes();
@@ -210,12 +232,12 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
     pieces.clear();
     {
       const obs::Span step_span(config_.telemetry, "server.step");
-      server_.step_into(t, batch, nacks, report, rec, pieces);
+      server_.step_into(now, batch, nacks, report, rec, pieces);
     }
     const Bytes sent = observing ? piece_bytes(pieces) : 0;
     if (sojourn_hist != nullptr) {
       for (const SentPiece& piece : pieces) {
-        sojourn_hist->record(t - piece.run->arrival, piece.bytes);
+        sojourn_hist->record(now - piece.run->arrival, piece.bytes);
       }
       const Bytes dropped_now = report.dropped_server.bytes - drops_before;
       if (dropped_now > 0) {
@@ -227,15 +249,15 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
     }
     // An empty send is not submitted: moving an empty vector into the link
     // would surrender (and free) the storage being recycled.
-    if (!pieces.empty()) link_->submit(t, std::move(pieces));
-    auto delivered = link_->deliver(t);
-    client_.deliver(t, delivered, report, rec);
-    client_.play(t, report, rec);
+    if (!pieces.empty()) link_->submit(now, std::move(pieces));
+    auto delivered = link_->deliver(now);
+    client_.deliver(now, delivered, report, rec);
+    client_.play(now, report, rec);
     if (recorder != nullptr) {
       // Appended *before* monitor.check so a violation at step t captures a
       // window whose last record is step t itself.
       obs::StepRecord step;
-      step.t = t;
+      step.t = now;
       step.arrived = arrived;
       step.sent = sent;
       step.delivered = piece_bytes(delivered);
@@ -253,14 +275,14 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
       step.stalled = client_.stall_steps() > stalls_before;
       recorder->record(step);
     }
-    monitor.check(t, server_, client_);
+    monitor.check(now, server_, client_);
     if (rec != nullptr) rec->step().client_occupancy = client_.occupancy();
     if (tracer != nullptr) {
       // Violation events for this step (from monitor.check above) precede
       // the step event itself.
       obs::Json event = obs::Json::object();
       event["type"] = "step";
-      event["t"] = t;
+      event["t"] = now;
       event["arrived"] = arrived;
       event["sent"] = sent;
       event["delivered"] = piece_bytes(delivered);
@@ -277,6 +299,81 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
     // Close the recycling loop: the delivered batch rode in on the vector
     // submitted P steps ago; take its storage back for the next send.
     if (pieces.capacity() < delivered.capacity()) pieces = std::move(delivered);
+  };
+
+  if (config_.engine == EngineKind::SlotStepped) {
+    for (; more(t); ++t) live_step(t);
+  } else {
+    // Event-driven loop (core/event_engine.h): same live_step body, same
+    // exit condition, but quiescent spans between events are absorbed
+    // wholesale instead of stepped through.
+    const auto quiescent = [&](Time /*now*/) {
+      return server_.idle() && client_.occupancy() == 0;
+    };
+    const auto collect_events = [&](Time now, EventQueue& queue) {
+      const Time arrival = cursor.next_arrival();
+      if (arrival != kNever) queue.push({arrival, EventKind::Arrival});
+      // next_activity folds the fault decorators' state events (NACK
+      // feedback due, throttle windows) into the drain bound.
+      const Time drain = link_->next_activity(now);
+      if (drain != kNever) queue.push({drain, EventKind::Drain});
+      const Time deadline = client_.next_playout_event(now);
+      if (deadline != kNever) queue.push({deadline, EventKind::Deadline});
+      queue.push({last_playout + 1, EventKind::Horizon});
+    };
+    const auto absorb_span = [&](Time t0, Time t1) {
+      RTS_ASSERT(t0 <= limit + client_.stall_steps());
+      const std::int64_t skipped = t1 - t0;
+      // A drop burst cannot straddle a quiescent span: the span's first
+      // no-drop step ends it, exactly where the slot loop would flush.
+      if (burst_hist != nullptr && drop_burst > 0) {
+        burst_hist->record(drop_burst);
+        drop_burst = 0;
+      }
+      // Autonomous link state (the Gilbert-Elliott chain) evolves with
+      // time, not traffic: replay the per-step deliver() polls the slot
+      // loop would have issued, so RNG consumption and burst-length records
+      // stay draw-for-draw identical.
+      link_->advance_to(t1 - 1);
+      server_.record_idle_steps(skipped);
+      client_.record_idle_steps(skipped);
+      if (rec == nullptr && tracer == nullptr && recorder == nullptr) return;
+      // Observers see every slot: back-fill the all-zero steps so step
+      // traces, schedule recordings and incident windows stay
+      // byte-identical to the slot loop's.
+      const bool link_idle = link_->idle();  // constant across the span
+      for (Time s = t0; s < t1; ++s) {
+        if (rec != nullptr) {
+          rec->begin_step(s);
+          rec->step().server_occupancy = 0;
+          rec->step().client_occupancy = 0;
+        }
+        if (recorder != nullptr) {
+          obs::StepRecord step;
+          step.t = s;
+          step.link_idle = link_idle;
+          recorder->record(step);
+        }
+        if (tracer != nullptr) {
+          obs::Json event = obs::Json::object();
+          event["type"] = "step";
+          event["t"] = s;
+          event["arrived"] = 0;
+          event["sent"] = 0;
+          event["delivered"] = 0;
+          event["played"] = 0;
+          event["dropped_server"] = 0;
+          event["dropped_client"] = 0;
+          event["retransmitted"] = 0;
+          event["server_occupancy"] = 0;
+          event["client_occupancy"] = 0;
+          event["stalled"] = false;
+          tracer->write(event);
+        }
+      }
+    };
+    t = run_event_driven(
+        t, EngineOps{more, quiescent, collect_events, absorb_span, live_step});
   }
   if (burst_hist != nullptr && drop_burst > 0) {
     burst_hist->record(drop_burst);  // a burst running into the drain tail
@@ -313,9 +410,10 @@ SimReport SmoothingSimulator::run(ScheduleRecorder* rec) {
 
 SimReport simulate(const Stream& stream, const Plan& plan,
                    std::string_view policy_name, Time link_delay,
-                   obs::Telemetry telemetry) {
+                   obs::Telemetry telemetry, EngineKind engine) {
   SimConfig config = SimConfig::balanced(plan, link_delay);
   config.telemetry = telemetry;
+  config.engine = engine;
   SmoothingSimulator simulator(stream, config, make_policy(policy_name));
   return simulator.run();
 }

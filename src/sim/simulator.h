@@ -22,6 +22,7 @@
 #include <string>
 
 #include "core/client.h"
+#include "core/event_engine.h"
 #include "core/generic_algorithm.h"
 #include "core/link.h"
 #include "core/metrics.h"
@@ -51,6 +52,13 @@ struct SimConfig {
   /// NACK/retransmit behaviour for lossy links; `smoothing_delay` inside is
   /// filled in by the simulator, callers only set the other fields.
   RecoveryConfig recovery{};
+
+  /// Main-loop selection (core/event_engine.h). Both engines produce
+  /// byte-identical reports, registry snapshots, traces and incidents — the
+  /// three-way differential harness pins this — so the choice is purely a
+  /// performance knob: EventDriven skips quiescent spans and wins big on
+  /// sparse or long-horizon streams.
+  EngineKind engine = EngineKind::SlotStepped;
 
   /// Telemetry handle, null by default (instrumentation costs nothing; see
   /// obs/telemetry.h). With a registry the run fills counters and the
@@ -105,10 +113,12 @@ class SmoothingSimulator {
 
 /// One-call convenience: simulate `stream` under the balanced plan with the
 /// named policy (see policy_factory.h). Pass a telemetry handle to collect
-/// counters/histograms or a JSONL trace for the run.
+/// counters/histograms or a JSONL trace for the run; `engine` selects the
+/// main loop (byte-identical either way).
 SimReport simulate(const Stream& stream, const Plan& plan,
                    std::string_view policy_name, Time link_delay = 1,
-                   obs::Telemetry telemetry = {});
+                   obs::Telemetry telemetry = {},
+                   EngineKind engine = EngineKind::SlotStepped);
 
 /// One-call convenience for callers with a hand-built configuration or a
 /// custom (e.g. faulty) link: simulate `stream` under `config` with the

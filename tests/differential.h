@@ -1,0 +1,199 @@
+// Three-way differential harness: the deque-based reference oracle
+// (reference_core.h) vs the slot-stepped production core vs the
+// event-driven production core (core/event_engine.h) on one instance.
+//
+// Per run the harness captures four artifacts:
+//   - the SimReport (operator==: every tally, breakdown, maximum and
+//     invariant-violation count),
+//   - the JSONL trace (config / violation / step / run events — the
+//     event core back-fills one zero-delta step event per skipped slot,
+//     so the traces are comparable line-for-line),
+//   - the Registry snapshot, to_json(/*include_timers=*/false) — the
+//     byte-identity determinism unit (span timers measure wall clock and
+//     are quarantined, DESIGN.md Sect. 8),
+//   - the FlightRecorder incident list plus its step/trigger counters.
+//
+// The reference oracle carries no registry or recorder, so the oracle
+// legs compare report + trace, while the slot-vs-event leg compares all
+// four artifacts. Failures name the disagreeing engine pair and print
+// the caller's reproducer (normally testgen::describe_instance).
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "obs/flight_recorder.h"
+#include "obs/telemetry.h"
+#include "obs/trace_writer.h"
+#include "policies/policy_factory.h"
+#include "reference_core.h"
+#include "sim/simulator.h"
+
+namespace rtsmooth::difftest {
+
+/// Builds a fresh link for one engine run. Links are stateful and consumed
+/// by the simulator, so every engine leg needs its own copy — factories
+/// must return identically-seeded links on every call. Empty: each
+/// simulator constructs its own default FixedDelayLink.
+using LinkFactory = std::function<std::unique_ptr<Link>()>;
+
+/// Everything one engine run produces that byte-identity pins.
+struct EngineArtifacts {
+  SimReport report;
+  std::string trace;      ///< JSONL, one event per line
+  std::string registry;   ///< Registry::to_json(false).dump()
+  std::string incidents;  ///< incident documents, one JSON line each
+  std::int64_t steps_recorded = 0;
+  std::int64_t triggers_total = 0;
+};
+
+/// Small window / few incidents: enough to catch a divergence without
+/// making fuzz iterations pay for a 256-step ring.
+inline obs::FlightRecorderConfig differential_recorder_config() {
+  obs::FlightRecorderConfig config;
+  config.window = 48;
+  config.max_incidents = 4;
+  return config;
+}
+
+/// One production run (slot-stepped or event-driven) with the full
+/// observability plane attached.
+inline EngineArtifacts run_engine(const Stream& stream,
+                                  const sim::SimConfig& config,
+                                  std::string_view policy,
+                                  sim::EngineKind engine,
+                                  const LinkFactory& link = {}) {
+  std::ostringstream trace;
+  obs::TraceWriter writer(trace);
+  obs::Registry registry;
+  obs::FlightRecorder recorder(differential_recorder_config());
+  sim::SimConfig cfg = config;
+  cfg.engine = engine;
+  cfg.telemetry.tracer = &writer;
+  cfg.telemetry.registry = &registry;
+  cfg.telemetry.recorder = &recorder;
+  sim::SmoothingSimulator simulator(stream, cfg, make_policy(policy),
+                                    link ? link() : nullptr);
+  EngineArtifacts out;
+  out.report = simulator.run();
+  out.trace = std::move(trace).str();
+  out.registry = registry.to_json(/*include_timers=*/false).dump();
+  std::ostringstream incidents;
+  for (const obs::Json& incident : recorder.incidents()) {
+    incidents << incident.dump() << '\n';
+  }
+  out.incidents = std::move(incidents).str();
+  out.steps_recorded = recorder.steps_recorded();
+  out.triggers_total = recorder.triggers_total();
+  return out;
+}
+
+/// The deque-oracle run. Registry / incident fields stay empty — the
+/// reference core predates the observability plane on purpose (it stays
+/// simple enough to trust by inspection).
+inline EngineArtifacts run_oracle(const Stream& stream,
+                                  const sim::SimConfig& config,
+                                  std::string_view policy,
+                                  const LinkFactory& link = {}) {
+  std::ostringstream trace;
+  obs::TraceWriter writer(trace);
+  refcore::ReferenceSimulator simulator(stream, config, policy,
+                                        link ? link() : nullptr);
+  EngineArtifacts out;
+  out.report = simulator.run(&writer);
+  out.trace = std::move(trace).str();
+  return out;
+}
+
+/// Line-by-line diff of one artifact between two named engines: a
+/// full-string EXPECT_EQ would dump thousands of lines; the first
+/// divergent line is what identifies the bug and the failing pair.
+inline void expect_same_lines(std::string_view artifact,
+                              std::string_view label_a, const std::string& a,
+                              std::string_view label_b, const std::string& b,
+                              const std::string& reproducer) {
+  if (a == b) return;
+  std::istringstream a_in(a);
+  std::istringstream b_in(b);
+  std::string a_line;
+  std::string b_line;
+  std::size_t line = 0;
+  while (true) {
+    const bool a_ok = static_cast<bool>(std::getline(a_in, a_line));
+    const bool b_ok = static_cast<bool>(std::getline(b_in, b_line));
+    ++line;
+    if (!a_ok && !b_ok) break;
+    if (a_ok != b_ok || a_line != b_line) {
+      ADD_FAILURE() << artifact << " divergence (" << label_a << " vs "
+                    << label_b << ") at line " << line << "\n  " << label_a
+                    << ": " << (a_ok ? a_line : std::string("<end>"))
+                    << "\n  " << label_b << ": "
+                    << (b_ok ? b_line : std::string("<end>")) << "\n"
+                    << reproducer;
+      return;
+    }
+  }
+  ADD_FAILURE() << artifact << " mismatch (" << label_a << " vs " << label_b
+                << ") with no differing line\n" << reproducer;
+}
+
+/// Slot vs event: full-artifact byte-identity (report, trace, registry
+/// snapshot, incident list and recorder counters).
+inline void expect_engines_identical(const EngineArtifacts& slot,
+                                     const EngineArtifacts& event,
+                                     const std::string& reproducer) {
+  EXPECT_TRUE(slot.report == event.report)
+      << "SimReport mismatch (slot vs event)\n" << reproducer;
+  expect_same_lines("trace", "slot", slot.trace, "event", event.trace,
+                    reproducer);
+  expect_same_lines("registry", "slot", slot.registry, "event",
+                    event.registry, reproducer);
+  expect_same_lines("incidents", "slot", slot.incidents, "event",
+                    event.incidents, reproducer);
+  EXPECT_EQ(slot.steps_recorded, event.steps_recorded)
+      << "flight-recorder step count mismatch (slot vs event)\n"
+      << reproducer;
+  EXPECT_EQ(slot.triggers_total, event.triggers_total)
+      << "flight-recorder trigger count mismatch (slot vs event)\n"
+      << reproducer;
+}
+
+/// The full three-way check. `link` builds the production link (used for
+/// both the slot and event legs); `oracle_link` builds the
+/// reference-flavoured link for the deque oracle. Both default to each
+/// simulator's own FixedDelayLink.
+inline void expect_three_way(const Stream& stream,
+                             const sim::SimConfig& config,
+                             std::string_view policy,
+                             const std::string& reproducer,
+                             const LinkFactory& link = {},
+                             const LinkFactory& oracle_link = {}) {
+  const EngineArtifacts slot =
+      run_engine(stream, config, policy, sim::EngineKind::SlotStepped, link);
+  const EngineArtifacts event =
+      run_engine(stream, config, policy, sim::EngineKind::EventDriven, link);
+  const EngineArtifacts oracle =
+      run_oracle(stream, config, policy, oracle_link);
+  EXPECT_TRUE(oracle.report == slot.report)
+      << "SimReport mismatch (reference vs slot)\n" << reproducer;
+  expect_same_lines("trace", "reference", oracle.trace, "slot", slot.trace,
+                    reproducer);
+  // Diff the oracle against the event core directly too: when the two
+  // production engines agree with each other but not the oracle, the
+  // failure should still name both pairs.
+  EXPECT_TRUE(oracle.report == event.report)
+      << "SimReport mismatch (reference vs event)\n" << reproducer;
+  expect_same_lines("trace", "reference", oracle.trace, "event", event.trace,
+                    reproducer);
+  expect_engines_identical(slot, event, reproducer);
+}
+
+}  // namespace rtsmooth::difftest

@@ -81,6 +81,130 @@ inline sim::SimConfig random_config(Rng& rng, const Stream& stream) {
   return config;
 }
 
+// ---------------------------------------------------------------------------
+// Corner-case instances. The uniform generator above rarely hits the exact
+// boundaries the event-driven core's skip logic pivots on, so the fuzz
+// suites mix in targeted shapes: each Corner is a (stream, config) family
+// that pins one boundary. Like the uniform generator, everything is a pure
+// function of the seed.
+// ---------------------------------------------------------------------------
+
+enum class Corner {
+  /// Sparse bursts where some bursts contain zero frames: the burst loop
+  /// still advances the clock, so two quiescent spans abut and the event
+  /// engine must absorb them as one without consuming extra RNG draws.
+  ZeroLengthBursts,
+  /// Playout offset P + D == 1, so the last deadline lands exactly on
+  /// stream.horizon() — the Deadline and Horizon events collide at the
+  /// queue boundary and the tie-break order decides the final span.
+  DeadlineEqualsHorizon,
+  /// One run, one slice: the smallest schedule with a non-empty drain, so
+  /// every engine phase (arrival, drain, deadline, exit) is one event.
+  SingleSliceStream,
+  /// R set to the stream's peak one-step arrival volume: the server can
+  /// always clear a step's arrivals in that same step, so the buffer
+  /// oscillates between full and empty and quiescent spans start exactly
+  /// one step after each burst.
+  RateEqualsPeak,
+};
+
+inline constexpr Corner kAllCorners[] = {
+    Corner::ZeroLengthBursts, Corner::DeadlineEqualsHorizon,
+    Corner::SingleSliceStream, Corner::RateEqualsPeak};
+
+inline const char* corner_name(Corner corner) {
+  switch (corner) {
+    case Corner::ZeroLengthBursts: return "zero-length-bursts";
+    case Corner::DeadlineEqualsHorizon: return "deadline-equals-horizon";
+    case Corner::SingleSliceStream: return "single-slice-stream";
+    case Corner::RateEqualsPeak: return "rate-equals-peak";
+  }
+  return "unknown";
+}
+
+/// Largest one-step arrival volume — the stream's peak rate.
+inline Bytes peak_step_bytes(const Stream& stream) {
+  Bytes peak = 1;
+  Bytes step_total = 0;
+  Time at = kNever;
+  for (const SliceRun& run : stream.runs()) {
+    if (run.arrival != at) {
+      at = run.arrival;
+      step_total = 0;
+    }
+    step_total += run.total_bytes();
+    peak = std::max(peak, step_total);
+  }
+  return peak;
+}
+
+inline Stream corner_stream(Rng& rng, Corner corner) {
+  switch (corner) {
+    case Corner::ZeroLengthBursts: {
+      std::vector<SliceRun> runs;
+      Time arrival = rng.uniform_int(0, 2);
+      const std::int64_t bursts = rng.uniform_int(2, 6);
+      std::int64_t frame = 0;
+      for (std::int64_t b = 0; b < bursts; ++b) {
+        const std::int64_t length = rng.uniform_int(0, 3);  // 0: empty burst
+        for (std::int64_t f = 0; f < length; ++f) {
+          SliceRun run;
+          run.arrival = arrival;
+          run.slice_size = rng.bernoulli(0.5) ? 1 : rng.uniform_int(2, 64);
+          run.count = rng.uniform_int(1, run.slice_size == 1 ? 64 : 4);
+          run.weight = static_cast<Weight>(rng.uniform_int(0, 4));
+          run.frame_type = static_cast<FrameType>(rng.uniform_int(0, 3));
+          run.frame_index = frame++;
+          runs.push_back(run);
+          // Zero-gap pile-ups inside a burst, one-step spacing otherwise.
+          arrival += rng.bernoulli(0.4) ? 0 : 1;
+        }
+        arrival += rng.uniform_int(20, 60);  // long quiescent span
+      }
+      if (runs.empty()) {
+        // Every burst came up empty; keep the stream legal with one slice.
+        SliceRun run;
+        run.arrival = arrival;
+        run.weight = 1.0;
+        runs.push_back(run);
+      }
+      return Stream::from_runs(std::move(runs));
+    }
+    case Corner::DeadlineEqualsHorizon:
+    case Corner::RateEqualsPeak:
+      return random_stream(rng);
+    case Corner::SingleSliceStream: {
+      SliceRun run;
+      run.arrival = rng.uniform_int(0, 5);
+      run.slice_size = rng.bernoulli(0.5) ? 1 : rng.uniform_int(2, 700);
+      run.count = 1;
+      run.weight = static_cast<Weight>(rng.uniform_int(0, 8));
+      run.frame_type = static_cast<FrameType>(rng.uniform_int(0, 3));
+      return Stream::from_runs({run});
+    }
+  }
+  return random_stream(rng);
+}
+
+inline sim::SimConfig corner_config(Rng& rng, const Stream& stream,
+                                    Corner corner) {
+  sim::SimConfig config = random_config(rng, stream);
+  switch (corner) {
+    case Corner::ZeroLengthBursts:
+    case Corner::SingleSliceStream:
+      break;
+    case Corner::DeadlineEqualsHorizon:
+      // Offset P + D = 1 puts the last playout exactly at stream.horizon().
+      config.smoothing_delay = rng.bernoulli(0.5) ? 1 : 0;
+      config.link_delay = 1 - config.smoothing_delay;
+      break;
+    case Corner::RateEqualsPeak:
+      config.rate = peak_step_bytes(stream);
+      break;
+  }
+  return config;
+}
+
 /// Self-contained reproducer: everything needed to rebuild the instance
 /// without rerunning the generator.
 inline std::string describe_instance(std::uint64_t seed, const Stream& stream,

@@ -1,26 +1,24 @@
-// Differential equivalence suite: the optimized simulation core (ring
+// Differential equivalence suite, three ways: the deque-based reference
+// oracle in reference_core.h vs the optimized slot-stepped core (ring
 // buffers, recycled piece vectors, monotone playout cursor — DESIGN.md
-// Sect. 12) against the deque-based reference oracle in reference_core.h.
+// Sect. 12) vs the event-driven core (core/event_engine.h).
 //
-// Every comparison checks two artifacts byte-for-byte:
-//   - the SimReport (operator==, covering all tallies, per-type breakdowns,
-//     maxima, invariant-violation counts and double-precision weights), and
-//   - the JSONL trace (config / violation / step / run events), which pins
-//     the *per-step* dynamics, not just the totals.
-//
-// Failures print a self-contained reproducer (seed, expanded SliceRuns,
-// SimConfig) via testgen::describe_instance.
+// Every comparison goes through tests/differential.h, which checks the
+// SimReport, the JSONL trace, and — between the two production engines —
+// the Registry snapshot and FlightRecorder incident list byte-for-byte.
+// Failures name the disagreeing engine pair and print a self-contained
+// reproducer (seed, expanded SliceRuns, SimConfig) via
+// testgen::describe_instance.
 
 #include <gtest/gtest.h>
 
 #include <memory>
-#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "differential.h"
 #include "faults/fault_links.h"
-#include "obs/trace_writer.h"
 #include "policies/policy_factory.h"
 #include "random_instances.h"
 #include "reference_core.h"
@@ -33,77 +31,15 @@
 namespace rtsmooth {
 namespace {
 
-struct RunResult {
-  SimReport report;
-  std::string trace;
-};
-
-RunResult run_production(const Stream& stream, const sim::SimConfig& config,
-                         std::string_view policy,
-                         std::unique_ptr<Link> link = nullptr) {
-  std::ostringstream trace;
-  obs::TraceWriter writer(trace);
-  sim::SimConfig cfg = config;
-  cfg.telemetry.tracer = &writer;
-  sim::SmoothingSimulator simulator(stream, cfg, make_policy(policy),
-                                    std::move(link));
-  SimReport report = simulator.run();
-  return {std::move(report), std::move(trace).str()};
-}
-
-RunResult run_reference(const Stream& stream, const sim::SimConfig& config,
-                        std::string_view policy,
-                        std::unique_ptr<Link> link = nullptr) {
-  std::ostringstream trace;
-  obs::TraceWriter writer(trace);
-  refcore::ReferenceSimulator simulator(stream, config, policy,
-                                        std::move(link));
-  SimReport report = simulator.run(&writer);
-  return {std::move(report), std::move(trace).str()};
-}
-
-/// Line-by-line trace diff: a full-trace EXPECT_EQ would dump thousands of
-/// lines; the first divergent event is what identifies the bug.
-void expect_same_trace(const std::string& reference,
-                       const std::string& optimized,
-                       const std::string& reproducer) {
-  if (reference == optimized) return;
-  std::istringstream ref_in(reference);
-  std::istringstream opt_in(optimized);
-  std::string ref_line;
-  std::string opt_line;
-  std::size_t line = 0;
-  while (true) {
-    const bool ref_ok = static_cast<bool>(std::getline(ref_in, ref_line));
-    const bool opt_ok = static_cast<bool>(std::getline(opt_in, opt_line));
-    ++line;
-    if (!ref_ok && !opt_ok) break;
-    if (ref_ok != opt_ok || ref_line != opt_line) {
-      ADD_FAILURE() << "trace divergence at line " << line
-                    << "\n  reference: "
-                    << (ref_ok ? ref_line : std::string("<end of trace>"))
-                    << "\n  optimized: "
-                    << (opt_ok ? opt_line : std::string("<end of trace>"))
-                    << "\n" << reproducer;
-      return;
-    }
-  }
-}
-
 void expect_equivalent(const Stream& stream, const sim::SimConfig& config,
                        std::string_view policy, std::uint64_t seed,
-                       std::unique_ptr<Link> production_link = nullptr,
-                       std::unique_ptr<Link> reference_link = nullptr) {
-  const RunResult optimized =
-      run_production(stream, config, policy, std::move(production_link));
-  const RunResult reference =
-      run_reference(stream, config, policy, std::move(reference_link));
+                       const difftest::LinkFactory& link = {},
+                       const difftest::LinkFactory& oracle_link = {}) {
   const std::string reproducer =
       "policy=" + std::string(policy) + "\n" +
       testgen::describe_instance(seed, stream, config);
-  EXPECT_TRUE(reference.report == optimized.report)
-      << "SimReport mismatch\n" << reproducer;
-  expect_same_trace(reference.trace, optimized.trace, reproducer);
+  difftest::expect_three_way(stream, config, policy, reproducer, link,
+                             oracle_link);
 }
 
 constexpr std::uint64_t kSeedBase = 0x5eedc0de;
@@ -137,10 +73,14 @@ TEST_P(EquivalencePolicy, RandomStreamsBoundedJitter) {
     const std::uint64_t link_seed = seed ^ 0x9e3779b97f4a7c15ULL;
     expect_equivalent(
         stream, config, GetParam(), seed,
-        std::make_unique<BoundedJitterLink>(config.link_delay, jitter,
-                                            Rng(link_seed)),
-        std::make_unique<refcore::ReferenceBoundedJitterLink>(
-            config.link_delay, jitter, Rng(link_seed)));
+        [&config, jitter, link_seed] {
+          return std::make_unique<BoundedJitterLink>(config.link_delay,
+                                                     jitter, Rng(link_seed));
+        },
+        [&config, jitter, link_seed] {
+          return std::make_unique<refcore::ReferenceBoundedJitterLink>(
+              config.link_delay, jitter, Rng(link_seed));
+        });
     if (HasFailure()) return;
   }
 }
@@ -160,13 +100,17 @@ TEST_P(EquivalencePolicy, RandomStreamsErasureWithRecovery) {
     const std::uint64_t link_seed = seed ^ 0xdeadbeefcafef00dULL;
     expect_equivalent(
         stream, config, GetParam(), seed,
-        std::make_unique<faults::ErasureLink>(
-            std::make_unique<FixedDelayLink>(config.link_delay), loss,
-            Rng(link_seed)),
-        std::make_unique<faults::ErasureLink>(
-            std::make_unique<refcore::ReferenceFixedDelayLink>(
-                config.link_delay),
-            loss, Rng(link_seed)));
+        [&config, loss, link_seed] {
+          return std::make_unique<faults::ErasureLink>(
+              std::make_unique<FixedDelayLink>(config.link_delay), loss,
+              Rng(link_seed));
+        },
+        [&config, loss, link_seed] {
+          return std::make_unique<faults::ErasureLink>(
+              std::make_unique<refcore::ReferenceFixedDelayLink>(
+                  config.link_delay),
+              loss, Rng(link_seed));
+        });
     if (HasFailure()) return;
   }
 }
@@ -201,7 +145,8 @@ TEST(Equivalence, StockClipBalancedPlanAllPolicies) {
 
 // The Gilbert-Elliott chain exercises bursty loss: long NACK trains land in
 // the retransmission queue in one step, which is where a ring-capacity bug
-// would hide.
+// would hide — and its lazily-replayed state machine is the event core's
+// hardest RNG-consumption case (DESIGN.md Sect. 17).
 TEST(Equivalence, StockClipGilbertElliottBurstLoss) {
   const Stream stream = trace::slice_frames(
       trace::stock_clip("cnn-news", 80), trace::ValueModel::mpeg_default(),
@@ -220,13 +165,17 @@ TEST(Equivalence, StockClipGilbertElliottBurstLoss) {
   const std::uint64_t link_seed = 1234;
   expect_equivalent(
       stream, config, "tail-drop", /*seed=*/0,
-      std::make_unique<faults::GilbertElliottLink>(
-          std::make_unique<FixedDelayLink>(config.link_delay), ge,
-          Rng(link_seed)),
-      std::make_unique<faults::GilbertElliottLink>(
-          std::make_unique<refcore::ReferenceFixedDelayLink>(
-              config.link_delay),
-          ge, Rng(link_seed)));
+      [&config, ge, link_seed] {
+        return std::make_unique<faults::GilbertElliottLink>(
+            std::make_unique<FixedDelayLink>(config.link_delay), ge,
+            Rng(link_seed));
+      },
+      [&config, ge, link_seed] {
+        return std::make_unique<faults::GilbertElliottLink>(
+            std::make_unique<refcore::ReferenceFixedDelayLink>(
+                config.link_delay),
+            ge, Rng(link_seed));
+      });
 }
 
 }  // namespace

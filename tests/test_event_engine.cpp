@@ -1,0 +1,360 @@
+// The event-driven core (core/event_engine.h), pinned three ways:
+//
+//   - EventQueue unit tests: (at, kind) ordering and the documented
+//     tie-break so span bounds are deterministic.
+//   - Link::next_activity() / advance_to() contracts per link flavour —
+//     including the Gilbert-Elliott lazy-replay property (batch catch-up
+//     consumes the identical RNG draws as per-step polling).
+//   - Slot-vs-event byte identity: full EngineArtifacts (SimReport, JSONL
+//     trace, registry snapshot, flight-recorder incidents) under
+//     ErasureLink, GilbertElliottLink, ThrottledLink and BoundedJitterLink
+//     across seeds, sparse and dense streams, recovery on and off; plus
+//     ScheduleRecorder step/run equality with the event core's back-fill.
+//   - sweep() grids on the event core: results and merged registry
+//     snapshots byte-identical to the slot core at RTSMOOTH_THREADS
+//     widths 1, 4 and 8 (mirroring the existing thread-invariance ctests).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/event_engine.h"
+#include "core/link.h"
+#include "core/schedule.h"
+#include "differential.h"
+#include "faults/fault_links.h"
+#include "policies/policy_factory.h"
+#include "random_instances.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "trace/slicer.h"
+#include "trace/stock_clips.h"
+#include "util/rng.h"
+
+namespace rtsmooth {
+namespace {
+
+using sim::EngineKind;
+using sim::Event;
+using sim::EventKind;
+using sim::EventQueue;
+
+// ------------------------------------------------------------- EventQueue
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  queue.push({7, EventKind::Arrival});
+  queue.push({3, EventKind::Deadline});
+  queue.push({11, EventKind::Drain});
+  queue.push({5, EventKind::Horizon});
+  std::vector<Time> order;
+  while (!queue.empty()) {
+    order.push_back(queue.top().at);
+    queue.pop();
+  }
+  EXPECT_EQ(order, (std::vector<Time>{3, 5, 7, 11}));
+}
+
+TEST(EventQueue, TieBreaksByKindInDeclarationOrder) {
+  EventQueue queue;
+  queue.push({4, EventKind::Horizon});
+  queue.push({4, EventKind::Deadline});
+  queue.push({4, EventKind::Arrival});
+  queue.push({4, EventKind::FaultState});
+  queue.push({4, EventKind::Drain});
+  std::vector<EventKind> order;
+  while (!queue.empty()) {
+    order.push_back(queue.top().kind);
+    queue.pop();
+  }
+  EXPECT_EQ(order,
+            (std::vector<EventKind>{EventKind::Arrival, EventKind::Drain,
+                                    EventKind::Deadline,
+                                    EventKind::FaultState,
+                                    EventKind::Horizon}));
+}
+
+TEST(EventQueue, ClearEmptiesTheQueue) {
+  EventQueue queue;
+  queue.push({1, EventKind::Arrival});
+  queue.push({2, EventKind::Drain});
+  EXPECT_EQ(queue.size(), 2u);
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+}
+
+// ---------------------------------------------- Link::next_activity hooks
+
+/// A piece needs a live SliceRun behind it; one static run serves all the
+/// direct link tests below.
+const SliceRun& test_run() {
+  static const SliceRun run = [] {
+    SliceRun r;
+    r.arrival = 0;
+    r.slice_size = 1;
+    r.count = 100;
+    r.weight = 1.0;
+    return r;
+  }();
+  return run;
+}
+
+std::vector<SentPiece> one_piece(Bytes bytes) {
+  SentPiece piece;
+  piece.run = &test_run();
+  piece.bytes = bytes;
+  return {piece};
+}
+
+TEST(NextActivity, FixedDelayLinkReportsHeadDeliveryStep) {
+  FixedDelayLink link(3);
+  EXPECT_EQ(link.next_activity(0), kNever);
+  link.submit(2, one_piece(8));
+  EXPECT_EQ(link.next_activity(3), 5);  // submitted at 2, delay 3
+  (void)link.deliver(5);
+  EXPECT_EQ(link.next_activity(6), kNever);
+}
+
+TEST(NextActivity, ThrottledLinkBacklogWaitsForOpenWindow) {
+  // cap_at: 0 at steps 0..2 (mod 4), 4 bytes at step 3 (mod 4).
+  faults::ThrottledLink link(std::make_unique<FixedDelayLink>(1),
+                             std::vector<Bytes>{0, 0, 0, 4});
+  link.submit(0, one_piece(8));  // nothing admitted, 8 bytes queued
+  EXPECT_EQ(link.next_activity(1), 3);  // the next positive-cap step
+}
+
+TEST(NextActivity, ErasureLinkPendingNackBoundsTheSpan) {
+  // loss 1.0: the piece never reaches the inner link; the NACK surfaces at
+  // t + 2 * min_delay (symmetric feedback path).
+  faults::ErasureLink link(std::make_unique<FixedDelayLink>(2), 1.0,
+                           Rng(99));
+  (void)link.deliver(0);
+  link.submit(0, one_piece(4));
+  EXPECT_EQ(link.next_activity(1), 4);
+  EXPECT_TRUE(link.deliver(4).empty());
+  EXPECT_EQ(link.collect_nacks(4).size(), 1u);
+}
+
+// The lazy-replay contract: catching the loss chain up in one advance_to()
+// batch must consume the identical RNG draws as polling deliver(t) every
+// step, so the state (and every draw after it) agrees.
+TEST(NextActivity, GilbertElliottAdvanceToMatchesPerStepPolling) {
+  const faults::GilbertElliottConfig ge{.p_good_to_bad = 0.35,
+                                        .p_bad_to_good = 0.35,
+                                        .loss_good = 0.0,
+                                        .loss_bad = 1.0};
+  faults::GilbertElliottLink polled(std::make_unique<FixedDelayLink>(1), ge,
+                                    Rng(4242));
+  faults::GilbertElliottLink batched(std::make_unique<FixedDelayLink>(1), ge,
+                                     Rng(4242));
+  for (Time t = 0; t <= 60; ++t) (void)polled.deliver(t);
+  batched.advance_to(60);
+  // With loss probabilities 0/1 the fate of each piece is a pure function
+  // of the chain state, so identical states show up as identical delivery
+  // and NACK sequences from here on.
+  for (Time t = 61; t <= 90; ++t) {
+    polled.submit(t, one_piece(1));
+    batched.submit(t, one_piece(1));
+    const auto a = polled.deliver(t);
+    const auto b = batched.deliver(t);
+    ASSERT_EQ(a.size(), b.size()) << "delivery divergence at t=" << t;
+    ASSERT_EQ(polled.collect_nacks(t).size(), batched.collect_nacks(t).size())
+        << "NACK divergence at t=" << t;
+  }
+}
+
+// ------------------------------------- slot vs event: full byte identity
+
+void expect_slot_event_identical(const Stream& stream,
+                                 const sim::SimConfig& config,
+                                 std::string_view policy,
+                                 const std::string& reproducer,
+                                 const difftest::LinkFactory& link = {}) {
+  const difftest::EngineArtifacts slot = difftest::run_engine(
+      stream, config, policy, EngineKind::SlotStepped, link);
+  const difftest::EngineArtifacts event = difftest::run_engine(
+      stream, config, policy, EngineKind::EventDriven, link);
+  difftest::expect_engines_identical(slot, event, reproducer);
+}
+
+struct LinkCase {
+  const char* name;
+  std::function<std::unique_ptr<Link>(Time delay, std::uint64_t seed)> make;
+};
+
+std::vector<LinkCase> fault_link_cases() {
+  return {
+      {"erasure",
+       [](Time delay, std::uint64_t seed) -> std::unique_ptr<Link> {
+         return std::make_unique<faults::ErasureLink>(
+             std::make_unique<FixedDelayLink>(delay), 0.15, Rng(seed));
+       }},
+      {"gilbert-elliott",
+       [](Time delay, std::uint64_t seed) -> std::unique_ptr<Link> {
+         const faults::GilbertElliottConfig ge{.p_good_to_bad = 0.08,
+                                               .p_bad_to_good = 0.3,
+                                               .loss_good = 0.0,
+                                               .loss_bad = 0.95};
+         return std::make_unique<faults::GilbertElliottLink>(
+             std::make_unique<FixedDelayLink>(delay), ge, Rng(seed));
+       }},
+      {"throttled",
+       [](Time delay, std::uint64_t seed) -> std::unique_ptr<Link> {
+         (void)seed;  // the throttle pattern is deterministic
+         return std::make_unique<faults::ThrottledLink>(
+             std::make_unique<FixedDelayLink>(delay),
+             std::vector<Bytes>{900, 0, 0, 300, 0, 1500});
+       }},
+      {"jitter",
+       [](Time delay, std::uint64_t seed) -> std::unique_ptr<Link> {
+         return std::make_unique<BoundedJitterLink>(delay, 2, Rng(seed));
+       }},
+  };
+}
+
+/// The satellite matrix: every fault flavour × seeds × recovery on/off ×
+/// dense and sparse streams, each cell checked for full-artifact identity.
+TEST(EventEngineIdentity, FaultMatrixAcrossSeedsAndRecovery) {
+  const std::vector<LinkCase> cases = fault_link_cases();
+  const std::vector<std::string> policies = {"tail-drop", "greedy"};
+  std::size_t pick = 0;
+  for (const std::uint64_t seed : {101u, 202u, 303u, 404u}) {
+    for (const bool sparse : {false, true}) {
+      Rng rng(0xe7e27000 + seed * 2 + (sparse ? 1 : 0));
+      const Stream stream =
+          sparse ? testgen::corner_stream(rng,
+                                          testgen::Corner::ZeroLengthBursts)
+                 : testgen::random_stream(rng);
+      const sim::SimConfig base =
+          sparse ? testgen::corner_config(rng, stream,
+                                          testgen::Corner::ZeroLengthBursts)
+                 : testgen::random_config(rng, stream);
+      for (const LinkCase& link_case : cases) {
+        for (const bool recovery : {false, true}) {
+          sim::SimConfig config = base;
+          config.recovery.enabled = recovery;
+          if (recovery && config.recovery.max_retries == 0) {
+            config.recovery.max_retries = 2;
+          }
+          const std::string& policy = policies[pick++ % policies.size()];
+          const std::string reproducer =
+              "link=" + std::string(link_case.name) +
+              (sparse ? " stream=sparse" : " stream=dense") +
+              " recovery=" + (recovery ? "on" : "off") +
+              " policy=" + policy + "\n" +
+              testgen::describe_instance(seed, stream, config);
+          expect_slot_event_identical(
+              stream, config, policy, reproducer,
+              [&link_case, &config, seed] {
+                return link_case.make(config.link_delay, seed);
+              });
+          if (HasFailure()) return;  // one reproducer is enough
+        }
+      }
+    }
+  }
+}
+
+/// The event core back-fills one StepSets record per skipped slot, so a
+/// RunsAndSteps ScheduleRecorder must come out element-identical too.
+TEST(EventEngineIdentity, ScheduleRecorderStepsAndRunsMatch) {
+  Rng rng(0x5ced5ced);
+  const Stream stream =
+      testgen::corner_stream(rng, testgen::Corner::ZeroLengthBursts);
+  const sim::SimConfig base =
+      testgen::corner_config(rng, stream, testgen::Corner::ZeroLengthBursts);
+  auto record = [&](EngineKind engine) {
+    sim::SimConfig config = base;
+    config.engine = engine;
+    sim::SmoothingSimulator simulator(stream, config,
+                                      make_policy("tail-drop"));
+    auto rec = std::make_unique<ScheduleRecorder>(
+        stream.run_count(), ScheduleRecorder::Level::RunsAndSteps);
+    (void)simulator.run(rec.get());
+    return rec;
+  };
+  const auto slot = record(EngineKind::SlotStepped);
+  const auto event = record(EngineKind::EventDriven);
+  ASSERT_EQ(slot->steps().size(), event->steps().size());
+  for (std::size_t i = 0; i < slot->steps().size(); ++i) {
+    ASSERT_TRUE(slot->steps()[i] == event->steps()[i])
+        << "StepSets divergence at index " << i
+        << " (t=" << slot->steps()[i].t << ")";
+  }
+  ASSERT_EQ(slot->run_count(), event->run_count());
+  for (std::size_t i = 0; i < slot->run_count(); ++i) {
+    ASSERT_TRUE(slot->run(i) == event->run(i))
+        << "RunOutcome divergence at run " << i;
+  }
+}
+
+// -------------------------------------- sweep() grids on the event core
+
+/// Registry-carrying sweep at a given engine and width; returns the result
+/// and the determinism unit of the merged snapshot.
+std::pair<sim::SweepResult, std::string> run_grid(const Stream& stream,
+                                                  EngineKind engine,
+                                                  unsigned threads) {
+  obs::Registry registry;
+  sim::SweepSpec spec;
+  spec.axis = sim::SweepAxis::BufferMultiple;
+  spec.values = {2.0, 3.0, 4.0};
+  spec.policies = {"tail-drop", "greedy"};
+  spec.engine = engine;
+  spec.threads = threads;
+  spec.registry = &registry;
+  sim::SweepResult result = sim::sweep(stream, spec);
+  return {std::move(result),
+          registry.to_json(/*include_timers=*/false).dump()};
+}
+
+/// Satellite invariance check: the event-core grid must equal the slot-core
+/// grid — including the merged registry snapshot — at every thread width.
+TEST(EventEngineSweep, GridMatchesSlotCoreAtEveryThreadWidth) {
+  const Stream stream = trace::slice_frames(
+      trace::stock_clip("cnn-news", 60), trace::ValueModel::mpeg_default(),
+      trace::Slicing::ByteSlices);
+  const auto [slot_result, slot_registry] =
+      run_grid(stream, EngineKind::SlotStepped, 1);
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    const auto [event_result, event_registry] =
+        run_grid(stream, EngineKind::EventDriven, threads);
+    EXPECT_TRUE(event_result.points == slot_result.points)
+        << "sweep points diverge (slot@1 vs event@" << threads << ")";
+    EXPECT_EQ(event_registry, slot_registry)
+        << "merged registry diverges (slot@1 vs event@" << threads << ")";
+  }
+}
+
+TEST(EventEngineSweep, FaultAxisMatchesSlotCore) {
+  const Stream stream = trace::slice_frames(
+      trace::stock_clip("cnn-news", 40), trace::ValueModel::mpeg_default(),
+      trace::Slicing::ByteSlices);
+  auto run_axis = [&stream](EngineKind engine, unsigned threads) {
+    sim::SweepSpec spec;
+    spec.axis = sim::SweepAxis::FaultSeverity;
+    spec.values = {0.0, 0.1, 0.3};
+    spec.policies = {"tail-drop"};
+    spec.recovery.enabled = true;
+    spec.recovery.max_retries = 2;
+    spec.engine = engine;
+    spec.threads = threads;
+    spec.link_factory = [](double severity, Time delay) {
+      return std::make_unique<faults::ErasureLink>(
+          std::make_unique<FixedDelayLink>(delay), severity, Rng(7));
+    };
+    return sim::sweep(stream, spec);
+  };
+  const sim::SweepResult slot = run_axis(EngineKind::SlotStepped, 1);
+  for (const unsigned threads : {1u, 4u}) {
+    const sim::SweepResult event = run_axis(EngineKind::EventDriven, threads);
+    EXPECT_TRUE(event.faults == slot.faults)
+        << "fault axis diverges (slot@1 vs event@" << threads << ")";
+  }
+}
+
+}  // namespace
+}  // namespace rtsmooth

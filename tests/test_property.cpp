@@ -22,6 +22,7 @@
 
 #include "analysis/competitive.h"
 #include "core/planner.h"
+#include "differential.h"
 #include "offline/brute_force.h"
 #include "offline/pareto_dp.h"
 #include "offline/unit_optimal.h"
@@ -293,6 +294,68 @@ TEST(PropertyFuzz, SimulatorInvariantsOnRandomInstances) {
       if (!ok) {
         dump_reproducer("invariants_" + sanitize(policy), seed, stream,
                         config);
+        return;
+      }
+    }
+  }
+}
+
+/// Three-way engine agreement: the deque reference oracle, the slot-stepped
+/// core and the event-driven core must produce byte-identical SimReports
+/// and JSONL traces (and, between the two production engines, identical
+/// registry snapshots and flight-recorder incident lists) on fully random
+/// instances. One policy per round, rotating, keeps the nightly sanitizer
+/// budget linear in RTSMOOTH_PROP_ITERS.
+TEST(PropertyFuzz, ThreeWayEngineAgreementOnRandomInstances) {
+  const int rounds = prop_iters();
+  const std::vector<std::string> policies = known_policies();
+  for (int round = 0; round < rounds; ++round) {
+    const std::uint64_t seed = 0x3e3a9e00 + static_cast<std::uint64_t>(round);
+    Rng rng(seed);
+    const Stream stream = testgen::random_stream(rng);
+    const sim::SimConfig config = testgen::random_config(rng, stream);
+    const std::string& policy =
+        policies[static_cast<std::size_t>(round) % policies.size()];
+    difftest::expect_three_way(
+        stream, config, policy,
+        "policy=" + policy + "\n" +
+            testgen::describe_instance(seed, stream, config));
+    if (HasFailure()) {
+      dump_reproducer("three_way_" + sanitize(policy), seed, stream, config);
+      return;
+    }
+  }
+}
+
+/// Same agreement property on the targeted corner families of
+/// random_instances.h — zero-length bursts, deadline == horizon,
+/// single-slice streams, rate exactly equal to the peak arrival rate — the
+/// boundaries the event engine's skip logic pivots on.
+TEST(PropertyFuzz, ThreeWayEngineAgreementOnCornerInstances) {
+  const int rounds = prop_iters();
+  const std::vector<std::string> policies = known_policies();
+  constexpr std::size_t kCorners = std::size(testgen::kAllCorners);
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t c = 0; c < kCorners; ++c) {
+      const testgen::Corner corner = testgen::kAllCorners[c];
+      const std::uint64_t seed =
+          0xc02ce200 + static_cast<std::uint64_t>(round) * kCorners + c;
+      Rng rng(seed);
+      const Stream stream = testgen::corner_stream(rng, corner);
+      const sim::SimConfig config =
+          testgen::corner_config(rng, stream, corner);
+      const std::string& policy =
+          policies[static_cast<std::size_t>(round) % policies.size()];
+      difftest::expect_three_way(
+          stream, config, policy,
+          "corner=" + std::string(testgen::corner_name(corner)) +
+              "\npolicy=" + policy + "\n" +
+              testgen::describe_instance(seed, stream, config));
+      if (HasFailure()) {
+        dump_reproducer("three_way_" +
+                            sanitize(testgen::corner_name(corner)) + "_" +
+                            sanitize(policy),
+                        seed, stream, config);
         return;
       }
     }

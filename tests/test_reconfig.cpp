@@ -21,7 +21,9 @@
 
 #include "daemon/rtsmoothd.h"
 #include "obs/json.h"
+#include "policies/policy_factory.h"
 #include "reference_core.h"
+#include "sim/simulator.h"
 #include "trace/value_model.h"
 
 namespace rtsmooth::daemon {
@@ -122,6 +124,18 @@ TEST(Reconfig, SteadyStateEngineMatchesReferenceBatch) {
   // The tight plan must actually have exercised the drop path, or this
   // differential proves less than it claims.
   EXPECT_GT(batch.dropped_server.bytes, 0);
+
+  // The production cores replay the same schedule: the event-driven engine
+  // must equal the reference batch on every field and reconcile against
+  // the daemon's totals just like the slot core does.
+  sim::SimConfig event_config = sim_config_of(engine);
+  event_config.engine = sim::EngineKind::EventDriven;
+  sim::SmoothingSimulator event_sim(stream, event_config,
+                                    make_policy(engine.policy));
+  const SimReport event_batch = event_sim.run();
+  EXPECT_TRUE(event_batch == batch)
+      << "event-core batch diverges from the reference batch";
+  expect_reports_match(daemon.total_report(), event_batch);
 }
 
 TEST(Reconfig, DrainAndReplanMatchesReferencePrefixPlusSuffix) {
@@ -212,6 +226,30 @@ TEST(Reconfig, DrainAndReplanMatchesReferencePrefixPlusSuffix) {
   expected += ref_suffix.run();
   expect_reports_match(daemon.total_report(), expected);
   EXPECT_EQ(daemon.total_report().offered.bytes, daemon.polled_bytes());
+
+  // The same epoch split replayed on the production cores: the slot and
+  // event engines must produce byte-identical per-epoch reports, and their
+  // sum must reconcile against the daemon's ingest ledger and conservation
+  // totals exactly like the reference sum above.
+  auto batch_sum = [&](sim::EngineKind engine) {
+    sim::SimConfig prefix_config = sim_config_of(first);
+    prefix_config.engine = engine;
+    sim::SmoothingSimulator prefix_sim(prefix_stream, prefix_config,
+                                       make_policy(first.policy));
+    SimReport total = prefix_sim.run();
+    sim::SimConfig suffix_config = sim_config_of(second);
+    suffix_config.engine = engine;
+    sim::SmoothingSimulator suffix_sim(suffix_stream, suffix_config,
+                                       make_policy(second.policy));
+    total += suffix_sim.run();
+    return total;
+  };
+  const SimReport slot_sum = batch_sum(sim::EngineKind::SlotStepped);
+  const SimReport event_sum = batch_sum(sim::EngineKind::EventDriven);
+  EXPECT_TRUE(slot_sum == event_sum)
+      << "slot vs event drain-and-replan batch sums diverge";
+  EXPECT_TRUE(event_sum.conserves());
+  expect_reports_match(daemon.total_report(), event_sum);
 }
 
 TEST(Reconfig, ManyReconfigsConserveWithBoundedLag) {

@@ -34,6 +34,7 @@ benches=(
   abl_jitter
   abl_dependency
   abl_tandem
+  abl_event_engine
   gateway
 )
 
