@@ -1,0 +1,35 @@
+#include "core/event_engine.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace rtsmooth::sim {
+namespace {
+
+/// std::push_heap builds a max-heap; invert the order so top() is the
+/// earliest event (kind breaks ties, in enum order).
+bool later(const Event& a, const Event& b) {
+  if (a.at != b.at) return a.at > b.at;
+  return static_cast<int>(a.kind) > static_cast<int>(b.kind);
+}
+
+}  // namespace
+
+void EventQueue::push(Event e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+const Event& EventQueue::top() const {
+  RTS_EXPECTS(!heap_.empty());
+  return heap_.front();
+}
+
+void EventQueue::pop() {
+  RTS_EXPECTS(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  heap_.pop_back();
+}
+
+}  // namespace rtsmooth::sim

@@ -1,0 +1,116 @@
+// Event-driven simulation core (DESIGN.md Sect. 17).
+//
+// The slot-stepped loop in sim/simulator.cpp pays O(T) per run even when
+// every component is idle — dead weight exactly in the regimes the paper's
+// guarantees target (day-long traces, sparse bursts). The event engine runs
+// the *same* per-step pipeline, but only at steps where something can
+// happen; a quiescent span in between is absorbed in O(1) plus whatever the
+// attached observers require.
+//
+// A step t is skippable when the server (buffer + retransmission queue) is
+// empty, the client buffer is empty, and no event is scheduled at t. The
+// next event is the minimum over four sources, kept in a tiny priority
+// queue:
+//
+//   Arrival    — the next slice run reaching the server
+//   Drain      — the link's next possible delivery or NACK surfacing
+//   Deadline   — the playout step of the next not-yet-played frame
+//   Horizon    — one past the nominal playout range (keeps report.steps
+//                identical to the slot loop's final t)
+//
+// Stateful fault decorators bound Drain conservatively: a pending NACK's
+// feedback-due step, the next open throttle window, or simply now + 1 when
+// the link cannot prove silence (Link::next_activity()). The Gilbert-
+// Elliott loss chain needs no bounding event at all — it advances lazily,
+// consuming the identical RNG draws in the identical order whether caught
+// up step-by-step or in one batch (Link::advance_to(), called at span end,
+// replicates the slot loop's per-step polling). This RNG-consumption
+// contract is what makes the two engines byte-identical: reports, registry
+// snapshots, traces and incident lists all match exactly, which the
+// three-way differential harness (tests/differential.h) pins per commit.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace rtsmooth::sim {
+
+/// Which main loop SmoothingSimulator::run() uses. Both produce
+/// byte-identical results; EventDriven is faster on quiescent-heavy traces.
+enum class EngineKind {
+  SlotStepped,  ///< visit every step t = 0, 1, 2, ...
+  EventDriven,  ///< skip quiescent spans between scheduled events
+};
+
+/// Category of a scheduled event. Ordering below is the tie-break order for
+/// events at the same step, so queue pops are deterministic.
+enum class EventKind {
+  Arrival,     ///< a slice run reaches the server
+  Drain,       ///< the link may deliver pieces or surface NACKs
+  Deadline,    ///< a frame's playout step
+  FaultState,  ///< a fault decorator's state changes (feedback due,
+               ///< throttle window opening) — folded into Drain by
+               ///< Link::next_activity(); kept distinct for unit tests
+  Horizon,     ///< one past the nominal playout range
+};
+
+struct Event {
+  Time at = 0;
+  EventKind kind = EventKind::Horizon;
+};
+
+/// Binary min-heap of Events ordered by (at, kind). clear() keeps the
+/// storage, so a queue reused across spans allocates only once.
+class EventQueue {
+ public:
+  void push(Event e);
+  const Event& top() const;
+  void pop();
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  void clear() { heap_.clear(); }
+
+ private:
+  std::vector<Event> heap_;
+};
+
+/// The engine loop, decoupled from the simulator so tests can drive it with
+/// synthetic hooks. Advances time from `start` until ops.more(t) fails and
+/// returns the final t (== the slot loop's exit value). Per iteration:
+///
+///   more(t)                 -> bool: keep running?
+///   quiescent(t)            -> bool: may steps be skipped right now?
+///   collect_events(t, q)    -> push every upcoming event (omit kNever)
+///   absorb_span(t0, t1)     -> account for skipped steps [t0, t1)
+///   live_step(t)            -> run the full pipeline at step t
+///
+/// An event at or before t means "t itself is live" — the step runs in
+/// full; only a strictly-future earliest event opens a span. A quiescent
+/// state with an empty queue also falls back to a live step, so a
+/// conservative collect_events can never wedge or desynchronize the loop.
+template <typename Ops>
+Time run_event_driven(Time start, Ops&& ops) {
+  EventQueue queue;
+  Time t = start;
+  while (ops.more(t)) {
+    Time span_end = t;
+    if (ops.quiescent(t)) {
+      queue.clear();
+      ops.collect_events(t, queue);
+      if (!queue.empty() && queue.top().at > t) span_end = queue.top().at;
+    }
+    if (span_end <= t) {
+      ops.live_step(t);
+      ++t;
+    } else {
+      ops.absorb_span(t, span_end);
+      t = span_end;
+    }
+  }
+  return t;
+}
+
+}  // namespace rtsmooth::sim
